@@ -1,0 +1,61 @@
+//! All-reduce algorithm comparison (§IV): naive vs tree vs ring vs the
+//! paper's multi-stream partitioned ring, reporting both the *real* CPU
+//! arithmetic cost (criterion wall time) and, on stderr, the *simulated*
+//! collective durations — the paper's claim is that the multi-stream ring
+//! merges models at least 2x faster than the single-stream tree.
+
+use asgd_collective::{allreduce, Algorithm, CollectiveContext};
+use asgd_gpusim::{profile, SimTime, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let n = 4;
+    let ctx = CollectiveContext::new(Topology::pcie(n), &profile::homogeneous_server(n));
+    let weights = vec![1.0 / n as f64; n];
+
+    // Simulated durations (the experiment the paper actually reports).
+    eprintln!("simulated merge durations (model elements x algorithm):");
+    for len in [1 << 16, 1 << 20, 1 << 22] {
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Tree,
+            Algorithm::Ring,
+            Algorithm::HalvingDoubling,
+            Algorithm::MultiStreamRing { partitions: n },
+        ] {
+            let mut bufs: Vec<Vec<f32>> = (0..n).map(|d| vec![d as f32; len]).collect();
+            let t = allreduce(&mut bufs, &weights, algo, &ctx, &vec![SimTime::ZERO; n]);
+            eprintln!("  {len:>8} {algo:?}: {:.1} us", t.duration() * 1e6);
+        }
+    }
+
+    // Real arithmetic cost of each algorithm implementation.
+    let mut group = c.benchmark_group("allreduce_arithmetic");
+    for len in [1usize << 16, 1 << 20] {
+        for (name, algo) in [
+            ("naive", Algorithm::Naive),
+            ("tree", Algorithm::Tree),
+            ("ring", Algorithm::Ring),
+            ("hd", Algorithm::HalvingDoubling),
+            ("msr", Algorithm::MultiStreamRing { partitions: n }),
+        ] {
+            group.bench_function(BenchmarkId::new(name, len), |b| {
+                b.iter_batched(
+                    || (0..n).map(|d| vec![d as f32; len]).collect::<Vec<_>>(),
+                    |mut bufs| {
+                        allreduce(&mut bufs, &weights, algo, &ctx, &vec![SimTime::ZERO; n])
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_allreduce
+}
+criterion_main!(benches);

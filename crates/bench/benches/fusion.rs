@@ -1,0 +1,51 @@
+//! Kernel fusion vs launch contention (§IV): the epoch launch overhead with
+//! and without fusion as the number of concurrently launching GPU managers
+//! grows — the paper's motivation for fusing element-wise kernels into
+//! event-synchronized streams.
+
+use asgd_gpusim::fusion::{epoch_launch_overhead, FusionPolicy, LaunchModel};
+use asgd_model::workload::epoch_kernels;
+use asgd_model::MlpConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fusion(c: &mut Criterion) {
+    let config = MlpConfig {
+        num_features: 135_909,
+        hidden: 128,
+        num_classes: 670_091,
+    };
+    let kernels = epoch_kernels(&config, 256, 256 * 76);
+    let model = LaunchModel::default_cuda();
+
+    // The simulated overhead table the paper's §IV narrates.
+    eprintln!("simulated per-epoch launch overhead (us):");
+    eprintln!("  managers  unfused  fused  saving");
+    for managers in [1usize, 2, 4, 8] {
+        let unfused =
+            epoch_launch_overhead(&kernels, FusionPolicy::Unfused, &model, managers) * 1e6;
+        let fused = epoch_launch_overhead(&kernels, FusionPolicy::Fused, &model, managers) * 1e6;
+        eprintln!(
+            "  {managers:>8}  {unfused:>7.1}  {fused:>5.1}  {:.1}%",
+            (1.0 - fused / unfused) * 100.0
+        );
+    }
+
+    // Cost of the planner itself (it runs once per dispatched batch).
+    let mut group = c.benchmark_group("fusion_planning");
+    for managers in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("unfused", managers), |b| {
+            b.iter(|| epoch_launch_overhead(&kernels, FusionPolicy::Unfused, &model, managers));
+        });
+        group.bench_function(BenchmarkId::new("fused", managers), |b| {
+            b.iter(|| epoch_launch_overhead(&kernels, FusionPolicy::Fused, &model, managers));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fusion
+}
+criterion_main!(benches);

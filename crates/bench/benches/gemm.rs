@@ -1,0 +1,45 @@
+//! Dense GEMM microbenchmarks at the shapes the output layer produces:
+//! `logits = H·W₂` (NN), `dH = dO·W₂ᵀ` (NT), `∇W₂ = Hᵀ·dO` (TN).
+
+use asgd_tensor::{ops, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn mat(rows: usize, cols: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, q| {
+        ((r * 31 + q * 7 + seed) % 13) as f32 / 13.0 - 0.5
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let hidden = 128;
+    for classes in [1024usize, 4096] {
+        let mut group = c.benchmark_group(format!("gemm_output_layer_c{classes}"));
+        for batch in [64usize, 256] {
+            let flops = (2 * batch * hidden * classes) as u64;
+            group.throughput(Throughput::Elements(flops));
+            let h = mat(batch, hidden, 1);
+            let w2 = mat(hidden, classes, 2);
+            let dl = mat(batch, classes, 3);
+            group.bench_function(BenchmarkId::new("nn_forward", batch), |b| {
+                let mut out = Matrix::zeros(batch, classes);
+                b.iter(|| ops::gemm(1.0, &h, &w2, 0.0, &mut out));
+            });
+            group.bench_function(BenchmarkId::new("nt_backward", batch), |b| {
+                let mut out = Matrix::zeros(batch, hidden);
+                b.iter(|| ops::gemm_nt(1.0, &dl, &w2, 0.0, &mut out));
+            });
+            group.bench_function(BenchmarkId::new("tn_weight_grad", batch), |b| {
+                let mut out = Matrix::zeros(hidden, classes);
+                b.iter(|| ops::gemm_tn(1.0, &h, &dl, 0.0, &mut out));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_gemm
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Model-merging microbenchmarks: Algorithm 2's weight computation, the
+//! weighted model sum, the momentum update, and Algorithm 1's scaling step.
+
+use asgd_core::{compute_merge_weights, scale_batch_sizes, GpuHyper, MergeParams, ScalingParams};
+use asgd_core::merging::apply_global_update;
+use asgd_tensor::{ops, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn hypers(n: usize) -> Vec<GpuHyper> {
+    (0..n)
+        .map(|i| GpuHyper {
+            batch_size: 256.0 - i as f64 * 17.0,
+            lr: 0.1,
+            updates: 20 + (i as u64 * 3) % 7,
+        })
+        .collect()
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm2_weights");
+    for n in [2usize, 4, 8] {
+        let gs = hypers(n);
+        let norms = vec![0.05; n];
+        let params = MergeParams::default();
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| compute_merge_weights(&gs, &norms, &params));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("weighted_model_sum");
+    for len in [1usize << 16, 1 << 20] {
+        let mats: Vec<Matrix> = (0..4)
+            .map(|d| Matrix::from_fn(1, len, |_, i| ((i + d) % 7) as f32))
+            .collect();
+        let refs: Vec<&Matrix> = mats.iter().collect();
+        let weights = [0.3, 0.3, 0.2, 0.2];
+        group.bench_function(BenchmarkId::from_parameter(len), |b| {
+            let mut out = Matrix::zeros(1, len);
+            b.iter(|| ops::weighted_sum(&refs, &weights, &mut out));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("momentum_global_update");
+    for len in [1usize << 16, 1 << 20] {
+        let merged = vec![0.5f32; len];
+        group.bench_function(BenchmarkId::from_parameter(len), |b| {
+            b.iter_batched(
+                || (vec![1.0f32; len], vec![0.8f32; len]),
+                |(mut global, mut prev)| {
+                    apply_global_update(&merged, &mut global, &mut prev, 0.9)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+
+    c.bench_function("algorithm1_batch_scaling_8gpus", |b| {
+        let params = ScalingParams::paper_defaults(1024);
+        b.iter_batched(
+            || hypers(8),
+            |mut gs| scale_batch_sizes(&mut gs, &params),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_merge
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Sparse-times-dense kernel microbenchmarks: the forward input layer
+//! (`H = X·W₁`) and the gradient kernel (`∇W₁ += Xᵀ·dH`) at XML-like
+//! sparsity, across batch sizes.
+
+use asgd_data::{generate, DatasetSpec};
+use asgd_sparse::ops::{spmm, spmm_tn_acc};
+use asgd_tensor::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_spmm(c: &mut Criterion) {
+    let ds = generate(&DatasetSpec::amazon_670k(0.002), 1);
+    let hidden = 128;
+    let w1 = Matrix::from_fn(ds.num_features, hidden, |r, q| {
+        ((r * 31 + q * 7) % 13) as f32 / 13.0 - 0.5
+    });
+
+    let mut group = c.benchmark_group("spmm_forward");
+    for batch in [64usize, 256, 1024] {
+        let ids: Vec<usize> = (0..batch).map(|i| i % ds.train.len()).collect();
+        let x = ds.train.features.select_rows(&ids);
+        group.throughput(Throughput::Elements((2 * x.nnz() * hidden) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &x, |b, x| {
+            let mut h = Matrix::zeros(x.rows(), hidden);
+            b.iter(|| spmm(x, &w1, &mut h));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("spmm_tn_gradient");
+    for batch in [64usize, 256] {
+        let ids: Vec<usize> = (0..batch).map(|i| i % ds.train.len()).collect();
+        let x = ds.train.features.select_rows(&ids);
+        let dh = Matrix::from_fn(batch, hidden, |r, q| ((r + q) % 7) as f32 * 0.01);
+        group.throughput(Throughput::Elements((2 * x.nnz() * hidden) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &x, |b, x| {
+            let mut g = Matrix::zeros(ds.num_features, hidden);
+            b.iter(|| spmm_tn_acc(1.0, x, &dh, &mut g));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_spmm
+}
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Ablation study: each Adaptive SGD mechanism removed in isolation.
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::ablations(&env);
+    print!("{csv}");
+    let path = env.write_artifact("ablations.csv", &csv);
+    eprintln!("wrote {path:?}");
+}

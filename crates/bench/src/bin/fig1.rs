@@ -1,0 +1,8 @@
+//! Regenerates Figure 1 (per-GPU epoch time on an identical batch).
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::fig1(&env);
+    print!("{csv}");
+    let path = env.write_artifact("fig1.csv", &csv);
+    eprintln!("wrote {path:?}");
+}

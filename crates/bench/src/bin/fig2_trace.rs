@@ -1,0 +1,8 @@
+//! Regenerates Figure 2 as a machine-readable dispatch trace.
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let trace = asgd_bench::experiments::fig2_trace(&env);
+    print!("{trace}");
+    let path = env.write_artifact("fig2_trace.txt", &trace);
+    eprintln!("wrote {path:?}");
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 4 (time-to-accuracy, 4 algorithms x 1/2/4 GPUs x 2 datasets).
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::fig4(&env);
+    print!("{csv}");
+    let path = env.write_artifact("fig4.csv", &csv);
+    eprintln!("wrote {path:?}");
+    eprint!("{}", asgd_bench::experiments::summarize_curves(&csv));
+}

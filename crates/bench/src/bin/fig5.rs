@@ -1,0 +1,9 @@
+//! Regenerates Figure 5 (Adaptive SGD scalability vs SLIDE; 5a = sim_time, 5b = epochs).
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::fig5(&env);
+    print!("{csv}");
+    let path = env.write_artifact("fig5.csv", &csv);
+    eprintln!("wrote {path:?}");
+    eprint!("{}", asgd_bench::experiments::summarize_curves(&csv));
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 6 (batch size evolution + perturbation activation).
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::fig6(&env);
+    print!("{csv}");
+    let path = env.write_artifact("fig6.csv", &csv);
+    eprintln!("wrote {path:?}");
+}

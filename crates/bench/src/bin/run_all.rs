@@ -1,0 +1,35 @@
+//! Runs the complete evaluation (Table I + Figures 1-6 + ablations) and
+//! writes every artifact under `results/`.
+use asgd_bench::experiments as ex;
+use asgd_bench::Env;
+
+fn main() {
+    let env = Env::from_env();
+    println!("experiment environment: {env:?}\n");
+    let t0 = std::time::Instant::now();
+    type Exp = (&'static str, fn(&Env) -> String);
+    let experiments: [Exp; 7] = [
+        ("table1.csv", ex::table1),
+        ("fig1.csv", ex::fig1),
+        ("fig2_trace.txt", ex::fig2_trace),
+        ("fig4.csv", ex::fig4),
+        ("fig5.csv", ex::fig5),
+        ("fig6.csv", ex::fig6),
+        ("ablations.csv", ex::ablations),
+    ];
+    for (name, run) in experiments {
+        let csv = run(&env);
+        let path = env.write_artifact(name, &csv);
+        println!(
+            "== {name} ({path:?}, {:.1}s elapsed) ==",
+            t0.elapsed().as_secs_f64()
+        );
+        if name.starts_with("fig4") || name.starts_with("fig5") {
+            print!("{}", ex::summarize_curves(&csv));
+        } else {
+            print!("{csv}");
+        }
+        println!();
+    }
+    println!("total: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,57 @@
+//! Hyperparameter sweep: Adaptive SGD over a `learning rate × b_max` grid
+//! (the selection procedure of §V-A, expanded into a full reproducible
+//! artifact). Prints one row per cell with best accuracy and
+//! time-to-80%-of-global-best.
+
+use asgd_bench::Env;
+use asgd_core::algorithms;
+use asgd_core::trainer::Trainer;
+use asgd_gpusim::profile::heterogeneous_server;
+
+fn main() {
+    let env = Env::from_env();
+    let spec = &env.dataset_specs()[0];
+    let ds = env.dataset(spec);
+    eprintln!("sweeping on {} ({} train samples)", spec.name, ds.train.len());
+
+    let lrs = [1.0, 0.3, 0.1, 0.03, 0.01];
+    let b_maxes = [env.b_max / 2, env.b_max, env.b_max * 2];
+    let mut cells = Vec::new();
+    for &lr in &lrs {
+        for &b_max in &b_maxes {
+            let mut config = env.run_config(lr);
+            config.b_max = b_max;
+            config.mega_batch_size = b_max * env.batches_per_mega;
+            config.scaling_params =
+                asgd_core::ScalingParams::paper_defaults(b_max);
+            let result = Trainer::new(
+                algorithms::adaptive_sgd(),
+                heterogeneous_server(4),
+                config,
+            )
+            .run(&ds);
+            cells.push((lr, b_max, result));
+        }
+    }
+
+    let global_best = cells
+        .iter()
+        .map(|(_, _, r)| r.best_accuracy())
+        .fold(0.0f64, f64::max);
+    let target = global_best * 0.8;
+    let mut out = String::from("lr,b_max,best_accuracy,time_to_80pct,final_sim_time\n");
+    for (lr, b_max, r) in &cells {
+        let tta = r
+            .time_to_accuracy(target)
+            .map(|t| format!("{t:.6}"))
+            .unwrap_or_else(|| "never".into());
+        out.push_str(&format!(
+            "{lr},{b_max},{:.4},{tta},{:.6}\n",
+            r.best_accuracy(),
+            r.records.last().map(|x| x.sim_time).unwrap_or(0.0)
+        ));
+    }
+    print!("{out}");
+    let path = env.write_artifact("sweep.csv", &out);
+    eprintln!("wrote {path:?} (target accuracy {target:.4})");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table I (dataset statistics).
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let csv = asgd_bench::experiments::table1(&env);
+    print!("{csv}");
+    let path = env.write_artifact("table1.csv", &csv);
+    eprintln!("wrote {path:?}");
+}

@@ -1,0 +1,510 @@
+//! The all-reduce algorithm implementations.
+//!
+//! Every variant performs the *real* weighted-sum arithmetic chunk-by-chunk,
+//! following the exact data flow of the algorithm (so floating-point
+//! summation order matches what the hardware collective would produce), and
+//! simultaneously accounts simulated time step-by-step.
+
+use crate::timing::{AllReduceTiming, CollectiveContext};
+use asgd_gpusim::SimTime;
+use asgd_tensor::parallel::split_ranges;
+
+/// The collective algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Gather every replica to device 0, reduce there, broadcast back.
+    Naive,
+    /// Binomial-tree reduce followed by a tree broadcast (single stream) —
+    /// the shape of NCCL's single-server tree algorithm.
+    Tree,
+    /// Classic single-stream ring: reduce-scatter + all-gather over
+    /// `n` model chunks.
+    Ring,
+    /// Recursive halving (reduce-scatter) + recursive doubling (all-gather):
+    /// `2·log₂(n)` rounds moving half the previous payload each round. The
+    /// classic latency/bandwidth compromise for power-of-two groups; falls
+    /// back to [`Algorithm::Ring`] for non-power-of-two server sizes.
+    HalvingDoubling,
+    /// The paper's algorithm: the model is split into `partitions`
+    /// partitions, each running its own ring on a dedicated stream starting
+    /// at a different GPU, overlapping transfer and reduction completely.
+    /// The optimal partition count is empirically the GPU count (§IV).
+    MultiStreamRing {
+        /// Number of partitions = concurrent streams.
+        partitions: usize,
+    },
+}
+
+/// Runs a weighted all-reduce over per-device buffers.
+///
+/// On return every buffer holds `Σ_i weights[i] · input_i` and the returned
+/// timing covers barrier wait, pre-scaling, transfers and reductions.
+///
+/// # Panics
+/// Panics when lengths are inconsistent or `buffers` is empty.
+pub fn allreduce(
+    buffers: &mut [Vec<f32>],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+) -> AllReduceTiming {
+    let n = buffers.len();
+    assert!(n > 0, "allreduce needs at least one participant");
+    assert_eq!(weights.len(), n, "weights/buffers mismatch");
+    assert_eq!(arrivals.len(), n, "arrivals/buffers mismatch");
+    assert_eq!(ctx.n_devices(), n, "context device count mismatch");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "replica size mismatch"
+    );
+
+    // Pre-scale each replica by its merge weight on its own device. The
+    // scale pass overlaps nothing — it delays that device's arrival.
+    let mut ready = Vec::with_capacity(n);
+    for (d, buf) in buffers.iter_mut().enumerate() {
+        let w = weights[d] as f32;
+        if w != 1.0 {
+            for v in buf.iter_mut() {
+                *v *= w;
+            }
+        }
+        let scale_t = 8.0 * len as f64
+            / (ctx.profiles()[d].mem_bandwidth_gbs * 1e9)
+            / ctx.profiles()[d].speed_factor;
+        ready.push(arrivals[d] + scale_t);
+    }
+    // Barrier: the collective begins when the last participant is ready.
+    let start = ready.iter().cloned().fold(SimTime::ZERO, SimTime::max);
+
+    if n == 1 {
+        return AllReduceTiming {
+            start,
+            end: start,
+            bytes_moved: 0,
+        };
+    }
+
+    let (elapsed, bytes) = match algo {
+        Algorithm::Naive => naive(buffers, ctx),
+        Algorithm::Tree => tree(buffers, ctx),
+        Algorithm::Ring => ring_range(buffers, ctx, 0..len, 0),
+        Algorithm::HalvingDoubling => {
+            if n.is_power_of_two() {
+                halving_doubling(buffers, ctx)
+            } else {
+                ring_range(buffers, ctx, 0..len, 0)
+            }
+        }
+        Algorithm::MultiStreamRing { partitions } => {
+            let partitions = partitions.clamp(1, len.max(1));
+            let ranges = split_ranges(len, partitions);
+            let mut worst = 0.0f64;
+            let mut total_bytes = 0usize;
+            for (p, range) in ranges.into_iter().enumerate() {
+                // Each partition's ring starts at a different GPU and runs
+                // on its own stream: durations overlap, take the max.
+                let (t, b) = ring_range(buffers, ctx, range, p % n);
+                worst = worst.max(t);
+                total_bytes += b;
+            }
+            (worst, total_bytes)
+        }
+    };
+
+    AllReduceTiming {
+        start,
+        end: start + elapsed,
+        bytes_moved: bytes,
+    }
+}
+
+/// Gather-to-root + broadcast. Sequential on the root's links.
+fn naive(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = buffers.len();
+    let len = buffers[0].len();
+    let mut t = 0.0;
+    let mut bytes = 0usize;
+    for src in 1..n {
+        let (root_slice, src_slice) = pair_mut(buffers, 0, src);
+        for (a, b) in root_slice.iter_mut().zip(src_slice.iter()) {
+            *a += *b;
+        }
+        t += ctx.p2p_time(src, 0, len) + ctx.reduce_time(0, len);
+        bytes += 4 * len;
+    }
+    let (root, rest) = buffers.split_first_mut().expect("n >= 1");
+    for (i, dst) in rest.iter_mut().enumerate() {
+        dst.copy_from_slice(root);
+        t += ctx.p2p_time(0, i + 1, len);
+        bytes += 4 * len;
+    }
+    (t, bytes)
+}
+
+/// Binomial tree reduce + broadcast, single stream, whole-model transfers.
+fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = buffers.len();
+    let len = buffers[0].len();
+    let mut t = 0.0;
+    let mut bytes = 0usize;
+    // Reduce up: stride doubling. Active pairs in a round are concurrent.
+    let mut stride = 1;
+    while stride < n {
+        let mut round = 0.0f64;
+        let mut i = 0;
+        while i + stride < n {
+            let (dst, src) = pair_mut(buffers, i, i + stride);
+            for (a, b) in dst.iter_mut().zip(src.iter()) {
+                *a += *b;
+            }
+            round = round.max(ctx.p2p_time(i + stride, i, len) + ctx.reduce_time(i, len));
+            bytes += 4 * len;
+            i += stride * 2;
+        }
+        t += round;
+        stride *= 2;
+    }
+    // Broadcast down: reverse the strides.
+    while stride >= 1 {
+        let mut round = 0.0f64;
+        let mut i = 0;
+        while i + stride < n {
+            let (dst, src) = pair_mut(buffers, i + stride, i);
+            dst.copy_from_slice(src);
+            round = round.max(ctx.p2p_time(i, i + stride, len));
+            bytes += 4 * len;
+            i += stride * 2;
+        }
+        t += round;
+        stride /= 2;
+    }
+    (t, bytes)
+}
+
+/// Ring all-reduce restricted to `range` of every buffer, with the ring
+/// starting role rotated by `rotate` (used by the multi-stream variant so
+/// each partition's traffic starts at a different GPU).
+///
+/// Returns `(elapsed, bytes_moved)`.
+fn ring_range(
+    buffers: &mut [Vec<f32>],
+    ctx: &CollectiveContext,
+    range: std::ops::Range<usize>,
+    rotate: usize,
+) -> (f64, usize) {
+    let n = buffers.len();
+    let len = range.len();
+    if len == 0 || n < 2 {
+        return (0.0, 0);
+    }
+    // Chunk the partition into n near-equal pieces (some may be empty when
+    // len < n; timing then charges only the setup of non-empty sends).
+    let mut chunks: Vec<std::ops::Range<usize>> = split_ranges(len, n)
+        .into_iter()
+        .map(|r| range.start + r.start..range.start + r.end)
+        .collect();
+    // `split_ranges` emits fewer ranges when len < n; pad with empty chunks
+    // so every logical chunk index is addressable.
+    while chunks.len() < n {
+        chunks.push(range.end..range.end);
+    }
+    let chunk_of = |logical: usize| chunks[logical % n].clone();
+    // Physical device playing logical role `i`.
+    let dev = |i: usize| (i + rotate) % n;
+
+    let mut t = 0.0f64;
+    let mut bytes = 0usize;
+
+    // Phase 1: reduce-scatter. Step s: logical device i sends chunk
+    // (i - s) mod n to logical device i+1, which accumulates.
+    for s in 0..n - 1 {
+        let mut step_t = 0.0f64;
+        // Collect sends first so the step is simultaneous (values read
+        // before any accumulation of this step lands).
+        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = chunk_of((i + n - s) % n);
+            let src = dev(i);
+            let payload = buffers[src][c.clone()].to_vec();
+            sends.push((dev((i + 1) % n), c, payload));
+        }
+        for (dst, c, payload) in sends {
+            let elems = payload.len();
+            if elems == 0 {
+                continue;
+            }
+            for (a, b) in buffers[dst][c].iter_mut().zip(&payload) {
+                *a += *b;
+            }
+            bytes += 4 * elems;
+            // All transfers of a step run on disjoint ring links: take max.
+            let src = prev_dev(dst, n);
+            step_t = step_t.max(ctx.p2p_time(src, dst, elems) + ctx.reduce_time(dst, elems));
+        }
+        t += step_t;
+    }
+
+    // Phase 2: all-gather. After reduce-scatter, logical device i owns the
+    // complete chunk (i + 1) mod n. Step s: logical i sends chunk
+    // (i + 1 - s) mod n to i+1, which overwrites.
+    for s in 0..n - 1 {
+        let mut step_t = 0.0f64;
+        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = chunk_of((i + 1 + n - s) % n);
+            let src = dev(i);
+            sends.push((dev((i + 1) % n), c.clone(), buffers[src][c].to_vec()));
+        }
+        for (dst, c, payload) in sends {
+            let elems = payload.len();
+            if elems == 0 {
+                continue;
+            }
+            buffers[dst][c].copy_from_slice(&payload);
+            bytes += 4 * elems;
+            let src = prev_dev(dst, n);
+            step_t = step_t.max(ctx.p2p_time(src, dst, elems));
+        }
+        t += step_t;
+    }
+
+    (t, bytes)
+}
+
+fn prev_dev(d: usize, n: usize) -> usize {
+    (d + n - 1) % n
+}
+
+/// Recursive halving reduce-scatter + recursive doubling all-gather.
+/// Requires `n` to be a power of two (the caller guarantees it).
+fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = buffers.len();
+    debug_assert!(n.is_power_of_two() && n >= 2);
+    let len = buffers[0].len();
+    let mut t = 0.0f64;
+    let mut bytes = 0usize;
+
+    // Active range per device; pairs always share identical ranges because
+    // pairing follows the bit pattern of already-processed rounds.
+    let mut ranges: Vec<std::ops::Range<usize>> = vec![0..len; n];
+
+    // Phase 1: recursive halving. Partner distance n/2, n/4, …, 1.
+    let mut d = n / 2;
+    while d >= 1 {
+        let mut step_t = 0.0f64;
+        // Stage sends: (dst, dst_new_range, payload from src's half).
+        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
+        let mut new_ranges = ranges.clone();
+        for i in 0..n {
+            let p = i ^ d;
+            let r = ranges[i].clone();
+            let mid = r.start + r.len() / 2;
+            let (keep, send) = if i < p {
+                (r.start..mid, mid..r.end)
+            } else {
+                (mid..r.end, r.start..mid)
+            };
+            sends.push((p, send.clone(), buffers[i][send].to_vec()));
+            new_ranges[i] = keep;
+        }
+        for (dst, range, payload) in sends {
+            let elems = payload.len();
+            if elems == 0 {
+                continue;
+            }
+            for (a, b) in buffers[dst][range].iter_mut().zip(&payload) {
+                *a += *b;
+            }
+            bytes += 4 * elems;
+            // The pair's two transfers share one link; serialize them.
+            step_t = step_t.max(
+                2.0 * ctx.p2p_time(dst ^ d, dst, elems) + ctx.reduce_time(dst, elems),
+            );
+        }
+        ranges = new_ranges;
+        t += step_t;
+        d /= 2;
+    }
+
+    // Phase 2: recursive doubling all-gather. Distances 1, 2, …, n/2.
+    let mut d = 1;
+    while d < n {
+        let mut step_t = 0.0f64;
+        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let p = i ^ d;
+            let r = ranges[i].clone();
+            sends.push((p, r.clone(), buffers[i][r].to_vec()));
+        }
+        let mut new_ranges = ranges.clone();
+        for (dst, range, payload) in sends {
+            let elems = payload.len();
+            if elems > 0 {
+                buffers[dst][range.clone()].copy_from_slice(&payload);
+                bytes += 4 * elems;
+                step_t =
+                    step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems));
+            }
+            // The destination now owns the union of the two ranges.
+            let own = &mut new_ranges[dst];
+            *own = own.start.min(range.start)..own.end.max(range.end);
+        }
+        ranges = new_ranges;
+        t += step_t;
+        d *= 2;
+    }
+    (t, bytes)
+}
+
+/// Mutably borrows two distinct buffers.
+fn pair_mut(buffers: &mut [Vec<f32>], a: usize, b: usize) -> (&mut [f32], &[f32]) {
+    assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = buffers.split_at_mut(b);
+        (&mut lo[a], &hi[0])
+    } else {
+        let (lo, hi) = buffers.split_at_mut(a);
+        (&mut hi[0], &lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_gpusim::{profile, Topology};
+
+    fn ctx(n: usize) -> CollectiveContext {
+        CollectiveContext::new(Topology::pcie(n), &profile::homogeneous_server(n))
+    }
+
+    #[test]
+    fn ring_handles_len_smaller_than_devices() {
+        let n = 4;
+        let mut bufs: Vec<Vec<f32>> = (0..n).map(|d| vec![d as f32 + 1.0; 2]).collect();
+        let w = vec![1.0f64; n];
+        allreduce(&mut bufs, &w, Algorithm::Ring, &ctx(n), &vec![SimTime::ZERO; n]);
+        for b in &bufs {
+            assert_eq!(b, &vec![10.0f32; 2]);
+        }
+    }
+
+    #[test]
+    fn single_device_is_scale_only() {
+        let mut bufs = vec![vec![2.0f32; 8]];
+        let t = allreduce(
+            &mut bufs,
+            &[0.5],
+            Algorithm::Ring,
+            &ctx(1),
+            &[SimTime::ZERO],
+        );
+        assert_eq!(bufs[0], vec![1.0f32; 8]);
+        assert_eq!(t.bytes_moved, 0);
+    }
+
+    #[test]
+    fn non_power_of_two_tree() {
+        let n = 5;
+        let mut bufs: Vec<Vec<f32>> = (0..n).map(|d| vec![d as f32; 16]).collect();
+        let w = vec![1.0f64; n];
+        allreduce(&mut bufs, &w, Algorithm::Tree, &ctx(n), &vec![SimTime::ZERO; n]);
+        for b in &bufs {
+            assert_eq!(b, &vec![10.0f32; 16]);
+        }
+    }
+
+    #[test]
+    fn rotation_does_not_change_result() {
+        let n = 3;
+        let make = || -> Vec<Vec<f32>> {
+            (0..n)
+                .map(|d| (0..50).map(|i| (d * 50 + i) as f32).collect())
+                .collect()
+        };
+        let mut a = make();
+        let mut b = make();
+        ring_range(&mut a, &ctx(n), 0..50, 0);
+        ring_range(&mut b, &ctx(n), 0..50, 2);
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn bytes_moved_matches_ring_formula() {
+        let n = 4;
+        let len = 400usize;
+        let mut bufs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0; len]).collect();
+        let w = vec![1.0f64; n];
+        let t = allreduce(&mut bufs, &w, Algorithm::Ring, &ctx(n), &vec![SimTime::ZERO; n]);
+        // Ring moves 2(n-1)/n of the model per device: 2*(n-1)*len*4 bytes total.
+        assert_eq!(t.bytes_moved, 2 * (n - 1) * len * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica size mismatch")]
+    fn mismatched_replicas_panic() {
+        let mut bufs = vec![vec![0.0f32; 4], vec![0.0f32; 5]];
+        let _ = allreduce(
+            &mut bufs,
+            &[0.5, 0.5],
+            Algorithm::Ring,
+            &ctx(2),
+            &[SimTime::ZERO; 2],
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asgd_gpusim::{profile, Topology};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn every_algorithm_matches_reference(
+            n in 2usize..5,
+            len in 1usize..40,
+            seed in 0u64..1000,
+            algo_idx in 0usize..5,
+        ) {
+            let ctx = CollectiveContext::new(
+                Topology::pcie(n),
+                &profile::homogeneous_server(n),
+            );
+            let mut state = seed.wrapping_mul(747796405).wrapping_add(1);
+            let mut next = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                ((state >> 33) as f32 / u32::MAX as f32) * 4.0 - 2.0
+            };
+            let mut bufs: Vec<Vec<f32>> =
+                (0..n).map(|_| (0..len).map(|_| next()).collect()).collect();
+            let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+            let want: Vec<f32> = (0..len)
+                .map(|i| {
+                    bufs.iter()
+                        .zip(&weights)
+                        .map(|(b, &w)| b[i] as f64 * w)
+                        .sum::<f64>() as f32
+                })
+                .collect();
+            let algo = match algo_idx {
+                0 => Algorithm::Naive,
+                1 => Algorithm::Tree,
+                2 => Algorithm::Ring,
+                3 => Algorithm::HalvingDoubling,
+                _ => Algorithm::MultiStreamRing { partitions: n },
+            };
+            let timing = allreduce(&mut bufs, &weights, algo, &ctx, &vec![SimTime::ZERO; n]);
+            prop_assert!(timing.duration() >= 0.0);
+            for b in &bufs {
+                for (g, w) in b.iter().zip(&want) {
+                    prop_assert!((g - w).abs() < 1e-3, "{algo:?}: {g} vs {w}");
+                }
+            }
+        }
+    }
+}

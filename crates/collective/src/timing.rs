@@ -1,0 +1,112 @@
+//! Timing context and result types for collectives.
+
+use asgd_gpusim::{DeviceProfile, SimTime, Topology};
+
+/// Immutable description of the server a collective runs on.
+#[derive(Debug, Clone)]
+pub struct CollectiveContext {
+    topology: Topology,
+    profiles: Vec<DeviceProfile>,
+}
+
+impl CollectiveContext {
+    /// Creates a context; `profiles.len()` must match the topology.
+    pub fn new(topology: Topology, profiles: &[DeviceProfile]) -> Self {
+        assert_eq!(
+            topology.n_devices(),
+            profiles.len(),
+            "topology/profile count mismatch"
+        );
+        Self {
+            topology,
+            profiles: profiles.to_vec(),
+        }
+    }
+
+    /// The interconnect.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Per-device profiles.
+    pub fn profiles(&self) -> &[DeviceProfile] {
+        &self.profiles
+    }
+
+    /// Number of participating devices.
+    pub fn n_devices(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Seconds for device `d` to add `elems` f32 pairs (the reduction
+    /// compute of one chunk) — memory-bandwidth-bound.
+    pub fn reduce_time(&self, d: usize, elems: usize) -> f64 {
+        let p = &self.profiles[d];
+        // read two operands + write one result: 12 bytes per element.
+        (12.0 * elems as f64) / (p.mem_bandwidth_gbs * 1e9) / p.speed_factor
+    }
+
+    /// Seconds for a peer transfer of `elems` f32s from `src` to `dst`.
+    pub fn p2p_time(&self, src: usize, dst: usize, elems: usize) -> f64 {
+        self.topology.p2p_time(
+            asgd_gpusim::DeviceId(src),
+            asgd_gpusim::DeviceId(dst),
+            4 * elems,
+        )
+    }
+}
+
+/// Timing of one collective invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllReduceTiming {
+    /// When the collective actually began (the latest participant arrival —
+    /// the synchronization barrier the paper's straggler analysis is about).
+    pub start: SimTime,
+    /// When every device held the final reduced model.
+    pub end: SimTime,
+    /// Total bytes moved over peer links by the whole collective.
+    pub bytes_moved: usize,
+}
+
+impl AllReduceTiming {
+    /// Wall-clock duration past the barrier.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_gpusim::profile;
+
+    #[test]
+    fn reduce_time_scales_with_elements() {
+        let ctx = CollectiveContext::new(Topology::pcie(2), &profile::homogeneous_server(2));
+        assert!(ctx.reduce_time(0, 2000) > ctx.reduce_time(0, 1000));
+    }
+
+    #[test]
+    fn slower_device_reduces_slower() {
+        let profiles = profile::heterogeneous_server(4);
+        let ctx = CollectiveContext::new(Topology::pcie(4), &profiles);
+        // Device 3 has speed 0.76 < device 0's 1.0.
+        assert!(ctx.reduce_time(3, 1 << 20) > ctx.reduce_time(0, 1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn profile_count_must_match_topology() {
+        let _ = CollectiveContext::new(Topology::pcie(4), &profile::homogeneous_server(2));
+    }
+
+    #[test]
+    fn timing_duration() {
+        let t = AllReduceTiming {
+            start: SimTime(1.0),
+            end: SimTime(3.5),
+            bytes_moved: 10,
+        };
+        assert!((t.duration() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,184 @@
+//! Ready-made [`TrainerSpec`]s for the systems in the paper's evaluation.
+
+use crate::merging::MergeParams;
+use crate::trainer::{DispatchPolicy, MergeInterval, MergeRule, ScalingPolicy, TrainerSpec};
+use asgd_collective::Algorithm;
+use asgd_gpusim::fusion::FusionPolicy;
+
+/// **Adaptive SGD** (the paper's contribution): dynamic scheduling,
+/// Algorithm 1 batch size scaling, Algorithm 2 normalized model merging with
+/// perturbation and momentum, fused kernels, multi-stream ring all-reduce.
+pub fn adaptive_sgd() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-sgd".into(),
+        dispatch: DispatchPolicy::Dynamic,
+        scaling: ScalingPolicy::Adaptive,
+        merge_interval: MergeInterval::MegaBatch,
+        merge_rule: MergeRule::Normalized(MergeParams::default()),
+        allreduce: Algorithm::MultiStreamRing { partitions: 4 },
+        fusion: FusionPolicy::Fused,
+        compute_overhead: 1.0,
+    }
+}
+
+/// **Elastic SGD** (elastic model averaging / K-step averaging): static
+/// partitioning, fixed equal batch sizes, plain averaging once per
+/// mega-batch. Same HeteroGPU substrate as Adaptive (fused kernels,
+/// multi-stream ring), so the difference isolates the paper's contributions.
+pub fn elastic_sgd() -> TrainerSpec {
+    TrainerSpec {
+        name: "elastic-sgd".into(),
+        dispatch: DispatchPolicy::Static,
+        scaling: ScalingPolicy::Fixed,
+        merge_interval: MergeInterval::MegaBatch,
+        merge_rule: MergeRule::Average { gamma: 0.9 },
+        allreduce: Algorithm::MultiStreamRing { partitions: 4 },
+        fusion: FusionPolicy::Fused,
+        compute_overhead: 1.0,
+    }
+}
+
+/// **TensorFlow (mirrored strategy)**: synchronous gradient aggregation —
+/// equal static batches, a merge after *every* batch (averaging the
+/// post-update replicas is mathematically the same as applying the averaged
+/// gradient), the slower framework epoch execution the paper measures
+/// (§V-B), unfused kernels, and a naive mirrored all-reduce.
+pub fn tensorflow_sync() -> TrainerSpec {
+    TrainerSpec {
+        name: "tensorflow".into(),
+        dispatch: DispatchPolicy::Static,
+        scaling: ScalingPolicy::Fixed,
+        merge_interval: MergeInterval::EveryRound,
+        merge_rule: MergeRule::Average { gamma: 0.0 },
+        allreduce: Algorithm::Naive,
+        fusion: FusionPolicy::Unfused,
+        compute_overhead: 1.6,
+    }
+}
+
+/// **CROSSBOW-style synchronous model averaging**: independent learners with
+/// equal batches merged after every round, each replica partially pulled
+/// toward the central average model. The sensitive central update is what
+/// produces the divergence/instability the paper reports for CROSSBOW.
+pub fn crossbow_sma() -> TrainerSpec {
+    TrainerSpec {
+        name: "crossbow".into(),
+        dispatch: DispatchPolicy::Static,
+        scaling: ScalingPolicy::Fixed,
+        merge_interval: MergeInterval::EveryRound,
+        merge_rule: MergeRule::Crossbow { pull: 0.5 },
+        allreduce: Algorithm::Ring,
+        fusion: FusionPolicy::Fused,
+        compute_overhead: 1.0,
+    }
+}
+
+/// All four GPU algorithm specs, in the paper's comparison order.
+pub fn all_gpu_algorithms() -> Vec<TrainerSpec> {
+    vec![
+        adaptive_sgd(),
+        elastic_sgd(),
+        crossbow_sma(),
+        tensorflow_sync(),
+    ]
+}
+
+/// Ablation: Adaptive SGD without batch size scaling (dynamic dispatch and
+/// normalized merging only).
+pub fn adaptive_without_scaling() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-no-scaling".into(),
+        scaling: ScalingPolicy::Fixed,
+        ..adaptive_sgd()
+    }
+}
+
+/// Ablation: Adaptive SGD with the *multiplicative* batch-size update — one
+/// of the alternatives the paper tried before settling on the linear rule.
+pub fn adaptive_multiplicative_scaling() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-mult-scaling".into(),
+        scaling: ScalingPolicy::AdaptiveMultiplicative,
+        ..adaptive_sgd()
+    }
+}
+
+/// Ablation: Adaptive SGD without the perturbation branch of Algorithm 2.
+pub fn adaptive_without_perturbation() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-no-perturbation".into(),
+        merge_rule: MergeRule::Normalized(MergeParams {
+            // A threshold of 0 can never be satisfied by a non-zero model.
+            pert_thr: 0.0,
+            ..MergeParams::default()
+        }),
+        ..adaptive_sgd()
+    }
+}
+
+/// Extension (§III-B): normalize merge weights by `u_i · b_i` — the
+/// "product between the number of updates and the batch size" alternative
+/// the paper suggests for later training stages.
+pub fn adaptive_product_normalization() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-product-norm".into(),
+        merge_rule: MergeRule::Normalized(MergeParams {
+            normalization: crate::merging::Normalization::UpdateTimesBatch,
+            ..MergeParams::default()
+        }),
+        ..adaptive_sgd()
+    }
+}
+
+/// Ablation: Adaptive SGD with plain (unweighted) merging.
+pub fn adaptive_with_plain_average() -> TrainerSpec {
+    TrainerSpec {
+        name: "adaptive-plain-average".into(),
+        merge_rule: MergeRule::Average { gamma: 0.9 },
+        ..adaptive_sgd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_spec_matches_paper() {
+        let s = adaptive_sgd();
+        assert_eq!(s.dispatch, DispatchPolicy::Dynamic);
+        assert_eq!(s.scaling, ScalingPolicy::Adaptive);
+        assert_eq!(s.merge_interval, MergeInterval::MegaBatch);
+        assert!(matches!(s.merge_rule, MergeRule::Normalized(_)));
+        assert_eq!(s.compute_overhead, 1.0);
+    }
+
+    #[test]
+    fn tensorflow_is_slower_and_merge_per_round() {
+        let s = tensorflow_sync();
+        assert!(s.compute_overhead > 1.0);
+        assert_eq!(s.merge_interval, MergeInterval::EveryRound);
+        assert_eq!(s.fusion, FusionPolicy::Unfused);
+    }
+
+    #[test]
+    fn four_gpu_algorithms_have_unique_names() {
+        let names: Vec<String> = all_gpu_algorithms().into_iter().map(|s| s.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn ablations_differ_from_adaptive_in_one_axis() {
+        let base = adaptive_sgd();
+        let no_scale = adaptive_without_scaling();
+        assert_eq!(no_scale.dispatch, base.dispatch);
+        assert_ne!(no_scale.scaling, base.scaling);
+        let no_pert = adaptive_without_perturbation();
+        assert_eq!(no_pert.scaling, base.scaling);
+        assert_ne!(no_pert.merge_rule, base.merge_rule);
+    }
+}

@@ -1,0 +1,187 @@
+//! Training-state checkpointing: pause and resume multi-GPU runs.
+//!
+//! A checkpoint captures everything Algorithm 1/2 need to continue — the
+//! global model, the previous global model (the momentum term's memory),
+//! and the per-GPU hyperparameter state — plus the mega-batch count for
+//! bookkeeping. Device clocks and the shuffle position are *not* part of
+//! the state: a resumed run continues the optimization, it does not replay
+//! the original timing trace.
+//!
+//! Binary format (little-endian): `"ASGC" | version u32 | mega u64 |
+//! n_gpus u64 | param_len u64 | global f32* | prev f32* |
+//! (batch f64, lr f64, updates u64)*`.
+
+use crate::hyper::GpuHyper;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ASGC";
+const VERSION: u32 = 1;
+
+/// Resumable snapshot of a training run at a mega-batch boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingState {
+    /// The global model (flat layout, see `asgd_model::Mlp::to_flat`).
+    pub global: Vec<f32>,
+    /// The previous global model (`w_prev` in Algorithm 2).
+    pub prev_global: Vec<f32>,
+    /// Per-GPU hyperparameter state.
+    pub hypers: Vec<GpuHyper>,
+    /// Mega-batches completed before this snapshot.
+    pub megas_done: u64,
+}
+
+/// Checkpoint decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Payload shorter than the header claims.
+    Truncated,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::BadMagic => write!(f, "bad training-state magic"),
+            StateError::BadVersion(v) => write!(f, "unsupported training-state version {v}"),
+            StateError::Truncated => write!(f, "truncated training state"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+impl TrainingState {
+    /// Serializes the state.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            4 + 4 + 24 + 8 * self.global.len() + 24 * self.hypers.len(),
+        );
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.megas_done);
+        buf.put_u64_le(self.hypers.len() as u64);
+        buf.put_u64_le(self.global.len() as u64);
+        for &v in &self.global {
+            buf.put_f32_le(v);
+        }
+        for &v in &self.prev_global {
+            buf.put_f32_le(v);
+        }
+        for h in &self.hypers {
+            buf.put_f64_le(h.batch_size);
+            buf.put_f64_le(h.lr);
+            buf.put_u64_le(h.updates);
+        }
+        buf.freeze()
+    }
+
+    /// Deserializes a state produced by [`TrainingState::encode`].
+    pub fn decode(mut data: Bytes) -> Result<Self, StateError> {
+        if data.remaining() < 8 + 24 {
+            return Err(StateError::Truncated);
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(StateError::BadVersion(version));
+        }
+        let megas_done = data.get_u64_le();
+        let n_gpus = data.get_u64_le() as usize;
+        let param_len = data.get_u64_le() as usize;
+        if data.remaining() < 8 * param_len + 24 * n_gpus {
+            return Err(StateError::Truncated);
+        }
+        let mut read_vec = |n: usize| -> Vec<f32> {
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                v.push(data.get_f32_le());
+            }
+            v
+        };
+        let global = read_vec(param_len);
+        let prev_global = read_vec(param_len);
+        let hypers = (0..n_gpus)
+            .map(|_| GpuHyper {
+                batch_size: data.get_f64_le(),
+                lr: data.get_f64_le(),
+                updates: data.get_u64_le(),
+            })
+            .collect();
+        Ok(TrainingState {
+            global,
+            prev_global,
+            hypers,
+            megas_done,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainingState {
+        TrainingState {
+            global: vec![1.0, -2.5, 3.25],
+            prev_global: vec![0.5, -2.0, 3.0],
+            hypers: vec![
+                GpuHyper {
+                    batch_size: 192.0,
+                    lr: 0.1,
+                    updates: 7,
+                },
+                GpuHyper {
+                    batch_size: 96.5,
+                    lr: 0.05,
+                    updates: 9,
+                },
+            ],
+            megas_done: 14,
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let s = sample();
+        let back = TrainingState::decode(s.encode()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let s = sample();
+        let mut raw = s.encode().to_vec();
+        raw[0] = b'X';
+        assert_eq!(
+            TrainingState::decode(Bytes::from(raw)),
+            Err(StateError::BadMagic)
+        );
+        let raw = s.encode();
+        let cut = raw.slice(0..raw.len() - 3);
+        assert_eq!(TrainingState::decode(cut), Err(StateError::Truncated));
+        let mut raw = s.encode().to_vec();
+        raw[4] = 200;
+        assert!(matches!(
+            TrainingState::decode(Bytes::from(raw)),
+            Err(StateError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let s = TrainingState {
+            global: vec![],
+            prev_global: vec![],
+            hypers: vec![],
+            megas_done: 0,
+        };
+        assert_eq!(TrainingState::decode(s.encode()).unwrap(), s);
+    }
+}

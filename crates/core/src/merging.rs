@@ -1,0 +1,309 @@
+//! Algorithm 2 (Normalized Model Merging) and the global-model update.
+
+use crate::hyper::GpuHyper;
+
+/// Parameters of Algorithm 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MergeParams {
+    /// Perturbation threshold `pert_thr` on the L2-norm-per-parameter of
+    /// every replica (paper default 0.1).
+    pub pert_thr: f64,
+    /// Perturbation factor `δ` (paper default 0.1).
+    pub delta: f64,
+    /// Momentum `γ` of the global-model update (paper default 0.9).
+    pub gamma: f64,
+    /// Weight normalization when update counts differ (Algorithm 2 uses
+    /// [`Normalization::UpdateCount`]).
+    pub normalization: Normalization,
+}
+
+impl Default for MergeParams {
+    fn default() -> Self {
+        MergeParams {
+            pert_thr: 0.1,
+            delta: 0.1,
+            gamma: 0.9,
+            normalization: Normalization::UpdateCount,
+        }
+    }
+}
+
+/// How weights are normalized when update counts differ across replicas.
+///
+/// Algorithm 2 normalizes by update count alone; the paper notes that "an
+/// alternative for later stages is to normalize based on the product between
+/// the number of updates and the batch size" (§III-B) — kept here as an
+/// ablation/extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Normalization {
+    /// Update count (Algorithm 2 as published).
+    #[default]
+    UpdateCount,
+    /// `u_i · b_i` — favors replicas with many updates *and* accurate
+    /// (large-batch) gradients.
+    UpdateTimesBatch,
+}
+
+/// The outcome of the weight computation: the merge weights and which paths
+/// of Algorithm 2 fired (recorded for Fig. 6b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeDecision {
+    /// Per-GPU merge weights `α_i` (normalized before perturbation).
+    pub weights: Vec<f64>,
+    /// Whether weights were normalized by update counts (`true`) or batch
+    /// sizes (`false`, the equal-update-count case).
+    pub by_updates: bool,
+    /// Whether the perturbation branch fired (all replicas well-regularized).
+    pub perturbed: bool,
+}
+
+/// **Algorithm 2, lines 1–7** — computes the normalized (and possibly
+/// perturbed) merge weights.
+///
+/// * equal update counts everywhere → normalize by batch size (larger
+///   batches produce more accurate gradients);
+/// * otherwise → normalize by update count (prioritize replicas that are
+///   further along the optimization);
+/// * when every replica's L2-norm-per-parameter is below `pert_thr`, boost
+///   the most-updated replica by `(1+δ)` and damp the least-updated by
+///   `(1−δ)` — deliberately denormalizing, which is safe only because all
+///   replicas are well-regularized.
+pub fn compute_merge_weights(
+    gpus: &[GpuHyper],
+    norms_per_param: &[f64],
+    params: &MergeParams,
+) -> MergeDecision {
+    let normalization = params.normalization;
+    assert!(!gpus.is_empty(), "no replicas to merge");
+    assert_eq!(gpus.len(), norms_per_param.len(), "norms length mismatch");
+    let n = gpus.len();
+    let all_equal = gpus.windows(2).all(|w| w[0].updates == w[1].updates);
+    let mut weights: Vec<f64> = if all_equal {
+        let total: f64 = gpus.iter().map(|g| g.batch_size).sum();
+        gpus.iter().map(|g| g.batch_size / total).collect()
+    } else {
+        let score = |g: &GpuHyper| -> f64 {
+            match normalization {
+                Normalization::UpdateCount => g.updates as f64,
+                Normalization::UpdateTimesBatch => g.updates as f64 * g.batch_size,
+            }
+        };
+        let total: f64 = gpus.iter().map(score).sum();
+        gpus.iter().map(|g| score(g) / total).collect()
+    };
+
+    // Perturbation is only meaningful with at least two distinct replicas.
+    let well_regularized = norms_per_param.iter().all(|&nm| nm < params.pert_thr);
+    let perturbed = well_regularized && n >= 2;
+    if perturbed {
+        let r = (0..n)
+            .max_by_key(|&i| gpus[i].updates)
+            .expect("non-empty");
+        let s = (0..n)
+            .min_by_key(|&i| gpus[i].updates)
+            .expect("non-empty");
+        weights[r] *= 1.0 + params.delta;
+        weights[s] *= 1.0 - params.delta;
+    }
+    MergeDecision {
+        weights,
+        by_updates: !all_equal,
+        perturbed,
+    }
+}
+
+/// **Algorithm 2, lines 8–9** — the global-model update with momentum:
+/// `w' = merged + γ·(w − w_prev)`, then `w_prev ← w`, `w ← w'`.
+///
+/// `merged` must already hold `Σ α_i·w_i` (the all-reduce output); `global`
+/// and `prev_global` are updated in place.
+pub fn apply_global_update(
+    merged: &[f32],
+    global: &mut [f32],
+    prev_global: &mut [f32],
+    gamma: f64,
+) {
+    assert_eq!(merged.len(), global.len(), "merged/global length");
+    assert_eq!(merged.len(), prev_global.len(), "merged/prev length");
+    let g = gamma as f32;
+    for ((m, w), wp) in merged.iter().zip(global.iter_mut()).zip(prev_global.iter_mut()) {
+        let w_new = m + g * (*w - *wp);
+        *wp = *w;
+        *w = w_new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu(b: f64, u: u64) -> GpuHyper {
+        GpuHyper {
+            batch_size: b,
+            lr: 0.1,
+            updates: u,
+        }
+    }
+
+    #[test]
+    fn equal_updates_normalize_by_batch_size() {
+        let gpus = vec![gpu(600.0, 4), gpu(200.0, 4), gpu(200.0, 4)];
+        let d = compute_merge_weights(&gpus, &[1.0, 1.0, 1.0], &MergeParams::default());
+        assert!(!d.by_updates);
+        assert!(!d.perturbed, "norms 1.0 ≥ pert_thr");
+        assert!((d.weights[0] - 0.6).abs() < 1e-12);
+        assert!((d.weights[1] - 0.2).abs() < 1e-12);
+        let sum: f64 = d.weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unequal_updates_normalize_by_update_count() {
+        let gpus = vec![gpu(512.0, 6), gpu(512.0, 2)];
+        let d = compute_merge_weights(&gpus, &[0.5, 0.5], &MergeParams::default());
+        assert!(d.by_updates);
+        assert!((d.weights[0] - 0.75).abs() < 1e-12);
+        assert!((d.weights[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbation_fires_only_when_all_replicas_regularized() {
+        let gpus = vec![gpu(512.0, 6), gpu(512.0, 2)];
+        let p = MergeParams::default();
+        // One replica above the threshold blocks perturbation.
+        let d = compute_merge_weights(&gpus, &[0.05, 0.2], &p);
+        assert!(!d.perturbed);
+        // All below: fires, boosting the most-updated replica.
+        let d = compute_merge_weights(&gpus, &[0.05, 0.02], &p);
+        assert!(d.perturbed);
+        assert!((d.weights[0] - 0.75 * 1.1).abs() < 1e-12);
+        assert!((d.weights[1] - 0.25 * 0.9).abs() < 1e-12);
+        // Denormalization is real: the sum exceeds 1 here.
+        let sum: f64 = d.weights.iter().sum();
+        assert!(sum > 1.0);
+    }
+
+    #[test]
+    fn product_normalization_weighs_updates_times_batch() {
+        let gpus = vec![gpu(600.0, 4), gpu(200.0, 2)];
+        let params = MergeParams {
+            normalization: Normalization::UpdateTimesBatch,
+            ..MergeParams::default()
+        };
+        let d = compute_merge_weights(&gpus, &[1.0, 1.0], &params);
+        // scores 2400 vs 400 -> weights 6/7, 1/7.
+        assert!((d.weights[0] - 6.0 / 7.0).abs() < 1e-12);
+        assert!((d.weights[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!(d.by_updates);
+    }
+
+    #[test]
+    fn product_normalization_irrelevant_with_equal_updates() {
+        // Equal update counts take the batch-size branch in both modes.
+        let gpus = vec![gpu(600.0, 4), gpu(200.0, 4)];
+        let a = compute_merge_weights(&gpus, &[1.0, 1.0], &MergeParams::default());
+        let params = MergeParams {
+            normalization: Normalization::UpdateTimesBatch,
+            ..MergeParams::default()
+        };
+        let b = compute_merge_weights(&gpus, &[1.0, 1.0], &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn perturbation_skipped_for_single_replica() {
+        let gpus = vec![gpu(512.0, 3)];
+        let d = compute_merge_weights(&gpus, &[0.01], &MergeParams::default());
+        assert!(!d.perturbed);
+        assert_eq!(d.weights, vec![1.0]);
+    }
+
+    #[test]
+    fn momentum_update_matches_formula() {
+        let merged = vec![1.0f32, 2.0];
+        let mut global = vec![3.0f32, 1.0];
+        let mut prev = vec![2.0f32, 2.0];
+        apply_global_update(&merged, &mut global, &mut prev, 0.9);
+        // w' = merged + 0.9(w - wp) = [1 + .9, 2 - .9]
+        assert_eq!(global, vec![1.9, 1.1]);
+        assert_eq!(prev, vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_gamma_is_plain_assignment() {
+        let merged = vec![5.0f32];
+        let mut global = vec![1.0f32];
+        let mut prev = vec![0.0f32];
+        apply_global_update(&merged, &mut global, &mut prev, 0.0);
+        assert_eq!(global, vec![5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn empty_merge_panics() {
+        compute_merge_weights(&[], &[], &MergeParams::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn unperturbed_weights_sum_to_one(
+            batches in proptest::collection::vec(1.0f64..5000.0, 1..8),
+            updates in proptest::collection::vec(1u64..100, 1..8),
+        ) {
+            let n = batches.len().min(updates.len());
+            let gpus: Vec<GpuHyper> = (0..n)
+                .map(|i| GpuHyper { batch_size: batches[i], lr: 0.1, updates: updates[i] })
+                .collect();
+            // Norms above threshold: no perturbation.
+            let norms = vec![1.0; n];
+            let d = compute_merge_weights(&gpus, &norms, &MergeParams::default());
+            let sum: f64 = d.weights.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(d.weights.iter().all(|&w| w >= 0.0));
+        }
+
+        #[test]
+        fn perturbed_sum_bounded_by_delta(
+            updates in proptest::collection::vec(1u64..100, 2..8),
+        ) {
+            let n = updates.len();
+            let gpus: Vec<GpuHyper> = updates
+                .iter()
+                .map(|&u| GpuHyper { batch_size: 256.0, lr: 0.1, updates: u })
+                .collect();
+            let norms = vec![0.01; n];
+            let p = MergeParams::default();
+            let d = compute_merge_weights(&gpus, &norms, &p);
+            let sum: f64 = d.weights.iter().sum();
+            // |sum - 1| ≤ δ·(α_r + α_s) ≤ δ.
+            prop_assert!((sum - 1.0).abs() <= p.delta + 1e-9, "sum {sum}");
+        }
+
+        #[test]
+        fn momentum_update_is_linear(
+            merged in proptest::collection::vec(-5.0f32..5.0, 1..32),
+            w in proptest::collection::vec(-5.0f32..5.0, 1..32),
+            wp in proptest::collection::vec(-5.0f32..5.0, 1..32),
+        ) {
+            let n = merged.len().min(w.len()).min(wp.len());
+            let merged = &merged[..n];
+            let mut global = w[..n].to_vec();
+            let mut prev = wp[..n].to_vec();
+            let w0 = global.clone();
+            apply_global_update(merged, &mut global, &mut prev, 0.9);
+            for i in 0..n {
+                let want = merged[i] + 0.9 * (w0[i] - wp[i]);
+                prop_assert!((global[i] - want).abs() < 1e-5);
+                prop_assert_eq!(prev[i], w0[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Scaling-frequency adaptation and staleness-bound analysis.
+//!
+//! Two secondary mechanisms the paper describes around Algorithm 1:
+//!
+//! * §III-A: "By default, the algorithm is executed after every mega-batch.
+//!   However, if stability is achieved or the system enters an oscillatory
+//!   state, the frequency at which scaling is performed can be increased"
+//!   — i.e. the *interval* between scaling invocations grows once the batch
+//!   sizes have settled or started ping-ponging. [`ScalingScheduler`]
+//!   implements that detector.
+//! * §III-A: "b_min and b_max … impose bounds on replica staleness, allowing
+//!   the application of convergence results from stale synchronous SGD."
+//!   [`StalenessBound`] computes those bounds from the scaling parameters
+//!   and verifies observed update counts against them.
+
+use crate::hyper::ScalingParams;
+
+/// Trajectory classification of one GPU's batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trajectory {
+    /// Not enough history yet.
+    Unknown,
+    /// Changes are below the stability tolerance.
+    Stable,
+    /// Successive changes keep alternating sign (ping-pong around the
+    /// fixed point).
+    Oscillating,
+    /// Still moving in a consistent direction.
+    Converging,
+}
+
+/// Detects stability/oscillation of the batch-size trajectories and adapts
+/// the scaling interval.
+///
+/// The scheduler watches the per-GPU batch sizes after every merge. While
+/// trajectories are converging it keeps scaling at every mega-batch; once
+/// *all* GPUs are stable or oscillating, the interval doubles (capped), and
+/// any disturbance (a trajectory moving again) resets it to 1.
+#[derive(Debug, Clone)]
+pub struct ScalingScheduler {
+    /// Relative change below which a step counts as "no movement".
+    tolerance: f64,
+    /// Maximum interval between scaling invocations, in mega-batches.
+    max_interval: usize,
+    interval: usize,
+    since_last: usize,
+    history: Vec<Vec<f64>>,
+}
+
+impl ScalingScheduler {
+    /// Creates a scheduler; `tolerance` is relative (e.g. `0.02` = 2%).
+    pub fn new(tolerance: f64, max_interval: usize) -> Self {
+        assert!(tolerance >= 0.0, "tolerance must be non-negative");
+        assert!(max_interval >= 1, "interval cap must be at least 1");
+        Self {
+            tolerance,
+            max_interval,
+            interval: 1,
+            since_last: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Classifies GPU `g`'s trajectory from the recorded history.
+    pub fn trajectory(&self, g: usize) -> Trajectory {
+        if self.history.len() < 3 {
+            return Trajectory::Unknown;
+        }
+        let last = &self.history[self.history.len() - 3..];
+        let d1 = last[1][g] - last[0][g];
+        let d2 = last[2][g] - last[1][g];
+        let scale = last[2][g].abs().max(1.0);
+        let small = |d: f64| d.abs() <= self.tolerance * scale;
+        if small(d1) && small(d2) {
+            Trajectory::Stable
+        } else if d1 * d2 < 0.0 {
+            Trajectory::Oscillating
+        } else {
+            Trajectory::Converging
+        }
+    }
+
+    /// Records the post-merge batch sizes and reports whether Algorithm 1
+    /// should run at this mega-batch boundary.
+    pub fn observe_and_decide(&mut self, batch_sizes: &[f64]) -> bool {
+        self.history.push(batch_sizes.to_vec());
+        if self.history.len() > 8 {
+            self.history.remove(0);
+        }
+        let n = batch_sizes.len();
+        let all_settled = self.history.len() >= 3
+            && (0..n).all(|g| {
+                matches!(
+                    self.trajectory(g),
+                    Trajectory::Stable | Trajectory::Oscillating
+                )
+            });
+        if all_settled {
+            self.interval = (self.interval * 2).min(self.max_interval);
+        } else {
+            self.interval = 1;
+        }
+        self.since_last += 1;
+        if self.since_last >= self.interval {
+            self.since_last = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current interval between scaling invocations.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+}
+
+/// The staleness bound implied by `[b_min, b_max]` (§III-A).
+///
+/// Within one mega-batch of `M` samples, a GPU with batch size `b` performs
+/// between `share·M/b_max` and `share·M/b_min` updates, where the sample
+/// share itself is bounded by the batch-size clamps. The *staleness* between
+/// two replicas (difference in update counts at the merge point) is
+/// therefore bounded by `M/b_min − M/(n·b_max)`-style expressions; this type
+/// exposes the conservative per-mega-batch bound and a checker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StalenessBound {
+    /// Most updates any replica can perform in one mega-batch.
+    pub max_updates: f64,
+    /// Fewest updates a participating replica can perform (≥ 0).
+    pub min_updates: f64,
+}
+
+impl StalenessBound {
+    /// Derives the bound for `n_gpus` GPUs and a mega-batch of
+    /// `mega_batch_size` samples.
+    pub fn derive(params: &ScalingParams, mega_batch_size: usize, n_gpus: usize) -> Self {
+        assert!(n_gpus >= 1);
+        let m = mega_batch_size as f64;
+        // Worst case: one GPU consumes everything at the smallest batch.
+        let max_updates = (m / params.b_min).ceil();
+        // Best-guaranteed case for a straggler: the dynamic scheduler still
+        // hands it at least one batch per mega-batch (it is available at the
+        // start), so the floor is 1 when the mega-batch has ≥ n_gpus batches.
+        let min_updates = if m >= params.b_max * n_gpus as f64 {
+            1.0
+        } else {
+            0.0
+        };
+        StalenessBound {
+            max_updates,
+            min_updates,
+        }
+    }
+
+    /// Maximum update-count difference between any two replicas at a merge.
+    pub fn max_staleness(&self) -> f64 {
+        self.max_updates - self.min_updates
+    }
+
+    /// Checks an observed per-GPU update-count vector against the bound.
+    pub fn check(&self, updates: &[u64]) -> bool {
+        updates
+            .iter()
+            .all(|&u| (u as f64) <= self.max_updates && (u as f64) >= self.min_updates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_scales_every_mega_batch_while_converging() {
+        let mut s = ScalingScheduler::new(0.02, 8);
+        // Monotone trajectory: always scale.
+        for step in 0..6 {
+            let b = 192.0 - step as f64 * 10.0;
+            assert!(s.observe_and_decide(&[b, b + 5.0]));
+            assert_eq!(s.interval(), 1);
+        }
+    }
+
+    #[test]
+    fn scheduler_backs_off_when_stable() {
+        let mut s = ScalingScheduler::new(0.02, 8);
+        let mut fired = Vec::new();
+        for _ in 0..12 {
+            fired.push(s.observe_and_decide(&[100.0, 150.0]));
+        }
+        // After the first three observations the trajectory is Stable, the
+        // interval doubles repeatedly, so later invocations get skipped.
+        assert!(s.interval() > 1);
+        assert!(fired.iter().filter(|&&f| !f).count() >= 3, "{fired:?}");
+    }
+
+    #[test]
+    fn oscillation_also_backs_off() {
+        let mut s = ScalingScheduler::new(0.001, 8);
+        let mut skipped = 0;
+        for i in 0..14 {
+            let wiggle = if i % 2 == 0 { 20.0 } else { -20.0 };
+            if !s.observe_and_decide(&[100.0 + wiggle]) {
+                skipped += 1;
+            }
+        }
+        assert!(skipped > 0, "oscillating trajectory never backed off");
+    }
+
+    #[test]
+    fn disturbance_resets_interval() {
+        let mut s = ScalingScheduler::new(0.02, 8);
+        for _ in 0..8 {
+            s.observe_and_decide(&[100.0]);
+        }
+        assert!(s.interval() > 1);
+        // A real move resets the cadence.
+        s.observe_and_decide(&[160.0]);
+        s.observe_and_decide(&[220.0]);
+        assert_eq!(s.interval(), 1);
+    }
+
+    #[test]
+    fn trajectory_classification() {
+        let mut s = ScalingScheduler::new(0.02, 8);
+        s.observe_and_decide(&[100.0]);
+        assert_eq!(s.trajectory(0), Trajectory::Unknown);
+        s.observe_and_decide(&[120.0]);
+        s.observe_and_decide(&[140.0]);
+        assert_eq!(s.trajectory(0), Trajectory::Converging);
+        s.observe_and_decide(&[120.0]);
+        assert_eq!(s.trajectory(0), Trajectory::Oscillating);
+        s.observe_and_decide(&[120.5]);
+        s.observe_and_decide(&[120.0]);
+        assert_eq!(s.trajectory(0), Trajectory::Stable);
+    }
+
+    #[test]
+    fn staleness_bound_derivation() {
+        let params = ScalingParams::paper_defaults(1024); // b_min = 128
+        let bound = StalenessBound::derive(&params, 1024 * 100, 4);
+        assert_eq!(bound.max_updates, 800.0); // 102400 / 128
+        assert_eq!(bound.min_updates, 1.0);
+        assert_eq!(bound.max_staleness(), 799.0);
+    }
+
+    #[test]
+    fn staleness_check_accepts_valid_and_rejects_invalid() {
+        let params = ScalingParams::paper_defaults(1024);
+        let bound = StalenessBound::derive(&params, 1024 * 100, 4);
+        assert!(bound.check(&[25, 25, 25, 25]));
+        assert!(bound.check(&[800, 1, 1, 1]));
+        assert!(!bound.check(&[801, 1, 1, 1]));
+        assert!(!bound.check(&[25, 25, 25, 0]));
+    }
+
+    #[test]
+    fn tiny_mega_batch_floors_min_updates_at_zero() {
+        let params = ScalingParams::paper_defaults(1024);
+        // Mega-batch smaller than n·b_max: a GPU may legitimately sit out.
+        let bound = StalenessBound::derive(&params, 2048, 4);
+        assert_eq!(bound.min_updates, 0.0);
+        assert!(bound.check(&[2, 0, 0, 0]));
+    }
+}

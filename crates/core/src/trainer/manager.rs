@@ -1,0 +1,198 @@
+//! The GPU manager: one worker thread per device doing the numeric work.
+//!
+//! In HeteroGPU the GPU manager coordinates transfers and launches CUDA
+//! kernels; here it executes the *real* forward/backward/update math on the
+//! CPU while the scheduler charges the corresponding kernels to the
+//! simulated device (see [`super::Trainer`]). Keeping the cost accounting on
+//! the scheduler is what makes dynamic dispatch deterministic: the
+//! assignment of batch *k* depends only on virtual clocks, never on how fast
+//! the host CPU happens to run a manager thread.
+
+use super::messages::{FromManager, ToManager};
+use asgd_data::XmlDataset;
+use asgd_model::Mlp;
+use crossbeam::channel::{Receiver, Sender};
+
+/// Runs the manager loop until `Stop` (or a disconnected channel). Intended
+/// to run on a scoped thread borrowing the shared dataset.
+pub(crate) fn run_manager(
+    gpu: usize,
+    mut replica: Mlp,
+    dataset: &XmlDataset,
+    rx: Receiver<ToManager>,
+    tx: Sender<FromManager>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToManager::Train { batch_ids, lr } => {
+                let x = dataset.train.features.select_rows(&batch_ids);
+                let labels: Vec<Vec<u32>> = batch_ids
+                    .iter()
+                    .map(|&i| dataset.train.labels[i].clone())
+                    .collect();
+                let out = replica.train_batch(&x, &labels, lr);
+                if tx
+                    .send(FromManager::Trained {
+                        gpu,
+                        loss: out.loss,
+                        batch_size: out.batch_size,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToManager::GetModel => {
+                let flat = replica.to_flat();
+                let norm_per_param = replica.l2_norm_per_param();
+                if tx
+                    .send(FromManager::Model {
+                        gpu,
+                        flat,
+                        norm_per_param,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToManager::SetModel(flat) => {
+                replica.load_flat(&flat);
+            }
+            ToManager::Blend { target, pull } => {
+                assert_eq!(target.len(), replica.param_len(), "blend target length");
+                let mut flat = replica.to_flat();
+                for (w, &z) in flat.iter_mut().zip(&target) {
+                    *w += pull * (z - *w);
+                }
+                replica.load_flat(&flat);
+            }
+            ToManager::Stop => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_data::{generate, DatasetSpec};
+    use asgd_model::MlpConfig;
+    use crossbeam::channel::unbounded;
+
+    fn setup() -> (XmlDataset, Mlp) {
+        let ds = generate(&DatasetSpec::tiny("m"), 3);
+        let config = MlpConfig {
+            num_features: ds.num_features,
+            hidden: 8,
+            num_classes: ds.num_labels,
+        };
+        (ds, Mlp::init(&config, 1))
+    }
+
+    /// Runs a manager on a scoped thread, feeding it `cmds`, returning all
+    /// replies.
+    fn drive(ds: &XmlDataset, model: Mlp, cmds: Vec<ToManager>) -> Vec<FromManager> {
+        let (to_tx, to_rx) = unbounded();
+        let (from_tx, from_rx) = unbounded();
+        let mut replies = Vec::new();
+        crossbeam::scope(|s| {
+            s.spawn(|_| run_manager(0, model, ds, to_rx, from_tx));
+            for c in cmds {
+                to_tx.send(c).unwrap();
+            }
+            to_tx.send(ToManager::Stop).unwrap();
+            while let Ok(r) = from_rx.recv() {
+                replies.push(r);
+            }
+        })
+        .unwrap();
+        replies
+    }
+
+    #[test]
+    fn manager_trains_and_reports() {
+        let (ds, model) = setup();
+        let replies = drive(
+            &ds,
+            model,
+            vec![
+                ToManager::Train {
+                    batch_ids: vec![0, 1, 2],
+                    lr: 0.1,
+                },
+                ToManager::GetModel,
+            ],
+        );
+        assert_eq!(replies.len(), 2);
+        match &replies[0] {
+            FromManager::Trained {
+                gpu,
+                loss,
+                batch_size,
+            } => {
+                assert_eq!(*gpu, 0);
+                assert!(*loss > 0.0);
+                assert_eq!(*batch_size, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &replies[1] {
+            FromManager::Model {
+                flat,
+                norm_per_param,
+                ..
+            } => {
+                assert!(!flat.is_empty());
+                assert!(*norm_per_param > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_model_roundtrips_through_get() {
+        let (ds, model) = setup();
+        let target = Mlp::init(model.config(), 99).to_flat();
+        let replies = drive(
+            &ds,
+            model,
+            vec![ToManager::SetModel(target.clone()), ToManager::GetModel],
+        );
+        match &replies[0] {
+            FromManager::Model { flat, .. } => assert_eq!(flat, &target),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blend_moves_halfway() {
+        let (ds, model) = setup();
+        let start = model.to_flat();
+        let target = vec![0.0f32; start.len()];
+        let replies = drive(
+            &ds,
+            model,
+            vec![ToManager::Blend { target, pull: 0.5 }, ToManager::GetModel],
+        );
+        match &replies[0] {
+            FromManager::Model { flat, .. } => {
+                for (got, want) in flat.iter().zip(&start) {
+                    assert!((got - want * 0.5).abs() < 1e-6);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_channel_terminates_manager() {
+        let (ds, model) = setup();
+        let (to_tx, to_rx) = unbounded::<ToManager>();
+        let (from_tx, _from_rx) = unbounded();
+        crossbeam::scope(|s| {
+            s.spawn(|_| run_manager(0, model, &ds, to_rx, from_tx));
+            drop(to_tx);
+        })
+        .unwrap();
+    }
+}

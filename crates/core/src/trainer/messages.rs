@@ -1,0 +1,52 @@
+//! Event messages between the dynamic scheduler and the GPU managers
+//! (the "event messages" of the HeteroGPU architecture, Fig. 3).
+
+/// Scheduler → GPU manager commands. Each manager processes its queue in
+/// FIFO order, so a `GetModel` enqueued after a run of `Train`s acts as a
+/// natural drain barrier without extra synchronization.
+#[derive(Debug)]
+pub(crate) enum ToManager {
+    /// Run one SGD epoch on the given training-sample ids.
+    Train {
+        /// Row ids into the training split.
+        batch_ids: Vec<usize>,
+        /// The learning rate for this batch (already linear-scaled).
+        lr: f32,
+    },
+    /// Send the current replica (flat) and its L2-norm-per-parameter back.
+    GetModel,
+    /// Replace the replica with the given flat parameters.
+    SetModel(Vec<f32>),
+    /// CROSSBOW-style partial pull: `w ← w + pull·(target − w)`.
+    Blend {
+        /// The central average model.
+        target: Vec<f32>,
+        /// Pull strength in `[0, 1]`.
+        pull: f32,
+    },
+    /// Terminate the manager thread.
+    Stop,
+}
+
+/// GPU manager → scheduler replies.
+#[derive(Debug)]
+pub(crate) enum FromManager {
+    /// One `Train` command completed.
+    Trained {
+        /// Manager/device index.
+        gpu: usize,
+        /// Batch loss.
+        loss: f64,
+        /// Samples in the batch.
+        batch_size: usize,
+    },
+    /// Reply to `GetModel`.
+    Model {
+        /// Manager/device index.
+        gpu: usize,
+        /// Flat replica parameters.
+        flat: Vec<f32>,
+        /// `‖w‖₂ / |w|` — Algorithm 2's regularization measure.
+        norm_per_param: f64,
+    },
+}

@@ -1,0 +1,997 @@
+//! The HeteroGPU training framework (Fig. 3): central dynamic scheduler +
+//! per-GPU manager threads over simulated heterogeneous devices.
+//!
+//! # Determinism model
+//!
+//! The scheduler owns the simulated [`Device`]s and the shuffled
+//! [`SampleStream`]; every scheduling decision (which GPU receives the next
+//! batch, when merges happen, what Algorithm 1/2 compute) is a function of
+//! *virtual clocks* and seeded RNG state only. GPU-manager threads do the
+//! real numeric work concurrently, but since the scheduler never waits on
+//! them to decide placement, a run's result is bit-identical for a fixed
+//! `(seed, thread-count)` regardless of OS scheduling.
+//!
+//! # Policy space
+//!
+//! One engine covers all four GPU algorithms of the paper's evaluation via
+//! [`TrainerSpec`]: dynamic vs static dispatch, adaptive vs fixed batch
+//! sizes, merge-per-mega-batch vs merge-every-round, and the merge rule
+//! (Algorithm 2, plain averaging, or CROSSBOW-style partial pull).
+
+mod manager;
+mod messages;
+
+use crate::checkpoint::TrainingState;
+use crate::hyper::{scale_batch_sizes, GpuHyper, ScalingParams};
+use crate::schedule::ScalingScheduler;
+use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision, MergeParams};
+use crate::metrics::{MergeRecord, RunRecorder, RunResult};
+use asgd_collective::{allreduce, Algorithm, CollectiveContext};
+use asgd_data::{
+    batching::MegaBatchBudget, SampleStream, XmlDataset,
+};
+use asgd_gpusim::device::build_server;
+use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
+use asgd_gpusim::{Device, DeviceId, DeviceProfile, SimTime, Topology, TraceLog};
+use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels};
+use asgd_model::{eval, Mlp, MlpConfig};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use messages::{FromManager, ToManager};
+
+/// How batches are assigned to GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// The paper's dynamic scheduling: the next batch goes to the GPU whose
+    /// virtual clock is lowest (i.e. the first to become available).
+    Dynamic,
+    /// Static round-robin partitioning (Elastic SGD, TensorFlow, CROSSBOW).
+    Static,
+}
+
+/// Whether Algorithm 1 runs at mega-batch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingPolicy {
+    /// Adaptive batch size scaling (Algorithm 1, linear rule).
+    Adaptive,
+    /// Adaptive scaling with the multiplicative update — the alternative
+    /// the paper tried and rejected (ablation).
+    AdaptiveMultiplicative,
+    /// Fixed equal batch sizes.
+    Fixed,
+}
+
+/// How often replicas are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeInterval {
+    /// Once per mega-batch (Adaptive and Elastic SGD).
+    MegaBatch,
+    /// After every round of one batch per GPU (TensorFlow's gradient
+    /// aggregation and CROSSBOW's synchronous model averaging).
+    EveryRound,
+}
+
+/// The rule combining replicas into the global model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeRule {
+    /// Algorithm 2: normalized weights + perturbation + momentum.
+    Normalized(MergeParams),
+    /// Uniform averaging followed by the same momentum global-model update
+    /// Adaptive SGD uses (`gamma = 0` disables it). With `gamma = 0.9` this
+    /// is Elastic SGD's update rule — the paper notes Elastic and Adaptive
+    /// "use the same model update rule" and coincide on a single GPU. For
+    /// merge-every-round with equal batch sizes and `gamma = 0`, uniform
+    /// averaging is mathematically identical to synchronous gradient
+    /// aggregation (averaging `w − lr·∇_i` equals applying the averaged
+    /// gradient).
+    Average {
+        /// Momentum of the global-model update.
+        gamma: f64,
+    },
+    /// CROSSBOW-style synchronous model averaging: the central average model
+    /// becomes the global model, and every replica is *partially pulled*
+    /// toward it (`w ← w + pull·(z − w)`), keeping learner diversity. The
+    /// sensitivity of this update is the source of the divergence the paper
+    /// observes (§V-B).
+    Crossbow {
+        /// Pull strength in `(0, 1]`.
+        pull: f64,
+    },
+}
+
+/// The complete policy bundle describing one training algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerSpec {
+    /// Display name (used in experiment output).
+    pub name: String,
+    /// Batch placement policy.
+    pub dispatch: DispatchPolicy,
+    /// Batch-size adaptation policy.
+    pub scaling: ScalingPolicy,
+    /// Merge cadence.
+    pub merge_interval: MergeInterval,
+    /// Merge rule.
+    pub merge_rule: MergeRule,
+    /// All-reduce implementation for model merging.
+    pub allreduce: Algorithm,
+    /// Kernel-fusion policy of the GPU managers.
+    pub fusion: FusionPolicy,
+    /// Multiplier on epoch compute time (1.0 for HeteroGPU implementations;
+    /// >1 models TensorFlow's slower epoch execution, §V-B).
+    pub compute_overhead: f64,
+}
+
+/// Run-level configuration shared by all algorithms (the paper uses "the
+/// same hyperparameters for all the algorithms", §V-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Maximum (and initial) batch size `b_max`.
+    pub b_max: usize,
+    /// Learning rate at `b_max`; other sizes follow the linear scaling rule.
+    pub base_lr: f64,
+    /// Samples per mega-batch.
+    pub mega_batch_size: usize,
+    /// Algorithm 1 parameters.
+    pub scaling_params: ScalingParams,
+    /// Hidden-layer width of the MLP.
+    pub hidden: usize,
+    /// Master seed: drives init, shuffling, and device jitter.
+    pub seed: u64,
+    /// Stop once simulated time reaches this many seconds (checked at
+    /// mega-batch boundaries). At least one of the two limits must be set.
+    pub time_limit: Option<f64>,
+    /// Stop after this many mega-batches.
+    pub mega_batch_limit: Option<usize>,
+    /// Evaluation chunk size (bounds dense activation memory).
+    pub eval_chunk: usize,
+    /// Record a dispatch trace (Fig. 2).
+    pub trace: bool,
+    /// Scale applied to fixed overheads (kernel launch, transfer setup).
+    /// Set this to the dataset's linear scale when training scaled-down
+    /// synthetic twins, so the compute-to-overhead ratio matches what the
+    /// paper's full-size datasets exhibit (see `DESIGN.md` §2). 1.0 = real
+    /// hardware constants.
+    pub overhead_scale: f64,
+    /// Optional scaling-frequency adaptation (§III-A): once batch sizes are
+    /// stable or oscillating, the interval between Algorithm 1 invocations
+    /// grows up to `(tolerance, max_interval)`. `None` (the paper default)
+    /// scales after every mega-batch.
+    pub scaling_schedule: Option<(f64, usize)>,
+    /// Mid-training device speed changes, `(mega_batch_index, gpu, factor)`
+    /// — applied before the given mega-batch begins. Models thermal
+    /// throttling / DVFS / co-tenant interference and exercises Adaptive
+    /// SGD's ability to re-balance at runtime.
+    pub speed_events: Vec<(usize, usize, f64)>,
+}
+
+impl RunConfig {
+    /// Paper defaults derived from `b_max`: a mega-batch of
+    /// `batches_per_mega · b_max` samples (the paper uses 100 batches),
+    /// `b_min = b_max/8`, `β = b_min/2`, hidden = 128.
+    pub fn paper_defaults(b_max: usize, batches_per_mega: usize) -> Self {
+        RunConfig {
+            b_max,
+            base_lr: 0.1,
+            mega_batch_size: b_max * batches_per_mega.max(1),
+            scaling_params: ScalingParams::paper_defaults(b_max),
+            hidden: 128,
+            seed: 42,
+            time_limit: None,
+            mega_batch_limit: None,
+            eval_chunk: 256,
+            trace: false,
+            overhead_scale: 1.0,
+            scaling_schedule: None,
+            speed_events: Vec::new(),
+        }
+    }
+}
+
+/// The training engine: couples a [`TrainerSpec`] with a simulated server.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    spec: TrainerSpec,
+    profiles: Vec<DeviceProfile>,
+    config: RunConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer over the given device profiles.
+    pub fn new(spec: TrainerSpec, profiles: Vec<DeviceProfile>, config: RunConfig) -> Self {
+        assert!(!profiles.is_empty(), "need at least one device");
+        assert!(
+            config.time_limit.is_some() || config.mega_batch_limit.is_some(),
+            "set a time limit or a mega-batch limit"
+        );
+        Self {
+            spec,
+            profiles,
+            config,
+        }
+    }
+
+    /// The spec this trainer runs.
+    pub fn spec(&self) -> &TrainerSpec {
+        &self.spec
+    }
+
+    /// Trains on `dataset` until a limit is hit; returns the full record.
+    pub fn run(&self, dataset: &XmlDataset) -> RunResult {
+        self.run_with_state(dataset, None)
+    }
+
+    /// Resumes training from a checkpoint (see [`crate::checkpoint`]):
+    /// model, momentum memory, and per-GPU hyperparameters continue where
+    /// the snapshot left off; merge indices continue from
+    /// `state.megas_done`. Device clocks restart at zero (a resumed run
+    /// continues the *optimization*, not the timing trace).
+    pub fn run_resumed(&self, dataset: &XmlDataset, state: &TrainingState) -> RunResult {
+        self.run_with_state(dataset, Some(state))
+    }
+
+    fn run_with_state(&self, dataset: &XmlDataset, resume: Option<&TrainingState>) -> RunResult {
+        let n = self.profiles.len();
+        let cfg = &self.config;
+        let mconfig = MlpConfig {
+            num_features: dataset.num_features,
+            hidden: cfg.hidden,
+            num_classes: dataset.num_labels,
+        };
+        let mut init_model = Mlp::init(&mconfig, cfg.seed);
+        let mut start_index = 0usize;
+        let mut hypers: Vec<GpuHyper> = (0..n)
+            .map(|_| GpuHyper::initial(cfg.b_max, cfg.base_lr))
+            .collect();
+        if let Some(state) = resume {
+            assert_eq!(
+                state.global.len(),
+                mconfig.param_len(),
+                "checkpoint does not match the model architecture"
+            );
+            assert_eq!(
+                state.hypers.len(),
+                n,
+                "checkpoint does not match the GPU count"
+            );
+            init_model.load_flat(&state.global);
+            hypers = state.hypers.clone();
+            start_index = state.megas_done as usize;
+        }
+        // Fixed overheads scale with the dataset (see `RunConfig::overhead_scale`).
+        let profiles: Vec<DeviceProfile> = self
+            .profiles
+            .iter()
+            .map(|p| p.clone().with_overhead_scale(cfg.overhead_scale))
+            .collect();
+        let mut launch_model = LaunchModel::default_cuda();
+        launch_model.base_overhead_s *= cfg.overhead_scale;
+        let mut state = SchedulerState {
+            spec: &self.spec,
+            cfg,
+            mconfig,
+            dataset,
+            devices: build_server(&profiles, cfg.seed),
+            ctx: CollectiveContext::new(
+                Topology::pcie(n).with_setup_scale(cfg.overhead_scale),
+                &profiles,
+            ),
+            launch_model,
+            trace: if cfg.trace {
+                TraceLog::enabled()
+            } else {
+                TraceLog::disabled()
+            },
+            stream: SampleStream::new(
+                dataset.train.len(),
+                cfg.seed ^ 0xA5A5_5A5A ^ (start_index as u64) << 17,
+            ),
+            budget: MegaBatchBudget::new(cfg.mega_batch_size),
+            hypers,
+            global: init_model.to_flat(),
+            prev_global: resume
+                .map(|s| s.prev_global.clone())
+                .unwrap_or_else(|| init_model.to_flat()),
+            eval_model: init_model.clone(),
+            recorder: RunRecorder::new(),
+            rr_cursor: 0,
+            batches_dispatched: 0,
+            start_index,
+            scaling_scheduler: cfg
+                .scaling_schedule
+                .map(|(tol, cap)| ScalingScheduler::new(tol, cap)),
+        };
+
+        crossbeam::scope(|s| {
+            let (from_tx, from_rx) = unbounded();
+            let mut to_managers: Vec<Sender<ToManager>> = Vec::with_capacity(n);
+            for g in 0..n {
+                let (tx, rx) = unbounded();
+                let replica = init_model.clone();
+                let ftx = from_tx.clone();
+                s.spawn(move |_| manager::run_manager(g, replica, dataset, rx, ftx));
+                to_managers.push(tx);
+            }
+            drop(from_tx);
+            state.drive(&to_managers, &from_rx);
+            for tx in &to_managers {
+                let _ = tx.send(ToManager::Stop);
+            }
+        })
+        .expect("a GPU manager thread panicked");
+
+        let megas_run = state.recorder.records().len() as u64;
+        let final_state = TrainingState {
+            global: state.global.clone(),
+            prev_global: state.prev_global.clone(),
+            hypers: state.hypers.clone(),
+            megas_done: start_index as u64 + megas_run,
+        };
+        RunResult {
+            name: self.spec.name.clone(),
+            records: state.recorder.into_records(),
+            final_model: state.global,
+            trace: state.trace.render(),
+            final_state: Some(final_state),
+        }
+    }
+}
+
+/// All mutable scheduler-side state, grouped so the main loop reads cleanly.
+struct SchedulerState<'a> {
+    spec: &'a TrainerSpec,
+    cfg: &'a RunConfig,
+    mconfig: MlpConfig,
+    dataset: &'a XmlDataset,
+    devices: Vec<Device>,
+    ctx: CollectiveContext,
+    launch_model: LaunchModel,
+    trace: TraceLog,
+    stream: SampleStream,
+    budget: MegaBatchBudget,
+    hypers: Vec<GpuHyper>,
+    global: Vec<f32>,
+    prev_global: Vec<f32>,
+    eval_model: Mlp,
+    recorder: RunRecorder,
+    rr_cursor: usize,
+    batches_dispatched: usize,
+    start_index: usize,
+    scaling_scheduler: Option<ScalingScheduler>,
+}
+
+impl SchedulerState<'_> {
+    fn n(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs the whole training loop.
+    fn drive(&mut self, to: &[Sender<ToManager>], from: &Receiver<FromManager>) {
+        // The model replica moves to every GPU once, at training start
+        // (within a mega-batch only batches move, §IV).
+        let transfer = model_transfer_kernels(&self.mconfig, true);
+        for d in self.devices.iter_mut() {
+            d.execute_all(&transfer);
+        }
+
+        let mut mega_index = 0usize;
+        loop {
+            for &(at, gpu, factor) in &self.cfg.speed_events {
+                if at == mega_index {
+                    assert!(gpu < self.devices.len(), "speed event gpu out of range");
+                    self.devices[gpu].set_speed_factor(factor);
+                }
+            }
+            self.budget.refill();
+            let mega = self.run_mega_batch(to, from);
+            let sim_time = self.max_clock().secs();
+            self.eval_model.load_flat(&self.global);
+            let accuracy = eval::top1_accuracy(
+                &self.eval_model,
+                &self.dataset.test.features,
+                &self.dataset.test.labels,
+                self.cfg.eval_chunk,
+            );
+            self.recorder.push(MergeRecord {
+                merge_index: self.start_index + mega_index,
+                sim_time,
+                epochs: self.stream.epochs(),
+                accuracy,
+                mean_loss: mega.mean_loss,
+                batch_sizes: self.hypers.iter().map(|h| h.batch_size).collect(),
+                updates: mega.updates,
+                perturbed: mega.perturbed,
+                merge_weights: mega.weights,
+            });
+            mega_index += 1;
+            if let Some(limit) = self.cfg.mega_batch_limit {
+                if mega_index >= limit {
+                    break;
+                }
+            }
+            if let Some(limit) = self.cfg.time_limit {
+                if sim_time >= limit {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Processes one mega-batch (dispatch + merge(s) + scaling); returns its
+    /// summary for recording.
+    fn run_mega_batch(
+        &mut self,
+        to: &[Sender<ToManager>],
+        from: &Receiver<FromManager>,
+    ) -> MegaSummary {
+        let n = self.n();
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        let mut interval_updates = vec![0u64; n];
+        let mut perturbed = false;
+        let mut weights = vec![1.0 / n as f64; n];
+
+        let deadline = self.cfg.time_limit.unwrap_or(f64::INFINITY);
+        match self.spec.merge_interval {
+            MergeInterval::MegaBatch => {
+                let mut dispatched = 0usize;
+                loop {
+                    let g = self.pick_gpu();
+                    // Stop dispatching once the budgeted time is exhausted
+                    // (the merge still runs, so the final state is global).
+                    if self.devices[g].now().secs() >= deadline {
+                        break;
+                    }
+                    let want = self.hypers[g].rounded_batch();
+                    let Some(got) = self.budget.grant(want) else {
+                        break;
+                    };
+                    self.dispatch_batch(g, got, to);
+                    interval_updates[g] += 1;
+                    dispatched += 1;
+                }
+                self.drain_trained(from, dispatched, &mut loss_sum, &mut loss_n);
+                let decision = self.merge(to, from);
+                perturbed = decision.perturbed;
+                weights = decision.weights;
+                let scale_now = match &mut self.scaling_scheduler {
+                    Some(sched) => {
+                        let sizes: Vec<f64> =
+                            self.hypers.iter().map(|h| h.batch_size).collect();
+                        sched.observe_and_decide(&sizes)
+                    }
+                    None => true,
+                };
+                if scale_now {
+                    match self.spec.scaling {
+                        ScalingPolicy::Adaptive => {
+                            scale_batch_sizes(&mut self.hypers, &self.cfg.scaling_params);
+                        }
+                        ScalingPolicy::AdaptiveMultiplicative => {
+                            crate::hyper::scale_batch_sizes_with(
+                                &mut self.hypers,
+                                &self.cfg.scaling_params,
+                                crate::hyper::ScalingRule::Multiplicative,
+                            );
+                        }
+                        ScalingPolicy::Fixed => {}
+                    }
+                }
+                for h in &mut self.hypers {
+                    h.updates = 0;
+                }
+            }
+            MergeInterval::EveryRound => {
+                loop {
+                    if self.max_clock().secs() >= deadline {
+                        break;
+                    }
+                    let mut sent = 0usize;
+                    #[allow(clippy::needless_range_loop)] // g indexes hypers, devices, AND interval_updates
+                    for g in 0..n {
+                        let want = self.hypers[g].rounded_batch();
+                        let Some(got) = self.budget.grant(want) else {
+                            break;
+                        };
+                        self.dispatch_batch(g, got, to);
+                        interval_updates[g] += 1;
+                        sent += 1;
+                    }
+                    if sent == 0 {
+                        break;
+                    }
+                    self.drain_trained(from, sent, &mut loss_sum, &mut loss_n);
+                    let decision = self.merge(to, from);
+                    weights = decision.weights;
+                    for h in &mut self.hypers {
+                        h.updates = 0;
+                    }
+                    if self.budget.remaining() == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        MegaSummary {
+            mean_loss: if loss_n == 0 {
+                0.0
+            } else {
+                loss_sum / loss_n as f64
+            },
+            updates: interval_updates,
+            perturbed,
+            weights,
+        }
+    }
+
+    /// Chooses the GPU for the next batch per the dispatch policy.
+    fn pick_gpu(&mut self) -> usize {
+        match self.spec.dispatch {
+            DispatchPolicy::Dynamic => {
+                // First-available = smallest virtual clock; ties (exact f64
+                // equality, e.g. at t = 0) break by id for determinism.
+                (0..self.n())
+                    .min_by(|&a, &b| {
+                        self.devices[a]
+                            .now()
+                            .partial_cmp(&self.devices[b].now())
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.cmp(&b))
+                    })
+                    .expect("non-empty device list")
+            }
+            DispatchPolicy::Static => {
+                let g = self.rr_cursor;
+                self.rr_cursor = (self.rr_cursor + 1) % self.n();
+                g
+            }
+        }
+    }
+
+    /// Cuts a batch from the stream, charges its kernels to device `g`, and
+    /// sends the numeric work to manager `g`.
+    fn dispatch_batch(&mut self, g: usize, got: usize, to: &[Sender<ToManager>]) {
+        let ids = self.stream.take(got);
+        let nnz: usize = ids
+            .iter()
+            .map(|&i| self.dataset.train.features.row_nnz(i))
+            .sum();
+        let kinds = epoch_kernels(&self.mconfig, got, nnz);
+        let extra = epoch_overhead_delta(
+            &self.mconfig,
+            got,
+            nnz,
+            self.spec.fusion,
+            &self.launch_model,
+            self.n(),
+        );
+        let t0 = self.devices[g].now();
+        self.devices[g].charge_epoch(&kinds, self.spec.compute_overhead, extra);
+        self.trace.record(
+            DeviceId(g),
+            t0,
+            self.devices[g].now(),
+            format!(
+                "batch {} (size {got}, nnz {nnz}, lr {:.4})",
+                self.batches_dispatched, self.hypers[g].lr
+            ),
+        );
+        self.batches_dispatched += 1;
+        self.hypers[g].updates += 1;
+        to[g]
+            .send(ToManager::Train {
+                batch_ids: ids,
+                lr: self.hypers[g].lr as f32,
+            })
+            .expect("manager channel closed");
+    }
+
+    /// Receives exactly `count` `Trained` messages, accumulating losses.
+    fn drain_trained(
+        &mut self,
+        from: &Receiver<FromManager>,
+        count: usize,
+        loss_sum: &mut f64,
+        loss_n: &mut usize,
+    ) {
+        for _ in 0..count {
+            match from.recv().expect("manager channel closed") {
+                FromManager::Trained {
+                    gpu,
+                    loss,
+                    batch_size,
+                } => {
+                    debug_assert!(gpu < self.n(), "reply from unknown manager");
+                    debug_assert!(batch_size > 0, "empty batch trained");
+                    *loss_sum += loss;
+                    *loss_n += 1;
+                }
+                FromManager::Model { .. } => {
+                    unreachable!("Model reply outside a merge phase")
+                }
+            }
+        }
+    }
+
+    /// One full model-merging stage: collect replicas, compute weights,
+    /// all-reduce, global update, redistribute, advance clocks.
+    fn merge(&mut self, to: &[Sender<ToManager>], from: &Receiver<FromManager>) -> MergeDecision {
+        let n = self.n();
+        for tx in to {
+            tx.send(ToManager::GetModel).expect("manager channel closed");
+        }
+        let mut flats: Vec<Option<Vec<f32>>> = vec![None; n];
+        let mut norms = vec![0.0f64; n];
+        let mut received = 0usize;
+        while received < n {
+            match from.recv().expect("manager channel closed") {
+                FromManager::Model {
+                    gpu,
+                    flat,
+                    norm_per_param,
+                } => {
+                    flats[gpu] = Some(flat);
+                    norms[gpu] = norm_per_param;
+                    received += 1;
+                }
+                FromManager::Trained { .. } => {
+                    unreachable!("Trained reply during a merge phase")
+                }
+            }
+        }
+        let mut buffers: Vec<Vec<f32>> = flats
+            .into_iter()
+            .map(|f| f.expect("missing replica"))
+            .collect();
+
+        let decision = match self.spec.merge_rule {
+            MergeRule::Normalized(params) => compute_merge_weights(&self.hypers, &norms, &params),
+            MergeRule::Average { .. } | MergeRule::Crossbow { .. } => MergeDecision {
+                weights: vec![1.0 / n as f64; n],
+                by_updates: false,
+                perturbed: false,
+            },
+        };
+
+        let arrivals: Vec<SimTime> = self.devices.iter().map(|d| d.now()).collect();
+        let timing = allreduce(
+            &mut buffers,
+            &decision.weights,
+            self.spec.allreduce,
+            &self.ctx,
+            &arrivals,
+        );
+        let merged = buffers.swap_remove(0);
+
+        match self.spec.merge_rule {
+            MergeRule::Normalized(params) => {
+                apply_global_update(
+                    &merged,
+                    &mut self.global,
+                    &mut self.prev_global,
+                    params.gamma,
+                );
+                for tx in to {
+                    tx.send(ToManager::SetModel(self.global.clone()))
+                        .expect("manager channel closed");
+                }
+            }
+            MergeRule::Average { gamma } => {
+                apply_global_update(&merged, &mut self.global, &mut self.prev_global, gamma);
+                for tx in to {
+                    tx.send(ToManager::SetModel(self.global.clone()))
+                        .expect("manager channel closed");
+                }
+            }
+            MergeRule::Crossbow { pull } => {
+                self.global = merged.clone();
+                for tx in to {
+                    tx.send(ToManager::Blend {
+                        target: merged.clone(),
+                        pull: pull as f32,
+                    })
+                    .expect("manager channel closed");
+                }
+            }
+        }
+
+        let t0 = timing.start;
+        for d in self.devices.iter_mut() {
+            d.advance_to(timing.end);
+        }
+        self.trace.record(
+            DeviceId(0),
+            t0,
+            timing.end,
+            format!(
+                "merge (weights {:?}, perturbed {})",
+                decision
+                    .weights
+                    .iter()
+                    .map(|w| (w * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>(),
+                decision.perturbed
+            ),
+        );
+        decision
+    }
+
+    fn max_clock(&self) -> SimTime {
+        self.devices
+            .iter()
+            .map(|d| d.now())
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+/// Per-mega-batch summary used for recording.
+struct MegaSummary {
+    mean_loss: f64,
+    updates: Vec<u64>,
+    perturbed: bool,
+    weights: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use asgd_data::{generate, DatasetSpec};
+    use asgd_gpusim::profile::{heterogeneous_server, homogeneous_server};
+
+    fn quick_config() -> RunConfig {
+        let mut c = RunConfig::paper_defaults(32, 4);
+        c.hidden = 12;
+        c.mega_batch_limit = Some(4);
+        c.eval_chunk = 64;
+        c
+    }
+
+    fn dataset() -> XmlDataset {
+        generate(&DatasetSpec::tiny("trainer"), 5)
+    }
+
+    #[test]
+    fn adaptive_runs_and_records() {
+        let ds = dataset();
+        let result = Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(2),
+            quick_config(),
+        )
+        .run(&ds);
+        assert_eq!(result.records.len(), 4);
+        // Time moves forward strictly across mega-batches.
+        for w in result.records.windows(2) {
+            assert!(w[1].sim_time > w[0].sim_time);
+            assert!(w[1].epochs > w[0].epochs);
+        }
+        assert!(!result.final_model.is_empty());
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_across_runs() {
+        let ds = dataset();
+        let run = || {
+            Trainer::new(
+                algorithms::adaptive_sgd(),
+                heterogeneous_server(2),
+                quick_config(),
+            )
+            .run(&ds)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_model, b.final_model);
+        assert_eq!(
+            a.records.iter().map(|r| r.sim_time).collect::<Vec<_>>(),
+            b.records.iter().map(|r| r.sim_time).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn dynamic_dispatch_gives_slow_gpu_fewer_updates() {
+        let ds = dataset();
+        // Very skewed server: second GPU at half speed.
+        let profiles = vec![
+            asgd_gpusim::DeviceProfile::v100("fast"),
+            asgd_gpusim::DeviceProfile::v100("slow").with_speed(0.5),
+        ];
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(1);
+        let result =
+            Trainer::new(algorithms::adaptive_sgd(), profiles, config).run(&ds);
+        let updates = &result.records[0].updates;
+        assert!(
+            updates[0] > updates[1],
+            "fast GPU should run more batches: {updates:?}"
+        );
+    }
+
+    #[test]
+    fn elastic_static_dispatch_gives_equal_updates() {
+        let ds = dataset();
+        let profiles = vec![
+            asgd_gpusim::DeviceProfile::v100("fast"),
+            asgd_gpusim::DeviceProfile::v100("slow").with_speed(0.5),
+        ];
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(1);
+        let result =
+            Trainer::new(algorithms::elastic_sgd(), profiles, config).run(&ds);
+        let updates = &result.records[0].updates;
+        assert_eq!(updates[0], updates[1], "static dispatch must be equal");
+    }
+
+    #[test]
+    fn adaptive_batch_sizes_move_on_heterogeneous_server() {
+        let ds = dataset();
+        let profiles = vec![
+            asgd_gpusim::DeviceProfile::v100("fast"),
+            asgd_gpusim::DeviceProfile::v100("slow").with_speed(0.5),
+        ];
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(6);
+        let result =
+            Trainer::new(algorithms::adaptive_sgd(), profiles, config).run(&ds);
+        let last = result.records.last().unwrap();
+        assert!(
+            last.batch_sizes[0] > last.batch_sizes[1],
+            "faster GPU should end with the larger batch: {:?}",
+            last.batch_sizes
+        );
+    }
+
+    #[test]
+    fn elastic_keeps_batch_sizes_fixed() {
+        let ds = dataset();
+        let result = Trainer::new(
+            algorithms::elastic_sgd(),
+            heterogeneous_server(2),
+            quick_config(),
+        )
+        .run(&ds);
+        for r in &result.records {
+            assert!(r.batch_sizes.iter().all(|&b| b == 32.0));
+        }
+    }
+
+    #[test]
+    fn sync_sgd_merges_every_round_and_replicas_stay_identical() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(2);
+        let result = Trainer::new(
+            algorithms::tensorflow_sync(),
+            homogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        assert_eq!(result.records.len(), 2);
+        assert!(result.records[1].accuracy >= 0.0);
+    }
+
+    #[test]
+    fn crossbow_runs() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(2);
+        let result = Trainer::new(
+            algorithms::crossbow_sma(),
+            heterogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        assert_eq!(result.records.len(), 2);
+    }
+
+    #[test]
+    fn single_gpu_all_algorithms_agree_on_update_counts() {
+        // With one GPU, Adaptive and Elastic degenerate to mini-batch SGD
+        // (the paper plots them as a single curve in Fig. 4).
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(2);
+        let a = Trainer::new(
+            algorithms::adaptive_sgd(),
+            homogeneous_server(1),
+            config.clone(),
+        )
+        .run(&ds);
+        let e = Trainer::new(algorithms::elastic_sgd(), homogeneous_server(1), config).run(&ds);
+        assert_eq!(
+            a.records.iter().map(|r| r.updates.clone()).collect::<Vec<_>>(),
+            e.records.iter().map(|r| r.updates.clone()).collect::<Vec<_>>()
+        );
+        // Same model math: identical final replicas.
+        assert_eq!(a.final_model, e.final_model);
+    }
+
+    #[test]
+    fn trace_capture_contains_batches_and_merges() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.trace = true;
+        config.mega_batch_limit = Some(1);
+        let result = Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        assert!(result.trace.contains("batch 0"));
+        assert!(result.trace.contains("merge"));
+    }
+
+    #[test]
+    fn accuracy_improves_over_training() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(12);
+        config.base_lr = 0.25;
+        let result = Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        let first = result.records.first().unwrap().accuracy;
+        let best = result.best_accuracy();
+        assert!(
+            best > first + 0.05,
+            "no learning: first {first}, best {best}"
+        );
+    }
+
+    #[test]
+    fn scaling_schedule_backs_off_but_training_still_works() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(10);
+        config.scaling_schedule = Some((0.02, 8));
+        let result = Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        assert_eq!(result.records.len(), 10);
+    }
+
+    #[test]
+    fn speed_event_rebalances_batch_sizes() {
+        // GPU 1 throttles hard at mega-batch 3: afterwards the scaler should
+        // push its batch size well below GPU 0's.
+        let ds = dataset();
+        let mut config = quick_config();
+        config.mega_batch_limit = Some(12);
+        config.speed_events = vec![(3, 1, 0.3)];
+        let result = Trainer::new(
+            algorithms::adaptive_sgd(),
+            homogeneous_server(2),
+            config,
+        )
+        .run(&ds);
+        let before = &result.records[2].batch_sizes;
+        let after = result.records.last().unwrap();
+        let gap_before = (before[0] - before[1]).abs();
+        let gap_after = after.batch_sizes[0] - after.batch_sizes[1];
+        assert!(
+            gap_after > gap_before + 4.0,
+            "throttling should widen the batch-size gap: before {before:?}, after {:?}",
+            after.batch_sizes
+        );
+        // And the throttled GPU runs fewer batches despite the rebalancing
+        // being underway.
+        assert!(after.updates[0] >= after.updates[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time limit or a mega-batch limit")]
+    fn missing_limits_panic() {
+        let _ = Trainer::new(
+            algorithms::adaptive_sgd(),
+            homogeneous_server(1),
+            RunConfig::paper_defaults(32, 2),
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Deeper dataset diagnostics beyond Table I: label frequency profiles,
+//! per-sample nnz distribution, and the constant-predictor baseline.
+//!
+//! These quantify exactly the properties the algorithms react to — nnz
+//! variance drives batch-time heterogeneity (§I), and the label skew sets
+//! the floor any useful model must beat.
+
+use crate::synthetic::SplitData;
+use asgd_stats::{percentile, StreamingSummary};
+
+/// Distribution summary of per-sample non-zero counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NnzProfile {
+    /// Mean nnz per sample.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Minimum observed.
+    pub min: usize,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum observed.
+    pub max: usize,
+}
+
+impl NnzProfile {
+    /// Computes the profile of a split.
+    pub fn compute(split: &SplitData) -> Self {
+        let mut s = StreamingSummary::new();
+        let nnzs: Vec<f64> = (0..split.len())
+            .map(|i| {
+                let v = split.features.row_nnz(i) as f64;
+                s.record(v);
+                v
+            })
+            .collect();
+        NnzProfile {
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            min: s.min().unwrap_or(0.0) as usize,
+            p50: percentile(&nnzs, 0.5).unwrap_or(0.0),
+            p95: percentile(&nnzs, 0.95).unwrap_or(0.0),
+            max: s.max().unwrap_or(0.0) as usize,
+        }
+    }
+
+    /// Coefficient of variation — the batch-heterogeneity driver.
+    pub fn cv(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std_dev / self.mean
+        }
+    }
+}
+
+/// Label-frequency diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelProfile {
+    /// Distinct labels that appear at least once.
+    pub active_labels: usize,
+    /// Fraction of samples containing the single most frequent label —
+    /// the top-1 accuracy of the best *constant* predictor.
+    pub constant_predictor_baseline: f64,
+    /// Mean labels per sample.
+    pub mean_labels: f64,
+    /// Fraction of label occurrences covered by the 10 most frequent labels.
+    pub head10_share: f64,
+}
+
+impl LabelProfile {
+    /// Computes the profile of a split over a `num_labels`-sized space.
+    pub fn compute(split: &SplitData, num_labels: usize) -> Self {
+        let mut counts = vec![0u64; num_labels];
+        let mut total = 0u64;
+        for labs in &split.labels {
+            for &l in labs {
+                counts[l as usize] += 1;
+                total += 1;
+            }
+        }
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let head10: u64 = sorted.iter().take(10).sum();
+        let n = split.len().max(1) as f64;
+        LabelProfile {
+            active_labels: active,
+            // Labels are de-duplicated per sample, so the count of the most
+            // frequent label equals the number of samples containing it.
+            constant_predictor_baseline: max as f64 / n,
+            mean_labels: total as f64 / n,
+            head10_share: if total == 0 {
+                0.0
+            } else {
+                head10 as f64 / total as f64
+            },
+        }
+    }
+}
+
+/// Splits a [`SplitData`] into train/validation parts by a seeded shuffle —
+/// used when tuning hyperparameters without touching the held-out test set.
+///
+/// `val_fraction` is clamped so both sides keep at least one sample (for
+/// splits with ≥ 2 samples).
+///
+/// # Panics
+/// Panics on an empty split.
+pub fn train_val_split(
+    split: &SplitData,
+    val_fraction: f64,
+    seed: u64,
+) -> (SplitData, SplitData) {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let n = split.len();
+    assert!(n > 0, "cannot split an empty dataset");
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    let n_val = ((n as f64 * val_fraction).round() as usize).clamp(
+        usize::from(n >= 2),
+        n.saturating_sub(1).max(usize::from(n == 1)),
+    );
+    let (val_ids, train_ids) = order.split_at(n_val);
+    let take = |ids: &[usize]| SplitData {
+        features: split.features.select_rows(ids),
+        labels: ids.iter().map(|&i| split.labels[i].clone()).collect(),
+    };
+    (take(train_ids), take(val_ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use crate::synthetic::generate;
+
+    fn split() -> (SplitData, usize) {
+        let ds = generate(&DatasetSpec::tiny("analysis"), 3);
+        (ds.train, ds.num_labels)
+    }
+
+    #[test]
+    fn nnz_profile_is_ordered() {
+        let (s, _) = split();
+        let p = NnzProfile::compute(&s);
+        assert!(p.min as f64 <= p.p50);
+        assert!(p.p50 <= p.p95);
+        assert!(p.p95 <= p.max as f64);
+        assert!(p.mean > 0.0);
+        assert!(p.cv() > 0.0, "tiny spec has nnz spread");
+    }
+
+    #[test]
+    fn label_profile_baseline_is_a_probability() {
+        let (s, n) = split();
+        let p = LabelProfile::compute(&s, n);
+        assert!(p.constant_predictor_baseline > 0.0);
+        assert!(p.constant_predictor_baseline <= 1.0);
+        assert!(p.active_labels <= n);
+        assert!(p.mean_labels >= 1.0);
+        assert!(p.head10_share > 0.0 && p.head10_share <= 1.0);
+    }
+
+    #[test]
+    fn handmade_split_matches_expectations() {
+        use asgd_sparse::CsrMatrix;
+        let features = CsrMatrix::from_rows(
+            4,
+            &[
+                (vec![0], vec![1.0]),
+                (vec![0, 1, 2], vec![1.0, 1.0, 1.0]),
+                (vec![1], vec![1.0]),
+            ],
+        )
+        .unwrap();
+        let labels = vec![vec![0u32, 1], vec![0], vec![2]];
+        let split = SplitData { features, labels };
+        let nnz = NnzProfile::compute(&split);
+        assert_eq!(nnz.min, 1);
+        assert_eq!(nnz.max, 3);
+        assert!((nnz.mean - 5.0 / 3.0).abs() < 1e-12);
+        let lp = LabelProfile::compute(&split, 5);
+        assert_eq!(lp.active_labels, 3);
+        // Label 0 appears in 2 of 3 samples.
+        assert!((lp.constant_predictor_baseline - 2.0 / 3.0).abs() < 1e-12);
+        assert!((lp.mean_labels - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn train_val_split_partitions_without_overlap() {
+        let (s, _) = split();
+        let n = s.len();
+        let (train, val) = train_val_split(&s, 0.25, 7);
+        assert_eq!(train.len() + val.len(), n);
+        assert_eq!(val.len(), (n as f64 * 0.25).round() as usize);
+        // Feature mass is conserved (no sample duplicated or dropped).
+        assert_eq!(
+            train.features.nnz() + val.features.nnz(),
+            s.features.nnz()
+        );
+    }
+
+    #[test]
+    fn train_val_split_is_deterministic_per_seed() {
+        let (s, _) = split();
+        let (a, _) = train_val_split(&s, 0.3, 9);
+        let (b, _) = train_val_split(&s, 0.3, 9);
+        assert_eq!(a.labels, b.labels);
+        let (c, _) = train_val_split(&s, 0.3, 10);
+        assert_ne!(a.labels, c.labels);
+    }
+
+    #[test]
+    fn extreme_fractions_keep_both_sides_nonempty() {
+        let (s, _) = split();
+        let (train, val) = train_val_split(&s, 0.0, 1);
+        assert!(val.len() >= 1 && train.len() >= 1);
+        let (train, val) = train_val_split(&s, 1.0, 1);
+        assert!(val.len() >= 1 && train.len() >= 1);
+    }
+
+    #[test]
+    fn empty_split_is_safe() {
+        use asgd_sparse::CsrMatrix;
+        let split = SplitData {
+            features: CsrMatrix::zeros(0, 4),
+            labels: vec![],
+        };
+        let nnz = NnzProfile::compute(&split);
+        assert_eq!(nnz.mean, 0.0);
+        let lp = LabelProfile::compute(&split, 4);
+        assert_eq!(lp.active_labels, 0);
+        assert_eq!(lp.constant_predictor_baseline, 0.0);
+    }
+}

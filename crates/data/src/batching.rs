@@ -1,0 +1,198 @@
+//! Seeded shuffled sample streams and mega-batch accounting.
+//!
+//! The dynamic scheduler consumes training samples as a continuous shuffled
+//! stream: batches of *varying* size are cut from it on demand (batch size
+//! scaling changes sizes between mega-batches), and the stream reshuffles
+//! each time it exhausts the training set. Epoch progress is fractional:
+//! `samples_drawn / train_size`, which is what the statistical-efficiency
+//! plots (Fig. 5b) use on their x-axis.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// An endless, seeded, shuffled stream of sample indices.
+#[derive(Debug, Clone)]
+pub struct SampleStream {
+    n: usize,
+    order: Vec<u32>,
+    pos: usize,
+    drawn: u64,
+    rng: StdRng,
+}
+
+impl SampleStream {
+    /// Creates a stream over `0..n` with its own shuffle RNG.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` — an empty training set cannot be streamed.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "cannot stream an empty dataset");
+        assert!(n <= u32::MAX as usize, "dataset too large for u32 indices");
+        let mut s = Self {
+            n,
+            order: (0..n as u32).collect(),
+            pos: 0,
+            drawn: 0,
+            rng: StdRng::seed_from_u64(seed),
+        };
+        s.reshuffle();
+        s
+    }
+
+    fn reshuffle(&mut self) {
+        // Fisher–Yates with the stream's own RNG.
+        for i in (1..self.order.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            self.order.swap(i, j);
+        }
+        self.pos = 0;
+    }
+
+    /// Draws the next `count` sample indices, reshuffling at wrap-around.
+    pub fn take(&mut self, count: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            if self.pos == self.n {
+                self.reshuffle();
+            }
+            let remaining = count - out.len();
+            let available = self.n - self.pos;
+            let grab = remaining.min(available);
+            out.extend(
+                self.order[self.pos..self.pos + grab]
+                    .iter()
+                    .map(|&i| i as usize),
+            );
+            self.pos += grab;
+        }
+        self.drawn += count as u64;
+        out
+    }
+
+    /// Total samples drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Fractional epochs completed: `drawn / n`.
+    pub fn epochs(&self) -> f64 {
+        self.drawn as f64 / self.n as f64
+    }
+
+    /// Training-set size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true (construction rejects `n == 0`); present for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Tracks the remaining budget of one mega-batch (a fixed number of training
+/// samples processed between two model-merging stages, §III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MegaBatchBudget {
+    total: usize,
+    left: usize,
+}
+
+impl MegaBatchBudget {
+    /// A fresh budget of `total` samples.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "mega-batch must hold at least one sample");
+        Self { total, left: total }
+    }
+
+    /// Requests a batch of `want` samples; returns the granted size (the
+    /// final batch of a mega-batch is truncated to what remains), or `None`
+    /// when the budget is exhausted.
+    pub fn grant(&mut self, want: usize) -> Option<usize> {
+        if self.left == 0 {
+            return None;
+        }
+        let got = want.max(1).min(self.left);
+        self.left -= got;
+        Some(got)
+    }
+
+    /// Remaining samples in this mega-batch.
+    pub fn remaining(&self) -> usize {
+        self.left
+    }
+
+    /// Resets to a full budget (next mega-batch).
+    pub fn refill(&mut self) {
+        self.left = self.total;
+    }
+
+    /// Configured mega-batch size.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_covers_whole_dataset_each_pass() {
+        let mut s = SampleStream::new(100, 1);
+        let ids = s.take(100);
+        let mut seen = [false; 100];
+        for i in ids {
+            assert!(!seen[i], "duplicate within one pass");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn stream_wraps_and_reshuffles() {
+        let mut s = SampleStream::new(10, 2);
+        let first = s.take(10);
+        let second = s.take(10);
+        assert_ne!(first, second, "reshuffle should change order");
+        assert_eq!(s.drawn(), 20);
+        assert!((s.epochs() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn take_spanning_wrap_has_correct_length() {
+        let mut s = SampleStream::new(7, 3);
+        let ids = s.take(20);
+        assert_eq!(ids.len(), 20);
+        assert!(ids.iter().all(|&i| i < 7));
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a: Vec<usize> = SampleStream::new(50, 9).take(120);
+        let b: Vec<usize> = SampleStream::new(50, 9).take(120);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_stream_panics() {
+        let _ = SampleStream::new(0, 0);
+    }
+
+    #[test]
+    fn budget_grants_until_exhausted() {
+        let mut b = MegaBatchBudget::new(10);
+        assert_eq!(b.grant(4), Some(4));
+        assert_eq!(b.grant(4), Some(4));
+        assert_eq!(b.grant(4), Some(2), "final batch truncates");
+        assert_eq!(b.grant(4), None);
+        b.refill();
+        assert_eq!(b.remaining(), 10);
+    }
+
+    #[test]
+    fn budget_grants_at_least_one() {
+        let mut b = MegaBatchBudget::new(5);
+        assert_eq!(b.grant(0), Some(1));
+    }
+}

@@ -1,0 +1,91 @@
+//! Table I statistics of a dataset.
+
+use crate::synthetic::XmlDataset;
+
+/// The row schema of the paper's Table I.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Label-space size ("classes").
+    pub classes: usize,
+    /// Training samples.
+    pub training_samples: usize,
+    /// Testing samples.
+    pub testing_samples: usize,
+    /// Mean non-zero features per training sample.
+    pub avg_features_per_sample: f64,
+    /// Mean labels per training sample.
+    pub avg_classes_per_sample: f64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a dataset (over its training split, like
+    /// the repository's reported numbers).
+    pub fn compute(ds: &XmlDataset) -> Self {
+        let n = ds.train.len();
+        let avg_labels = if n == 0 {
+            0.0
+        } else {
+            ds.train.labels.iter().map(|l| l.len()).sum::<usize>() as f64 / n as f64
+        };
+        DatasetStats {
+            name: ds.name.clone(),
+            features: ds.num_features,
+            classes: ds.num_labels,
+            training_samples: n,
+            testing_samples: ds.test.len(),
+            avg_features_per_sample: ds.train.features.avg_row_nnz(),
+            avg_classes_per_sample: avg_labels,
+        }
+    }
+
+    /// One CSV row matching Table I's column order.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.1},{:.1}",
+            self.name,
+            self.features,
+            self.classes,
+            self.training_samples,
+            self.testing_samples,
+            self.avg_features_per_sample,
+            self.avg_classes_per_sample
+        )
+    }
+
+    /// The CSV header for [`DatasetStats::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "dataset,features,classes,training_samples,testing_samples,avg_features_per_sample,avg_classes_per_sample"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+    use crate::synthetic::generate;
+
+    #[test]
+    fn stats_reflect_generated_data() {
+        let spec = DatasetSpec::tiny("t");
+        let ds = generate(&spec, 3);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.features, spec.num_features);
+        assert_eq!(s.classes, spec.num_labels);
+        assert_eq!(s.training_samples, spec.train_samples);
+        assert_eq!(s.testing_samples, spec.test_samples);
+        assert!(s.avg_features_per_sample > 0.0);
+        assert!(s.avg_classes_per_sample >= 1.0);
+    }
+
+    #[test]
+    fn csv_row_has_seven_fields() {
+        let ds = generate(&DatasetSpec::tiny("t"), 3);
+        let s = DatasetStats::compute(&ds);
+        assert_eq!(s.csv_row().split(',').count(), 7);
+        assert_eq!(DatasetStats::csv_header().split(',').count(), 7);
+    }
+}

@@ -1,0 +1,336 @@
+//! The synthetic XML dataset generator.
+//!
+//! Generation is a deterministic function of `(spec, seed)`:
+//!
+//! 1. every label gets a *prototype pool* of characteristic features, drawn
+//!    from the global Zipf feature distribution by a per-label RNG (popular
+//!    features are shared across prototypes, tails are distinctive);
+//! 2. per sample: draw the label count (Poisson around the Table I mean,
+//!    min 1), the labels (Zipf over the label space, de-duplicated), and the
+//!    non-zero count (log-normal with the spec's mean and CV — the source of
+//!    batch heterogeneity);
+//! 3. each feature comes from a uniformly chosen label's prototype with
+//!    probability `1 − noise_fraction`, otherwise from the global Zipf;
+//!    values are log-normal around 1 (tf-idf-ish).
+//!
+//! Because features are conditioned on labels, a linear/MLP model genuinely
+//! learns the mapping, so accuracy-vs-time curves behave like the paper's.
+
+use crate::spec::DatasetSpec;
+use asgd_sparse::{libsvm::LibsvmDataset, CooBuilder, CsrMatrix};
+use asgd_stats::{LogNormal, Poisson, Zipf};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One split (train or test) of a dataset.
+#[derive(Debug, Clone)]
+pub struct SplitData {
+    /// `samples × num_features` sparse features.
+    pub features: CsrMatrix,
+    /// Per-sample sorted label sets.
+    pub labels: Vec<Vec<u32>>,
+}
+
+impl SplitData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A complete dataset: train + test splits and the axis sizes.
+#[derive(Debug, Clone)]
+pub struct XmlDataset {
+    /// Dataset name (from the spec).
+    pub name: String,
+    /// Training split.
+    pub train: SplitData,
+    /// Held-out split used for top-1 accuracy.
+    pub test: SplitData,
+    /// Feature dimensionality.
+    pub num_features: usize,
+    /// Label-space size.
+    pub num_labels: usize,
+}
+
+impl XmlDataset {
+    /// Wraps two libSVM files (train, test) loaded with
+    /// [`asgd_sparse::libsvm::read`] — the path for running on real XC data.
+    pub fn from_libsvm(name: &str, train: LibsvmDataset, test: LibsvmDataset) -> Self {
+        assert_eq!(
+            train.features.cols(),
+            test.features.cols(),
+            "train/test feature dimensionality mismatch"
+        );
+        let num_labels = train.num_labels.max(test.num_labels);
+        XmlDataset {
+            name: name.to_string(),
+            num_features: train.features.cols(),
+            num_labels,
+            train: SplitData {
+                features: train.features,
+                labels: train.labels,
+            },
+            test: SplitData {
+                features: test.features,
+                labels: test.labels,
+            },
+        }
+    }
+}
+
+/// Generates a dataset from a spec, deterministically per seed.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> XmlDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let feature_dist =
+        Zipf::new(spec.num_features as u64, spec.feature_zipf_s).expect("feature zipf");
+    let label_dist = Zipf::new(spec.num_labels as u64, spec.label_zipf_s).expect("label zipf");
+    let nnz_dist = LogNormal::from_mean_cv(spec.avg_features_per_sample, spec.nnz_cv)
+        .expect("nnz log-normal");
+    // Poisson around (mean - 1), then +1: guarantees ≥1 label with the
+    // requested mean.
+    let label_count_dist = Poisson::new((spec.avg_labels_per_sample - 1.0).max(0.05))
+        .expect("label count poisson");
+    let value_dist = LogNormal::from_mean_cv(1.0, 0.5).expect("value log-normal");
+
+    let train = generate_split(
+        spec,
+        spec.train_samples,
+        seed,
+        &mut rng,
+        &feature_dist,
+        &label_dist,
+        &nnz_dist,
+        &label_count_dist,
+        &value_dist,
+    );
+    let test = generate_split(
+        spec,
+        spec.test_samples,
+        seed,
+        &mut rng,
+        &feature_dist,
+        &label_dist,
+        &nnz_dist,
+        &label_count_dist,
+        &value_dist,
+    );
+    XmlDataset {
+        name: spec.name.clone(),
+        train,
+        test,
+        num_features: spec.num_features,
+        num_labels: spec.num_labels,
+    }
+}
+
+/// The prototype feature pool of `label`: deterministic in `(seed, label)`,
+/// independent of sample order.
+///
+/// Prototype features are Zipf *ranks* rotated by a label-specific offset:
+/// every label keeps a popularity-shaped pool (a few frequent features, a
+/// long distinctive tail) while different labels land on mostly disjoint
+/// feature sets — without the rotation, head features would dominate every
+/// prototype and labels would be indistinguishable at small scale.
+fn prototype(spec: &DatasetSpec, seed: u64, label: u32, feature_dist: &Zipf) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(label as u64),
+    );
+    let n = spec.num_features as u64;
+    let offset = rng.gen_range(0..n);
+    (0..spec.prototype_size)
+        .map(|_| {
+            let rank = feature_dist.sample(&mut rng) - 1;
+            ((rank + offset) % n) as u32
+        })
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_split(
+    spec: &DatasetSpec,
+    n_samples: usize,
+    seed: u64,
+    rng: &mut StdRng,
+    feature_dist: &Zipf,
+    label_dist: &Zipf,
+    nnz_dist: &LogNormal,
+    label_count_dist: &Poisson,
+    value_dist: &LogNormal,
+) -> SplitData {
+    let mut coo = CooBuilder::new(n_samples, spec.num_features);
+    let mut labels: Vec<Vec<u32>> = Vec::with_capacity(n_samples);
+    // Small LRU-ish prototype cache: label popularity is Zipf, so a modest
+    // cache catches most hits without holding every prototype.
+    let mut cache: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    const CACHE_CAP: usize = 8192;
+
+    for s in 0..n_samples {
+        // Labels: the target is a *distinct* label count (Table I reports
+        // distinct labels per sample); Zipf duplicates are redrawn, with an
+        // attempt cap for label spaces smaller than the target.
+        let n_labels = (label_count_dist.sample(rng) + 1) as usize;
+        let mut labs: Vec<u32> = Vec::with_capacity(n_labels);
+        let mut attempts = 0usize;
+        while labs.len() < n_labels && attempts < n_labels * 8 {
+            attempts += 1;
+            let l = (label_dist.sample(rng) - 1) as u32;
+            if let Err(pos) = labs.binary_search(&l) {
+                labs.insert(pos, l);
+            }
+        }
+
+        // Feature count: log-normal, at least 1, at most the feature space.
+        let nnz = (nnz_dist.sample(rng).round() as usize)
+            .clamp(1, spec.num_features);
+
+        // Features: prototype mixture + noise. The target is `nnz` *distinct*
+        // features (Table I reports distinct non-zeros); duplicates merge, so
+        // keep drawing until the target is met, with an attempt cap for tiny
+        // feature spaces.
+        let mut feats: std::collections::BTreeMap<u32, f32> = std::collections::BTreeMap::new();
+        let mut attempts = 0usize;
+        while feats.len() < nnz && attempts < nnz * 8 {
+            attempts += 1;
+            let f = if rng.gen::<f64>() < spec.noise_fraction || labs.is_empty() {
+                (feature_dist.sample(rng) - 1) as u32
+            } else {
+                let lab = labs[rng.gen_range(0..labs.len())];
+                if cache.len() >= CACHE_CAP && !cache.contains_key(&lab) {
+                    cache.clear();
+                }
+                let proto = cache
+                    .entry(lab)
+                    .or_insert_with(|| prototype(spec, seed, lab, feature_dist));
+                proto[rng.gen_range(0..proto.len())]
+            };
+            let v = value_dist.sample(rng) as f32;
+            *feats.entry(f).or_insert(0.0) += v;
+        }
+        for (f, v) in feats {
+            coo.push(s, f as usize, v);
+        }
+        labels.push(labs);
+    }
+    SplitData {
+        features: coo.into_csr(),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::DatasetSpec;
+
+    fn tiny() -> XmlDataset {
+        generate(&DatasetSpec::tiny("t"), 11)
+    }
+
+    #[test]
+    fn shapes_match_spec() {
+        let spec = DatasetSpec::tiny("t");
+        let ds = tiny();
+        assert_eq!(ds.train.len(), spec.train_samples);
+        assert_eq!(ds.test.len(), spec.test_samples);
+        assert_eq!(ds.train.features.cols(), spec.num_features);
+        assert_eq!(ds.num_labels, spec.num_labels);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::tiny("t");
+        let a = generate(&spec, 5);
+        let b = generate(&spec, 5);
+        assert_eq!(a.train.features, b.train.features);
+        assert_eq!(a.train.labels, b.train.labels);
+        let c = generate(&spec, 6);
+        assert_ne!(a.train.features, c.train.features);
+    }
+
+    #[test]
+    fn every_sample_has_labels_and_features() {
+        let ds = tiny();
+        for (i, labs) in ds.train.labels.iter().enumerate() {
+            assert!(!labs.is_empty(), "sample {i} has no labels");
+            assert!(ds.train.features.row_nnz(i) >= 1, "sample {i} empty");
+        }
+    }
+
+    #[test]
+    fn labels_are_sorted_unique_and_in_range() {
+        let ds = tiny();
+        for labs in &ds.train.labels {
+            for w in labs.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(labs.iter().all(|&l| (l as usize) < ds.num_labels));
+        }
+    }
+
+    #[test]
+    fn avg_nnz_matches_spec_roughly() {
+        let spec = DatasetSpec::tiny("t");
+        let ds = tiny();
+        let avg = ds.train.features.avg_row_nnz();
+        // Duplicate-feature collapse loses a little; allow ±30%.
+        assert!(
+            (avg - spec.avg_features_per_sample).abs() / spec.avg_features_per_sample < 0.3,
+            "avg nnz {avg} vs spec {}",
+            spec.avg_features_per_sample
+        );
+    }
+
+    #[test]
+    fn nnz_varies_across_samples() {
+        // The heterogeneity driver: per-sample nnz must have real spread.
+        let ds = tiny();
+        let nnzs: Vec<usize> = (0..ds.train.len())
+            .map(|i| ds.train.features.row_nnz(i))
+            .collect();
+        let min = *nnzs.iter().min().unwrap();
+        let max = *nnzs.iter().max().unwrap();
+        assert!(max >= 2 * min.max(1), "no nnz spread: min {min} max {max}");
+    }
+
+    #[test]
+    fn popular_labels_dominate() {
+        let ds = tiny();
+        let mut counts = vec![0usize; ds.num_labels];
+        for labs in &ds.train.labels {
+            for &l in labs {
+                counts[l as usize] += 1;
+            }
+        }
+        // Label 0 (rank 1 in the Zipf) must be among the most frequent.
+        let max = *counts.iter().max().unwrap();
+        assert!(counts[0] * 2 >= max, "label 0 count {} max {max}", counts[0]);
+    }
+
+    #[test]
+    fn prototypes_are_stable_per_label() {
+        let spec = DatasetSpec::tiny("t");
+        let dist = asgd_stats::Zipf::new(spec.num_features as u64, spec.feature_zipf_s).unwrap();
+        let a = prototype(&spec, 9, 3, &dist);
+        let b = prototype(&spec, 9, 3, &dist);
+        let c = prototype(&spec, 9, 4, &dist);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_libsvm_wraps_splits() {
+        let text = "2 4 3\n0 0:1 2:1\n1,2 1:1\n";
+        let train = asgd_sparse::libsvm::read(std::io::BufReader::new(text.as_bytes())).unwrap();
+        let test = asgd_sparse::libsvm::read(std::io::BufReader::new(text.as_bytes())).unwrap();
+        let ds = XmlDataset::from_libsvm("real", train, test);
+        assert_eq!(ds.train.len(), 2);
+        assert_eq!(ds.num_features, 4);
+        assert_eq!(ds.num_labels, 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! Kernel taxonomy and the analytic cost model.
+
+use crate::profile::DeviceProfile;
+
+/// One unit of GPU work, with exact flop/byte accounting.
+///
+/// The training loop charges these to a [`crate::Device`]; the device's
+/// profile converts them to virtual seconds. Sparse kernels charge by the
+/// *actual* non-zero count of their operand, which is what makes identically
+/// sized batches cost different amounts of time — the data-dependent
+/// heterogeneity source of §I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Sparse × dense: `C[m×n] = A[m×k]·B`, `A` with `nnz` stored entries.
+    SpMm { nnz: usize, n: usize },
+    /// Transposed sparse accumulate: `C += Aᵀ·G` with `nnz` entries, `n` cols.
+    SpMmTn { nnz: usize, n: usize },
+    /// Dense GEMM `m×k · k×n`.
+    Gemm { m: usize, k: usize, n: usize },
+    /// Element-wise map over `elems` values (ReLU, bias, axpy, scaling, …).
+    Elementwise { elems: usize },
+    /// Row-wise softmax over a `rows × cols` matrix.
+    Softmax { rows: usize, cols: usize },
+    /// Reduction over `elems` values (losses, norms).
+    Reduce { elems: usize },
+    /// Host-to-device copy.
+    H2d { bytes: usize },
+    /// Device-to-host copy.
+    D2h { bytes: usize },
+    /// Device-to-device (peer) copy.
+    P2p { bytes: usize },
+}
+
+impl KernelKind {
+    /// Floating-point operations this kernel performs (0 for pure copies).
+    pub fn flops(&self) -> f64 {
+        match *self {
+            KernelKind::SpMm { nnz, n } | KernelKind::SpMmTn { nnz, n } => {
+                2.0 * nnz as f64 * n as f64
+            }
+            KernelKind::Gemm { m, k, n } => 2.0 * m as f64 * k as f64 * n as f64,
+            KernelKind::Elementwise { elems } => elems as f64,
+            // exp + add + div per element, plus the max scan.
+            KernelKind::Softmax { rows, cols } => 4.0 * rows as f64 * cols as f64,
+            KernelKind::Reduce { elems } => elems as f64,
+            KernelKind::H2d { .. } | KernelKind::D2h { .. } | KernelKind::P2p { .. } => 0.0,
+        }
+    }
+
+    /// Bytes moved across the relevant interface.
+    pub fn bytes(&self) -> f64 {
+        match *self {
+            // 4-byte values + 4-byte indices in, 4-byte accumulators out.
+            KernelKind::SpMm { nnz, n } | KernelKind::SpMmTn { nnz, n } => {
+                (8 * nnz + 4 * nnz * n.min(8)) as f64
+            }
+            KernelKind::Gemm { m, k, n } => (4 * (m * k + k * n + m * n)) as f64,
+            KernelKind::Elementwise { elems } => 8.0 * elems as f64,
+            KernelKind::Softmax { rows, cols } => 8.0 * rows as f64 * cols as f64,
+            KernelKind::Reduce { elems } => 4.0 * elems as f64,
+            KernelKind::H2d { bytes } | KernelKind::D2h { bytes } | KernelKind::P2p { bytes } => {
+                bytes as f64
+            }
+        }
+    }
+
+    /// Whether this kernel is a data transfer rather than compute.
+    pub fn is_transfer(&self) -> bool {
+        matches!(
+            self,
+            KernelKind::H2d { .. } | KernelKind::D2h { .. } | KernelKind::P2p { .. }
+        )
+    }
+}
+
+/// Converts a kernel into unperturbed virtual seconds on a device.
+///
+/// The model is the classic roofline-with-latency form:
+///
+/// ```text
+/// t = launch_overhead + max(flops / throughput, bytes / bandwidth)
+/// ```
+///
+/// divided by the device's `speed_factor`. Compute kernels choose their
+/// throughput by kind (dense vs sparse vs memory-bound); transfers use the
+/// corresponding link bandwidth and pay no launch overhead.
+pub fn kernel_time(profile: &DeviceProfile, kind: KernelKind) -> f64 {
+    let t = match kind {
+        KernelKind::SpMm { .. } | KernelKind::SpMmTn { .. } => {
+            profile.launch_overhead_s
+                + (kind.flops() / (profile.sparse_gflops * 1e9))
+                    .max(kind.bytes() / (profile.mem_bandwidth_gbs * 1e9))
+        }
+        KernelKind::Gemm { .. } => {
+            profile.launch_overhead_s
+                + (kind.flops() / (profile.dense_gflops * 1e9))
+                    .max(kind.bytes() / (profile.mem_bandwidth_gbs * 1e9))
+        }
+        KernelKind::Elementwise { .. } | KernelKind::Softmax { .. } | KernelKind::Reduce { .. } => {
+            profile.launch_overhead_s + kind.bytes() / (profile.mem_bandwidth_gbs * 1e9)
+        }
+        KernelKind::H2d { bytes } | KernelKind::D2h { bytes } => {
+            bytes as f64 / (profile.h2d_bandwidth_gbs * 1e9)
+        }
+        KernelKind::P2p { bytes } => bytes as f64 / (profile.p2p_bandwidth_gbs * 1e9),
+    };
+    t / profile.speed_factor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DeviceProfile, JitterModel};
+
+    fn quiet_v100() -> DeviceProfile {
+        DeviceProfile::v100("t").with_jitter(JitterModel::NONE)
+    }
+
+    #[test]
+    fn flop_accounting() {
+        assert_eq!(KernelKind::Gemm { m: 2, k: 3, n: 4 }.flops(), 48.0);
+        assert_eq!(KernelKind::SpMm { nnz: 10, n: 5 }.flops(), 100.0);
+        assert_eq!(KernelKind::H2d { bytes: 100 }.flops(), 0.0);
+    }
+
+    #[test]
+    fn more_nnz_costs_more_time() {
+        let p = quiet_v100();
+        let small = kernel_time(&p, KernelKind::SpMm { nnz: 1_000, n: 128 });
+        let large = kernel_time(&p, KernelKind::SpMm { nnz: 100_000, n: 128 });
+        assert!(large > small);
+    }
+
+    #[test]
+    fn slower_device_takes_longer() {
+        let fast = quiet_v100();
+        let slow = quiet_v100().with_speed(0.76);
+        let k = KernelKind::Gemm { m: 64, k: 128, n: 1024 };
+        let tf = kernel_time(&fast, k);
+        let ts = kernel_time(&slow, k);
+        assert!((ts / tf - 1.0 / 0.76).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let p = quiet_v100();
+        let t = kernel_time(&p, KernelKind::Elementwise { elems: 1 });
+        assert!(t >= p.launch_overhead_s);
+    }
+
+    #[test]
+    fn transfers_pay_no_launch_overhead() {
+        let p = quiet_v100();
+        let t = kernel_time(&p, KernelKind::H2d { bytes: 12_000 });
+        let want = 12_000.0 / (p.h2d_bandwidth_gbs * 1e9);
+        assert!((t - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn p2p_slower_than_local_memory() {
+        let p = quiet_v100();
+        let p2p = kernel_time(&p, KernelKind::P2p { bytes: 1 << 20 });
+        let local = kernel_time(&p, KernelKind::Reduce { elems: 1 << 18 });
+        assert!(p2p > local - p.launch_overhead_s);
+    }
+
+    #[test]
+    fn transfer_predicate() {
+        assert!(KernelKind::P2p { bytes: 1 }.is_transfer());
+        assert!(!KernelKind::Reduce { elems: 1 }.is_transfer());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::profile::{DeviceProfile, JitterModel};
+    use proptest::prelude::*;
+
+    fn any_kernel() -> impl Strategy<Value = KernelKind> {
+        prop_oneof![
+            (1usize..1_000_000, 1usize..512).prop_map(|(nnz, n)| KernelKind::SpMm { nnz, n }),
+            (1usize..1_000_000, 1usize..512).prop_map(|(nnz, n)| KernelKind::SpMmTn { nnz, n }),
+            (1usize..512, 1usize..512, 1usize..4096)
+                .prop_map(|(m, k, n)| KernelKind::Gemm { m, k, n }),
+            (1usize..10_000_000).prop_map(|elems| KernelKind::Elementwise { elems }),
+            (1usize..1024, 1usize..100_000)
+                .prop_map(|(rows, cols)| KernelKind::Softmax { rows, cols }),
+            (1usize..10_000_000).prop_map(|elems| KernelKind::Reduce { elems }),
+            (1usize..100_000_000).prop_map(|bytes| KernelKind::H2d { bytes }),
+            (1usize..100_000_000).prop_map(|bytes| KernelKind::D2h { bytes }),
+            (1usize..100_000_000).prop_map(|bytes| KernelKind::P2p { bytes }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn every_kernel_costs_positive_finite_time(k in any_kernel()) {
+            let p = DeviceProfile::v100("p").with_jitter(JitterModel::NONE);
+            let t = kernel_time(&p, k);
+            prop_assert!(t > 0.0 && t.is_finite(), "{k:?} -> {t}");
+        }
+
+        #[test]
+        fn faster_device_is_never_slower(k in any_kernel(), s in 0.1f64..1.0) {
+            let fast = DeviceProfile::v100("f").with_jitter(JitterModel::NONE);
+            let slow = fast.clone().with_speed(s);
+            prop_assert!(kernel_time(&slow, k) >= kernel_time(&fast, k));
+        }
+
+        #[test]
+        fn spmm_time_monotone_in_nnz(nnz in 1usize..500_000, extra in 1usize..500_000, n in 1usize..256) {
+            let p = DeviceProfile::v100("p").with_jitter(JitterModel::NONE);
+            let small = kernel_time(&p, KernelKind::SpMm { nnz, n });
+            let large = kernel_time(&p, KernelKind::SpMm { nnz: nnz + extra, n });
+            prop_assert!(large >= small);
+        }
+
+        #[test]
+        fn flops_and_bytes_are_nonnegative(k in any_kernel()) {
+            prop_assert!(k.flops() >= 0.0);
+            prop_assert!(k.bytes() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Static device capability descriptions and jitter models.
+
+/// The stochastic perturbation applied to every kernel duration on a device.
+///
+/// Two paper-motivated components compose multiplicatively:
+///
+/// * a **slow sinusoidal drift** of the effective clock — "the clock rate and
+///   memory latency display oscillations on GPUs with the same model from the
+///   same vendor" (§I). Amplitude `osc_amplitude`, period `osc_period`
+///   kernels, per-device phase.
+/// * **per-kernel log-normal noise** with multiplicative sigma
+///   `lognormal_sigma`, capturing short-term scheduling/DVFS variation.
+///
+/// Both are driven by a seeded RNG owned by the device, so a given
+/// `(seed, kernel sequence)` always produces the same timing trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JitterModel {
+    /// Relative amplitude of the slow drift (e.g. `0.05` = ±5%).
+    pub osc_amplitude: f64,
+    /// Drift period, in kernels executed.
+    pub osc_period: f64,
+    /// Sigma of the per-kernel log-normal noise (0 disables it).
+    pub lognormal_sigma: f64,
+}
+
+impl JitterModel {
+    /// No jitter at all — used by tests that need exact analytic timings.
+    pub const NONE: JitterModel = JitterModel {
+        osc_amplitude: 0.0,
+        osc_period: 1.0,
+        lognormal_sigma: 0.0,
+    };
+
+    /// The default calibrated to reproduce Fig. 1's intra-model variation.
+    pub fn default_v100() -> Self {
+        JitterModel {
+            osc_amplitude: 0.04,
+            osc_period: 512.0,
+            lognormal_sigma: 0.03,
+        }
+    }
+}
+
+/// Static performance profile of one simulated GPU (or CPU) device.
+///
+/// Throughputs are *effective* rates for this workload class, not peak specs:
+/// sparse kernels on V100s reach only a small fraction of peak FLOPS because
+/// of irregular memory access, which is exactly the sensitivity to non-zero
+/// counts the paper exploits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name, e.g. `"V100-0"`.
+    pub name: String,
+    /// Dense GEMM effective throughput, GFLOP/s.
+    pub dense_gflops: f64,
+    /// Sparse (SpMM) effective throughput, GFLOP/s.
+    pub sparse_gflops: f64,
+    /// Device memory bandwidth, GB/s (element-wise kernels are bound by it).
+    pub mem_bandwidth_gbs: f64,
+    /// Host↔device link bandwidth, GB/s.
+    pub h2d_bandwidth_gbs: f64,
+    /// Peer-to-peer link bandwidth, GB/s.
+    pub p2p_bandwidth_gbs: f64,
+    /// Fixed cost of one kernel launch, seconds.
+    pub launch_overhead_s: f64,
+    /// Device memory capacity, bytes (bounds `b_max`).
+    pub memory_bytes: u64,
+    /// Relative speed multiplier (1.0 = nominal). The heterogeneity knob:
+    /// every kernel duration is divided by this factor.
+    pub speed_factor: f64,
+    /// Stochastic perturbation model.
+    pub jitter: JitterModel,
+}
+
+impl DeviceProfile {
+    /// Nominal V100-class profile (effective rates for sparse DL workloads).
+    pub fn v100(name: impl Into<String>) -> Self {
+        DeviceProfile {
+            name: name.into(),
+            dense_gflops: 9_000.0,
+            sparse_gflops: 250.0,
+            mem_bandwidth_gbs: 800.0,
+            h2d_bandwidth_gbs: 12.0,
+            p2p_bandwidth_gbs: 9.0,
+            launch_overhead_s: 6e-6,
+            memory_bytes: 16 * (1 << 30),
+            speed_factor: 1.0,
+            jitter: JitterModel::default_v100(),
+        }
+    }
+
+    /// A CPU profile used by the SLIDE baseline: far lower throughput, no
+    /// kernel-launch overhead, no device transfers. Thread scaling is
+    /// sublinear (`t^0.7`) — sparse CPU kernels contend on the memory
+    /// subsystem well before 16 threads.
+    pub fn cpu_server(name: impl Into<String>, threads: usize) -> Self {
+        let t = (threads.max(1) as f64).powf(0.6);
+        DeviceProfile {
+            name: name.into(),
+            dense_gflops: 20.0 * t,
+            sparse_gflops: 6.0 * t,
+            mem_bandwidth_gbs: 80.0,
+            h2d_bandwidth_gbs: f64::INFINITY,
+            p2p_bandwidth_gbs: f64::INFINITY,
+            launch_overhead_s: 0.0,
+            memory_bytes: 192 * (1 << 30),
+            speed_factor: 1.0,
+            jitter: JitterModel {
+                osc_amplitude: 0.02,
+                osc_period: 1024.0,
+                lognormal_sigma: 0.02,
+            },
+        }
+    }
+
+    /// Scales the profile's speed by `factor` (builder-style).
+    pub fn with_speed(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "speed factor must be positive");
+        self.speed_factor = factor;
+        self
+    }
+
+    /// Replaces the jitter model (builder-style).
+    pub fn with_jitter(mut self, jitter: JitterModel) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Scales the fixed per-kernel launch overhead by `s` (builder-style).
+    ///
+    /// Used when running linearly scaled-down datasets: per-kernel *work*
+    /// shrinks with the scale while launch overhead is fixed, which would
+    /// distort the compute-to-overhead ratio the paper's full-size datasets
+    /// exhibit. Scaling the overhead by the dataset scale restores it.
+    pub fn with_overhead_scale(mut self, s: f64) -> Self {
+        assert!(s > 0.0, "overhead scale must be positive");
+        self.launch_overhead_s *= s;
+        self
+    }
+}
+
+/// The paper's testbed: `n` same-model V100s whose *observed* speeds differ.
+///
+/// Speed factors are spaced so the fastest/slowest gap on an identical batch
+/// is ≈32% for `n = 4` (Fig. 1): `1.0, 0.95, 0.87, 0.76`, extended cyclically
+/// with mild decay for larger `n`.
+pub fn heterogeneous_server(n: usize) -> Vec<DeviceProfile> {
+    const BASE: [f64; 4] = [1.0, 0.95, 0.87, 0.76];
+    (0..n)
+        .map(|i| {
+            let decay = 0.98f64.powi((i / BASE.len()) as i32);
+            DeviceProfile::v100(format!("V100-{i}")).with_speed(BASE[i % BASE.len()] * decay)
+        })
+        .collect()
+}
+
+/// A homogeneous server (all devices identical) — the control configuration
+/// in which Adaptive SGD should behave like Elastic SGD.
+pub fn homogeneous_server(n: usize) -> Vec<DeviceProfile> {
+    (0..n)
+        .map(|i| DeviceProfile::v100(format!("V100-{i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_profile_sane() {
+        let p = DeviceProfile::v100("gpu0");
+        assert!(p.dense_gflops > p.sparse_gflops);
+        assert!(p.speed_factor == 1.0);
+        assert!(p.memory_bytes == 16 * (1 << 30));
+    }
+
+    #[test]
+    fn heterogeneous_gap_is_about_32_percent() {
+        let profiles = heterogeneous_server(4);
+        let fastest = profiles
+            .iter()
+            .map(|p| p.speed_factor)
+            .fold(f64::MIN, f64::max);
+        let slowest = profiles
+            .iter()
+            .map(|p| p.speed_factor)
+            .fold(f64::MAX, f64::min);
+        // Same work takes 1/speed time: gap = fastest/slowest - 1.
+        let gap = fastest / slowest - 1.0;
+        assert!((gap - 0.32).abs() < 0.01, "gap {gap}");
+    }
+
+    #[test]
+    fn heterogeneous_server_extends_beyond_four() {
+        let profiles = heterogeneous_server(6);
+        assert_eq!(profiles.len(), 6);
+        assert!(profiles[4].speed_factor < profiles[0].speed_factor);
+        assert_eq!(profiles[5].name, "V100-5");
+    }
+
+    #[test]
+    fn homogeneous_server_is_uniform() {
+        let profiles = homogeneous_server(3);
+        assert!(profiles.iter().all(|p| p.speed_factor == 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_factor_panics() {
+        let _ = DeviceProfile::v100("x").with_speed(0.0);
+    }
+}

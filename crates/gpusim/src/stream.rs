@@ -1,0 +1,139 @@
+//! Per-device execution streams and completion events.
+//!
+//! The paper's all-reduce splits each model into partitions and assigns each
+//! partition to a separate CUDA stream, so transfers and reduction compute
+//! overlap. We model a stream as an independent timeline *within* a device:
+//! work on different streams of the same device overlaps fully (streams are
+//! assumed not to saturate a shared engine — the same idealization the
+//! paper's measurement of "complete overlap between data transfer and
+//! computation" implies), while work within one stream serializes.
+
+use crate::cost::{kernel_time, KernelKind};
+use crate::profile::DeviceProfile;
+use crate::SimTime;
+
+/// A completion marker on a stream — the simulated analogue of a CUDA event.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Event {
+    /// Virtual time at which the producing work completes.
+    pub at: SimTime,
+}
+
+/// A set of independent timelines belonging to one device.
+///
+/// Unlike [`crate::Device`], `StreamSet` does not apply jitter: the all-reduce
+/// schedule is a deterministic function of partition sizes, matching the
+/// paper's description of its tuned collective. (Jitter belongs to the
+/// compute epochs, which dominate.)
+#[derive(Debug, Clone)]
+pub struct StreamSet {
+    profile: DeviceProfile,
+    busy_until: Vec<SimTime>,
+}
+
+impl StreamSet {
+    /// Creates `n_streams` empty streams for a device with `profile`,
+    /// starting at time `start` (usually the device clock at merge entry).
+    pub fn new(profile: DeviceProfile, n_streams: usize, start: SimTime) -> Self {
+        assert!(n_streams > 0, "need at least one stream");
+        Self {
+            profile,
+            busy_until: vec![start; n_streams],
+        }
+    }
+
+    /// Number of streams.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Whether the set has no streams (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Enqueues `kind` on `stream`, not starting before `after` (dependency
+    /// event from another stream/device). Returns the completion event.
+    pub fn enqueue(&mut self, stream: usize, kind: KernelKind, after: Option<Event>) -> Event {
+        let ready = self.busy_until[stream];
+        let start = match after {
+            Some(e) => ready.max(e.at),
+            None => ready,
+        };
+        let dt = kernel_time(&self.profile, kind);
+        let done = start + dt;
+        self.busy_until[stream] = done;
+        Event { at: done }
+    }
+
+    /// When `stream` becomes idle.
+    pub fn stream_done(&self, stream: usize) -> Event {
+        Event {
+            at: self.busy_until[stream],
+        }
+    }
+
+    /// When *all* streams become idle — the device-wide sync point.
+    pub fn all_done(&self) -> Event {
+        Event {
+            at: self
+                .busy_until
+                .iter()
+                .cloned()
+                .fold(SimTime::ZERO, SimTime::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{DeviceProfile, JitterModel};
+
+    fn profile() -> DeviceProfile {
+        DeviceProfile::v100("s").with_jitter(JitterModel::NONE)
+    }
+
+    #[test]
+    fn single_stream_serializes() {
+        let mut s = StreamSet::new(profile(), 1, SimTime::ZERO);
+        let k = KernelKind::P2p { bytes: 1 << 20 };
+        let e1 = s.enqueue(0, k, None);
+        let e2 = s.enqueue(0, k, None);
+        assert!((e2.at.secs() - 2.0 * e1.at.secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_streams_overlap() {
+        let mut s = StreamSet::new(profile(), 4, SimTime::ZERO);
+        let k = KernelKind::P2p { bytes: 1 << 20 };
+        for st in 0..4 {
+            s.enqueue(st, k, None);
+        }
+        let one = kernel_time(&profile(), k);
+        // All four transfers finish at the single-transfer time.
+        assert!((s.all_done().at.secs() - one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut s = StreamSet::new(profile(), 2, SimTime::ZERO);
+        let k = KernelKind::Reduce { elems: 1 << 20 };
+        let e1 = s.enqueue(0, k, None);
+        let e2 = s.enqueue(1, k, Some(e1));
+        assert!((e2.at.secs() - 2.0 * e1.at.secs()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_offset_respected() {
+        let mut s = StreamSet::new(profile(), 1, SimTime(5.0));
+        let e = s.enqueue(0, KernelKind::Reduce { elems: 10 }, None);
+        assert!(e.at.secs() > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stream")]
+    fn zero_streams_panics() {
+        let _ = StreamSet::new(profile(), 0, SimTime::ZERO);
+    }
+}

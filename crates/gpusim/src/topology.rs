@@ -1,0 +1,122 @@
+//! Interconnect topology: host↔device and peer-to-peer link timing.
+
+use crate::device::DeviceId;
+
+/// Link bandwidths of a single-server multi-GPU interconnect.
+///
+/// The paper's scope is a single server (its all-reduce explicitly rejects
+/// NCCL's multi-server optimizations), so the topology is flat: every GPU has
+/// one host link and direct peer links of uniform bandwidth. Per-transfer
+/// latency is modelled as a fixed setup cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Topology {
+    n_devices: usize,
+    h2d_gbs: f64,
+    p2p_gbs: f64,
+    setup_s: f64,
+}
+
+impl Topology {
+    /// PCIe-generation defaults matching [`crate::profile::DeviceProfile::v100`].
+    pub fn pcie(n_devices: usize) -> Self {
+        Self {
+            n_devices,
+            h2d_gbs: 12.0,
+            p2p_gbs: 9.0,
+            setup_s: 8e-6,
+        }
+    }
+
+    /// NVLink-style topology: much faster peer links.
+    pub fn nvlink(n_devices: usize) -> Self {
+        Self {
+            n_devices,
+            h2d_gbs: 12.0,
+            p2p_gbs: 45.0,
+            setup_s: 5e-6,
+        }
+    }
+
+    /// Number of devices in the server.
+    pub fn n_devices(&self) -> usize {
+        self.n_devices
+    }
+
+    /// Scales the per-transfer setup latency by `s` (builder-style) — the
+    /// transfer analogue of
+    /// [`crate::profile::DeviceProfile::with_overhead_scale`].
+    pub fn with_setup_scale(mut self, s: f64) -> Self {
+        assert!(s > 0.0, "setup scale must be positive");
+        self.setup_s *= s;
+        self
+    }
+
+    /// Seconds to move `bytes` from host to device `dst`.
+    pub fn h2d_time(&self, dst: DeviceId, bytes: usize) -> f64 {
+        self.check(dst);
+        self.setup_s + bytes as f64 / (self.h2d_gbs * 1e9)
+    }
+
+    /// Seconds to move `bytes` from device `src` to host.
+    pub fn d2h_time(&self, src: DeviceId, bytes: usize) -> f64 {
+        self.check(src);
+        self.setup_s + bytes as f64 / (self.h2d_gbs * 1e9)
+    }
+
+    /// Seconds to move `bytes` from device `src` to device `dst`.
+    /// A self-transfer is free (the all-reduce skips it anyway).
+    pub fn p2p_time(&self, src: DeviceId, dst: DeviceId, bytes: usize) -> f64 {
+        self.check(src);
+        self.check(dst);
+        if src == dst {
+            return 0.0;
+        }
+        self.setup_s + bytes as f64 / (self.p2p_gbs * 1e9)
+    }
+
+    fn check(&self, d: DeviceId) {
+        assert!(d.0 < self.n_devices, "device {d} outside topology");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_self_transfer_is_free() {
+        let t = Topology::pcie(4);
+        assert_eq!(t.p2p_time(DeviceId(1), DeviceId(1), 1 << 20), 0.0);
+    }
+
+    #[test]
+    fn bigger_transfers_take_longer() {
+        let t = Topology::pcie(4);
+        assert!(
+            t.p2p_time(DeviceId(0), DeviceId(1), 2 << 20)
+                > t.p2p_time(DeviceId(0), DeviceId(1), 1 << 20)
+        );
+    }
+
+    #[test]
+    fn nvlink_p2p_faster_than_pcie() {
+        let big = 64 << 20;
+        let pcie = Topology::pcie(4).p2p_time(DeviceId(0), DeviceId(1), big);
+        let nvl = Topology::nvlink(4).p2p_time(DeviceId(0), DeviceId(1), big);
+        assert!(nvl < pcie);
+    }
+
+    #[test]
+    fn h2d_and_d2h_symmetric() {
+        let t = Topology::pcie(2);
+        let b = 10 << 20;
+        assert_eq!(t.h2d_time(DeviceId(0), b), t.d2h_time(DeviceId(0), b));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_device_panics() {
+        let t = Topology::pcie(2);
+        let _ = t.h2d_time(DeviceId(5), 1);
+    }
+}

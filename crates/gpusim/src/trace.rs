@@ -1,0 +1,195 @@
+//! Execution traces: who ran what, when (Fig. 2-style timelines).
+
+use crate::device::DeviceId;
+use crate::SimTime;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One traced span on a device timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Device the span ran on.
+    pub device: DeviceId,
+    /// Span start, virtual time.
+    pub start: SimTime,
+    /// Span end, virtual time.
+    pub end: SimTime,
+    /// Free-form label, e.g. `"batch 7 (size 512, nnz 40133)"`.
+    pub label: String,
+}
+
+/// A shared, thread-safe trace sink.
+///
+/// GPU-manager threads record into it concurrently; [`TraceLog::sorted`]
+/// produces a deterministic ordering (by start time, then device) for
+/// rendering the dispatch timeline. Tracing can be disabled to make
+/// recording free in production runs.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// An enabled, empty log.
+    pub fn enabled() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            enabled: true,
+        }
+    }
+
+    /// A disabled log: `record` is a no-op.
+    pub fn disabled() -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            enabled: false,
+        }
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one span (no-op when disabled).
+    pub fn record(&self, device: DeviceId, start: SimTime, end: SimTime, label: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.inner.lock().push(TraceEvent {
+            device,
+            start,
+            end,
+            label: label.into(),
+        });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// All events sorted by `(start, device)` — deterministic regardless of
+    /// recording interleaving.
+    pub fn sorted(&self) -> Vec<TraceEvent> {
+        let mut events = self.inner.lock().clone();
+        events.sort_by(|a, b| {
+            a.start
+                .partial_cmp(&b.start)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.device.cmp(&b.device))
+        });
+        events
+    }
+
+    /// Exports the trace in Chrome tracing format (`chrome://tracing` /
+    /// Perfetto): a JSON array of complete (`"ph":"X"`) events, one per
+    /// span, with the device as the thread id and microsecond timestamps.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let events = self.sorted();
+        for (i, e) in events.iter().enumerate() {
+            let name: String = e
+                .label
+                .chars()
+                .map(|c| if c == '"' || c == '\\' { '\'' } else { c })
+                .collect();
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"ph\": \"X\", \"pid\": 0, \"tid\": {}, \
+                 \"ts\": {:.3}, \"dur\": {:.3}}}{}\n",
+                name,
+                e.device.0,
+                e.start.secs() * 1e6,
+                (e.end - e.start) * 1e6,
+                if i + 1 == events.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Renders a compact text timeline, one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.sorted() {
+            out.push_str(&format!(
+                "[{:>10.6} - {:>10.6}] {} {}\n",
+                e.start.secs(),
+                e.end.secs(),
+                e.device,
+                e.label
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sorts() {
+        let log = TraceLog::enabled();
+        log.record(DeviceId(1), SimTime(2.0), SimTime(3.0), "b");
+        log.record(DeviceId(0), SimTime(1.0), SimTime(2.0), "a");
+        log.record(DeviceId(0), SimTime(2.0), SimTime(2.5), "c");
+        let s = log.sorted();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0].label, "a");
+        assert_eq!(s[1].label, "c"); // same start as "b" but device 0 < 1
+        assert_eq!(s[2].label, "b");
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::disabled();
+        log.record(DeviceId(0), SimTime(0.0), SimTime(1.0), "x");
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let log = TraceLog::enabled();
+        let clone = log.clone();
+        clone.record(DeviceId(0), SimTime(0.0), SimTime(1.0), "x");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn chrome_json_is_wellformed_and_complete() {
+        let log = TraceLog::enabled();
+        log.record(DeviceId(0), SimTime(0.0), SimTime(0.001), "batch 0");
+        log.record(DeviceId(1), SimTime(0.0005), SimTime(0.002), "batch \"1\"");
+        let json = log.to_chrome_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+        assert!(json.contains("\"tid\": 1"));
+        // Quotes in labels are sanitized so the JSON stays parseable.
+        assert!(!json.contains("batch \"1\""));
+        assert!(json.contains("batch '1'"));
+        // Durations are microseconds.
+        assert!(json.contains("\"dur\": 1000.000"));
+    }
+
+    #[test]
+    fn chrome_json_empty_trace() {
+        assert_eq!(TraceLog::enabled().to_chrome_json(), "[\n]");
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let log = TraceLog::enabled();
+        log.record(DeviceId(2), SimTime(0.5), SimTime(1.0), "batch 7");
+        let text = log.render();
+        assert!(text.contains("gpu2"));
+        assert!(text.contains("batch 7"));
+    }
+}

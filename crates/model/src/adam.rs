@@ -1,0 +1,254 @@
+//! Adam optimizer state (Kingma & Ba) for the MLP.
+//!
+//! The original SLIDE system trains with Adam rather than plain SGD; this
+//! module provides the optimizer as an extension so the CPU baseline (and
+//! ablations) can match. First/second-moment state is kept *densely* for
+//! `W₂`/biases and *lazily per-feature* for `W₁` — sparse rows that were
+//! never touched carry no state, which keeps memory proportional to the
+//! features actually seen, as SLIDE does.
+
+use crate::gradients::Gradients;
+use crate::mlp::{Mlp, MlpConfig};
+use asgd_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamParams {
+    /// Step size `α`.
+    pub lr: f64,
+    /// First-moment decay `β₁`.
+    pub beta1: f64,
+    /// Second-moment decay `β₂`.
+    pub beta2: f64,
+    /// Numerical floor `ε`.
+    pub eps: f64,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// Per-parameter first/second moment state.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    params: AdamParams,
+    step: u64,
+    // Dense moments for W2 / b1 / b2.
+    m_w2: Matrix,
+    v_w2: Matrix,
+    m_b1: Vec<f32>,
+    v_b1: Vec<f32>,
+    m_b2: Vec<f32>,
+    v_b2: Vec<f32>,
+    // Lazy per-feature moments for W1 rows.
+    w1_moments: HashMap<u32, (Vec<f32>, Vec<f32>)>,
+    hidden: usize,
+}
+
+impl AdamState {
+    /// Fresh state for an architecture.
+    pub fn new(config: &MlpConfig, params: AdamParams) -> Self {
+        AdamState {
+            params,
+            step: 0,
+            m_w2: Matrix::zeros(config.hidden, config.num_classes),
+            v_w2: Matrix::zeros(config.hidden, config.num_classes),
+            m_b1: vec![0.0; config.hidden],
+            v_b1: vec![0.0; config.hidden],
+            m_b2: vec![0.0; config.num_classes],
+            v_b2: vec![0.0; config.num_classes],
+            w1_moments: HashMap::new(),
+            hidden: config.hidden,
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// Number of W1 feature rows carrying moment state.
+    pub fn touched_features(&self) -> usize {
+        self.w1_moments.len()
+    }
+
+    /// Applies one Adam update to `model` from `grads`.
+    pub fn apply(&mut self, model: &mut Mlp, grads: &Gradients) {
+        self.step += 1;
+        let p = self.params;
+        let b1 = p.beta1 as f32;
+        let b2 = p.beta2 as f32;
+        // Bias-corrected step size (the standard reformulation).
+        let bc1 = 1.0 - (p.beta1).powi(self.step as i32);
+        let bc2 = 1.0 - (p.beta2).powi(self.step as i32);
+        let alpha = (p.lr * bc2.sqrt() / bc1) as f32;
+        let eps = p.eps as f32;
+
+        let update =
+            |w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32]| {
+                for i in 0..w.len() {
+                    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                    w[i] -= alpha * m[i] / (v[i].sqrt() + eps);
+                }
+            };
+
+        // Sparse W1 rows.
+        for (feature, grow) in &grads.w1_updates {
+            let (m, v) = self
+                .w1_moments
+                .entry(*feature)
+                .or_insert_with(|| (vec![0.0; self.hidden], vec![0.0; self.hidden]));
+            let wrow = model.w1_row_mut(*feature as usize);
+            update(wrow, grow, m, v);
+        }
+        // Dense pieces.
+        update(
+            model.b1_mut(),
+            &grads.b1,
+            &mut self.m_b1,
+            &mut self.v_b1,
+        );
+        let (w2, m_w2, v_w2) = (
+            model.w2_mut().as_mut_slice(),
+            self.m_w2.as_mut_slice(),
+            self.v_w2.as_mut_slice(),
+        );
+        update(w2, grads.w2.as_slice(), m_w2, v_w2);
+        update(
+            model.b2_mut(),
+            &grads.b2,
+            &mut self.m_b2,
+            &mut self.v_b2,
+        );
+    }
+}
+
+/// One Adam training step on a batch: forward + backward + Adam update.
+/// Returns the loss (mirror of [`Mlp::train_batch`]).
+pub fn train_batch_adam(
+    model: &mut Mlp,
+    state: &mut AdamState,
+    x: &asgd_sparse::CsrMatrix,
+    labels: &[Vec<u32>],
+) -> f64 {
+    let mut grads = Gradients::new(model.config());
+    let loss = model.loss_and_gradients(x, labels, &mut grads);
+    state.apply(model, &grads);
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_sparse::CsrMatrix;
+
+    fn config() -> MlpConfig {
+        MlpConfig {
+            num_features: 10,
+            hidden: 6,
+            num_classes: 4,
+        }
+    }
+
+    fn batch() -> (CsrMatrix, Vec<Vec<u32>>) {
+        let x = CsrMatrix::from_rows(
+            10,
+            &[
+                (vec![0, 3, 7], vec![1.0, 0.5, 2.0]),
+                (vec![2, 3], vec![1.5, -0.5]),
+            ],
+        )
+        .unwrap();
+        (x, vec![vec![0], vec![1, 3]])
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_fixed_batch() {
+        let mut model = Mlp::init(&config(), 5);
+        let mut adam = AdamState::new(&config(), AdamParams {
+            lr: 0.05,
+            ..AdamParams::default()
+        });
+        let (x, labels) = batch();
+        let first = train_batch_adam(&mut model, &mut adam, &x, &labels);
+        let mut last = first;
+        for _ in 0..100 {
+            last = train_batch_adam(&mut model, &mut adam, &x, &labels);
+        }
+        assert!(last < first * 0.5, "{first} -> {last}");
+        assert_eq!(adam.step_count(), 101);
+    }
+
+    #[test]
+    fn lazy_w1_state_only_for_touched_features() {
+        let mut model = Mlp::init(&config(), 6);
+        let mut adam = AdamState::new(&config(), AdamParams::default());
+        let (x, labels) = batch();
+        train_batch_adam(&mut model, &mut adam, &x, &labels);
+        // Features 0, 2, 3, 7 appear in the batch.
+        assert_eq!(adam.touched_features(), 4);
+    }
+
+    #[test]
+    fn adam_converges_faster_than_sgd_on_ill_scaled_problem() {
+        // Feature 9 has a 100x larger input value: plain SGD with a safe lr
+        // crawls on the small-scale directions while Adam's per-parameter
+        // scaling adapts. Compare loss after equal steps.
+        let x = CsrMatrix::from_rows(
+            10,
+            &[
+                (vec![0, 9], vec![0.01, 100.0]),
+                (vec![1, 9], vec![0.01, 100.0]),
+            ],
+        )
+        .unwrap();
+        let labels = vec![vec![0u32], vec![1]];
+        let mut sgd_model = Mlp::init(&config(), 7);
+        let mut adam_model = sgd_model.clone();
+        let mut adam = AdamState::new(&config(), AdamParams {
+            lr: 0.05,
+            ..AdamParams::default()
+        });
+        // Safe SGD lr for the 100x feature (lr bigger than ~1e-4 diverges).
+        let mut sgd_loss = 0.0;
+        let mut adam_loss = 0.0;
+        for _ in 0..60 {
+            sgd_loss = sgd_model.train_batch(&x, &labels, 1e-4).loss;
+            adam_loss = train_batch_adam(&mut adam_model, &mut adam, &x, &labels);
+        }
+        assert!(
+            adam_loss < sgd_loss,
+            "adam {adam_loss} should beat sgd {sgd_loss} here"
+        );
+    }
+
+    #[test]
+    fn moments_shrink_effective_step_over_time_for_constant_gradient() {
+        // With a constant gradient, Adam's step magnitude approaches lr.
+        let mut model = Mlp::zeros(&config());
+        let mut adam = AdamState::new(&config(), AdamParams::default());
+        let mut grads = Gradients::new(&config());
+        grads.b2 = vec![1.0; 4];
+        let before = model.b2()[0];
+        adam.apply(&mut model, &grads);
+        let first_step = (model.b2()[0] - before).abs();
+        for _ in 0..50 {
+            adam.apply(&mut model, &grads);
+        }
+        let b_prev = model.b2()[0];
+        adam.apply(&mut model, &grads);
+        let late_step = (model.b2()[0] - b_prev).abs();
+        // Steps settle near lr (1e-3) and are finite/stable.
+        assert!(first_step > 0.0 && late_step > 0.0);
+        assert!((late_step - 1e-3).abs() < 2e-4, "late step {late_step}");
+    }
+}

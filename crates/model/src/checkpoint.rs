@@ -1,0 +1,139 @@
+//! Binary model checkpointing.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "ASGD"            4 bytes
+//! version u32              4 bytes
+//! num_features u64 | hidden u64 | num_classes u64
+//! params  f32 × param_len  (W₁ ‖ b₁ ‖ W₂ ‖ b₂, the `to_flat` layout)
+//! ```
+
+use crate::mlp::{Mlp, MlpConfig};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"ASGD";
+const VERSION: u32 = 1;
+
+/// Checkpoint decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Payload shorter than the header claims.
+    Truncated,
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "bad checkpoint magic"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Serializes a model to bytes.
+pub fn encode(model: &Mlp) -> Bytes {
+    let flat = model.to_flat();
+    let mut buf = BytesMut::with_capacity(4 + 4 + 24 + 4 * flat.len());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    let c = model.config();
+    buf.put_u64_le(c.num_features as u64);
+    buf.put_u64_le(c.hidden as u64);
+    buf.put_u64_le(c.num_classes as u64);
+    for v in flat {
+        buf.put_f32_le(v);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a model.
+pub fn decode(mut data: Bytes) -> Result<Mlp, CheckpointError> {
+    if data.remaining() < 8 + 24 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = data.get_u32_le();
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let config = MlpConfig {
+        num_features: data.get_u64_le() as usize,
+        hidden: data.get_u64_le() as usize,
+        num_classes: data.get_u64_le() as usize,
+    };
+    let n = config.param_len();
+    if data.remaining() < 4 * n {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut flat = Vec::with_capacity(n);
+    for _ in 0..n {
+        flat.push(data.get_f32_le());
+    }
+    let mut model = Mlp::zeros(&config);
+    model.load_flat(&flat);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MlpConfig {
+        MlpConfig {
+            num_features: 12,
+            hidden: 5,
+            num_classes: 7,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_model_exactly() {
+        let model = Mlp::init(&config(), 123);
+        let bytes = encode(&model);
+        let back = decode(bytes).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let model = Mlp::init(&config(), 1);
+        let mut raw = encode(&model).to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode(Bytes::from(raw)), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let model = Mlp::init(&config(), 1);
+        let mut raw = encode(&model).to_vec();
+        raw[4] = 99;
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(CheckpointError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let model = Mlp::init(&config(), 1);
+        let raw = encode(&model);
+        let cut = raw.slice(0..raw.len() - 5);
+        assert_eq!(decode(cut), Err(CheckpointError::Truncated));
+        assert_eq!(
+            decode(Bytes::from_static(b"AS")),
+            Err(CheckpointError::Truncated)
+        );
+    }
+}

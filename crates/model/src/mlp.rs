@@ -1,0 +1,682 @@
+//! Model parameters, forward pass, backward pass, SGD update.
+
+use crate::gradients::Gradients;
+use asgd_sparse::{ops as sops, CsrMatrix};
+use asgd_tensor::{init, numerics, ops, Matrix};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub num_features: usize,
+    /// Hidden layer width (128 in the paper's testbed).
+    pub hidden: usize,
+    /// Label-space size.
+    pub num_classes: usize,
+}
+
+impl MlpConfig {
+    /// Total trainable parameters (weights + biases of both layers).
+    pub fn param_len(&self) -> usize {
+        self.num_features * self.hidden
+            + self.hidden
+            + self.hidden * self.num_classes
+            + self.num_classes
+    }
+}
+
+/// Result of one training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainOutput {
+    /// Mean multi-label cross-entropy over the batch.
+    pub loss: f64,
+    /// Samples in the batch.
+    pub batch_size: usize,
+    /// Non-zero input features in the batch (drives simulated kernel time).
+    pub batch_nnz: usize,
+}
+
+/// The 3-layer MLP: `softmax(relu(X·W₁ + b₁)·W₂ + b₂)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    config: MlpConfig,
+    w1: Matrix,
+    b1: Vec<f32>,
+    w2: Matrix,
+    b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Initializes with the paper's scheme (`N(0, 1/√fan_in)` weights, zero
+    /// biases) from an explicit seed so all replicas can share one init.
+    pub fn init(config: &MlpConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            config: *config,
+            w1: init::layer_init(config.num_features, config.hidden, &mut rng),
+            b1: vec![0.0; config.hidden],
+            w2: init::layer_init(config.hidden, config.num_classes, &mut rng),
+            b2: vec![0.0; config.num_classes],
+        }
+    }
+
+    /// All-zero model of the right shape (merge/accumulation target).
+    pub fn zeros(config: &MlpConfig) -> Self {
+        Self {
+            config: *config,
+            w1: Matrix::zeros(config.num_features, config.hidden),
+            b1: vec![0.0; config.hidden],
+            w2: Matrix::zeros(config.hidden, config.num_classes),
+            b2: vec![0.0; config.num_classes],
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_len(&self) -> usize {
+        self.config.param_len()
+    }
+
+    /// Flattens all parameters into one contiguous vector
+    /// (`W₁ ‖ b₁ ‖ W₂ ‖ b₂`) — the wire format of model merging.
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_len());
+        out.extend_from_slice(self.w1.as_slice());
+        out.extend_from_slice(&self.b1);
+        out.extend_from_slice(self.w2.as_slice());
+        out.extend_from_slice(&self.b2);
+        out
+    }
+
+    /// Loads parameters from the flat format produced by [`Mlp::to_flat`].
+    ///
+    /// # Panics
+    /// Panics when the length does not match the architecture.
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_len(), "flat parameter length");
+        let c = &self.config;
+        let mut off = 0;
+        let take = |off: &mut usize, n: usize| {
+            let s = *off;
+            *off += n;
+            s..*off
+        };
+        self.w1
+            .as_mut_slice()
+            .copy_from_slice(&flat[take(&mut off, c.num_features * c.hidden)]);
+        self.b1.copy_from_slice(&flat[take(&mut off, c.hidden)]);
+        self.w2
+            .as_mut_slice()
+            .copy_from_slice(&flat[take(&mut off, c.hidden * c.num_classes)]);
+        self.b2.copy_from_slice(&flat[take(&mut off, c.num_classes)]);
+    }
+
+    /// L2 norm of all parameters divided by the parameter count — the
+    /// regularization measure gating Algorithm 2's weight perturbation.
+    pub fn l2_norm_per_param(&self) -> f64 {
+        let sq = self.w1.norm_sq()
+            + self.b1.iter().map(|&x| (x as f64).powi(2)).sum::<f64>()
+            + self.w2.norm_sq()
+            + self.b2.iter().map(|&x| (x as f64).powi(2)).sum::<f64>();
+        sq.sqrt() / self.param_len() as f64
+    }
+
+    /// The output-layer weight matrix (`hidden × num_classes`) — read access
+    /// for LSH indexing of output neurons (SLIDE).
+    pub fn w2(&self) -> &Matrix {
+        &self.w2
+    }
+
+    /// Mutable access to the output-layer weights (optimizers).
+    pub fn w2_mut(&mut self) -> &mut Matrix {
+        &mut self.w2
+    }
+
+    /// Mutable access to one input-layer weight row (optimizers).
+    pub fn w1_row_mut(&mut self, feature: usize) -> &mut [f32] {
+        self.w1.row_mut(feature)
+    }
+
+    /// The hidden bias.
+    pub fn b1(&self) -> &[f32] {
+        &self.b1
+    }
+
+    /// Mutable access to the hidden bias (optimizers).
+    pub fn b1_mut(&mut self) -> &mut [f32] {
+        &mut self.b1
+    }
+
+    /// Mutable access to the output bias (optimizers).
+    pub fn b2_mut(&mut self) -> &mut [f32] {
+        &mut self.b2
+    }
+
+    /// The output-layer bias.
+    pub fn b2(&self) -> &[f32] {
+        &self.b2
+    }
+
+    /// Forward through the hidden layer only: `relu(X·W₁ + b₁)`.
+    pub fn hidden_forward(&self, x: &CsrMatrix) -> Matrix {
+        assert_eq!(x.cols(), self.config.num_features, "input width");
+        let mut h = Matrix::zeros(x.rows(), self.config.hidden);
+        sops::spmm(x, &self.w1, &mut h);
+        numerics::add_bias_inplace(&mut h, &self.b1);
+        numerics::relu_inplace(&mut h);
+        h
+    }
+
+    /// One *sampled-softmax* SGD step on a single sample — the SLIDE update.
+    ///
+    /// The softmax and its gradient are restricted to `active` (which must
+    /// contain every label of the sample; callers union the LSH candidates
+    /// with the true labels). Only the active output neurons and the
+    /// sample's input features are touched. Returns the sampled
+    /// cross-entropy loss.
+    ///
+    /// # Panics
+    /// Panics when `active` is empty or a label is missing from it.
+    pub fn train_sample_sampled(
+        &mut self,
+        x_idx: &[u32],
+        x_val: &[f32],
+        h: &[f32],
+        labels: &[u32],
+        active: &[u32],
+        lr: f32,
+    ) -> f64 {
+        assert!(!active.is_empty(), "empty active set");
+        assert_eq!(h.len(), self.config.hidden, "hidden activation width");
+        let hidden = self.config.hidden;
+        let classes = self.config.num_classes;
+        // Logits over the active set.
+        let w2 = self.w2.as_slice();
+        let mut logits: Vec<f32> = active
+            .iter()
+            .map(|&c| {
+                let c = c as usize;
+                debug_assert!(c < classes);
+                let mut dot = self.b2[c];
+                for (k, &hv) in h.iter().enumerate() {
+                    dot += hv * w2[k * classes + c];
+                }
+                dot
+            })
+            .collect();
+        // Stable softmax over the active set.
+        let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in logits.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in logits.iter_mut() {
+            *v *= inv;
+        }
+        // dlogits = p - uniform(labels); loss over true labels.
+        let w = 1.0 / labels.len().max(1) as f32;
+        let mut loss = 0.0f64;
+        for &y in labels {
+            let pos = active
+                .iter()
+                .position(|&c| c == y)
+                .expect("label missing from active set");
+            loss -= (w as f64) * (logits[pos].max(1e-30) as f64).ln();
+            logits[pos] -= w;
+        }
+        let dlogits = logits; // renamed: now holds the gradient.
+
+        // dh = Σ_c dlogit_c · w2[:,c] (pre-update weights), ReLU-masked.
+        let mut dh = vec![0.0f32; hidden];
+        for (i, &c) in active.iter().enumerate() {
+            let g = dlogits[i];
+            if g == 0.0 {
+                continue;
+            }
+            let c = c as usize;
+            for (k, dv) in dh.iter_mut().enumerate() {
+                *dv += g * w2[k * classes + c];
+            }
+        }
+        for (dv, &hv) in dh.iter_mut().zip(h) {
+            if hv <= 0.0 {
+                *dv = 0.0;
+            }
+        }
+
+        // Update W2 columns + b2 over the active set.
+        let w2m = self.w2.as_mut_slice();
+        for (i, &c) in active.iter().enumerate() {
+            let g = lr * dlogits[i];
+            if g == 0.0 {
+                continue;
+            }
+            let c = c as usize;
+            for (k, &hv) in h.iter().enumerate() {
+                w2m[k * classes + c] -= g * hv;
+            }
+            self.b2[c] -= g;
+        }
+        // Update W1 rows for the sample's features + b1.
+        for (&f, &v) in x_idx.iter().zip(x_val) {
+            let row = self.w1.row_mut(f as usize);
+            for (wv, &dv) in row.iter_mut().zip(&dh) {
+                *wv -= lr * v * dv;
+            }
+        }
+        for (bv, &dv) in self.b1.iter_mut().zip(&dh) {
+            *bv -= lr * dv;
+        }
+        loss
+    }
+
+    /// Forward pass: returns `(hidden activations, class probabilities)`.
+    pub fn forward(&self, x: &CsrMatrix) -> (Matrix, Matrix) {
+        assert_eq!(x.cols(), self.config.num_features, "input width");
+        let batch = x.rows();
+        let mut h = Matrix::zeros(batch, self.config.hidden);
+        sops::spmm(x, &self.w1, &mut h);
+        numerics::add_bias_inplace(&mut h, &self.b1);
+        numerics::relu_inplace(&mut h);
+        let mut logits = Matrix::zeros(batch, self.config.num_classes);
+        ops::gemm(1.0, &h, &self.w2, 0.0, &mut logits);
+        numerics::add_bias_inplace(&mut logits, &self.b2);
+        numerics::softmax_rows_inplace(&mut logits);
+        (h, logits)
+    }
+
+    /// Computes the multi-label cross-entropy loss and the gradient, without
+    /// touching the parameters.
+    ///
+    /// The target distribution of a sample is uniform over its label set
+    /// (the SLIDE-testbed convention); label-free samples contribute neither
+    /// loss nor gradient.
+    pub fn loss_and_gradients(
+        &self,
+        x: &CsrMatrix,
+        labels: &[Vec<u32>],
+        grads: &mut Gradients,
+    ) -> f64 {
+        let batch = x.rows();
+        assert_eq!(labels.len(), batch, "labels/batch mismatch");
+        assert!(batch > 0, "empty batch");
+        let (h, mut probs) = self.forward(x);
+
+        // Loss, then convert `probs` into dlogits = (probs - target)/batch.
+        let mut loss = 0.0f64;
+        let mut contributing = 0usize;
+        for (r, labs) in labels.iter().enumerate() {
+            let row = probs.row_mut(r);
+            if labs.is_empty() {
+                row.fill(0.0);
+                continue;
+            }
+            contributing += 1;
+            let w = 1.0 / labs.len() as f32;
+            for &y in labs {
+                let p = row[y as usize].max(1e-30);
+                loss -= (w as f64) * (p as f64).ln();
+                row[y as usize] -= w;
+            }
+        }
+        let scale = 1.0 / batch as f32;
+        ops::scale(scale, probs.as_mut_slice());
+        let loss = if contributing == 0 {
+            0.0
+        } else {
+            loss / contributing as f64
+        };
+
+        // Backward. dW2 = hᵀ·dlogits ; db2 = Σ_rows dlogits.
+        ops::gemm_tn(1.0, &h, &probs, 0.0, &mut grads.w2);
+        col_sums(&probs, &mut grads.b2);
+        // dh = dlogits·W₂ᵀ, masked by ReLU.
+        let mut dh = Matrix::zeros(batch, self.config.hidden);
+        ops::gemm_nt(1.0, &probs, &self.w2, 0.0, &mut dh);
+        numerics::relu_backward_inplace(&mut dh, &h);
+        // dW1 = Xᵀ·dh ; db1 = Σ_rows dh.
+        grads.w1_updates.clear();
+        sparse_weight_grad(x, &dh, &mut grads.w1_updates);
+        col_sums(&dh, &mut grads.b1);
+        loss
+    }
+
+    /// Applies one SGD step: `θ ← θ − lr·∇θ`.
+    pub fn apply_gradients(&mut self, grads: &Gradients, lr: f32) {
+        // W1 receives a *sparse* update: only features present in the batch
+        // have non-zero gradient rows.
+        for &(feature, ref grow) in &grads.w1_updates {
+            let wrow = self.w1.row_mut(feature as usize);
+            for (w, &g) in wrow.iter_mut().zip(grow) {
+                *w -= lr * g;
+            }
+        }
+        ops::axpy(-lr, &grads.b1, &mut self.b1);
+        ops::axpy(-lr, grads.w2.as_slice(), self.w2.as_mut_slice());
+        ops::axpy(-lr, &grads.b2, &mut self.b2);
+    }
+
+    /// One full SGD step on a batch (forward + backward + update); returns
+    /// the loss and batch statistics used by the device cost model.
+    pub fn train_batch(&mut self, x: &CsrMatrix, labels: &[Vec<u32>], lr: f32) -> TrainOutput {
+        let mut grads = Gradients::new(&self.config);
+        let loss = self.loss_and_gradients(x, labels, &mut grads);
+        self.apply_gradients(&grads, lr);
+        TrainOutput {
+            loss,
+            batch_size: x.rows(),
+            batch_nnz: x.nnz(),
+        }
+    }
+}
+
+/// `out[j] = Σ_rows m[r][j]`.
+fn col_sums(m: &Matrix, out: &mut [f32]) {
+    assert_eq!(m.cols(), out.len(), "col_sums width");
+    out.fill(0.0);
+    for r in 0..m.rows() {
+        for (o, &v) in out.iter_mut().zip(m.row(r)) {
+            *o += v;
+        }
+    }
+}
+
+/// Computes the sparse rows of `Xᵀ·dh` as `(feature, gradient row)` pairs —
+/// the natural gradient layout for a sparse input layer, where updating only
+/// touched features is both the correct math and the fast path.
+fn sparse_weight_grad(x: &CsrMatrix, dh: &Matrix, out: &mut Vec<(u32, Vec<f32>)>) {
+    use std::collections::HashMap;
+    let hidden = dh.cols();
+    let mut acc: HashMap<u32, Vec<f32>> = HashMap::new();
+    for r in 0..x.rows() {
+        let (idx, val) = x.row(r);
+        let drow = dh.row(r);
+        for (&f, &v) in idx.iter().zip(val) {
+            let g = acc.entry(f).or_insert_with(|| vec![0.0; hidden]);
+            for (gv, &dv) in g.iter_mut().zip(drow) {
+                *gv += v * dv;
+            }
+        }
+    }
+    let mut pairs: Vec<(u32, Vec<f32>)> = acc.into_iter().collect();
+    pairs.sort_unstable_by_key(|(f, _)| *f);
+    *out = pairs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MlpConfig {
+        MlpConfig {
+            num_features: 10,
+            hidden: 6,
+            num_classes: 4,
+        }
+    }
+
+    fn tiny_batch() -> (CsrMatrix, Vec<Vec<u32>>) {
+        let x = CsrMatrix::from_rows(
+            10,
+            &[
+                (vec![0, 3, 7], vec![1.0, 0.5, 2.0]),
+                (vec![2, 3], vec![1.5, -0.5]),
+                (vec![9], vec![1.0]),
+            ],
+        )
+        .unwrap();
+        let labels = vec![vec![0], vec![1, 3], vec![2]];
+        (x, labels)
+    }
+
+    #[test]
+    fn forward_produces_distributions() {
+        let m = Mlp::init(&tiny_config(), 1);
+        let (x, _) = tiny_batch();
+        let (h, p) = m.forward(&x);
+        assert_eq!(h.shape(), (3, 6));
+        assert_eq!(p.shape(), (3, 4));
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(h.row(r).iter().all(|&v| v >= 0.0), "ReLU output negative");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_fixed_batch() {
+        let mut m = Mlp::init(&tiny_config(), 2);
+        let (x, labels) = tiny_batch();
+        let first = m.train_batch(&x, &labels, 0.5).loss;
+        let mut last = first;
+        for _ in 0..50 {
+            last = m.train_batch(&x, &labels, 0.5).loss;
+        }
+        assert!(
+            last < first * 0.5,
+            "loss did not drop: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        // Check dL/dW2 and dL/dW1 entries against central differences.
+        let config = tiny_config();
+        let m = Mlp::init(&config, 3);
+        let (x, labels) = tiny_batch();
+        let mut grads = Gradients::new(&config);
+        m.loss_and_gradients(&x, &labels, &mut grads);
+
+        let eps = 1e-3f32;
+        let loss_of = |model: &Mlp| {
+            let mut g = Gradients::new(&config);
+            // loss is averaged over contributing samples: recompute the
+            // same quantity the backward pass derives from.
+            model.loss_and_gradients(&x, &labels, &mut g)
+        };
+
+        // Spot-check a few W2 coordinates.
+        for &(i, j) in &[(0usize, 0usize), (3, 2), (5, 3)] {
+            let mut mp = m.clone();
+            mp.w2.set(i, j, mp.w2.at(i, j) + eps);
+            let mut mm = m.clone();
+            mm.w2.set(i, j, mm.w2.at(i, j) - eps);
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps as f64);
+            // Backward computes gradient of (batch-mean of per-sample loss
+            // over batch size), while loss reports mean over contributing
+            // samples; here all samples contribute, so scales match.
+            let ana = grads.w2.at(i, j) as f64;
+            assert!(
+                (num - ana).abs() < 5e-3 * (1.0 + ana.abs()),
+                "W2[{i}][{j}]: numeric {num} vs analytic {ana}"
+            );
+        }
+
+        // Spot-check W1 rows for features present in the batch (0, 3, 9)
+        // and absent (5).
+        let grad_w1 = |f: u32, j: usize| -> f64 {
+            grads
+                .w1_updates
+                .iter()
+                .find(|(ff, _)| *ff == f)
+                .map(|(_, row)| row[j] as f64)
+                .unwrap_or(0.0)
+        };
+        for &(f, j) in &[(0u32, 1usize), (3, 0), (9, 5), (5, 2)] {
+            let mut mp = m.clone();
+            mp.w1.set(f as usize, j, mp.w1.at(f as usize, j) + eps);
+            let mut mm = m.clone();
+            mm.w1.set(f as usize, j, mm.w1.at(f as usize, j) - eps);
+            let num = (loss_of(&mp) - loss_of(&mm)) / (2.0 * eps as f64);
+            let ana = grad_w1(f, j);
+            assert!(
+                (num - ana).abs() < 5e-3 * (1.0 + ana.abs()),
+                "W1[{f}][{j}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn label_free_samples_do_not_contribute() {
+        let config = tiny_config();
+        let m = Mlp::init(&config, 4);
+        let x = CsrMatrix::from_rows(10, &[(vec![1], vec![1.0]), (vec![2], vec![1.0])]).unwrap();
+        let labels_with = vec![vec![1u32], vec![]];
+        let labels_solo = vec![vec![1u32]];
+        let x_solo = x.select_rows(&[0]);
+        let mut g_with = Gradients::new(&config);
+        let mut g_solo = Gradients::new(&config);
+        let l_with = m.loss_and_gradients(&x, &labels_with, &mut g_with);
+        let l_solo = m.loss_and_gradients(&x_solo, &labels_solo, &mut g_solo);
+        // Same loss (mean over contributing samples)...
+        assert!((l_with - l_solo).abs() < 1e-9);
+        // ...and the batch-size normalization differs by the factor 2.
+        assert!((g_with.w2.at(0, 0) * 2.0 - g_solo.w2.at(0, 0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn flat_roundtrip_preserves_model() {
+        let config = tiny_config();
+        let m = Mlp::init(&config, 5);
+        let flat = m.to_flat();
+        assert_eq!(flat.len(), config.param_len());
+        let mut m2 = Mlp::zeros(&config);
+        m2.load_flat(&flat);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn l2_norm_per_param_of_zero_model_is_zero() {
+        let m = Mlp::zeros(&tiny_config());
+        assert_eq!(m.l2_norm_per_param(), 0.0);
+        let m = Mlp::init(&tiny_config(), 6);
+        assert!(m.l2_norm_per_param() > 0.0);
+    }
+
+    #[test]
+    fn identical_seeds_identical_models() {
+        let a = Mlp::init(&tiny_config(), 77);
+        let b = Mlp::init(&tiny_config(), 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat parameter length")]
+    fn load_flat_wrong_length_panics() {
+        let mut m = Mlp::zeros(&tiny_config());
+        m.load_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn sampled_step_with_full_active_set_matches_dense_step() {
+        // When the active set is ALL classes, the sampled update must equal
+        // the dense single-sample update exactly.
+        let config = tiny_config();
+        let mut sampled = Mlp::init(&config, 21);
+        let mut dense = sampled.clone();
+        let x = CsrMatrix::from_rows(10, &[(vec![1, 4], vec![1.0, -0.5])]).unwrap();
+        let labels = vec![vec![2u32]];
+        let all: Vec<u32> = (0..config.num_classes as u32).collect();
+        let h = sampled.hidden_forward(&x);
+        let (idx, val) = x.row(0);
+        let loss_s = sampled.train_sample_sampled(idx, val, h.row(0), &[2], &all, 0.1);
+        let out_d = dense.train_batch(&x, &labels, 0.1);
+        assert!((loss_s - out_d.loss).abs() < 1e-5, "{loss_s} vs {}", out_d.loss);
+        let fs = sampled.to_flat();
+        let fd = dense.to_flat();
+        for (a, b) in fs.iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sampled_step_restricted_set_touches_only_active_columns() {
+        let config = tiny_config();
+        let mut m = Mlp::init(&config, 22);
+        let before = m.w2().clone();
+        let x = CsrMatrix::from_rows(10, &[(vec![0], vec![1.0])]).unwrap();
+        let h = m.hidden_forward(&x);
+        let (idx, val) = x.row(0);
+        m.train_sample_sampled(idx, val, h.row(0), &[1], &[1, 3], 0.2);
+        for c in 0..config.num_classes {
+            let changed = (0..config.hidden).any(|k| m.w2().at(k, c) != before.at(k, c));
+            assert_eq!(changed, c == 1 || c == 3, "class {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label missing")]
+    fn sampled_step_requires_labels_in_active_set() {
+        let config = tiny_config();
+        let mut m = Mlp::init(&config, 23);
+        let x = CsrMatrix::from_rows(10, &[(vec![0], vec![1.0])]).unwrap();
+        let h = m.hidden_forward(&x);
+        let (idx, val) = x.row(0);
+        m.train_sample_sampled(idx, val, h.row(0), &[2], &[0, 1], 0.1);
+    }
+
+    #[test]
+    fn hidden_forward_matches_full_forward() {
+        let m = Mlp::init(&tiny_config(), 24);
+        let (x, _) = tiny_batch();
+        let h1 = m.hidden_forward(&x);
+        let (h2, _) = m.forward(&x);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    fn apply_gradients_is_linear_in_lr() {
+        let config = tiny_config();
+        let m0 = Mlp::init(&config, 31);
+        let (x, labels) = tiny_batch();
+        let mut grads = Gradients::new(&config);
+        m0.loss_and_gradients(&x, &labels, &mut grads);
+        // One step at lr (a+b) == step at a then step at b (same grads).
+        let (a, b) = (0.07f32, 0.13f32);
+        let mut once = m0.clone();
+        once.apply_gradients(&grads, a + b);
+        let mut twice = m0.clone();
+        twice.apply_gradients(&grads, a);
+        twice.apply_gradients(&grads, b);
+        let fo = once.to_flat();
+        let ft = twice.to_flat();
+        for (x, y) in fo.iter().zip(&ft) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_descent_direction_reduces_loss_locally() {
+        let config = tiny_config();
+        let m = Mlp::init(&config, 32);
+        let (x, labels) = tiny_batch();
+        let mut grads = Gradients::new(&config);
+        let loss0 = m.loss_and_gradients(&x, &labels, &mut grads);
+        // A tiny step along -grad must not increase the loss.
+        let mut stepped = m.clone();
+        stepped.apply_gradients(&grads, 1e-3);
+        let mut g2 = Gradients::new(&config);
+        let loss1 = stepped.loss_and_gradients(&x, &labels, &mut g2);
+        assert!(loss1 <= loss0 + 1e-9, "{loss0} -> {loss1}");
+    }
+
+    #[test]
+    fn sparse_update_only_touches_batch_features() {
+        let config = tiny_config();
+        let mut m = Mlp::init(&config, 8);
+        let before = m.w1.clone();
+        let x = CsrMatrix::from_rows(10, &[(vec![2, 4], vec![1.0, 1.0])]).unwrap();
+        m.train_batch(&x, &[vec![0]], 0.1);
+        for f in 0..10usize {
+            let changed = m.w1.row(f) != before.row(f);
+            assert_eq!(changed, f == 2 || f == 4, "feature {f}");
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The kernel sequence one SGD epoch charges to its simulated device.
+//!
+//! Training math runs for real on the CPU; *time* is simulated by charging
+//! the kernels a V100 would have executed. This module is the single source
+//! of truth for that mapping, so every algorithm (Adaptive, Elastic,
+//! synchronous, CROSSBOW) pays identical costs for identical work.
+
+use crate::mlp::MlpConfig;
+use asgd_gpusim::fusion::{epoch_launch_overhead, FusionPolicy, LaunchModel};
+use asgd_gpusim::KernelKind;
+
+/// Bytes of a batch in CSR on the wire: values + indices + row pointers.
+pub fn batch_bytes(batch_size: usize, batch_nnz: usize) -> usize {
+    8 * batch_nnz + 8 * (batch_size + 1)
+}
+
+/// Resident device-memory footprint of training one batch, in bytes:
+/// the model replica + its dense gradients, the CSR batch, and the dense
+/// activations/gradients the forward/backward passes keep on the device
+/// (`H`, `dH`, `logits`, `dlogits`).
+pub fn training_footprint_bytes(
+    config: &MlpConfig,
+    batch_size: usize,
+    avg_nnz_per_sample: f64,
+) -> u64 {
+    let model = 4 * config.param_len() as u64;
+    let grads = model; // worst case: dense gradient buffers
+    let batch = batch_bytes(batch_size, (batch_size as f64 * avg_nnz_per_sample) as usize) as u64;
+    let activations = 4 * (2 * batch_size * config.hidden) as u64; // H, dH
+    let logits = 4 * (2 * batch_size * config.num_classes) as u64; // logits, dlogits
+    model + grads + batch + activations + logits
+}
+
+/// Derives the paper's `b_max`: the largest batch size whose training
+/// footprint fits in `memory_bytes` (§V-A: "the initial batch size — set to
+/// b_max — is chosen such that the GPU memory — and utilization — are
+/// maximized"). Returns `None` when even a single sample does not fit.
+pub fn derive_b_max(
+    config: &MlpConfig,
+    memory_bytes: u64,
+    avg_nnz_per_sample: f64,
+) -> Option<usize> {
+    if training_footprint_bytes(config, 1, avg_nnz_per_sample) > memory_bytes {
+        return None;
+    }
+    // The footprint is monotone in the batch size: binary search.
+    let mut lo = 1usize;
+    let mut hi = 1usize;
+    while training_footprint_bytes(config, hi * 2, avg_nnz_per_sample) <= memory_bytes {
+        hi *= 2;
+        if hi >= 1 << 24 {
+            break;
+        }
+    }
+    hi *= 2;
+    while lo < hi {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if training_footprint_bytes(config, mid, avg_nnz_per_sample) <= memory_bytes {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// The kernels of one training epoch (one batch: forward, backward, update),
+/// in issue order.
+///
+/// `nnz` is the actual non-zero count of the batch — the data-dependent
+/// term that differentiates otherwise identical batches (§I).
+pub fn epoch_kernels(config: &MlpConfig, batch_size: usize, nnz: usize) -> Vec<KernelKind> {
+    let h = config.hidden;
+    let c = config.num_classes;
+    let b = batch_size;
+    vec![
+        // Host → device: the batch itself.
+        KernelKind::H2d {
+            bytes: batch_bytes(b, nnz),
+        },
+        // Forward: H = X·W1 (+bias, ReLU), logits = H·W2 (+bias, softmax).
+        KernelKind::SpMm { nnz, n: h },
+        KernelKind::Elementwise { elems: b * h },
+        KernelKind::Gemm { m: b, k: h, n: c },
+        KernelKind::Softmax { rows: b, cols: c },
+        // Loss + dlogits.
+        KernelKind::Elementwise { elems: b * c },
+        // Backward: dW2 = Hᵀ·dlogits, dH = dlogits·W2ᵀ (+ReLU mask),
+        // dW1 = Xᵀ·dH.
+        KernelKind::Gemm { m: h, k: b, n: c },
+        KernelKind::Gemm { m: b, k: c, n: h },
+        KernelKind::Elementwise { elems: b * h },
+        KernelKind::SpMmTn { nnz, n: h },
+        // Update: touched W1 rows + b1 + W2 + b2.
+        KernelKind::Elementwise {
+            elems: nnz.min(config.num_features) * h + h + h * c + c,
+        },
+    ]
+}
+
+/// The kernels of moving a full model replica host↔device (mega-batch entry).
+pub fn model_transfer_kernels(config: &MlpConfig, to_device: bool) -> Vec<KernelKind> {
+    let bytes = 4 * config.param_len();
+    if to_device {
+        vec![KernelKind::H2d { bytes }]
+    } else {
+        vec![KernelKind::D2h { bytes }]
+    }
+}
+
+/// Total *launch overhead* adjustment of an epoch under a fusion policy with
+/// `concurrent_managers` GPU managers active. The base per-kernel overhead
+/// is already inside each kernel's cost; this returns the *extra* overhead
+/// (or saving) relative to that baseline, so trainers can add it on top.
+pub fn epoch_overhead_delta(
+    config: &MlpConfig,
+    batch_size: usize,
+    nnz: usize,
+    policy: FusionPolicy,
+    model: &LaunchModel,
+    concurrent_managers: usize,
+) -> f64 {
+    let kernels = epoch_kernels(config, batch_size, nnz);
+    let actual = epoch_launch_overhead(&kernels, policy, model, concurrent_managers);
+    // Baseline already charged: one uncontended launch per compute kernel.
+    let baseline: f64 = kernels
+        .iter()
+        .filter(|k| !k.is_transfer())
+        .count() as f64
+        * model.base_overhead_s;
+    actual - baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MlpConfig {
+        MlpConfig {
+            num_features: 1000,
+            hidden: 128,
+            num_classes: 500,
+        }
+    }
+
+    #[test]
+    fn epoch_kernel_list_is_stable() {
+        let k = epoch_kernels(&config(), 64, 2000);
+        assert_eq!(k.len(), 11);
+        assert!(matches!(k[0], KernelKind::H2d { .. }));
+        assert!(matches!(k[1], KernelKind::SpMm { nnz: 2000, n: 128 }));
+    }
+
+    #[test]
+    fn nnz_flows_into_sparse_kernels() {
+        let a = epoch_kernels(&config(), 64, 1000);
+        let b = epoch_kernels(&config(), 64, 9000);
+        let nnz_of = |ks: &[KernelKind]| -> usize {
+            ks.iter()
+                .filter_map(|k| match k {
+                    KernelKind::SpMm { nnz, .. } => Some(*nnz),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(nnz_of(&a), 1000);
+        assert_eq!(nnz_of(&b), 9000);
+    }
+
+    #[test]
+    fn transfer_bytes_scale_with_model() {
+        let small = model_transfer_kernels(&config(), true);
+        let big_config = MlpConfig {
+            num_features: 2000,
+            ..config()
+        };
+        let big = model_transfer_kernels(&big_config, true);
+        let bytes = |ks: &[KernelKind]| match ks[0] {
+            KernelKind::H2d { bytes } => bytes,
+            _ => 0,
+        };
+        assert!(bytes(&big) > bytes(&small));
+    }
+
+    #[test]
+    fn fusion_delta_is_negative_and_contention_delta_positive() {
+        let m = LaunchModel::default_cuda();
+        // Fused single manager: saves overhead relative to baseline.
+        let fused = epoch_overhead_delta(&config(), 64, 2000, FusionPolicy::Fused, &m, 1);
+        assert!(fused < 0.0, "fusion should save: {fused}");
+        // Unfused with 4 contending managers: pays extra.
+        let contended = epoch_overhead_delta(&config(), 64, 2000, FusionPolicy::Unfused, &m, 4);
+        assert!(contended > 0.0, "contention should cost: {contended}");
+        // Fused contended sits between.
+        let fused4 = epoch_overhead_delta(&config(), 64, 2000, FusionPolicy::Fused, &m, 4);
+        assert!(fused4 < contended);
+    }
+
+    #[test]
+    fn footprint_is_monotone_in_batch_size() {
+        let c = config();
+        let mut prev = 0;
+        for b in [1usize, 16, 64, 256, 1024] {
+            let f = training_footprint_bytes(&c, b, 76.0);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn derived_b_max_fits_and_next_size_does_not() {
+        let c = config();
+        let mem = 64 << 20; // 64 MB
+        let b_max = derive_b_max(&c, mem, 76.0).unwrap();
+        assert!(training_footprint_bytes(&c, b_max, 76.0) <= mem);
+        assert!(training_footprint_bytes(&c, b_max + 1, 76.0) > mem);
+    }
+
+    #[test]
+    fn paper_scale_model_on_v100_gives_plausible_b_max() {
+        // Full Amazon-670k model: 135909x128 + 128x670091 weights ~ 398 MB.
+        let c = MlpConfig {
+            num_features: 135_909,
+            hidden: 128,
+            num_classes: 670_091,
+        };
+        let b_max = derive_b_max(&c, 16 * (1 << 30), 76.0).unwrap();
+        // The logits dominate (2*4*670091 B/sample ≈ 5.4 MB): ~2.8k samples.
+        assert!(
+            (1_000..5_000).contains(&b_max),
+            "b_max {b_max} outside the plausible V100 range"
+        );
+    }
+
+    #[test]
+    fn oversized_model_yields_none() {
+        let c = MlpConfig {
+            num_features: 1_000_000,
+            hidden: 1024,
+            num_classes: 1_000_000,
+        };
+        assert_eq!(derive_b_max(&c, 1 << 20, 76.0), None);
+    }
+
+    #[test]
+    fn batch_bytes_count_csr_payload() {
+        // 10 nnz, 4 rows: 8*10 value+index bytes + 8*5 row pointers.
+        assert_eq!(batch_bytes(4, 10), 120);
+    }
+}

@@ -1,0 +1,19 @@
+//! SLIDE-style CPU baseline: LSH-sampled softmax training.
+//!
+//! The paper's fourth comparator is SLIDE (Chen et al.), a CPU system that
+//! avoids the full output-layer computation by hashing output neurons into
+//! SimHash tables and training each sample only on the *active* neurons its
+//! hidden activation retrieves (always unioned with the true labels). The
+//! result is many more — much cheaper — model updates per epoch: better
+//! statistical efficiency, worse hardware efficiency (Fig. 5).
+//!
+//! * [`lsh`] — SimHash tables over output neurons.
+//! * [`trainer`] — the Hogwild-style CPU trainer with a simulated CPU cost
+//!   model, producing the same [`asgd_core::RunResult`] records as the GPU
+//!   algorithms so curves are directly comparable.
+
+pub mod lsh;
+pub mod trainer;
+
+pub use lsh::LshIndex;
+pub use trainer::{SlideConfig, SlideTrainer};

@@ -1,0 +1,206 @@
+//! SimHash LSH over output-layer neurons.
+//!
+//! Each of `L` tables holds `K` random hyperplanes in hidden-activation
+//! space. A neuron (a column of `W₂`) hashes to the K-bit sign pattern of
+//! its projections; a query activation retrieves the neurons in its bucket,
+//! unioned across tables. Similar (high-dot-product) vectors collide with
+//! high probability — which is exactly the "retrieve the classes this
+//! activation would score highly" behaviour sampled softmax needs.
+
+use asgd_stats::dist::standard_normal;
+use asgd_tensor::Matrix;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+
+/// One SimHash table: `K` hyperplanes + buckets.
+#[derive(Debug, Clone)]
+struct Table {
+    /// `K × dim`, row-major hyperplane normals.
+    planes: Vec<f32>,
+    k: usize,
+    dim: usize,
+    buckets: HashMap<u32, Vec<u32>>,
+}
+
+impl Table {
+    fn new(k: usize, dim: usize, rng: &mut StdRng) -> Self {
+        let planes = (0..k * dim).map(|_| standard_normal(rng) as f32).collect();
+        Table {
+            planes,
+            k,
+            dim,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// K-bit sign signature of a vector accessed through `get(i)`.
+    fn signature(&self, get: &dyn Fn(usize) -> f32) -> u32 {
+        let mut sig = 0u32;
+        for b in 0..self.k {
+            let row = &self.planes[b * self.dim..(b + 1) * self.dim];
+            let mut dot = 0.0f32;
+            for (i, &p) in row.iter().enumerate() {
+                dot += p * get(i);
+            }
+            if dot >= 0.0 {
+                sig |= 1 << b;
+            }
+        }
+        sig
+    }
+}
+
+/// A multi-table SimHash index over the output neurons.
+#[derive(Debug, Clone)]
+pub struct LshIndex {
+    tables: Vec<Table>,
+    n_neurons: usize,
+}
+
+impl LshIndex {
+    /// Creates an index with `l` tables of `k` bits over `dim`-dimensional
+    /// neuron vectors. `k ≤ 32`.
+    pub fn new(l: usize, k: usize, dim: usize, seed: u64) -> Self {
+        assert!(l >= 1, "need at least one table");
+        assert!((1..=32).contains(&k), "k must be in 1..=32");
+        assert!(dim >= 1, "dim must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        LshIndex {
+            tables: (0..l).map(|_| Table::new(k, dim, &mut rng)).collect(),
+            n_neurons: 0,
+        }
+    }
+
+    /// Number of tables.
+    pub fn tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// (Re)hashes every output neuron. `w2` is `dim × classes`; neuron `j`
+    /// is column `j`.
+    pub fn rebuild(&mut self, w2: &Matrix) {
+        let dim = w2.rows();
+        let classes = w2.cols();
+        assert_eq!(dim, self.tables[0].dim, "neuron dimensionality mismatch");
+        self.n_neurons = classes;
+        let data = w2.as_slice();
+        for t in &mut self.tables {
+            t.buckets.clear();
+        }
+        for j in 0..classes {
+            let get = move |i: usize| data[i * classes + j];
+            for t in &mut self.tables {
+                let sig = t.signature(&get);
+                t.buckets.entry(sig).or_default().push(j as u32);
+            }
+        }
+    }
+
+    /// Returns the sorted, de-duplicated union of the query's buckets.
+    pub fn query(&self, activation: &[f32]) -> Vec<u32> {
+        assert_eq!(activation.len(), self.tables[0].dim, "query width");
+        let mut out: Vec<u32> = Vec::new();
+        for t in &self.tables {
+            let sig = t.signature(&|i| activation[i]);
+            if let Some(bucket) = t.buckets.get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Neurons currently indexed.
+    pub fn len(&self) -> usize {
+        self.n_neurons
+    }
+
+    /// Whether the index holds no neurons (before the first rebuild).
+    pub fn is_empty(&self) -> bool {
+        self.n_neurons == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// W2 whose columns form two well-separated clusters.
+    fn clustered_w2(dim: usize, per_cluster: usize) -> Matrix {
+        let classes = per_cluster * 2;
+        Matrix::from_fn(dim, classes, |i, j| {
+            let cluster = j / per_cluster;
+            let base = if cluster == 0 { 1.0 } else { -1.0 };
+            // Mild deterministic wiggle so columns are not identical.
+            base + ((i * 7 + j * 13) % 5) as f32 * 0.02
+        })
+    }
+
+    #[test]
+    fn identical_vector_retrieves_itself() {
+        let w2 = clustered_w2(16, 8);
+        let mut idx = LshIndex::new(8, 6, 16, 1);
+        idx.rebuild(&w2);
+        // Query with column 3's own vector: must retrieve class 3.
+        let q: Vec<f32> = (0..16).map(|i| w2.at(i, 3)).collect();
+        let hits = idx.query(&q);
+        assert!(hits.contains(&3), "self-retrieval failed: {hits:?}");
+    }
+
+    #[test]
+    fn query_prefers_similar_cluster() {
+        let w2 = clustered_w2(16, 8);
+        let mut idx = LshIndex::new(6, 8, 16, 2);
+        idx.rebuild(&w2);
+        let q = vec![1.0f32; 16]; // aligned with cluster 0 (classes 0..8)
+        let hits = idx.query(&q);
+        let cluster0 = hits.iter().filter(|&&c| c < 8).count();
+        let cluster1 = hits.len() - cluster0;
+        assert!(
+            cluster0 > cluster1,
+            "expected cluster-0 dominance: {hits:?}"
+        );
+    }
+
+    #[test]
+    fn rebuild_replaces_old_buckets() {
+        let w2a = clustered_w2(8, 4);
+        let mut idx = LshIndex::new(4, 4, 8, 3);
+        idx.rebuild(&w2a);
+        assert_eq!(idx.len(), 8);
+        let smaller = Matrix::from_fn(8, 4, |i, j| ((i + j) % 3) as f32 - 1.0);
+        idx.rebuild(&smaller);
+        assert_eq!(idx.len(), 4);
+        let hits = idx.query(&[1.0; 8]);
+        assert!(hits.iter().all(|&c| c < 4), "stale bucket entries: {hits:?}");
+    }
+
+    #[test]
+    fn results_are_sorted_unique() {
+        let w2 = clustered_w2(8, 16);
+        let mut idx = LshIndex::new(10, 3, 8, 4);
+        idx.rebuild(&w2);
+        let hits = idx.query(&[0.5; 8]);
+        for w in hits.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w2 = clustered_w2(8, 8);
+        let build = |seed| {
+            let mut idx = LshIndex::new(4, 5, 8, seed);
+            idx.rebuild(&w2);
+            idx.query(&[1.0; 8])
+        };
+        assert_eq!(build(7), build(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn k_over_32_panics() {
+        let _ = LshIndex::new(2, 40, 8, 0);
+    }
+}

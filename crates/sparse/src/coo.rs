@@ -1,0 +1,182 @@
+//! Coordinate-format accumulation into CSR.
+
+use crate::csr::CsrMatrix;
+
+/// An unordered `(row, col, value)` accumulator.
+///
+/// `push` in any order, possibly with duplicates; [`CooBuilder::into_csr`]
+/// sorts, merges duplicates by summation, and produces a validated
+/// [`CsrMatrix`]. The synthetic dataset generators emit features in sampling
+/// order through this builder.
+#[derive(Debug, Clone, Default)]
+pub struct CooBuilder {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooBuilder {
+    /// Creates a builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds an entry; duplicates are summed at build time.
+    ///
+    /// # Panics
+    /// Panics when `r`/`c` are out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows, "row {r} out of bounds {}", self.rows);
+        assert!(c < self.cols, "col {c} out of bounds {}", self.cols);
+        self.entries.push((r as u32, c as u32, v));
+    }
+
+    /// Number of raw (pre-merge) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sorts, merges duplicates (summing values), and builds the CSR matrix.
+    /// Entries that merge to exactly `0.0` are kept (explicit zeros), since
+    /// dropping them would make nnz data-dependent in a way the cost model
+    /// should see.
+    pub fn into_csr(mut self) -> CsrMatrix {
+        self.entries
+            .sort_unstable_by_key(|a| (a.0, a.1));
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<f32> = Vec::with_capacity(self.entries.len());
+        indptr.push(0);
+        let mut cur_row = 0usize;
+        let mut i = 0usize;
+        while i < self.entries.len() {
+            let (r, c, mut v) = self.entries[i];
+            i += 1;
+            while i < self.entries.len()
+                && self.entries[i].0 == r
+                && self.entries[i].1 == c
+            {
+                v += self.entries[i].2;
+                i += 1;
+            }
+            while cur_row < r as usize {
+                indptr.push(indices.len());
+                cur_row += 1;
+            }
+            indices.push(c);
+            values.push(v);
+        }
+        while cur_row < self.rows {
+            indptr.push(indices.len());
+            cur_row += 1;
+        }
+        CsrMatrix::try_new(self.rows, self.cols, indptr, indices, values)
+            .expect("CooBuilder produced invalid CSR — internal bug")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unordered_entries_sort_into_csr() {
+        let mut b = CooBuilder::new(3, 4);
+        b.push(2, 1, 5.0);
+        b.push(0, 3, 1.0);
+        b.push(0, 0, 2.0);
+        let m = b.into_csr();
+        assert_eq!(m.row(0), (&[0u32, 3][..], &[2.0f32, 1.0][..]));
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row(2), (&[1u32][..], &[5.0f32][..]));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CooBuilder::new(1, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        b.push(0, 0, -1.0);
+        let m = b.into_csr();
+        assert_eq!(m.row(0), (&[0u32, 1][..], &[-1.0f32, 3.5][..]));
+    }
+
+    #[test]
+    fn empty_builder_yields_zero_matrix() {
+        let m = CooBuilder::new(4, 4).into_csr();
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.rows(), 4);
+    }
+
+    #[test]
+    fn trailing_empty_rows_have_indptr() {
+        let mut b = CooBuilder::new(5, 2);
+        b.push(1, 0, 1.0);
+        let m = b.into_csr();
+        assert_eq!(m.indptr(), &[0, 0, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut b = CooBuilder::new(2, 2);
+        b.push(2, 0, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        #[allow(clippy::needless_range_loop)]
+        fn coo_csr_dense_agree(
+            entries in proptest::collection::vec((0usize..8, 0usize..8, -5.0f32..5.0), 0..100)
+        ) {
+            let mut b = CooBuilder::new(8, 8);
+            let mut dense = [[0.0f32; 8]; 8];
+            for &(r, c, v) in &entries {
+                b.push(r, c, v);
+                dense[r][c] += v;
+            }
+            let m = b.into_csr();
+            let d = m.to_dense();
+            for r in 0..8 {
+                for c in 0..8 {
+                    prop_assert!((d.at(r, c) - dense[r][c]).abs() < 1e-4);
+                }
+            }
+        }
+
+        #[test]
+        fn built_csr_upholds_invariants(
+            entries in proptest::collection::vec((0usize..16, 0usize..16, -1.0f32..1.0), 0..200)
+        ) {
+            let mut b = CooBuilder::new(16, 16);
+            for &(r, c, v) in &entries {
+                b.push(r, c, v);
+            }
+            let m = b.into_csr();
+            // Re-validating through try_new must succeed.
+            let again = CsrMatrix::try_new(
+                m.rows(), m.cols(),
+                m.indptr().to_vec(), m.indices().to_vec(), m.values().to_vec(),
+            );
+            prop_assert!(again.is_ok());
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Sparse linear algebra for extreme multi-label classification workloads.
+//!
+//! The paper trains on libSVM-format XML datasets whose feature vectors have
+//! ~10⁻³ density, so the input layer of the MLP is a sparse-times-dense
+//! product. This crate is our cuSPARSE replacement:
+//!
+//! * [`CsrMatrix`] — validated compressed-sparse-row storage with cheap
+//!   per-row views and batch extraction ([`CsrMatrix::select_rows`]).
+//! * [`coo::CooBuilder`] — coordinate-format accumulation that sorts and
+//!   de-duplicates into CSR.
+//! * [`ops`] — `C = A·B` ([`ops::spmm`]) and the transposed-accumulate
+//!   gradient kernel `W += α·Aᵀ·G` ([`ops::spmm_tn_acc`]), both parallel over
+//!   crossbeam scoped threads.
+//! * [`libsvm`] — reader/writer for the Extreme Classification repository's
+//!   multi-label libSVM format.
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_sparse::{CsrMatrix, ops};
+//! use asgd_tensor::Matrix;
+//!
+//! // 2×3 sparse matrix [[1,0,2],[0,3,0]]
+//! let a = CsrMatrix::try_new(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap();
+//! let b = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+//! let mut c = Matrix::zeros(2, 2);
+//! ops::spmm(&a, &b, &mut c);
+//! assert_eq!(c.as_slice(), &[11., 14., 9., 12.]);
+//! ```
+
+pub mod coo;
+pub mod csr;
+pub mod libsvm;
+pub mod ops;
+
+pub use coo::CooBuilder;
+pub use csr::{CsrError, CsrMatrix};

@@ -1,0 +1,247 @@
+//! Reader/writer for the Extreme Classification repository's multi-label
+//! libSVM text format.
+//!
+//! The format (used by Amazon-670k, Delicious-200k, …):
+//!
+//! ```text
+//! num_points num_features num_labels      <- header line
+//! l1,l2,l3 f1:v1 f2:v2 ...                <- one line per sample
+//! ```
+//!
+//! A sample may have zero labels (the line then starts with a space) and
+//! zero features. Feature ids are 0-based, sorted output is guaranteed by
+//! the writer and *not* assumed by the reader (rows are sorted on ingest).
+
+use crate::coo::CooBuilder;
+use crate::csr::CsrMatrix;
+use std::io::{BufRead, Write};
+
+/// A loaded multi-label sparse dataset.
+#[derive(Debug, Clone)]
+pub struct LibsvmDataset {
+    /// `samples × num_features` sparse feature matrix.
+    pub features: CsrMatrix,
+    /// Per-sample label sets (sorted, de-duplicated).
+    pub labels: Vec<Vec<u32>>,
+    /// Size of the label space.
+    pub num_labels: usize,
+}
+
+impl LibsvmDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Mean number of labels per sample.
+    pub fn avg_labels_per_sample(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.labels.iter().map(|l| l.len()).sum::<usize>() as f64 / self.labels.len() as f64
+        }
+    }
+}
+
+/// Parse error with 1-based line number context.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number (0 = header missing entirely).
+    pub line: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "libsvm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads an XC-format dataset from a buffered reader.
+pub fn read<R: BufRead>(reader: R) -> Result<LibsvmDataset, ParseError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| err(0, "missing header line"))?;
+    let header = header.map_err(|e| err(1, e.to_string()))?;
+    let mut parts = header.split_whitespace();
+    let n: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(1, "bad sample count"))?;
+    let d: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(1, "bad feature count"))?;
+    let l: usize = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(1, "bad label count"))?;
+
+    let mut coo = CooBuilder::new(n, d);
+    let mut labels: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if labels.len() == n {
+            break;
+        }
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let row = labels.len();
+        let (label_part, feat_part) = match line.find(' ') {
+            Some(pos) => (&line[..pos], &line[pos + 1..]),
+            None => (line.as_str(), ""),
+        };
+        let mut sample_labels: Vec<u32> = Vec::new();
+        if !label_part.is_empty() {
+            for tok in label_part.split(',') {
+                if tok.is_empty() {
+                    continue;
+                }
+                let lab: u32 = tok
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad label '{tok}'")))?;
+                if lab as usize >= l {
+                    return Err(err(lineno, format!("label {lab} >= label count {l}")));
+                }
+                sample_labels.push(lab);
+            }
+        }
+        sample_labels.sort_unstable();
+        sample_labels.dedup();
+        labels.push(sample_labels);
+
+        for tok in feat_part.split_whitespace() {
+            let (f, v) = tok
+                .split_once(':')
+                .ok_or_else(|| err(lineno, format!("bad feature token '{tok}'")))?;
+            let f: usize = f
+                .parse()
+                .map_err(|_| err(lineno, format!("bad feature id '{f}'")))?;
+            let v: f32 = v
+                .parse()
+                .map_err(|_| err(lineno, format!("bad feature value '{v}'")))?;
+            if f >= d {
+                return Err(err(lineno, format!("feature {f} >= feature count {d}")));
+            }
+            coo.push(row, f, v);
+        }
+    }
+    if labels.len() != n {
+        return Err(err(
+            labels.len() + 1,
+            format!("expected {n} samples, found {}", labels.len()),
+        ));
+    }
+    Ok(LibsvmDataset {
+        features: coo.into_csr(),
+        labels,
+        num_labels: l,
+    })
+}
+
+/// Writes a dataset in XC libSVM format.
+pub fn write<W: Write>(w: &mut W, ds: &LibsvmDataset) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "{} {} {}",
+        ds.features.rows(),
+        ds.features.cols(),
+        ds.num_labels
+    )?;
+    for r in 0..ds.features.rows() {
+        let labs: Vec<String> = ds.labels[r].iter().map(|l| l.to_string()).collect();
+        write!(w, "{}", labs.join(","))?;
+        let (idx, val) = ds.features.row(r);
+        for (&f, &v) in idx.iter().zip(val) {
+            write!(w, " {f}:{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "3 5 4\n0,2 1:0.5 3:1.5\n1 0:2\n 4:1\n";
+
+    #[test]
+    fn reads_sample() {
+        let ds = read(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.num_labels, 4);
+        assert_eq!(ds.features.cols(), 5);
+        assert_eq!(ds.labels[0], vec![0, 2]);
+        assert_eq!(ds.labels[1], vec![1]);
+        assert!(ds.labels[2].is_empty());
+        assert_eq!(ds.features.row(0), (&[1u32, 3][..], &[0.5f32, 1.5][..]));
+        assert_eq!(ds.features.row(2), (&[4u32][..], &[1.0f32][..]));
+        assert!((ds.avg_labels_per_sample() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ds = read(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        let mut buf = Vec::new();
+        write(&mut buf, &ds).unwrap();
+        let again = read(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(again.features, ds.features);
+        assert_eq!(again.labels, ds.labels);
+        assert_eq!(again.num_labels, ds.num_labels);
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let e = read(BufReader::new("".as_bytes())).unwrap_err();
+        assert_eq!(e.line, 0);
+    }
+
+    #[test]
+    fn rejects_label_out_of_range() {
+        let e = read(BufReader::new("1 5 2\n7 0:1\n".as_bytes())).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("label 7"));
+    }
+
+    #[test]
+    fn rejects_feature_out_of_range() {
+        let e = read(BufReader::new("1 3 2\n0 9:1\n".as_bytes())).unwrap_err();
+        assert!(e.message.contains("feature 9"));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let e = read(BufReader::new("3 5 4\n0 1:1\n".as_bytes())).unwrap_err();
+        assert!(e.message.contains("expected 3 samples"));
+    }
+
+    #[test]
+    fn rejects_malformed_feature_token() {
+        let e = read(BufReader::new("1 3 2\n0 nonsense\n".as_bytes())).unwrap_err();
+        assert!(e.message.contains("bad feature token"));
+    }
+
+    #[test]
+    fn duplicate_labels_are_deduped() {
+        let ds = read(BufReader::new("1 3 5\n2,2,1 0:1\n".as_bytes())).unwrap();
+        assert_eq!(ds.labels[0], vec![1, 2]);
+    }
+}

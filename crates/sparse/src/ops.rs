@@ -1,0 +1,266 @@
+//! Sparse-times-dense kernels.
+//!
+//! These are the two products the sparse input layer needs:
+//!
+//! * forward: `H = X · W₁` where `X` is a CSR batch — [`spmm`];
+//! * weight gradient: `∇W₁ += α · Xᵀ · G` — [`spmm_tn_acc`].
+//!
+//! Both parallelize over *output* rows with crossbeam scoped threads, so no
+//! two workers ever write the same cache line. The transposed kernel
+//! partitions the feature (output-row) space and lets each worker stream the
+//! whole batch, touching only its own partition — O(threads · nnz) index
+//! reads but zero synchronization, which wins for the batch-sized operands
+//! this workload produces.
+
+use crate::csr::CsrMatrix;
+use asgd_tensor::parallel::{num_threads, split_ranges};
+use asgd_tensor::Matrix;
+
+/// Output rows below which kernels stay serial.
+const MIN_PAR_ROWS: usize = 32;
+
+/// `C = A · B` where `A` is sparse CSR (`m×k`), `B` dense (`k×n`).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn spmm(a: &CsrMatrix, b: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "spmm inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "spmm output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "spmm output cols mismatch");
+    let n = b.cols();
+    let b_data = b.as_slice();
+    let m = a.rows();
+    asgd_tensor::parallel::par_chunks_mut(
+        c.as_mut_slice(),
+        m,
+        n,
+        MIN_PAR_ROWS,
+        |first_row, chunk| {
+            for (i, crow) in chunk.chunks_mut(n).enumerate() {
+                crow.fill(0.0);
+                let (idx, val) = a.row(first_row + i);
+                for (&col, &av) in idx.iter().zip(val) {
+                    let brow = &b_data[col as usize * n..(col as usize + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// `C += alpha · Aᵀ · G` where `A` is CSR (`m×k`), `G` dense (`m×n`), `C`
+/// dense (`k×n`).
+///
+/// Accumulates (never zeroes `C`) because SGD weight updates apply the scaled
+/// gradient directly: `W₁ -= lr · Xᵀ·G` is one call with `alpha = -lr`.
+pub fn spmm_tn_acc(alpha: f32, a: &CsrMatrix, g: &Matrix, c: &mut Matrix) {
+    assert_eq!(a.rows(), g.rows(), "spmm_tn rows mismatch");
+    assert_eq!(c.rows(), a.cols(), "spmm_tn output rows mismatch");
+    assert_eq!(c.cols(), g.cols(), "spmm_tn output cols mismatch");
+    let n = g.cols();
+    let k = a.cols();
+    let g_data = g.as_slice();
+    let threads = num_threads();
+    if threads == 1 || k < MIN_PAR_ROWS || a.nnz() == 0 {
+        spmm_tn_acc_range(alpha, a, g_data, n, 0..k, c.as_mut_slice());
+        return;
+    }
+    let ranges = split_ranges(k, threads);
+    let c_data = c.as_mut_slice();
+    crossbeam::scope(|s| {
+        let mut rest = c_data;
+        let mut prev_end = 0usize;
+        for r in &ranges {
+            debug_assert_eq!(r.start, prev_end);
+            let (head, tail) = rest.split_at_mut((r.end - r.start) * n);
+            rest = tail;
+            prev_end = r.end;
+            let r = r.clone();
+            s.spawn(move |_| spmm_tn_acc_range(alpha, a, g_data, n, r, head));
+        }
+    })
+    .expect("spmm_tn worker panicked");
+}
+
+/// Accumulates the rows of `Aᵀ·G` that fall in `range` into `c_part`, which
+/// is the `range`-rows slice of the output.
+fn spmm_tn_acc_range(
+    alpha: f32,
+    a: &CsrMatrix,
+    g_data: &[f32],
+    n: usize,
+    range: std::ops::Range<usize>,
+    c_part: &mut [f32],
+) {
+    for row in 0..a.rows() {
+        let (idx, val) = a.row(row);
+        // Rows are sorted, so binary-search the window inside this partition.
+        let lo = idx.partition_point(|&c| (c as usize) < range.start);
+        let hi = idx.partition_point(|&c| (c as usize) < range.end);
+        if lo == hi {
+            continue;
+        }
+        let grow = &g_data[row * n..(row + 1) * n];
+        for j in lo..hi {
+            let feature = idx[j] as usize - range.start;
+            let s = alpha * val[j];
+            let crow = &mut c_part[feature * n..(feature + 1) * n];
+            for (cv, &gv) in crow.iter_mut().zip(grow) {
+                *cv += s * gv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asgd_tensor::ops as dops;
+
+    fn sparse_sample(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        let mut b = crate::CooBuilder::new(rows, cols);
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for r in 0..rows {
+            let nnz = (next() % (cols as u64 / 2 + 1)) as usize;
+            let mut cols_seen = std::collections::BTreeSet::new();
+            for _ in 0..nnz {
+                cols_seen.insert((next() % cols as u64) as usize);
+            }
+            for c in cols_seen {
+                b.push(r, c, ((next() % 17) as f32 - 8.0) / 4.0);
+            }
+        }
+        b.into_csr()
+    }
+
+    fn dense_sample(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            (((r * 31 + c * 7 + seed as usize) % 23) as f32 - 11.0) / 9.0
+        })
+    }
+
+    #[test]
+    fn spmm_matches_dense_gemm() {
+        for (m, k, n) in [(1, 3, 2), (8, 16, 4), (40, 64, 12), (100, 50, 8)] {
+            let a = sparse_sample(m, k, 1);
+            let b = dense_sample(k, n, 2);
+            let mut c = Matrix::zeros(m, n);
+            spmm(&a, &b, &mut c);
+            let mut want = Matrix::zeros(m, n);
+            dops::gemm(1.0, &a.to_dense(), &b, 0.0, &mut want);
+            assert!(c.max_abs_diff(&want) < 1e-4, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn spmm_with_empty_rows() {
+        let a = CsrMatrix::zeros(3, 4);
+        let b = dense_sample(4, 2, 3);
+        let mut c = Matrix::from_fn(3, 2, |_, _| 9.0);
+        spmm(&a, &b, &mut c);
+        assert_eq!(c.as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn spmm_tn_matches_dense() {
+        for (m, k, n) in [(3, 5, 2), (16, 64, 8), (50, 200, 16)] {
+            let a = sparse_sample(m, k, 4);
+            let g = dense_sample(m, n, 5);
+            let mut c = Matrix::zeros(k, n);
+            spmm_tn_acc(1.0, &a, &g, &mut c);
+            let mut want = Matrix::zeros(k, n);
+            dops::gemm_tn(1.0, &a.to_dense(), &g, 0.0, &mut want);
+            assert!(c.max_abs_diff(&want) < 1e-4, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn spmm_tn_accumulates_with_alpha() {
+        let a = sparse_sample(6, 40, 6);
+        let g = dense_sample(6, 3, 7);
+        let mut c = dense_sample(40, 3, 8);
+        let c0 = c.clone();
+        spmm_tn_acc(-0.5, &a, &g, &mut c);
+        let mut delta = Matrix::zeros(40, 3);
+        dops::gemm_tn(-0.5, &a.to_dense(), &g, 0.0, &mut delta);
+        for i in 0..c.len() {
+            let want = c0.as_slice()[i] + delta.as_slice()[i];
+            assert!((c.as_slice()[i] - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_tn_agree() {
+        // k large enough to hit the parallel path.
+        let a = sparse_sample(30, 500, 9);
+        let g = dense_sample(30, 4, 10);
+        let mut par = Matrix::zeros(500, 4);
+        spmm_tn_acc(1.0, &a, &g, &mut par);
+        let mut ser = Matrix::zeros(500, 4);
+        spmm_tn_acc_range(1.0, &a, g.as_slice(), 4, 0..500, ser.as_mut_slice());
+        assert!(par.max_abs_diff(&ser) < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn spmm_shape_mismatch_panics() {
+        let a = CsrMatrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        spmm(&a, &b, &mut c);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use asgd_tensor::ops as dops;
+    use proptest::prelude::*;
+
+    /// Strategy: random COO entries over an 8×12 matrix.
+    fn sparse_strategy() -> impl Strategy<Value = CsrMatrix> {
+        proptest::collection::vec((0usize..8, 0usize..12, -2.0f32..2.0), 0..60).prop_map(|es| {
+            let mut b = crate::CooBuilder::new(8, 12);
+            for (r, c, v) in es {
+                b.push(r, c, v);
+            }
+            b.into_csr()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn spmm_equals_dense_reference(
+            a in sparse_strategy(),
+            bvals in proptest::collection::vec(-2.0f32..2.0, 12 * 5),
+        ) {
+            let b = Matrix::from_vec(12, 5, bvals);
+            let mut c = Matrix::zeros(8, 5);
+            spmm(&a, &b, &mut c);
+            let mut want = Matrix::zeros(8, 5);
+            dops::gemm(1.0, &a.to_dense(), &b, 0.0, &mut want);
+            prop_assert!(c.max_abs_diff(&want) < 1e-3);
+        }
+
+        #[test]
+        fn spmm_tn_equals_dense_reference(
+            a in sparse_strategy(),
+            gvals in proptest::collection::vec(-2.0f32..2.0, 8 * 5),
+        ) {
+            let g = Matrix::from_vec(8, 5, gvals);
+            let mut c = Matrix::zeros(12, 5);
+            spmm_tn_acc(1.0, &a, &g, &mut c);
+            let mut want = Matrix::zeros(12, 5);
+            dops::gemm_tn(1.0, &a.to_dense(), &g, 0.0, &mut want);
+            prop_assert!(c.max_abs_diff(&want) < 1e-3);
+        }
+    }
+}

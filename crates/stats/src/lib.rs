@@ -1,0 +1,42 @@
+//! Seeded random distributions and streaming statistics.
+//!
+//! This crate is the numerical utility layer shared by the rest of the
+//! Adaptive SGD reproduction. It deliberately re-implements the small set of
+//! distributions the system needs (normal, log-normal, Zipf, Poisson) on top
+//! of [`rand`]'s core traits so that every stochastic component of the
+//! simulator — jitter processes, synthetic dataset generators, model
+//! initialization — is driven by explicitly seeded [`rand::rngs::StdRng`]
+//! instances and is therefore bit-reproducible across runs and thread counts.
+//!
+//! # Modules
+//!
+//! * [`dist`] — sampling: [`dist::Normal`], [`dist::LogNormal`],
+//!   [`dist::Zipf`], [`dist::Poisson`].
+//! * [`summary`] — streaming summaries: [`summary::StreamingSummary`]
+//!   (Welford), [`summary::Ewma`], percentile helpers.
+//! * [`histogram`] — fixed-bin histograms used by execution traces.
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_stats::dist::{Normal, Zipf};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let gauss = Normal::new(0.0, 1.0).unwrap();
+//! let zipf = Zipf::new(1_000, 1.07).unwrap();
+//! let x = gauss.sample(&mut rng);
+//! let rank = zipf.sample(&mut rng);
+//! assert!(x.is_finite());
+//! assert!((1..=1_000).contains(&rank));
+//! ```
+
+pub mod dist;
+pub mod histogram;
+pub mod quantile;
+pub mod summary;
+
+pub use dist::{LogNormal, Normal, Poisson, Zipf};
+pub use histogram::Histogram;
+pub use quantile::P2Quantile;
+pub use summary::{percentile, Ewma, StreamingSummary};

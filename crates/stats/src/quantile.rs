@@ -1,0 +1,251 @@
+//! Streaming quantile estimation with the P² algorithm.
+//!
+//! Jain & Chlamtac's P² (piecewise-parabolic) estimator maintains a target
+//! quantile of a stream in O(1) memory — no sample buffer. Execution traces
+//! use it to report tail latencies (p95/p99 of per-batch epoch times)
+//! without retaining millions of observations.
+
+/// Streaming estimator of a single quantile `q ∈ (0, 1)`.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    // Marker heights and positions (5 markers).
+    heights: [f64; 5],
+    positions: [f64; 5],
+    desired: [f64; 5],
+    increments: [f64; 5],
+    count: usize,
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` (e.g. `0.95`).
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if self.count <= 5 {
+            self.initial.push(x);
+            if self.count == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                for i in 0..5 {
+                    self.heights[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust interior markers with the parabolic (or linear) formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                let new_h = if self.heights[i - 1] < candidate && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.heights[i] = new_h;
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let p = &self.positions;
+        let h = &self.heights;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current estimate (`None` until 5 observations arrive; before that,
+    /// use an exact method — the buffer is tiny anyway).
+    pub fn value(&self) -> Option<f64> {
+        if self.count >= 5 {
+            Some(self.heights[2])
+        } else if self.count > 0 {
+            // Fall back to the exact small-sample quantile.
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+            crate::summary::percentile(&v, self.q)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50_000 {
+            est.record(rng.gen::<f64>());
+        }
+        let v = est.value().unwrap();
+        assert!((v - 0.5).abs() < 0.02, "median {v}");
+    }
+
+    #[test]
+    fn p95_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.95);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50_000 {
+            est.record(rng.gen::<f64>());
+        }
+        let v = est.value().unwrap();
+        assert!((v - 0.95).abs() < 0.02, "p95 {v}");
+    }
+
+    #[test]
+    fn tracks_skewed_distributions() {
+        // Exponential(1): true p90 = ln(10) ≈ 2.3026.
+        let mut est = P2Quantile::new(0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let u: f64 = rng.gen();
+            est.record(-(1.0 - u).ln());
+        }
+        let v = est.value().unwrap();
+        assert!((v - 2.3026).abs() < 0.12, "p90 {v}");
+    }
+
+    #[test]
+    fn small_samples_fall_back_to_exact() {
+        let mut est = P2Quantile::new(0.5);
+        assert_eq!(est.value(), None);
+        est.record(3.0);
+        est.record(1.0);
+        est.record(2.0);
+        assert_eq!(est.value(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn exactly_five_observations_initialize_markers() {
+        let mut est = P2Quantile::new(0.5);
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            est.record(x);
+        }
+        assert_eq!(est.value(), Some(3.0));
+    }
+
+    #[test]
+    fn estimate_is_within_observed_range() {
+        let mut est = P2Quantile::new(0.75);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>() * 100.0 - 50.0;
+            min = min.min(x);
+            max = max.max(x);
+            est.record(x);
+        }
+        let v = est.value().unwrap();
+        assert!(v >= min && v <= max);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn q_out_of_range_panics() {
+        let _ = P2Quantile::new(1.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn estimate_close_to_exact_quantile(
+            xs in proptest::collection::vec(-1e3f64..1e3, 200..2000),
+            qi in 1usize..10,
+        ) {
+            let q = qi as f64 / 10.0;
+            let mut est = P2Quantile::new(q);
+            for &x in &xs {
+                est.record(x);
+            }
+            let exact = crate::summary::percentile(&xs, q).unwrap();
+            let approx = est.value().unwrap();
+            // P² is approximate: allow 15% of the value range as tolerance.
+            let range = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            prop_assert!(
+                (approx - exact).abs() <= 0.15 * range.max(1e-9),
+                "q={q}: approx {approx} vs exact {exact} (range {range})"
+            );
+        }
+    }
+}

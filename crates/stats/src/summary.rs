@@ -1,0 +1,306 @@
+//! Streaming summaries: Welford mean/variance, EWMA, percentiles.
+
+/// Numerically stable streaming summary (Welford's online algorithm).
+///
+/// Tracks count, mean, variance, min and max of a stream of `f64`s in O(1)
+/// space. Used by the GPU simulator to summarize per-device kernel timings
+/// and by the experiment harness to report epoch-time distributions (Fig. 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamingSummary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another summary into this one (parallel Welford / Chan et al.).
+    pub fn merge(&mut self, other: &StreamingSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Relative spread `(max - min) / min`; the paper's "gap between the
+    /// fastest and slowest GPU" metric (Fig. 1). `None` when empty or
+    /// `min == 0`.
+    pub fn relative_gap(&self) -> Option<f64> {
+        if self.count == 0 || self.min == 0.0 {
+            None
+        } else {
+            Some((self.max - self.min) / self.min)
+        }
+    }
+}
+
+/// Exponentially weighted moving average with smoothing factor `alpha`.
+///
+/// The dynamic scheduler uses an EWMA of per-batch processing speed to decide
+/// stability of the batch-size scaling loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA; `alpha` is clamped into `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        Self {
+            alpha: alpha.clamp(f64::MIN_POSITIVE, 1.0),
+            value: None,
+        }
+    }
+
+    /// Feeds one observation and returns the updated average.
+    pub fn record(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average (`None` until the first observation).
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Computes the `q`-th percentile (`0.0..=1.0`) of a slice by sorting a copy
+/// and linearly interpolating between the two nearest ranks.
+///
+/// Returns `None` on an empty slice or a `q` outside `[0, 1]`.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = StreamingSummary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn summary_empty_is_safe() {
+        let s = StreamingSummary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.relative_gap(), None);
+    }
+
+    #[test]
+    fn summary_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut whole = StreamingSummary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = StreamingSummary::new();
+        let mut b = StreamingSummary::new();
+        for &x in &data[..37] {
+            a.record(x);
+        }
+        for &x in &data[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_merge_with_empty() {
+        let mut a = StreamingSummary::new();
+        a.record(1.0);
+        let before = a.clone();
+        a.merge(&StreamingSummary::new());
+        assert_eq!(a, before);
+
+        let mut e = StreamingSummary::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn relative_gap_matches_fig1_metric() {
+        let mut s = StreamingSummary::new();
+        s.record(1.0);
+        s.record(1.32);
+        let gap = s.relative_gap().unwrap();
+        assert!((gap - 0.32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        for _ in 0..200 {
+            e.record(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_first_observation_is_identity() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.record(42.0), 42.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 1.0), Some(4.0));
+        assert_eq!(percentile(&data, 0.5), Some(2.5));
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&data, 1.5), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut s = StreamingSummary::new();
+            for &x in &xs {
+                s.record(x);
+            }
+            let n = xs.len() as f64;
+            let mean = xs.iter().sum::<f64>() / n;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+            prop_assert!((s.variance() - var).abs() <= 1e-5 * (1.0 + var));
+        }
+
+        #[test]
+        fn merge_is_order_insensitive(
+            xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            ys in proptest::collection::vec(-1e3f64..1e3, 1..100),
+        ) {
+            let fill = |data: &[f64]| {
+                let mut s = StreamingSummary::new();
+                for &x in data {
+                    s.record(x);
+                }
+                s
+            };
+            let mut ab = fill(&xs);
+            ab.merge(&fill(&ys));
+            let mut ba = fill(&ys);
+            ba.merge(&fill(&xs));
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        }
+
+        #[test]
+        fn percentile_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..200), q in 0.0f64..=1.0) {
+            let p = percentile(&xs, q).unwrap();
+            let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(p >= min - 1e-9 && p <= max + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Seeded weight initialization.
+//!
+//! The paper initializes every algorithm from the *same* model whose weights
+//! are drawn from a normal distribution with standard deviation derived from
+//! the layer's unit count (§V-A). These helpers reproduce that scheme with an
+//! explicit RNG so all algorithms can share one initial model bit-for-bit.
+
+use crate::Matrix;
+use asgd_stats::Normal;
+use rand::Rng;
+
+/// Fills a matrix with `N(0, std_dev)` samples.
+pub fn normal_init<R: Rng + ?Sized>(m: &mut Matrix, std_dev: f64, rng: &mut R) {
+    let dist = Normal::new(0.0, std_dev).expect("invalid std_dev");
+    for v in m.as_mut_slice() {
+        *v = dist.sample(rng) as f32;
+    }
+}
+
+/// Creates a `rows × cols` weight matrix with the paper's scheme: standard
+/// deviation `1 / sqrt(fan_in)` where `fan_in = rows` (the number of units
+/// feeding the layer).
+pub fn layer_init<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let std = 1.0 / (rows.max(1) as f64).sqrt();
+    normal_init(&mut m, std, rng);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn init_is_deterministic_per_seed() {
+        let a = layer_init(16, 8, &mut StdRng::seed_from_u64(7));
+        let b = layer_init(16, 8, &mut StdRng::seed_from_u64(7));
+        let c = layer_init(16, 8, &mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_std_matches_fan_in() {
+        let m = layer_init(400, 50, &mut StdRng::seed_from_u64(1));
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        let want = 1.0 / 400.0;
+        assert!(mean.abs() < 0.002, "mean {mean}");
+        assert!((var - want).abs() / want < 0.1, "var {var} want {want}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Dense linear algebra kernels for the Adaptive SGD reproduction.
+//!
+//! The deep-learning substrate of the paper runs on cuBLAS/cuSPARSE; this
+//! crate is the dense half of our from-scratch replacement. It provides a
+//! row-major `f32` [`Matrix`], blocked and thread-parallel [`ops::gemm`]
+//! variants (NN/NT/TN), element-wise kernels, numerically stable softmax /
+//! log-sum-exp, and seeded weight initialization.
+//!
+//! All parallelism goes through [`parallel`], which chunks row ranges over
+//! scoped crossbeam threads — one pool-free fork/join per kernel call, with
+//! the thread count resolved once from `ASGD_THREADS` or
+//! `std::thread::available_parallelism`.
+//!
+//! # Example
+//!
+//! ```
+//! use asgd_tensor::{Matrix, ops};
+//!
+//! let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+//! let mut c = Matrix::zeros(2, 2);
+//! ops::gemm(1.0, &a, &b, 0.0, &mut c);
+//! assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+//! ```
+
+pub mod init;
+pub mod matrix;
+pub mod numerics;
+pub mod ops;
+pub mod parallel;
+
+pub use matrix::Matrix;

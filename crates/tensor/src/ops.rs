@@ -1,0 +1,365 @@
+//! BLAS-like dense kernels: GEMM (NN/NT/TN), axpy, scaling, weighted sums.
+//!
+//! The GEMM variants cover exactly the products the 3-layer MLP needs:
+//!
+//! * forward output layer: `O = H · W₂` — [`gemm`] (NN)
+//! * backward through the output layer: `dH = dO · W₂ᵀ` — [`gemm_nt`]
+//! * weight gradient: `∇W₂ = Hᵀ · dO` — [`gemm_tn`]
+//!
+//! All three use an `i-k-j` loop order (unit-stride inner loop over the
+//! output row) and parallelize over output rows via
+//! [`crate::parallel::par_chunks_mut`].
+
+use crate::parallel::par_chunks_mut;
+use crate::Matrix;
+
+/// Rows below this stay serial — thread spawn costs more than the work.
+const MIN_PAR_ROWS: usize = 16;
+
+/// `C = alpha * A·B + beta * C` (no transposes).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "gemm output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm output cols mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        for (i, crow) in chunk.chunks_mut(n).enumerate() {
+            let ai = first_row + i;
+            if beta == 0.0 {
+                crow.fill(0.0);
+            } else if beta != 1.0 {
+                for x in crow.iter_mut() {
+                    *x *= beta;
+                }
+            }
+            let arow = &a_data[ai * k..(ai + 1) * k];
+            for (kk, &aik) in arow.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let s = alpha * aik;
+                let brow = &b_data[kk * n..(kk + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += s * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `C = alpha * A·Bᵀ + beta * C`.
+///
+/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Inner loop is a dot product of
+/// two contiguous rows, so no transposition is materialized.
+pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    assert_eq!(a.cols(), b.cols(), "gemm_nt inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "gemm_nt output rows mismatch");
+    assert_eq!(c.cols(), b.rows(), "gemm_nt output cols mismatch");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        for (i, crow) in chunk.chunks_mut(n).enumerate() {
+            let ai = first_row + i;
+            let arow = &a_data[ai * k..(ai + 1) * k];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &b_data[j * k..(j + 1) * k];
+                let mut dot = 0.0f32;
+                for (&av, &bv) in arow.iter().zip(brow) {
+                    dot += av * bv;
+                }
+                *cv = alpha * dot + if beta == 0.0 { 0.0 } else { beta * *cv };
+            }
+        }
+    });
+}
+
+/// `C = alpha * Aᵀ·B + beta * C`.
+///
+/// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`. Parallelized over rows of `C`
+/// (columns of `A`); each worker streams over `A` and `B` once.
+pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
+    assert_eq!(a.rows(), b.rows(), "gemm_tn inner dimension mismatch");
+    assert_eq!(c.rows(), a.cols(), "gemm_tn output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm_tn output cols mismatch");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        let rows_here = chunk.len() / n;
+        if beta == 0.0 {
+            chunk.fill(0.0);
+        } else if beta != 1.0 {
+            for x in chunk.iter_mut() {
+                *x *= beta;
+            }
+        }
+        for kk in 0..k {
+            let brow = &b_data[kk * n..(kk + 1) * n];
+            let arow = &a_data[kk * m..(kk + 1) * m];
+            for i in 0..rows_here {
+                let aik = arow[first_row + i];
+                if aik == 0.0 {
+                    continue;
+                }
+                let s = alpha * aik;
+                let crow = &mut chunk[i * n..(i + 1) * n];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv += s * bv;
+                }
+            }
+        }
+    });
+}
+
+/// `y += a * x` over raw slices (lengths must match).
+///
+/// Serial on purpose: axpy is memory-bandwidth-bound, and its callers (model
+/// updates) already run one-per-device on separate threads.
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += a * xv;
+    }
+}
+
+/// `y = a * x + b * y` element-wise.
+pub fn axpby(a: f32, x: &[f32], b: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv = a * xv + b * *yv;
+    }
+}
+
+/// Scales a slice in place.
+pub fn scale(a: f32, x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v *= a;
+    }
+}
+
+/// `out = Σ wᵢ · mᵢ` — the weighted model average at the heart of normalized
+/// model merging (Algorithm 2, line 8).
+///
+/// # Panics
+/// Panics when `mats` is empty, lengths differ, or shapes mismatch.
+pub fn weighted_sum(mats: &[&Matrix], weights: &[f64], out: &mut Matrix) {
+    assert!(!mats.is_empty(), "weighted_sum needs at least one matrix");
+    assert_eq!(mats.len(), weights.len(), "weights/matrices length mismatch");
+    for m in mats {
+        assert_eq!(m.shape(), out.shape(), "weighted_sum shape mismatch");
+    }
+    out.fill(0.0);
+    for (m, &w) in mats.iter().zip(weights) {
+        let w = w as f32;
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
+            *o += w * v;
+        }
+    }
+}
+
+/// Adds `delta * (cur - prev)` into `out` — the momentum term of Algorithm 2.
+pub fn add_momentum(out: &mut Matrix, cur: &Matrix, prev: &Matrix, gamma: f32) {
+    assert_eq!(out.shape(), cur.shape(), "momentum shape mismatch");
+    assert_eq!(out.shape(), prev.shape(), "momentum shape mismatch");
+    for ((o, &c), &p) in out
+        .as_mut_slice()
+        .iter_mut()
+        .zip(cur.as_slice())
+        .zip(prev.as_slice())
+    {
+        *o += gamma * (c - p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.at(i, k) * b.at(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    fn test_mat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r * 31 + c * 17 + seed as usize) % 13;
+            x as f32 / 7.0 - 0.9
+        })
+    }
+
+    #[test]
+    fn gemm_matches_naive() {
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (17, 9, 33), (64, 32, 48)] {
+            let a = test_mat(m, k, 1);
+            let b = test_mat(k, n, 2);
+            let mut c = Matrix::zeros(m, n);
+            gemm(1.0, &a, &b, 0.0, &mut c);
+            assert!(c.max_abs_diff(&naive_gemm(&a, &b)) < 1e-4, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta() {
+        let a = test_mat(4, 3, 1);
+        let b = test_mat(3, 5, 2);
+        let mut c = test_mat(4, 5, 3);
+        let c0 = c.clone();
+        gemm(2.0, &a, &b, 0.5, &mut c);
+        let naive = naive_gemm(&a, &b);
+        for i in 0..4 {
+            for j in 0..5 {
+                let want = 2.0 * naive.at(i, j) + 0.5 * c0.at(i, j);
+                assert!((c.at(i, j) - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = test_mat(6, 7, 4);
+        let b = test_mat(9, 7, 5);
+        let mut c = Matrix::zeros(6, 9);
+        gemm_nt(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&naive_gemm(&a, &b.transposed())) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = test_mat(7, 6, 6);
+        let b = test_mat(7, 9, 7);
+        let mut c = Matrix::zeros(6, 9);
+        gemm_tn(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&naive_gemm(&a.transposed(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn gemm_tn_beta_accumulates() {
+        let a = test_mat(5, 4, 8);
+        let b = test_mat(5, 3, 9);
+        let mut c = test_mat(4, 3, 10);
+        let c0 = c.clone();
+        gemm_tn(1.0, &a, &b, 1.0, &mut c);
+        let naive = naive_gemm(&a.transposed(), &b);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((c.at(i, j) - (naive.at(i, j) + c0.at(i, j))).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn large_parallel_gemm_matches_serial_result() {
+        // Big enough to trigger the parallel path.
+        let a = test_mat(200, 64, 11);
+        let b = test_mat(64, 120, 12);
+        let mut c = Matrix::zeros(200, 120);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+        assert!(c.max_abs_diff(&naive_gemm(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn axpy_axpby_scale() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        axpby(1.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0, 21.0]);
+        scale(2.0, &mut y);
+        assert_eq!(y, [14.0, 28.0, 42.0]);
+    }
+
+    #[test]
+    fn weighted_sum_basic() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let mut out = Matrix::zeros(1, 2);
+        weighted_sum(&[&a, &b], &[0.25, 0.75], &mut out);
+        assert_eq!(out.as_slice(), &[2.5, 3.5]);
+    }
+
+    #[test]
+    fn momentum_term() {
+        let cur = Matrix::from_vec(1, 2, vec![2.0, 2.0]);
+        let prev = Matrix::from_vec(1, 2, vec![1.0, 3.0]);
+        let mut out = Matrix::from_vec(1, 2, vec![10.0, 10.0]);
+        add_momentum(&mut out, &cur, &prev, 0.9);
+        assert_eq!(out.as_slice(), &[10.9, 9.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_dim_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let mut c = Matrix::zeros(2, 2);
+        gemm(1.0, &a, &b, 0.0, &mut c);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+        proptest::collection::vec(-2.0f32..2.0, rows * cols)
+            .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn gemm_is_linear_in_alpha(
+            a in mat_strategy(5, 4),
+            b in mat_strategy(4, 6),
+            alpha in -3.0f32..3.0,
+        ) {
+            let mut c1 = Matrix::zeros(5, 6);
+            gemm(1.0, &a, &b, 0.0, &mut c1);
+            let mut c2 = Matrix::zeros(5, 6);
+            gemm(alpha, &a, &b, 0.0, &mut c2);
+            for (x, y) in c1.as_slice().iter().zip(c2.as_slice()) {
+                prop_assert!((alpha * x - y).abs() < 1e-3);
+            }
+        }
+
+        #[test]
+        fn nt_tn_consistency((a, b) in (mat_strategy(6, 5), mat_strategy(7, 5))) {
+            // (A·Bᵀ)ᵀ == B·Aᵀ
+            let mut ab = Matrix::zeros(6, 7);
+            gemm_nt(1.0, &a, &b, 0.0, &mut ab);
+            let mut ba = Matrix::zeros(7, 6);
+            gemm_nt(1.0, &b, &a, 0.0, &mut ba);
+            prop_assert!(ab.transposed().max_abs_diff(&ba) < 1e-4);
+        }
+
+        #[test]
+        fn weighted_sum_of_identical_is_identity(m in mat_strategy(4, 4)) {
+            // With weights summing to 1 and all replicas equal, the merge
+            // must return the replica (merge idempotence).
+            let mut out = Matrix::zeros(4, 4);
+            weighted_sum(&[&m, &m, &m], &[0.2, 0.3, 0.5], &mut out);
+            prop_assert!(out.max_abs_diff(&m) < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Fork/join row-range parallelism over scoped crossbeam threads.
+//!
+//! The kernels in this workspace parallelize over *disjoint row ranges* of an
+//! output buffer. Instead of pulling in a work-stealing pool, each kernel
+//! call forks `num_threads` scoped threads over contiguous chunks and joins —
+//! predictable, allocation-light, and deterministic in its partitioning.
+//!
+//! The thread count is resolved once per process: the `ASGD_THREADS`
+//! environment variable wins, otherwise `std::thread::available_parallelism`.
+
+use std::sync::OnceLock;
+
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The number of worker threads kernels will fork.
+///
+/// Resolved once from `ASGD_THREADS` (if set to a positive integer) or the
+/// machine's available parallelism; at least 1.
+pub fn num_threads() -> usize {
+    *THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("ASGD_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal size.
+///
+/// Returns an empty vector when `n == 0`. Every element of `0..n` is covered
+/// exactly once and ranges are in ascending order.
+pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(range)` over a partition of `0..n`, in parallel when `n` is large
+/// enough to amortize thread spawning (`n >= min_serial`), serially otherwise.
+///
+/// `f` must only touch state it can access through `&self`/captured `Sync`
+/// references; use [`par_chunks_mut`] when each range owns a slice of output.
+pub fn par_ranges<F>(n: usize, min_serial: usize, f: F)
+where
+    F: Fn(std::ops::Range<usize>) + Sync,
+{
+    let threads = num_threads();
+    if threads == 1 || n < min_serial {
+        if n > 0 {
+            f(0..n);
+        }
+        return;
+    }
+    let ranges = split_ranges(n, threads);
+    crossbeam::scope(|s| {
+        // First range runs on the calling thread to save one spawn.
+        for r in ranges.iter().skip(1).cloned() {
+            let f = &f;
+            s.spawn(move |_| f(r));
+        }
+        f(ranges[0].clone());
+    })
+    .expect("parallel worker panicked");
+}
+
+/// Partitions `data` (logically `rows` rows of `row_len` elements) into
+/// contiguous row chunks and runs `f(first_row, chunk)` on each, in parallel
+/// when `rows >= min_serial`.
+///
+/// # Panics
+/// Panics when `data.len() != rows * row_len`.
+pub fn par_chunks_mut<F>(data: &mut [f32], rows: usize, row_len: usize, min_serial: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(data.len(), rows * row_len, "par_chunks_mut shape mismatch");
+    let threads = num_threads();
+    if threads == 1 || rows < min_serial {
+        if rows > 0 {
+            f(0, data);
+        }
+        return;
+    }
+    let ranges = split_ranges(rows, threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut consumed = 0usize;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut((r.end - r.start) * row_len);
+            rest = tail;
+            let first_row = consumed;
+            consumed = r.end;
+            let f = &f;
+            s.spawn(move |_| f(first_row, head));
+        }
+    })
+    .expect("parallel worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn split_covers_everything_once() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for parts in [1usize, 2, 3, 7, 64] {
+                let ranges = split_ranges(n, parts);
+                let mut covered = vec![false; n];
+                for r in &ranges {
+                    for i in r.clone() {
+                        assert!(!covered[i], "double cover at {i}");
+                        covered[i] = true;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c), "n={n} parts={parts}");
+                if n > 0 {
+                    assert!(ranges.len() <= parts.max(1));
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    assert!(max - min <= 1, "unbalanced split");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_ranges_visits_all() {
+        let hits = AtomicUsize::new(0);
+        par_ranges(1000, 1, |r| {
+            hits.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn par_ranges_zero_is_noop() {
+        par_ranges(0, 1, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_rows() {
+        let rows = 103;
+        let row_len = 7;
+        let mut data = vec![0.0f32; rows * row_len];
+        par_chunks_mut(&mut data, rows, row_len, 1, |first_row, chunk| {
+            for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                row.fill((first_row + i) as f32);
+            }
+        });
+        for r in 0..rows {
+            for c in 0..row_len {
+                assert_eq!(data[r * row_len + c], r as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn serial_fallback_matches_parallel() {
+        let rows = 64;
+        let row_len = 4;
+        let run = |min_serial: usize| {
+            let mut data = vec![0.0f32; rows * row_len];
+            par_chunks_mut(&mut data, rows, row_len, min_serial, |first, chunk| {
+                for (i, row) in chunk.chunks_mut(row_len).enumerate() {
+                    let v = ((first + i) * 31 % 17) as f32;
+                    row.fill(v);
+                }
+            });
+            data
+        };
+        assert_eq!(run(usize::MAX), run(1));
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let a = num_threads();
+        let b = num_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b);
+    }
+}

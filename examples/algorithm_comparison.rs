@@ -1,0 +1,75 @@
+//! Compare all five systems of the paper's evaluation — Adaptive SGD,
+//! Elastic SGD, CROSSBOW-style SMA, TensorFlow-mirrored, and SLIDE (CPU) —
+//! on the same dataset, same initial model, same simulated time budget
+//! (the §V-A methodology).
+//!
+//! ```text
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+    RunResult,
+};
+use adaptive_sgd::data::{generate, DatasetSpec};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+use adaptive_sgd::slide::{SlideConfig, SlideTrainer};
+
+fn main() {
+    let spec = DatasetSpec::amazon_670k(0.005);
+    println!("dataset: {}", spec.name);
+    let dataset = generate(&spec, 7);
+
+    let b_max = 64;
+    let batches_per_mega = 16;
+    let mega_limit = 8;
+
+    let mut results: Vec<RunResult> = Vec::new();
+    for algo in algorithms::all_gpu_algorithms() {
+        let mut config = RunConfig::paper_defaults(b_max, batches_per_mega);
+        config.hidden = 64;
+        config.base_lr = 0.1;
+        config.mega_batch_limit = Some(mega_limit);
+        config.overhead_scale = 0.005;
+        let name = algo.name.clone();
+        println!("running {name} ...");
+        results.push(Trainer::new(algo, heterogeneous_server(4), config).run(&dataset));
+    }
+
+    // SLIDE runs on the CPU for the same simulated time the GPU runs used.
+    let budget = results[0].records.last().map(|r| r.sim_time).unwrap_or(1.0);
+    let mut slide_cfg = SlideConfig::defaults(b_max * batches_per_mega);
+    slide_cfg.hidden = 64;
+    slide_cfg.k_bits = 6;
+    slide_cfg.time_limit = Some(budget.max(1e-3) * 50.0);
+    slide_cfg.sample_limit = Some((dataset.train.len() * 12) as u64);
+    println!("running slide-cpu ...");
+    results.push(SlideTrainer::new(slide_cfg).run(&dataset));
+
+    println!("\n{:<22} {:>10} {:>14} {:>10}", "algorithm", "best acc", "sim time (s)", "records");
+    for r in &results {
+        let t_end = r.records.last().map(|x| x.sim_time).unwrap_or(0.0);
+        println!(
+            "{:<22} {:>10.4} {:>14.4} {:>10}",
+            r.name,
+            r.best_accuracy(),
+            t_end,
+            r.records.len()
+        );
+    }
+
+    // Time-to-accuracy at a shared target (75% of the best observed).
+    let target = results
+        .iter()
+        .map(|r| r.best_accuracy())
+        .fold(0.0f64, f64::max)
+        * 0.75;
+    println!("\ntime to reach {target:.3} top-1 accuracy:");
+    for r in &results {
+        match r.time_to_accuracy(target) {
+            Some(t) => println!("  {:<22} {:>12.4} s", r.name, t),
+            None => println!("  {:<22} {:>12}", r.name, "never"),
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Train on real Extreme Classification data in libSVM format.
+//!
+//! Pass paths to XC-format train/test files (e.g. the Amazon-670k or
+//! Delicious-200k downloads from the Extreme Classification Repository):
+//!
+//! ```text
+//! cargo run --release --example real_data -- train.txt test.txt
+//! ```
+//!
+//! Without arguments, the example writes a small synthetic dataset to libSVM
+//! files in a temp directory, reads it back, and trains on that — exercising
+//! the exact ingestion path real data would take.
+
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+};
+use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+use adaptive_sgd::sparse::libsvm;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (train_path, test_path) = match args.as_slice() {
+        [a, b] => (a.clone(), b.clone()),
+        [] => write_demo_files(),
+        _ => {
+            eprintln!("usage: real_data [<train.libsvm> <test.libsvm>]");
+            std::process::exit(2);
+        }
+    };
+
+    println!("loading {train_path} and {test_path} ...");
+    let train = libsvm::read(BufReader::new(
+        File::open(&train_path).expect("open train file"),
+    ))
+    .expect("parse train file");
+    let test = libsvm::read(BufReader::new(
+        File::open(&test_path).expect("open test file"),
+    ))
+    .expect("parse test file");
+    let dataset = XmlDataset::from_libsvm("libsvm-input", train, test);
+    println!(
+        "{} samples, {} features, {} labels",
+        dataset.train.len(),
+        dataset.num_features,
+        dataset.num_labels
+    );
+
+    let mut config = RunConfig::paper_defaults(32, 8);
+    config.hidden = 64;
+    config.base_lr = 0.2;
+    config.mega_batch_limit = Some(6);
+    let result = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config,
+    )
+    .run(&dataset);
+    for r in &result.records {
+        println!(
+            "mega-batch {:>2}: sim {:.4}s, epochs {:.2}, top-1 {:.4}",
+            r.merge_index, r.sim_time, r.epochs, r.accuracy
+        );
+    }
+    println!("best top-1 accuracy: {:.4}", result.best_accuracy());
+}
+
+/// Generates a synthetic dataset and round-trips it through libSVM files.
+fn write_demo_files() -> (String, String) {
+    let dir = std::env::temp_dir().join("asgd-real-data-demo");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let train_path = dir.join("train.libsvm");
+    let test_path = dir.join("test.libsvm");
+    println!("no input files given; writing a synthetic demo to {dir:?}");
+    let ds = generate(&DatasetSpec::tiny("demo"), 9);
+    let to_libsvm = |split: &adaptive_sgd::data::SplitData| libsvm::LibsvmDataset {
+        features: split.features.clone(),
+        labels: split.labels.clone(),
+        num_labels: ds.num_labels,
+    };
+    let mut w = BufWriter::new(File::create(&train_path).expect("create train"));
+    libsvm::write(&mut w, &to_libsvm(&ds.train)).expect("write train");
+    let mut w = BufWriter::new(File::create(&test_path).expect("create test"));
+    libsvm::write(&mut w, &to_libsvm(&ds.test)).expect("write test");
+    (
+        train_path.to_string_lossy().into_owned(),
+        test_path.to_string_lossy().into_owned(),
+    )
+}

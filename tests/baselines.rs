@@ -1,0 +1,190 @@
+//! Integration tests of the baseline algorithms against Adaptive SGD — the
+//! qualitative relationships the paper's Figures 4 and 5 rest on.
+
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+};
+use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+use adaptive_sgd::slide::{SlideConfig, SlideTrainer};
+
+fn dataset() -> XmlDataset {
+    generate(&DatasetSpec::amazon_670k(0.001), 7)
+}
+
+fn config(mega_batches: usize) -> RunConfig {
+    let mut c = RunConfig::paper_defaults(64, 16);
+    c.hidden = 32;
+    c.base_lr = 0.3;
+    c.mega_batch_limit = Some(mega_batches);
+    c.overhead_scale = 0.001;
+    c
+}
+
+#[test]
+fn all_gpu_algorithms_complete_and_learn() {
+    let ds = dataset();
+    for spec in algorithms::all_gpu_algorithms() {
+        let name = spec.name.clone();
+        let result = Trainer::new(spec, heterogeneous_server(2), config(6)).run(&ds);
+        assert_eq!(result.records.len(), 6, "{name} record count");
+        assert!(
+            result.best_accuracy() > 0.1,
+            "{name} failed to learn: {}",
+            result.best_accuracy()
+        );
+    }
+}
+
+#[test]
+fn tensorflow_pays_more_simulated_time_per_epoch() {
+    // §V-B: TensorFlow's epoch execution and per-batch mirrored aggregation
+    // make it far slower in wall-clock for the same number of samples.
+    let ds = dataset();
+    let adaptive = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(4),
+    )
+    .run(&ds);
+    let tf = Trainer::new(
+        algorithms::tensorflow_sync(),
+        heterogeneous_server(2),
+        config(4),
+    )
+    .run(&ds);
+    // Same samples processed (4 mega-batches each): compare elapsed time.
+    let ta = adaptive.records.last().unwrap().sim_time;
+    let tt = tf.records.last().unwrap().sim_time;
+    assert!(
+        tt > 1.5 * ta,
+        "tensorflow {tt}s should be well above adaptive {ta}s"
+    );
+}
+
+#[test]
+fn elastic_straggles_behind_adaptive_in_wall_clock() {
+    // Static partitioning waits for the slowest GPU each mega-batch;
+    // dynamic scheduling fills the gap. Same samples => less time.
+    let ds = dataset();
+    let adaptive = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(4),
+        config(6),
+    )
+    .run(&ds);
+    let elastic = Trainer::new(
+        algorithms::elastic_sgd(),
+        heterogeneous_server(4),
+        config(6),
+    )
+    .run(&ds);
+    let ta = adaptive.records.last().unwrap().sim_time;
+    let te = elastic.records.last().unwrap().sim_time;
+    assert!(
+        ta < te,
+        "adaptive ({ta}s) should process the same mega-batches faster than elastic ({te}s)"
+    );
+}
+
+#[test]
+fn slide_wins_statistical_efficiency_loses_wall_clock() {
+    // Fig. 5: SLIDE reaches accuracy targets in fewer epochs (more updates)
+    // but needs far more simulated time than any GPU configuration.
+    let ds = dataset();
+    let adaptive = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(8),
+    )
+    .run(&ds);
+
+    let mut slide_cfg = SlideConfig::defaults(64 * 16);
+    slide_cfg.hidden = 32;
+    slide_cfg.k_bits = 5;
+    slide_cfg.lr = 0.1;
+    slide_cfg.sample_limit = Some((ds.train.len() * 10) as u64);
+    let slide = SlideTrainer::new(slide_cfg).run(&ds);
+
+    let target = adaptive.best_accuracy().min(slide.best_accuracy()) * 0.8;
+    let (gpu_epochs, gpu_time) = (
+        adaptive.epochs_to_accuracy(target).expect("gpu reaches"),
+        adaptive.time_to_accuracy(target).expect("gpu reaches"),
+    );
+    let (slide_epochs, slide_time) = (
+        slide.epochs_to_accuracy(target).expect("slide reaches"),
+        slide.time_to_accuracy(target).expect("slide reaches"),
+    );
+    assert!(
+        slide_epochs <= gpu_epochs,
+        "slide epochs {slide_epochs} vs gpu {gpu_epochs}"
+    );
+    assert!(
+        slide_time > gpu_time,
+        "slide time {slide_time} vs gpu {gpu_time}"
+    );
+}
+
+#[test]
+fn crossbow_is_more_volatile_than_adaptive() {
+    // The paper attributes CROSSBOW's instability to its sensitive central
+    // update. Measure curve volatility (mean |Δaccuracy| between records).
+    let ds = dataset();
+    let volatility = |records: &[adaptive_sgd::core::MergeRecord]| -> f64 {
+        let diffs: Vec<f64> = records
+            .windows(2)
+            .map(|w| (w[1].accuracy - w[0].accuracy).abs())
+            .collect();
+        diffs.iter().sum::<f64>() / diffs.len().max(1) as f64
+    };
+    let adaptive = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(8),
+    )
+    .run(&ds);
+    let crossbow = Trainer::new(
+        algorithms::crossbow_sma(),
+        heterogeneous_server(2),
+        config(8),
+    )
+    .run(&ds);
+    // Adaptive should never be dramatically *more* volatile than CROSSBOW.
+    let va = volatility(&adaptive.records[2..]);
+    let vc = volatility(&crossbow.records[2..]);
+    assert!(
+        va <= vc + 0.05,
+        "adaptive volatility {va} vs crossbow {vc}"
+    );
+}
+
+#[test]
+fn ablations_run_and_stay_in_reasonable_accuracy_range() {
+    let ds = dataset();
+    for spec in [
+        algorithms::adaptive_without_scaling(),
+        algorithms::adaptive_without_perturbation(),
+        algorithms::adaptive_with_plain_average(),
+    ] {
+        let name = spec.name.clone();
+        let result = Trainer::new(spec, heterogeneous_server(2), config(5)).run(&ds);
+        assert!(
+            result.best_accuracy() > 0.1,
+            "{name}: {}",
+            result.best_accuracy()
+        );
+    }
+}
+
+#[test]
+fn no_perturbation_ablation_never_perturbs() {
+    let ds = dataset();
+    let result = Trainer::new(
+        algorithms::adaptive_without_perturbation(),
+        heterogeneous_server(4),
+        config(5),
+    )
+    .run(&ds);
+    assert_eq!(result.perturbation_frequency(), 0.0);
+}

@@ -1,0 +1,108 @@
+//! Pause/resume integration: a run checkpointed at a mega-batch boundary
+//! continues training from the snapshot.
+
+use adaptive_sgd::core::checkpoint::TrainingState;
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+};
+use adaptive_sgd::data::{generate, DatasetSpec};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+
+fn config(megas: usize) -> RunConfig {
+    let mut c = RunConfig::paper_defaults(32, 8);
+    c.hidden = 16;
+    c.base_lr = 0.3;
+    c.mega_batch_limit = Some(megas);
+    c.overhead_scale = 0.001;
+    c
+}
+
+#[test]
+fn resume_continues_from_snapshot() {
+    let ds = generate(&DatasetSpec::tiny("resume"), 11);
+    let trainer = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(4),
+    );
+    let first = trainer.run(&ds);
+    let state = first.final_state.clone().expect("GPU runs produce state");
+    assert_eq!(state.megas_done, 4);
+
+    // Serialize through the binary format, as a real pause/restart would.
+    let restored = TrainingState::decode(state.encode()).unwrap();
+    let second = trainer.run_resumed(&ds, &restored);
+
+    // Merge indices continue where the first run stopped.
+    assert_eq!(second.records.first().unwrap().merge_index, 4);
+    assert_eq!(second.records.last().unwrap().merge_index, 7);
+    assert_eq!(second.final_state.unwrap().megas_done, 8);
+
+    // The resumed run starts from the trained model, not from scratch: its
+    // first-merge accuracy should be at least the cold run's first-merge
+    // accuracy (it has 4 mega-batches of training behind it).
+    assert!(
+        second.records.first().unwrap().accuracy
+            >= first.records.first().unwrap().accuracy
+    );
+}
+
+#[test]
+fn resumed_hyperparameters_carry_over() {
+    let ds = generate(&DatasetSpec::tiny("resume2"), 12);
+    // Strongly heterogeneous pair so batch sizes diverge quickly.
+    let profiles = vec![
+        adaptive_sgd::gpusim::DeviceProfile::v100("fast"),
+        adaptive_sgd::gpusim::DeviceProfile::v100("slow").with_speed(0.5),
+    ];
+    let trainer = Trainer::new(algorithms::adaptive_sgd(), profiles, config(6));
+    let first = trainer.run(&ds);
+    let state = first.final_state.unwrap();
+    let adapted_sizes: Vec<f64> = state.hypers.iter().map(|h| h.batch_size).collect();
+    assert_ne!(adapted_sizes[0], adapted_sizes[1], "sizes never adapted");
+
+    let second = trainer.run_resumed(&ds, &state);
+    // The resumed run's first record reflects the carried-over sizes (it
+    // does not reset to b_max for everyone).
+    let first_record = &second.records[0];
+    assert!(
+        (first_record.batch_sizes[1] - adapted_sizes[1]).abs()
+            <= adaptive_sgd::core::ScalingParams::paper_defaults(32).beta * 3.0,
+        "resumed batch size jumped: {:?} vs snapshot {:?}",
+        first_record.batch_sizes,
+        adapted_sizes
+    );
+}
+
+#[test]
+#[should_panic(expected = "checkpoint does not match the GPU count")]
+fn resume_with_wrong_gpu_count_panics() {
+    let ds = generate(&DatasetSpec::tiny("resume3"), 13);
+    let two = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(2),
+    );
+    let state = two.run(&ds).final_state.unwrap();
+    let four = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(4),
+        config(2),
+    );
+    let _ = four.run_resumed(&ds, &state);
+}
+
+#[test]
+#[should_panic(expected = "does not match the model architecture")]
+fn resume_with_wrong_architecture_panics() {
+    let ds = generate(&DatasetSpec::tiny("resume4"), 14);
+    let trainer = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        config(2),
+    );
+    let mut state = trainer.run(&ds).final_state.unwrap();
+    state.global.truncate(10);
+    let _ = trainer.run_resumed(&ds, &state);
+}

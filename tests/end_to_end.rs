@@ -1,0 +1,185 @@
+//! Cross-crate integration: full training pipelines over the whole stack
+//! (data generation → sparse kernels → model → simulated devices →
+//! collectives → Adaptive SGD) on small-but-real workloads.
+
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+};
+use adaptive_sgd::data::{generate, DatasetSpec};
+use adaptive_sgd::gpusim::profile::{heterogeneous_server, homogeneous_server};
+use adaptive_sgd::model::{eval, Mlp, MlpConfig};
+
+fn small_amazon() -> adaptive_sgd::data::XmlDataset {
+    generate(&DatasetSpec::amazon_670k(0.001), 7)
+}
+
+fn config(mega_batches: usize) -> RunConfig {
+    let mut c = RunConfig::paper_defaults(64, 16);
+    c.hidden = 32;
+    c.base_lr = 0.3;
+    c.mega_batch_limit = Some(mega_batches);
+    c.overhead_scale = 0.001;
+    c
+}
+
+#[test]
+fn adaptive_learns_above_untrained_baseline() {
+    let ds = small_amazon();
+    let mconfig = MlpConfig {
+        num_features: ds.num_features,
+        hidden: 32,
+        num_classes: ds.num_labels,
+    };
+    let untrained = Mlp::init(&mconfig, 42);
+    let base = eval::top1_accuracy(&untrained, &ds.test.features, &ds.test.labels, 256);
+    let result = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(4),
+        config(8),
+    )
+    .run(&ds);
+    assert!(
+        result.best_accuracy() > base + 0.1,
+        "baseline {base}, best {}",
+        result.best_accuracy()
+    );
+}
+
+#[test]
+fn adaptive_converges_toward_equal_update_counts() {
+    // The whole point of batch size scaling: the update-count spread across
+    // heterogeneous GPUs shrinks as training proceeds.
+    let ds = small_amazon();
+    let result = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(4),
+        config(12),
+    )
+    .run(&ds);
+    let spread = |updates: &[u64]| -> u64 {
+        updates.iter().max().unwrap() - updates.iter().min().unwrap()
+    };
+    let early = spread(&result.records[0].updates);
+    let late_avg: f64 = result.records[8..]
+        .iter()
+        .map(|r| spread(&r.updates) as f64)
+        .sum::<f64>()
+        / (result.records.len() - 8) as f64;
+    assert!(
+        late_avg <= early as f64,
+        "update spread should not grow: early {early}, late avg {late_avg}"
+    );
+    // Batch sizes must have actually differentiated.
+    let last = result.records.last().unwrap();
+    let bmax = last.batch_sizes.iter().cloned().fold(0.0f64, f64::max);
+    let bmin = last.batch_sizes.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(bmax > bmin, "batch sizes never differentiated");
+}
+
+#[test]
+fn homogeneous_server_keeps_adaptive_close_to_elastic() {
+    // Control experiment: with identical GPUs (jitter only), Adaptive's
+    // mechanisms have little to adapt to, so both algorithms should reach
+    // similar accuracy.
+    let ds = small_amazon();
+    let adaptive = Trainer::new(
+        algorithms::adaptive_sgd(),
+        homogeneous_server(2),
+        config(6),
+    )
+    .run(&ds);
+    let elastic = Trainer::new(
+        algorithms::elastic_sgd(),
+        homogeneous_server(2),
+        config(6),
+    )
+    .run(&ds);
+    let diff = (adaptive.best_accuracy() - elastic.best_accuracy()).abs();
+    assert!(
+        diff < 0.15,
+        "adaptive {} vs elastic {} diverged on a homogeneous server",
+        adaptive.best_accuracy(),
+        elastic.best_accuracy()
+    );
+}
+
+#[test]
+fn perturbation_fires_regularly_with_initialized_models() {
+    // Fig. 6b: the paper observes perturbation firing for most mega-batches
+    // because replicas stay well-regularized (norm-per-param « 0.1).
+    let ds = small_amazon();
+    let result = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(4),
+        config(8),
+    )
+    .run(&ds);
+    assert!(
+        result.perturbation_frequency() > 0.5,
+        "perturbation frequency {}",
+        result.perturbation_frequency()
+    );
+}
+
+#[test]
+fn more_gpus_shorten_time_to_target() {
+    // Scalability (Fig. 5a): 4 GPUs should reach a fixed accuracy target in
+    // less simulated time than 1 GPU.
+    let ds = small_amazon();
+    let run = |n: usize| {
+        Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(n), config(10)).run(&ds)
+    };
+    let one = run(1);
+    let four = run(4);
+    let target = one.best_accuracy().min(four.best_accuracy()) * 0.8;
+    let t1 = one.time_to_accuracy(target).expect("1 GPU reaches target");
+    let t4 = four.time_to_accuracy(target).expect("4 GPUs reach target");
+    assert!(
+        t4 < t1,
+        "4 GPUs ({t4}s) should beat 1 GPU ({t1}s) to accuracy {target}"
+    );
+}
+
+#[test]
+fn run_is_reproducible_end_to_end() {
+    let ds = small_amazon();
+    let run = || {
+        Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(3),
+            config(4),
+        )
+        .run(&ds)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.final_model, b.final_model);
+    let times_a: Vec<f64> = a.records.iter().map(|r| r.sim_time).collect();
+    let times_b: Vec<f64> = b.records.iter().map(|r| r.sim_time).collect();
+    assert_eq!(times_a, times_b);
+    let acc_a: Vec<f64> = a.records.iter().map(|r| r.accuracy).collect();
+    let acc_b: Vec<f64> = b.records.iter().map(|r| r.accuracy).collect();
+    assert_eq!(acc_a, acc_b);
+}
+
+#[test]
+fn time_limit_stops_training() {
+    let ds = small_amazon();
+    let mut c = config(1000);
+    c.mega_batch_limit = None;
+    c.time_limit = Some(0.002);
+    let result = Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(2),
+        c,
+    )
+    .run(&ds);
+    let end = result.records.last().unwrap().sim_time;
+    // Stops at the first mega-batch boundary past the limit.
+    assert!(end >= 0.002, "end {end}");
+    assert!(
+        result.records.len() < 1000,
+        "time limit did not stop the run"
+    );
+}
