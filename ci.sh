@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 verify line.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh quick    # skip the workspace test pass (tier-1 only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, -D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release
+cargo test -q
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "== workspace tests =="
+    cargo test --workspace -q
+fi
+
+echo "CI OK"

@@ -42,9 +42,7 @@ fn bench_allreduce(c: &mut Criterion) {
             group.bench_function(BenchmarkId::new(name, len), |b| {
                 b.iter_batched(
                     || (0..n).map(|d| vec![d as f32; len]).collect::<Vec<_>>(),
-                    |mut bufs| {
-                        allreduce(&mut bufs, &weights, algo, &ctx, &vec![SimTime::ZERO; n])
-                    },
+                    |mut bufs| allreduce(&mut bufs, &weights, algo, &ctx, &vec![SimTime::ZERO; n]),
                     criterion::BatchSize::LargeInput,
                 );
             });

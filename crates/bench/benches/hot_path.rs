@@ -1,0 +1,74 @@
+//! End-to-end training hot path: full `train_batch` steps (sparse forward,
+//! dense output layer, backward, sparse weight update) at the two Table I
+//! dataset shapes, measured as samples/second.
+//!
+//! This is the benchmark guarding the persistent-pool + reusable-workspace
+//! hot path: it exercises exactly what one GPU manager runs per dispatched
+//! batch.
+
+use asgd_data::{generate, DatasetSpec};
+use asgd_model::{Mlp, MlpConfig, Workspace};
+use asgd_sparse::CsrMatrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const HIDDEN: usize = 128;
+const BATCH: usize = 256;
+
+struct Shape {
+    label: &'static str,
+    spec: DatasetSpec,
+}
+
+fn shapes() -> Vec<Shape> {
+    vec![
+        Shape {
+            label: "amazon_like",
+            spec: DatasetSpec::amazon_670k(0.005),
+        },
+        Shape {
+            label: "delicious_like",
+            spec: DatasetSpec::delicious_200k(0.002),
+        },
+    ]
+}
+
+fn batch_of(ds: &asgd_data::XmlDataset, batch: usize) -> (CsrMatrix, Vec<Vec<u32>>) {
+    let ids: Vec<usize> = (0..batch).map(|i| i % ds.train.len()).collect();
+    let x = ds.train.features.select_rows(&ids);
+    let labels: Vec<Vec<u32>> = ids.iter().map(|&i| ds.train.labels[i].clone()).collect();
+    (x, labels)
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_hot_path");
+    for shape in shapes() {
+        let ds = generate(&shape.spec, 7);
+        let config = MlpConfig {
+            num_features: ds.num_features,
+            hidden: HIDDEN,
+            num_classes: ds.num_labels,
+        };
+        let (x, labels) = batch_of(&ds, BATCH);
+        let mut model = Mlp::init(&config, 3);
+        let mut ws = Workspace::new(&config);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        // The steady-state trainer path: one long-lived workspace per
+        // replica, zero allocations per step.
+        group.bench_function(BenchmarkId::new(shape.label, BATCH), |b| {
+            b.iter(|| model.train_batch_ws(&x, &labels, 1e-3, &mut ws))
+        });
+        // The allocating wrapper, for quantifying what workspace reuse
+        // saves (same kernels, fresh buffers each step).
+        group.bench_function(BenchmarkId::new(shape.label, "alloc_per_step"), |b| {
+            b.iter(|| model.train_batch(&x, &labels, 1e-3))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_hot_path
+}
+criterion_main!(benches);

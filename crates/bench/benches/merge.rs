@@ -1,8 +1,8 @@
 //! Model-merging microbenchmarks: Algorithm 2's weight computation, the
 //! weighted model sum, the momentum update, and Algorithm 1's scaling step.
 
-use asgd_core::{compute_merge_weights, scale_batch_sizes, GpuHyper, MergeParams, ScalingParams};
 use asgd_core::merging::apply_global_update;
+use asgd_core::{compute_merge_weights, scale_batch_sizes, GpuHyper, MergeParams, ScalingParams};
 use asgd_tensor::{ops, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -48,9 +48,7 @@ fn bench_merge(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(len), |b| {
             b.iter_batched(
                 || (vec![1.0f32; len], vec![0.8f32; len]),
-                |(mut global, mut prev)| {
-                    apply_global_update(&merged, &mut global, &mut prev, 0.9)
-                },
+                |(mut global, mut prev)| apply_global_update(&merged, &mut global, &mut prev, 0.9),
                 criterion::BatchSize::LargeInput,
             );
         });

@@ -8,8 +8,9 @@ fn main() {
     println!("experiment environment: {env:?}\n");
     let t0 = std::time::Instant::now();
     type Exp = (&'static str, fn(&Env) -> String);
-    let experiments: [Exp; 7] = [
+    let experiments: [Exp; 8] = [
         ("table1.csv", ex::table1),
+        ("hot_path.csv", ex::hot_path),
         ("fig1.csv", ex::fig1),
         ("fig2_trace.txt", ex::fig2_trace),
         ("fig4.csv", ex::fig4),

@@ -12,7 +12,11 @@ fn main() {
     let env = Env::from_env();
     let spec = &env.dataset_specs()[0];
     let ds = env.dataset(spec);
-    eprintln!("sweeping on {} ({} train samples)", spec.name, ds.train.len());
+    eprintln!(
+        "sweeping on {} ({} train samples)",
+        spec.name,
+        ds.train.len()
+    );
 
     let lrs = [1.0, 0.3, 0.1, 0.03, 0.01];
     let b_maxes = [env.b_max / 2, env.b_max, env.b_max * 2];
@@ -22,14 +26,9 @@ fn main() {
             let mut config = env.run_config(lr);
             config.b_max = b_max;
             config.mega_batch_size = b_max * env.batches_per_mega;
-            config.scaling_params =
-                asgd_core::ScalingParams::paper_defaults(b_max);
-            let result = Trainer::new(
-                algorithms::adaptive_sgd(),
-                heterogeneous_server(4),
-                config,
-            )
-            .run(&ds);
+            config.scaling_params = asgd_core::ScalingParams::paper_defaults(b_max);
+            let result =
+                Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(4), config).run(&ds);
             cells.push((lr, b_max, result));
         }
     }

@@ -101,6 +101,46 @@ pub fn fig2_trace(env: &Env) -> String {
     result.trace
 }
 
+/// **Hot path** — wall-clock training throughput of one replica's
+/// `train_batch_ws` steps at both dataset shapes: the quantity the
+/// persistent worker pool + reusable workspace optimize. (The Criterion
+/// variant lives in `benches/hot_path.rs`; this row makes the number part of
+/// every full evaluation run so regressions show up in the artifact
+/// trajectory.)
+pub fn hot_path(env: &Env) -> String {
+    use asgd_model::{Mlp, Workspace};
+    let mut out = String::from("dataset,batch,steps,ms_per_batch,samples_per_s\n");
+    for spec in env.dataset_specs() {
+        let ds = env.dataset(&spec);
+        let config = MlpConfig {
+            num_features: ds.num_features,
+            hidden: env.hidden,
+            num_classes: ds.num_labels,
+        };
+        let batch = env.b_max.min(ds.train.len());
+        let ids: Vec<usize> = (0..batch).collect();
+        let x = ds.train.features.select_rows(&ids);
+        let labels: Vec<Vec<u32>> = ids.iter().map(|&i| ds.train.labels[i].clone()).collect();
+        let mut model = Mlp::init(&config, env.seed);
+        let mut ws = Workspace::new(&config);
+        model.train_batch_ws(&x, &labels, 1e-3, &mut ws); // warm up buffers
+        let steps = 10;
+        let t0 = std::time::Instant::now();
+        for _ in 0..steps {
+            model.train_batch_ws(&x, &labels, 1e-3, &mut ws);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        let _ = writeln!(
+            out,
+            "{},{batch},{steps},{:.3},{:.0}",
+            spec.name,
+            elapsed * 1e3 / steps as f64,
+            (batch * steps) as f64 / elapsed
+        );
+    }
+    out
+}
+
 /// Formats one run's curve as CSV rows tagged with dataset/gpus/algorithm.
 fn curve_rows(out: &mut String, dataset: &str, gpus: usize, result: &RunResult) {
     for r in &result.records {
@@ -126,11 +166,7 @@ pub fn fig4(env: &Env) -> String {
         for gpus in [1usize, 2, 4] {
             // Adaptive sets the time budget.
             let adaptive = env.run(algorithms::adaptive_sgd(), gpus, &ds, lr);
-            let budget = adaptive
-                .records
-                .last()
-                .map(|r| r.sim_time)
-                .unwrap_or(1e-3);
+            let budget = adaptive.records.last().map(|r| r.sim_time).unwrap_or(1e-3);
             curve_rows(&mut out, &spec.name, gpus, &adaptive);
             for algo in [
                 algorithms::elastic_sgd(),
@@ -145,8 +181,7 @@ pub fn fig4(env: &Env) -> String {
                 let mut config = env.run_config(lr);
                 config.mega_batch_limit = Some(env.mega_limit * 40);
                 config.time_limit = Some(budget);
-                let result =
-                    Trainer::new(algo, heterogeneous_server(gpus), config).run(&ds);
+                let result = Trainer::new(algo, heterogeneous_server(gpus), config).run(&ds);
                 curve_rows(&mut out, &spec.name, gpus, &result);
             }
         }
@@ -167,8 +202,11 @@ pub fn fig5(env: &Env) -> String {
         // then fit more mega-batches into the same window.
         let one = env.run(algorithms::adaptive_sgd(), 1, &ds, lr);
         let slowest_budget = one.records.last().map(|r| r.sim_time).unwrap_or(1e-3);
-        let mut gpu_samples =
-            one.records.last().map(|r| (r.epochs * ds.train.len() as f64) as u64).unwrap_or(0);
+        let mut gpu_samples = one
+            .records
+            .last()
+            .map(|r| (r.epochs * ds.train.len() as f64) as u64)
+            .unwrap_or(0);
         curve_rows(&mut out, &spec.name, 1, &one);
         for gpus in [2usize, 4] {
             let mut config = env.run_config(lr);
@@ -208,12 +246,7 @@ pub fn fig6(env: &Env) -> String {
     let lr = grid_learning_rate(env, &ds);
     let mut config = env.run_config(lr);
     config.mega_batch_limit = Some(env.mega_limit * 2);
-    let result = Trainer::new(
-        algorithms::adaptive_sgd(),
-        heterogeneous_server(4),
-        config,
-    )
-    .run(&ds);
+    let result = Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(4), config).run(&ds);
     let mut out = String::from(
         "mega_batch,b_gpu0,b_gpu1,b_gpu2,b_gpu3,u_gpu0,u_gpu1,u_gpu2,u_gpu3,perturbed\n",
     );
@@ -243,9 +276,8 @@ pub fn ablations(env: &Env) -> String {
     let spec = &env.dataset_specs()[0];
     let ds = env.dataset(spec);
     let lr = grid_learning_rate(env, &ds);
-    let mut out = String::from(
-        "variant,best_accuracy,final_sim_time,time_to_80pct_best,perturbation_freq\n",
-    );
+    let mut out =
+        String::from("variant,best_accuracy,final_sim_time,time_to_80pct_best,perturbation_freq\n");
     let variants = vec![
         algorithms::adaptive_sgd(),
         algorithms::adaptive_without_scaling(),
@@ -327,7 +359,10 @@ mod tests {
     fn fig1_reports_four_gpus_and_a_gap() {
         let env = Env::smoke();
         let csv = fig1(&env);
-        assert_eq!(csv.lines().filter(|l| !l.starts_with(['g', '#'])).count(), 4);
+        assert_eq!(
+            csv.lines().filter(|l| !l.starts_with(['g', '#'])).count(),
+            4
+        );
         assert!(csv.contains("gap"));
     }
 
@@ -345,10 +380,7 @@ mod tests {
     fn fig6_tracks_batch_sizes_and_perturbation() {
         let env = Env::smoke();
         let csv = fig6(&env);
-        let data_rows = csv
-            .lines()
-            .filter(|l| !l.starts_with(['m', '#']))
-            .count();
+        let data_rows = csv.lines().filter(|l| !l.starts_with(['m', '#'])).count();
         assert_eq!(data_rows, env.mega_limit * 2);
         assert!(csv.contains("perturbation frequency"));
     }

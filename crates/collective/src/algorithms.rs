@@ -7,7 +7,13 @@
 
 use crate::timing::{AllReduceTiming, CollectiveContext};
 use asgd_gpusim::SimTime;
-use asgd_tensor::parallel::split_ranges;
+use asgd_tensor::parallel::{par_add_assign, split_ranges};
+
+/// Reductions shorter than this stay serial — the fork/join on the worker
+/// pool only pays off for model-sized buffers. Element-wise addition is
+/// order-independent per element, so the pooled and serial paths are
+/// bit-identical.
+const MIN_PAR_REDUCE: usize = 1 << 14;
 
 /// The collective algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -128,9 +134,7 @@ fn naive(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
     let mut bytes = 0usize;
     for src in 1..n {
         let (root_slice, src_slice) = pair_mut(buffers, 0, src);
-        for (a, b) in root_slice.iter_mut().zip(src_slice.iter()) {
-            *a += *b;
-        }
+        par_add_assign(root_slice, src_slice, MIN_PAR_REDUCE);
         t += ctx.p2p_time(src, 0, len) + ctx.reduce_time(0, len);
         bytes += 4 * len;
     }
@@ -156,9 +160,7 @@ fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
         let mut i = 0;
         while i + stride < n {
             let (dst, src) = pair_mut(buffers, i, i + stride);
-            for (a, b) in dst.iter_mut().zip(src.iter()) {
-                *a += *b;
-            }
+            par_add_assign(dst, src, MIN_PAR_REDUCE);
             round = round.max(ctx.p2p_time(i + stride, i, len) + ctx.reduce_time(i, len));
             bytes += 4 * len;
             i += stride * 2;
@@ -235,9 +237,7 @@ fn ring_range(
             if elems == 0 {
                 continue;
             }
-            for (a, b) in buffers[dst][c].iter_mut().zip(&payload) {
-                *a += *b;
-            }
+            par_add_assign(&mut buffers[dst][c], &payload, MIN_PAR_REDUCE);
             bytes += 4 * elems;
             // All transfers of a step run on disjoint ring links: take max.
             let src = prev_dev(dst, n);
@@ -314,14 +314,11 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
             if elems == 0 {
                 continue;
             }
-            for (a, b) in buffers[dst][range].iter_mut().zip(&payload) {
-                *a += *b;
-            }
+            par_add_assign(&mut buffers[dst][range], &payload, MIN_PAR_REDUCE);
             bytes += 4 * elems;
             // The pair's two transfers share one link; serialize them.
-            step_t = step_t.max(
-                2.0 * ctx.p2p_time(dst ^ d, dst, elems) + ctx.reduce_time(dst, elems),
-            );
+            step_t =
+                step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems) + ctx.reduce_time(dst, elems));
         }
         ranges = new_ranges;
         t += step_t;
@@ -344,8 +341,7 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
             if elems > 0 {
                 buffers[dst][range.clone()].copy_from_slice(&payload);
                 bytes += 4 * elems;
-                step_t =
-                    step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems));
+                step_t = step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems));
             }
             // The destination now owns the union of the two ranges.
             let own = &mut new_ranges[dst];
@@ -384,7 +380,13 @@ mod tests {
         let n = 4;
         let mut bufs: Vec<Vec<f32>> = (0..n).map(|d| vec![d as f32 + 1.0; 2]).collect();
         let w = vec![1.0f64; n];
-        allreduce(&mut bufs, &w, Algorithm::Ring, &ctx(n), &vec![SimTime::ZERO; n]);
+        allreduce(
+            &mut bufs,
+            &w,
+            Algorithm::Ring,
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
         for b in &bufs {
             assert_eq!(b, &vec![10.0f32; 2]);
         }
@@ -409,7 +411,13 @@ mod tests {
         let n = 5;
         let mut bufs: Vec<Vec<f32>> = (0..n).map(|d| vec![d as f32; 16]).collect();
         let w = vec![1.0f64; n];
-        allreduce(&mut bufs, &w, Algorithm::Tree, &ctx(n), &vec![SimTime::ZERO; n]);
+        allreduce(
+            &mut bufs,
+            &w,
+            Algorithm::Tree,
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
         for b in &bufs {
             assert_eq!(b, &vec![10.0f32; 16]);
         }
@@ -436,7 +444,13 @@ mod tests {
         let len = 400usize;
         let mut bufs: Vec<Vec<f32>> = (0..n).map(|_| vec![1.0; len]).collect();
         let w = vec![1.0f64; n];
-        let t = allreduce(&mut bufs, &w, Algorithm::Ring, &ctx(n), &vec![SimTime::ZERO; n]);
+        let t = allreduce(
+            &mut bufs,
+            &w,
+            Algorithm::Ring,
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
         // Ring moves 2(n-1)/n of the model per device: 2*(n-1)*len*4 bytes total.
         assert_eq!(t.bytes_moved, 2 * (n - 1) * len * 4);
     }

@@ -53,7 +53,11 @@ mod integration_tests {
 
     fn buffers(n: usize, len: usize) -> Vec<Vec<f32>> {
         (0..n)
-            .map(|d| (0..len).map(|i| (d * len + i) as f32 * 0.01 - 1.5).collect())
+            .map(|d| {
+                (0..len)
+                    .map(|i| (d * len + i) as f32 * 0.01 - 1.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -77,18 +81,19 @@ mod integration_tests {
                 Algorithm::Tree,
                 Algorithm::Ring,
                 Algorithm::HalvingDoubling,
-                Algorithm::MultiStreamRing { partitions: n.max(1) },
+                Algorithm::MultiStreamRing {
+                    partitions: n.max(1),
+                },
             ] {
                 let mut bufs = buffers(n, 103);
-                let weights: Vec<f64> = (1..=n).map(|i| i as f64 / (n * (n + 1) / 2) as f64).collect();
+                let weights: Vec<f64> = (1..=n)
+                    .map(|i| i as f64 / (n * (n + 1) / 2) as f64)
+                    .collect();
                 let want = expected(&bufs, &weights);
                 allreduce(&mut bufs, &weights, algo, &ctx(n), &vec![SimTime::ZERO; n]);
                 for b in &bufs {
                     for (got, want) in b.iter().zip(&want) {
-                        assert!(
-                            (got - want).abs() < 1e-4,
-                            "{algo:?} n={n}: {got} != {want}"
-                        );
+                        assert!((got - want).abs() < 1e-4, "{algo:?} n={n}: {got} != {want}");
                     }
                 }
             }

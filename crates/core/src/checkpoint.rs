@@ -56,9 +56,8 @@ impl std::error::Error for StateError {}
 impl TrainingState {
     /// Serializes the state.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(
-            4 + 4 + 24 + 8 * self.global.len() + 24 * self.hypers.len(),
-        );
+        let mut buf =
+            BytesMut::with_capacity(4 + 4 + 24 + 8 * self.global.len() + 24 * self.hypers.len());
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u64_le(self.megas_done);

@@ -12,7 +12,7 @@
 //! * [`trainer`] — the HeteroGPU architecture of Fig. 3: a central dynamic
 //!   scheduler owning the simulated devices and the sample stream, plus one
 //!   *GPU manager thread per device* doing the real numeric work,
-//!   communicating via crossbeam channels. Scheduling decisions consume
+//!   communicating via std mpsc channels. Scheduling decisions consume
 //!   only virtual device clocks, so runs are deterministic and
 //!   thread-parallel at once.
 //! * [`algorithms`] — ready-made [`trainer::TrainerSpec`]s for the five
@@ -46,8 +46,8 @@ pub mod metrics;
 pub mod schedule;
 pub mod trainer;
 
+pub use checkpoint::TrainingState;
 pub use hyper::{scale_batch_sizes, scale_batch_sizes_with, GpuHyper, ScalingParams, ScalingRule};
 pub use merging::{compute_merge_weights, MergeDecision, MergeParams, Normalization};
 pub use metrics::{MergeRecord, RunRecorder, RunResult};
 pub use schedule::{ScalingScheduler, StalenessBound, Trajectory};
-pub use checkpoint::TrainingState;

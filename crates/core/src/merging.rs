@@ -96,12 +96,8 @@ pub fn compute_merge_weights(
     let well_regularized = norms_per_param.iter().all(|&nm| nm < params.pert_thr);
     let perturbed = well_regularized && n >= 2;
     if perturbed {
-        let r = (0..n)
-            .max_by_key(|&i| gpus[i].updates)
-            .expect("non-empty");
-        let s = (0..n)
-            .min_by_key(|&i| gpus[i].updates)
-            .expect("non-empty");
+        let r = (0..n).max_by_key(|&i| gpus[i].updates).expect("non-empty");
+        let s = (0..n).min_by_key(|&i| gpus[i].updates).expect("non-empty");
         weights[r] *= 1.0 + params.delta;
         weights[s] *= 1.0 - params.delta;
     }
@@ -126,7 +122,11 @@ pub fn apply_global_update(
     assert_eq!(merged.len(), global.len(), "merged/global length");
     assert_eq!(merged.len(), prev_global.len(), "merged/prev length");
     let g = gamma as f32;
-    for ((m, w), wp) in merged.iter().zip(global.iter_mut()).zip(prev_global.iter_mut()) {
+    for ((m, w), wp) in merged
+        .iter()
+        .zip(global.iter_mut())
+        .zip(prev_global.iter_mut())
+    {
         let w_new = m + g * (*w - *wp);
         *wp = *w;
         *w = w_new;

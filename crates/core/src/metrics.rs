@@ -71,10 +71,7 @@ pub struct RunResult {
 impl RunResult {
     /// Highest accuracy reached at any record.
     pub fn best_accuracy(&self) -> f64 {
-        self.records
-            .iter()
-            .map(|r| r.accuracy)
-            .fold(0.0, f64::max)
+        self.records.iter().map(|r| r.accuracy).fold(0.0, f64::max)
     }
 
     /// Earliest simulated time at which `target` accuracy was reached

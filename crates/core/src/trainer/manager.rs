@@ -10,11 +10,15 @@
 
 use super::messages::{FromManager, ToManager};
 use asgd_data::XmlDataset;
-use asgd_model::Mlp;
-use crossbeam::channel::{Receiver, Sender};
+use asgd_model::{Mlp, Workspace};
+use std::sync::mpsc::{Receiver, Sender};
 
 /// Runs the manager loop until `Stop` (or a disconnected channel). Intended
 /// to run on a scoped thread borrowing the shared dataset.
+///
+/// The manager owns one [`Workspace`] for its replica's lifetime, so
+/// steady-state training steps reuse every activation/gradient buffer
+/// instead of re-allocating them per batch.
 pub(crate) fn run_manager(
     gpu: usize,
     mut replica: Mlp,
@@ -22,6 +26,7 @@ pub(crate) fn run_manager(
     rx: Receiver<ToManager>,
     tx: Sender<FromManager>,
 ) {
+    let mut ws = Workspace::new(replica.config());
     while let Ok(msg) = rx.recv() {
         match msg {
             ToManager::Train { batch_ids, lr } => {
@@ -30,7 +35,7 @@ pub(crate) fn run_manager(
                     .iter()
                     .map(|&i| dataset.train.labels[i].clone())
                     .collect();
-                let out = replica.train_batch(&x, &labels, lr);
+                let out = replica.train_batch_ws(&x, &labels, lr, &mut ws);
                 if tx
                     .send(FromManager::Trained {
                         gpu,
@@ -77,7 +82,7 @@ mod tests {
     use super::*;
     use asgd_data::{generate, DatasetSpec};
     use asgd_model::MlpConfig;
-    use crossbeam::channel::unbounded;
+    use std::sync::mpsc::channel;
 
     fn setup() -> (XmlDataset, Mlp) {
         let ds = generate(&DatasetSpec::tiny("m"), 3);
@@ -92,11 +97,11 @@ mod tests {
     /// Runs a manager on a scoped thread, feeding it `cmds`, returning all
     /// replies.
     fn drive(ds: &XmlDataset, model: Mlp, cmds: Vec<ToManager>) -> Vec<FromManager> {
-        let (to_tx, to_rx) = unbounded();
-        let (from_tx, from_rx) = unbounded();
+        let (to_tx, to_rx) = channel();
+        let (from_tx, from_rx) = channel();
         let mut replies = Vec::new();
-        crossbeam::scope(|s| {
-            s.spawn(|_| run_manager(0, model, ds, to_rx, from_tx));
+        std::thread::scope(|s| {
+            s.spawn(|| run_manager(0, model, ds, to_rx, from_tx));
             for c in cmds {
                 to_tx.send(c).unwrap();
             }
@@ -104,8 +109,7 @@ mod tests {
             while let Ok(r) = from_rx.recv() {
                 replies.push(r);
             }
-        })
-        .unwrap();
+        });
         replies
     }
 
@@ -187,12 +191,11 @@ mod tests {
     #[test]
     fn disconnected_channel_terminates_manager() {
         let (ds, model) = setup();
-        let (to_tx, to_rx) = unbounded::<ToManager>();
-        let (from_tx, _from_rx) = unbounded();
-        crossbeam::scope(|s| {
-            s.spawn(|_| run_manager(0, model, &ds, to_rx, from_tx));
+        let (to_tx, to_rx) = channel::<ToManager>();
+        let (from_tx, _from_rx) = channel();
+        std::thread::scope(|s| {
+            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx));
             drop(to_tx);
-        })
-        .unwrap();
+        });
     }
 }

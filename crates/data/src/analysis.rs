@@ -110,11 +110,7 @@ impl LabelProfile {
 ///
 /// # Panics
 /// Panics on an empty split.
-pub fn train_val_split(
-    split: &SplitData,
-    val_fraction: f64,
-    seed: u64,
-) -> (SplitData, SplitData) {
+pub fn train_val_split(split: &SplitData, val_fraction: f64, seed: u64) -> (SplitData, SplitData) {
     use rand::{rngs::StdRng, Rng, SeedableRng};
     let n = split.len();
     assert!(n > 0, "cannot split an empty dataset");
@@ -202,10 +198,7 @@ mod tests {
         assert_eq!(train.len() + val.len(), n);
         assert_eq!(val.len(), (n as f64 * 0.25).round() as usize);
         // Feature mass is conserved (no sample duplicated or dropped).
-        assert_eq!(
-            train.features.nnz() + val.features.nnz(),
-            s.features.nnz()
-        );
+        assert_eq!(train.features.nnz() + val.features.nnz(), s.features.nnz());
     }
 
     #[test]
@@ -222,9 +215,9 @@ mod tests {
     fn extreme_fractions_keep_both_sides_nonempty() {
         let (s, _) = split();
         let (train, val) = train_val_split(&s, 0.0, 1);
-        assert!(val.len() >= 1 && train.len() >= 1);
+        assert!(!val.is_empty() && !train.is_empty());
         let (train, val) = train_val_split(&s, 1.0, 1);
-        assert!(val.len() >= 1 && train.len() >= 1);
+        assert!(!val.is_empty() && !train.is_empty());
     }
 
     #[test]

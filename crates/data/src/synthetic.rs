@@ -89,12 +89,12 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> XmlDataset {
     let feature_dist =
         Zipf::new(spec.num_features as u64, spec.feature_zipf_s).expect("feature zipf");
     let label_dist = Zipf::new(spec.num_labels as u64, spec.label_zipf_s).expect("label zipf");
-    let nnz_dist = LogNormal::from_mean_cv(spec.avg_features_per_sample, spec.nnz_cv)
-        .expect("nnz log-normal");
+    let nnz_dist =
+        LogNormal::from_mean_cv(spec.avg_features_per_sample, spec.nnz_cv).expect("nnz log-normal");
     // Poisson around (mean - 1), then +1: guarantees ≥1 label with the
     // requested mean.
-    let label_count_dist = Poisson::new((spec.avg_labels_per_sample - 1.0).max(0.05))
-        .expect("label count poisson");
+    let label_count_dist =
+        Poisson::new((spec.avg_labels_per_sample - 1.0).max(0.05)).expect("label count poisson");
     let value_dist = LogNormal::from_mean_cv(1.0, 0.5).expect("value log-normal");
 
     let train = generate_split(
@@ -186,8 +186,7 @@ fn generate_split(
         }
 
         // Feature count: log-normal, at least 1, at most the feature space.
-        let nnz = (nnz_dist.sample(rng).round() as usize)
-            .clamp(1, spec.num_features);
+        let nnz = (nnz_dist.sample(rng).round() as usize).clamp(1, spec.num_features);
 
         // Features: prototype mixture + noise. The target is `nnz` *distinct*
         // features (Table I reports distinct non-zeros); duplicates merge, so
@@ -309,7 +308,11 @@ mod tests {
         }
         // Label 0 (rank 1 in the Zipf) must be among the most frequent.
         let max = *counts.iter().max().unwrap();
-        assert!(counts[0] * 2 >= max, "label 0 count {} max {max}", counts[0]);
+        assert!(
+            counts[0] * 2 >= max,
+            "label 0 count {} max {max}",
+            counts[0]
+        );
     }
 
     #[test]

@@ -127,7 +127,13 @@ mod tests {
     fn more_nnz_costs_more_time() {
         let p = quiet_v100();
         let small = kernel_time(&p, KernelKind::SpMm { nnz: 1_000, n: 128 });
-        let large = kernel_time(&p, KernelKind::SpMm { nnz: 100_000, n: 128 });
+        let large = kernel_time(
+            &p,
+            KernelKind::SpMm {
+                nnz: 100_000,
+                n: 128,
+            },
+        );
         assert!(large > small);
     }
 
@@ -135,7 +141,11 @@ mod tests {
     fn slower_device_takes_longer() {
         let fast = quiet_v100();
         let slow = quiet_v100().with_speed(0.76);
-        let k = KernelKind::Gemm { m: 64, k: 128, n: 1024 };
+        let k = KernelKind::Gemm {
+            m: 64,
+            k: 128,
+            n: 1024,
+        };
         let tf = kernel_time(&fast, k);
         let ts = kernel_time(&slow, k);
         assert!((ts / tf - 1.0 / 0.76).abs() < 1e-9);
@@ -181,8 +191,11 @@ mod proptests {
         prop_oneof![
             (1usize..1_000_000, 1usize..512).prop_map(|(nnz, n)| KernelKind::SpMm { nnz, n }),
             (1usize..1_000_000, 1usize..512).prop_map(|(nnz, n)| KernelKind::SpMmTn { nnz, n }),
-            (1usize..512, 1usize..512, 1usize..4096)
-                .prop_map(|(m, k, n)| KernelKind::Gemm { m, k, n }),
+            (1usize..512, 1usize..512, 1usize..4096).prop_map(|(m, k, n)| KernelKind::Gemm {
+                m,
+                k,
+                n
+            }),
             (1usize..10_000_000).prop_map(|elems| KernelKind::Elementwise { elems }),
             (1usize..1024, 1usize..100_000)
                 .prop_map(|(rows, cols)| KernelKind::Softmax { rows, cols }),

@@ -36,7 +36,8 @@ pub struct Device {
 impl Device {
     /// Creates a device with its own jitter stream derived from `seed`.
     pub fn new(id: DeviceId, profile: DeviceProfile, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(id.0 as u64 + 1));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64).wrapping_mul(id.0 as u64 + 1));
         // A random phase decorrelates the slow drift across devices.
         let phase = rand::Rng::gen_range(&mut rng, 0.0..std::f64::consts::TAU);
         Self {
@@ -75,8 +76,7 @@ impl Device {
         let j = &self.profile.jitter;
         let osc = if j.osc_amplitude > 0.0 {
             1.0 + j.osc_amplitude
-                * (std::f64::consts::TAU * self.kernels_executed as f64 / j.osc_period
-                    + self.phase)
+                * (std::f64::consts::TAU * self.kernels_executed as f64 / j.osc_period + self.phase)
                     .sin()
         } else {
             1.0
@@ -176,7 +176,11 @@ mod tests {
     #[test]
     fn clock_advances_by_execution() {
         let mut d = quiet(0, 1.0);
-        let k = KernelKind::Gemm { m: 64, k: 128, n: 256 };
+        let k = KernelKind::Gemm {
+            m: 64,
+            k: 128,
+            n: 256,
+        };
         let dt = d.execute(k);
         assert!(dt > 0.0);
         assert!((d.now().secs() - dt).abs() < 1e-15);
@@ -208,7 +212,12 @@ mod tests {
         let run = || {
             let mut d = Device::new(DeviceId(2), DeviceProfile::v100("g"), 42);
             (0..50)
-                .map(|i| d.execute(KernelKind::SpMm { nnz: 100 * (i + 1), n: 64 }))
+                .map(|i| {
+                    d.execute(KernelKind::SpMm {
+                        nnz: 100 * (i + 1),
+                        n: 64,
+                    })
+                })
                 .collect::<Vec<f64>>()
         };
         assert_eq!(run(), run());
@@ -218,7 +227,11 @@ mod tests {
     fn different_devices_have_different_jitter() {
         let mut a = Device::new(DeviceId(0), DeviceProfile::v100("a"), 42);
         let mut b = Device::new(DeviceId(1), DeviceProfile::v100("b"), 42);
-        let k = KernelKind::Gemm { m: 32, k: 32, n: 32 };
+        let k = KernelKind::Gemm {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
         let ta: Vec<f64> = (0..10).map(|_| a.execute(k)).collect();
         let tb: Vec<f64> = (0..10).map(|_| b.execute(k)).collect();
         assert_ne!(ta, tb);
@@ -231,11 +244,28 @@ mod tests {
         let devices = &mut build_server(&heterogeneous_server(4), 1234);
         let batch: Vec<KernelKind> = vec![
             KernelKind::H2d { bytes: 1 << 20 },
-            KernelKind::SpMm { nnz: 20_000, n: 128 },
-            KernelKind::Gemm { m: 256, k: 128, n: 6700 },
-            KernelKind::Softmax { rows: 256, cols: 6700 },
-            KernelKind::Gemm { m: 128, k: 256, n: 6700 },
-            KernelKind::SpMmTn { nnz: 20_000, n: 128 },
+            KernelKind::SpMm {
+                nnz: 20_000,
+                n: 128,
+            },
+            KernelKind::Gemm {
+                m: 256,
+                k: 128,
+                n: 6700,
+            },
+            KernelKind::Softmax {
+                rows: 256,
+                cols: 6700,
+            },
+            KernelKind::Gemm {
+                m: 128,
+                k: 256,
+                n: 6700,
+            },
+            KernelKind::SpMmTn {
+                nnz: 20_000,
+                n: 128,
+            },
             KernelKind::Elementwise { elems: 1 << 20 },
         ];
         let mut times = Vec::new();
@@ -256,7 +286,11 @@ mod tests {
     fn charge_epoch_equals_execute_all_at_unit_multiplier() {
         let kinds = [
             KernelKind::SpMm { nnz: 500, n: 64 },
-            KernelKind::Gemm { m: 32, k: 64, n: 128 },
+            KernelKind::Gemm {
+                m: 32,
+                k: 64,
+                n: 128,
+            },
             KernelKind::Elementwise { elems: 4096 },
         ];
         let mut a = Device::new(DeviceId(0), DeviceProfile::v100("a"), 5);
@@ -269,7 +303,11 @@ mod tests {
 
     #[test]
     fn charge_epoch_applies_multiplier_and_extra() {
-        let kinds = [KernelKind::Gemm { m: 16, k: 16, n: 16 }];
+        let kinds = [KernelKind::Gemm {
+            m: 16,
+            k: 16,
+            n: 16,
+        }];
         let mut a = quiet(0, 1.0);
         let base = crate::cost::kernel_time(a.profile(), kinds[0]);
         let dt = a.charge_epoch(&kinds, 1.5, 2e-6);
@@ -284,7 +322,11 @@ mod tests {
     fn speed_factor_scales_whole_epoch() {
         let mut fast = quiet(0, 1.0);
         let mut slow = quiet(1, 0.5);
-        let k = KernelKind::Gemm { m: 64, k: 64, n: 64 };
+        let k = KernelKind::Gemm {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
         assert!((slow.execute(k) / fast.execute(k) - 2.0).abs() < 1e-9);
     }
 }

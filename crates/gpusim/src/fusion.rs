@@ -155,7 +155,9 @@ mod tests {
     fn unfused_one_launch_per_kernel() {
         let plan = plan_epoch(&epoch(), FusionPolicy::Unfused);
         assert_eq!(plan.len(), 8);
-        assert!(plan.iter().all(|l| l.primitives == 1 && !l.bypasses_contention));
+        assert!(plan
+            .iter()
+            .all(|l| l.primitives == 1 && !l.bypasses_contention));
     }
 
     #[test]

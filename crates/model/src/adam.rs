@@ -92,14 +92,13 @@ impl AdamState {
         let alpha = (p.lr * bc2.sqrt() / bc1) as f32;
         let eps = p.eps as f32;
 
-        let update =
-            |w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32]| {
-                for i in 0..w.len() {
-                    m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                    v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                    w[i] -= alpha * m[i] / (v[i].sqrt() + eps);
-                }
-            };
+        let update = |w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32]| {
+            for i in 0..w.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                w[i] -= alpha * m[i] / (v[i].sqrt() + eps);
+            }
+        };
 
         // Sparse W1 rows.
         for (feature, grow) in &grads.w1_updates {
@@ -111,24 +110,14 @@ impl AdamState {
             update(wrow, grow, m, v);
         }
         // Dense pieces.
-        update(
-            model.b1_mut(),
-            &grads.b1,
-            &mut self.m_b1,
-            &mut self.v_b1,
-        );
+        update(model.b1_mut(), &grads.b1, &mut self.m_b1, &mut self.v_b1);
         let (w2, m_w2, v_w2) = (
             model.w2_mut().as_mut_slice(),
             self.m_w2.as_mut_slice(),
             self.v_w2.as_mut_slice(),
         );
         update(w2, grads.w2.as_slice(), m_w2, v_w2);
-        update(
-            model.b2_mut(),
-            &grads.b2,
-            &mut self.m_b2,
-            &mut self.v_b2,
-        );
+        update(model.b2_mut(), &grads.b2, &mut self.m_b2, &mut self.v_b2);
     }
 }
 
@@ -174,10 +163,13 @@ mod tests {
     #[test]
     fn adam_reduces_loss_on_fixed_batch() {
         let mut model = Mlp::init(&config(), 5);
-        let mut adam = AdamState::new(&config(), AdamParams {
-            lr: 0.05,
-            ..AdamParams::default()
-        });
+        let mut adam = AdamState::new(
+            &config(),
+            AdamParams {
+                lr: 0.05,
+                ..AdamParams::default()
+            },
+        );
         let (x, labels) = batch();
         let first = train_batch_adam(&mut model, &mut adam, &x, &labels);
         let mut last = first;
@@ -214,10 +206,13 @@ mod tests {
         let labels = vec![vec![0u32], vec![1]];
         let mut sgd_model = Mlp::init(&config(), 7);
         let mut adam_model = sgd_model.clone();
-        let mut adam = AdamState::new(&config(), AdamParams {
-            lr: 0.05,
-            ..AdamParams::default()
-        });
+        let mut adam = AdamState::new(
+            &config(),
+            AdamParams {
+                lr: 0.05,
+                ..AdamParams::default()
+            },
+        );
         // Safe SGD lr for the 100x feature (lr bigger than ~1e-4 diverges).
         let mut sgd_loss = 0.0;
         let mut adam_loss = 0.0;

@@ -68,7 +68,9 @@ pub fn precision_at_k(
             let mut order: Vec<usize> = (0..row.len()).collect();
             let k_eff = k.min(row.len());
             order.select_nth_unstable_by(k_eff - 1, |&a, &b| {
-                row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal)
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let hits = order[..k_eff]
                 .iter()

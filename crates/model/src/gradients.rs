@@ -39,12 +39,7 @@ impl Gradients {
         for (a, &b) in self.b1.iter_mut().zip(&other.b1) {
             *a += b;
         }
-        for (a, &b) in self
-            .w2
-            .as_mut_slice()
-            .iter_mut()
-            .zip(other.w2.as_slice())
-        {
+        for (a, &b) in self.w2.as_mut_slice().iter_mut().zip(other.w2.as_slice()) {
             *a += b;
         }
         for (a, &b) in self.b2.iter_mut().zip(&other.b2) {

@@ -7,6 +7,8 @@
 //! initialized from a normal distribution scaled by the layer's unit count.
 //!
 //! * [`Mlp`] — parameters and the real forward/backward/update math.
+//! * [`workspace::Workspace`] — reusable training buffers; with one of
+//!   these, steady-state `train_batch_ws` steps allocate nothing.
 //! * [`gradients::Gradients`] — gradient buffers shaped like the model.
 //! * [`eval`] — top-1 accuracy and precision@k on held-out data.
 //! * [`workload`] — the [`asgd_gpusim::KernelKind`] sequence an epoch
@@ -36,7 +38,9 @@ pub mod eval;
 pub mod gradients;
 pub mod mlp;
 pub mod workload;
+pub mod workspace;
 
 pub use adam::{train_batch_adam, AdamParams, AdamState};
 pub use gradients::Gradients;
 pub use mlp::{Mlp, MlpConfig, TrainOutput};
+pub use workspace::Workspace;

@@ -1,6 +1,15 @@
 //! Model parameters, forward pass, backward pass, SGD update.
+//!
+//! The batch training path exists in two forms: the workspace variants
+//! ([`Mlp::train_batch_ws`], [`Mlp::loss_and_gradients_ws`]) that reuse
+//! caller-owned buffers and allocate nothing in steady state, and the
+//! original allocating wrappers ([`Mlp::train_batch`],
+//! [`Mlp::loss_and_gradients`]) that build a fresh [`Workspace`] per call.
+//! Both run the exact same kernels in the exact same order, so their results
+//! are bit-identical.
 
 use crate::gradients::Gradients;
+use crate::workspace::Workspace;
 use asgd_sparse::{ops as sops, CsrMatrix};
 use asgd_tensor::{init, numerics, ops, Matrix};
 use rand::{rngs::StdRng, SeedableRng};
@@ -113,7 +122,8 @@ impl Mlp {
         self.w2
             .as_mut_slice()
             .copy_from_slice(&flat[take(&mut off, c.hidden * c.num_classes)]);
-        self.b2.copy_from_slice(&flat[take(&mut off, c.num_classes)]);
+        self.b2
+            .copy_from_slice(&flat[take(&mut off, c.num_classes)]);
     }
 
     /// L2 norm of all parameters divided by the parameter count — the
@@ -293,21 +303,51 @@ impl Mlp {
     }
 
     /// Computes the multi-label cross-entropy loss and the gradient, without
-    /// touching the parameters.
+    /// touching the parameters. Buffers come from `ws`; the gradients land
+    /// in `ws.grads`. In steady state (workspace reused across batches of
+    /// bounded size) this performs **no heap allocation**.
     ///
     /// The target distribution of a sample is uniform over its label set
     /// (the SLIDE-testbed convention); label-free samples contribute neither
     /// loss nor gradient.
-    pub fn loss_and_gradients(
+    ///
+    /// # Panics
+    /// Panics when the workspace was built for a different architecture or
+    /// on a labels/batch length mismatch.
+    pub fn loss_and_gradients_ws(
         &self,
         x: &CsrMatrix,
         labels: &[Vec<u32>],
-        grads: &mut Gradients,
+        ws: &mut Workspace,
     ) -> f64 {
         let batch = x.rows();
         assert_eq!(labels.len(), batch, "labels/batch mismatch");
         assert!(batch > 0, "empty batch");
-        let (h, mut probs) = self.forward(x);
+        assert_eq!(x.cols(), self.config.num_features, "input width");
+        assert_eq!(
+            ws.slot.len(),
+            self.config.num_features,
+            "workspace/model architecture mismatch"
+        );
+        let Workspace {
+            h,
+            probs,
+            dh,
+            w2t,
+            grads,
+            slot,
+            arena,
+        } = ws;
+
+        // Forward into the workspace.
+        h.reshape_in_place(batch, self.config.hidden);
+        sops::spmm(x, &self.w1, h);
+        numerics::add_bias_inplace(h, &self.b1);
+        numerics::relu_inplace(h);
+        probs.reshape_in_place(batch, self.config.num_classes);
+        ops::gemm(1.0, h, &self.w2, 0.0, probs);
+        numerics::add_bias_inplace(probs, &self.b2);
+        numerics::softmax_rows_inplace(probs);
 
         // Loss, then convert `probs` into dlogits = (probs - target)/batch.
         let mut loss = 0.0f64;
@@ -335,16 +375,35 @@ impl Mlp {
         };
 
         // Backward. dW2 = hᵀ·dlogits ; db2 = Σ_rows dlogits.
-        ops::gemm_tn(1.0, &h, &probs, 0.0, &mut grads.w2);
-        col_sums(&probs, &mut grads.b2);
-        // dh = dlogits·W₂ᵀ, masked by ReLU.
-        let mut dh = Matrix::zeros(batch, self.config.hidden);
-        ops::gemm_nt(1.0, &probs, &self.w2, 0.0, &mut dh);
-        numerics::relu_backward_inplace(&mut dh, &h);
+        ops::gemm_tn(1.0, h, probs, 0.0, &mut grads.w2);
+        col_sums(probs, &mut grads.b2);
+        // dh = dlogits·W₂ᵀ, masked by ReLU. Materializing W₂ᵀ turns the
+        // strided dot-product loop of `gemm_nt` into a unit-stride `i-k-j`
+        // GEMM; each dh element still sums over classes in ascending order,
+        // so the result is identical — just several times faster.
+        self.w2.transpose_into(w2t);
+        dh.reshape_in_place(batch, self.config.hidden);
+        ops::gemm(1.0, probs, w2t, 0.0, dh);
+        numerics::relu_backward_inplace(dh, h);
         // dW1 = Xᵀ·dh ; db1 = Σ_rows dh.
-        grads.w1_updates.clear();
-        sparse_weight_grad(x, &dh, &mut grads.w1_updates);
-        col_sums(&dh, &mut grads.b1);
+        sparse_weight_grad(x, dh, slot, arena, &mut grads.w1_updates);
+        col_sums(dh, &mut grads.b1);
+        loss
+    }
+
+    /// Allocating wrapper around [`Mlp::loss_and_gradients_ws`]: builds a
+    /// fresh [`Workspace`] per call and returns the gradients through
+    /// `grads`. Results are bit-identical to the workspace path.
+    pub fn loss_and_gradients(
+        &self,
+        x: &CsrMatrix,
+        labels: &[Vec<u32>],
+        grads: &mut Gradients,
+    ) -> f64 {
+        let mut ws = Workspace::new(&self.config);
+        std::mem::swap(&mut ws.grads, grads);
+        let loss = self.loss_and_gradients_ws(x, labels, &mut ws);
+        std::mem::swap(&mut ws.grads, grads);
         loss
     }
 
@@ -363,17 +422,32 @@ impl Mlp {
         ops::axpy(-lr, &grads.b2, &mut self.b2);
     }
 
-    /// One full SGD step on a batch (forward + backward + update); returns
-    /// the loss and batch statistics used by the device cost model.
-    pub fn train_batch(&mut self, x: &CsrMatrix, labels: &[Vec<u32>], lr: f32) -> TrainOutput {
-        let mut grads = Gradients::new(&self.config);
-        let loss = self.loss_and_gradients(x, labels, &mut grads);
-        self.apply_gradients(&grads, lr);
+    /// One full SGD step on a batch (forward + backward + update) using
+    /// caller-owned buffers; returns the loss and batch statistics used by
+    /// the device cost model. This is the trainer hot path: with a reused
+    /// workspace, steady-state steps allocate nothing.
+    pub fn train_batch_ws(
+        &mut self,
+        x: &CsrMatrix,
+        labels: &[Vec<u32>],
+        lr: f32,
+        ws: &mut Workspace,
+    ) -> TrainOutput {
+        let loss = self.loss_and_gradients_ws(x, labels, ws);
+        self.apply_gradients(&ws.grads, lr);
         TrainOutput {
             loss,
             batch_size: x.rows(),
             batch_nnz: x.nnz(),
         }
+    }
+
+    /// Allocating wrapper around [`Mlp::train_batch_ws`] (fresh workspace
+    /// per call) — convenient for tests and one-off steps; long-running
+    /// loops should hold a [`Workspace`].
+    pub fn train_batch(&mut self, x: &CsrMatrix, labels: &[Vec<u32>], lr: f32) -> TrainOutput {
+        let mut ws = Workspace::new(&self.config);
+        self.train_batch_ws(x, labels, lr, &mut ws)
     }
 }
 
@@ -388,26 +462,55 @@ fn col_sums(m: &Matrix, out: &mut [f32]) {
     }
 }
 
-/// Computes the sparse rows of `Xᵀ·dh` as `(feature, gradient row)` pairs —
-/// the natural gradient layout for a sparse input layer, where updating only
-/// touched features is both the correct math and the fast path.
-fn sparse_weight_grad(x: &CsrMatrix, dh: &Matrix, out: &mut Vec<(u32, Vec<f32>)>) {
-    use std::collections::HashMap;
+/// Computes the sparse rows of `Xᵀ·dh` as `(feature, gradient row)` pairs
+/// sorted by feature — the natural gradient layout for a sparse input layer,
+/// where updating only touched features is both the correct math and the
+/// fast path.
+///
+/// Allocation-free in steady state: `slot` is a feature → output-index
+/// scatter table (`u32::MAX` sentinel, restored before returning) replacing
+/// the per-call `HashMap`, and finished gradient rows are recycled through
+/// `arena`. Per-feature accumulation happens in batch encounter order —
+/// exactly the order the hash-map formulation used — so results match it
+/// bit for bit.
+fn sparse_weight_grad(
+    x: &CsrMatrix,
+    dh: &Matrix,
+    slot: &mut [u32],
+    arena: &mut Vec<Vec<f32>>,
+    out: &mut Vec<(u32, Vec<f32>)>,
+) {
     let hidden = dh.cols();
-    let mut acc: HashMap<u32, Vec<f32>> = HashMap::new();
+    // Recycle the previous batch's rows.
+    for (_, mut row) in out.drain(..) {
+        row.clear();
+        arena.push(row);
+    }
+    debug_assert!(slot.iter().all(|&s| s == u32::MAX), "stale scatter table");
     for r in 0..x.rows() {
         let (idx, val) = x.row(r);
         let drow = dh.row(r);
         for (&f, &v) in idx.iter().zip(val) {
-            let g = acc.entry(f).or_insert_with(|| vec![0.0; hidden]);
+            let s = slot[f as usize];
+            let g = if s == u32::MAX {
+                slot[f as usize] = out.len() as u32;
+                let mut row = arena.pop().unwrap_or_default();
+                row.resize(hidden, 0.0);
+                out.push((f, row));
+                &mut out.last_mut().expect("just pushed").1
+            } else {
+                &mut out[s as usize].1
+            };
             for (gv, &dv) in g.iter_mut().zip(drow) {
                 *gv += v * dv;
             }
         }
     }
-    let mut pairs: Vec<(u32, Vec<f32>)> = acc.into_iter().collect();
-    pairs.sort_unstable_by_key(|(f, _)| *f);
-    *out = pairs;
+    // Reset the sentinels *before* sorting — slots index pre-sort positions.
+    for &(f, _) in out.iter() {
+        slot[f as usize] = u32::MAX;
+    }
+    out.sort_unstable_by_key(|(f, _)| *f);
 }
 
 #[cfg(test)]
@@ -588,7 +691,11 @@ mod tests {
         let (idx, val) = x.row(0);
         let loss_s = sampled.train_sample_sampled(idx, val, h.row(0), &[2], &all, 0.1);
         let out_d = dense.train_batch(&x, &labels, 0.1);
-        assert!((loss_s - out_d.loss).abs() < 1e-5, "{loss_s} vs {}", out_d.loss);
+        assert!(
+            (loss_s - out_d.loss).abs() < 1e-5,
+            "{loss_s} vs {}",
+            out_d.loss
+        );
         let fs = sampled.to_flat();
         let fd = dense.to_flat();
         for (a, b) in fs.iter().zip(&fd) {
@@ -665,6 +772,121 @@ mod tests {
         let mut g2 = Gradients::new(&config);
         let loss1 = stepped.loss_and_gradients(&x, &labels, &mut g2);
         assert!(loss1 <= loss0 + 1e-9, "{loss0} -> {loss1}");
+    }
+
+    /// A batch big enough to engage the parallel kernel paths
+    /// (`MIN_PAR_ROWS`-wide outputs) with a pseudo-random sparsity pattern.
+    fn wide_batch(config: &MlpConfig, batch: usize, seed: u64) -> (CsrMatrix, Vec<Vec<u32>>) {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut rows = Vec::with_capacity(batch);
+        let mut labels = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let nnz = 2 + (next() as usize % 6);
+            let mut cols = std::collections::BTreeSet::new();
+            for _ in 0..nnz {
+                cols.insert((next() as usize % config.num_features) as u32);
+            }
+            let idx: Vec<u32> = cols.into_iter().collect();
+            let val: Vec<f32> = idx
+                .iter()
+                .map(|_| (next() % 9) as f32 / 4.0 - 1.0)
+                .collect();
+            rows.push((idx, val));
+            labels.push(vec![(next() as usize % config.num_classes) as u32]);
+        }
+        let x = CsrMatrix::from_rows(config.num_features, &rows).unwrap();
+        (x, labels)
+    }
+
+    #[test]
+    fn train_batch_bit_identical_across_thread_counts() {
+        // End-to-end determinism over the worker pool: identical parameters
+        // after a training step at 1 thread and at 8 threads.
+        let config = MlpConfig {
+            num_features: 80,
+            hidden: 32,
+            num_classes: 48,
+        };
+        let (x, labels) = wide_batch(&config, 64, 17);
+        let run = |threads: usize| {
+            asgd_tensor::parallel::override_threads(threads);
+            let mut m = Mlp::init(&config, 41);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(m.train_batch(&x, &labels, 0.05).loss.to_bits());
+            }
+            (m.to_flat(), losses)
+        };
+        let single = run(1);
+        let eight = run(8);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single.1, eight.1, "losses diverged");
+        assert_eq!(single.0, eight.0, "parameters diverged");
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_to_fresh_allocation() {
+        // Two consecutive steps through ONE workspace must match two
+        // fresh-allocation steps bit for bit — stale buffer contents must
+        // never leak into results.
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let (xa, la) = wide_batch(&config, 48, 5);
+        let (xb, lb) = wide_batch(&config, 32, 6); // smaller: shrink path
+        let (xc, lc) = wide_batch(&config, 48, 7); // regrow path
+
+        let mut reused = Mlp::init(&config, 9);
+        let mut fresh = reused.clone();
+        let mut ws = crate::workspace::Workspace::new(&config);
+
+        for (x, labels) in [(&xa, &la), (&xb, &lb), (&xc, &lc)] {
+            let out_ws = reused.train_batch_ws(x, labels, 0.1, &mut ws);
+            let out_alloc = fresh.train_batch(x, labels, 0.1);
+            assert_eq!(out_ws.loss.to_bits(), out_alloc.loss.to_bits());
+            assert_eq!(out_ws.batch_size, out_alloc.batch_size);
+        }
+        assert_eq!(reused.to_flat(), fresh.to_flat());
+    }
+
+    #[test]
+    fn workspace_steady_state_does_not_reallocate_matrices() {
+        // After the first (largest) batch, repeated steps must reuse the
+        // exact same backing buffers — the zero-allocation guarantee.
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let (x, labels) = wide_batch(&config, 48, 5);
+        let mut m = Mlp::init(&config, 9);
+        let mut ws = crate::workspace::Workspace::new(&config);
+        m.train_batch_ws(&x, &labels, 0.1, &mut ws);
+        let ptrs = (
+            ws.h.as_slice().as_ptr(),
+            ws.probs.as_slice().as_ptr(),
+            ws.dh.as_slice().as_ptr(),
+            ws.w2t.as_slice().as_ptr(),
+            ws.grads.w2.as_slice().as_ptr(),
+        );
+        let rows_cap = ws.grads.w1_updates.capacity();
+        for _ in 0..3 {
+            m.train_batch_ws(&x, &labels, 0.1, &mut ws);
+        }
+        assert_eq!(ptrs.0, ws.h.as_slice().as_ptr());
+        assert_eq!(ptrs.1, ws.probs.as_slice().as_ptr());
+        assert_eq!(ptrs.2, ws.dh.as_slice().as_ptr());
+        assert_eq!(ptrs.3, ws.w2t.as_slice().as_ptr());
+        assert_eq!(ptrs.4, ws.grads.w2.as_slice().as_ptr());
+        assert_eq!(rows_cap, ws.grads.w1_updates.capacity());
     }
 
     #[test]

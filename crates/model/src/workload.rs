@@ -25,7 +25,10 @@ pub fn training_footprint_bytes(
 ) -> u64 {
     let model = 4 * config.param_len() as u64;
     let grads = model; // worst case: dense gradient buffers
-    let batch = batch_bytes(batch_size, (batch_size as f64 * avg_nnz_per_sample) as usize) as u64;
+    let batch = batch_bytes(
+        batch_size,
+        (batch_size as f64 * avg_nnz_per_sample) as usize,
+    ) as u64;
     let activations = 4 * (2 * batch_size * config.hidden) as u64; // H, dH
     let logits = 4 * (2 * batch_size * config.num_classes) as u64; // logits, dlogits
     model + grads + batch + activations + logits
@@ -123,11 +126,8 @@ pub fn epoch_overhead_delta(
     let kernels = epoch_kernels(config, batch_size, nnz);
     let actual = epoch_launch_overhead(&kernels, policy, model, concurrent_managers);
     // Baseline already charged: one uncontended launch per compute kernel.
-    let baseline: f64 = kernels
-        .iter()
-        .filter(|k| !k.is_transfer())
-        .count() as f64
-        * model.base_overhead_s;
+    let baseline: f64 =
+        kernels.iter().filter(|k| !k.is_transfer()).count() as f64 * model.base_overhead_s;
     actual - baseline
 }
 

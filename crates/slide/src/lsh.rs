@@ -173,7 +173,10 @@ mod tests {
         idx.rebuild(&smaller);
         assert_eq!(idx.len(), 4);
         let hits = idx.query(&[1.0; 8]);
-        assert!(hits.iter().all(|&c| c < 4), "stale bucket entries: {hits:?}");
+        assert!(
+            hits.iter().all(|&c| c < 4),
+            "stale bucket entries: {hits:?}"
+        );
     }
 
     #[test]

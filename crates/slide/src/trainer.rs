@@ -7,11 +7,11 @@
 //! well-approximated by sequential application, and it keeps runs
 //! deterministic); *time* is charged as if the threads ran in parallel.
 
+use crate::lsh::LshIndex;
 use asgd_core::{MergeRecord, RunResult};
 use asgd_data::{SampleStream, XmlDataset};
 use asgd_gpusim::{Device, DeviceId, DeviceProfile, KernelKind};
 use asgd_model::{eval, Mlp, MlpConfig};
-use crate::lsh::LshIndex;
 
 /// SLIDE hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -152,14 +152,8 @@ impl SlideTrainer {
                 }
                 active_total += active.len();
                 let (idx, val) = x.row(r);
-                loss_sum += model.train_sample_sampled(
-                    idx,
-                    val,
-                    h.row(r),
-                    labels,
-                    &active,
-                    cfg.lr as f32,
-                );
+                loss_sum +=
+                    model.train_sample_sampled(idx, val, h.row(r), labels, &active, cfg.lr as f32);
                 loss_n += 1;
             }
             updates_in_interval += 1;
@@ -214,7 +208,11 @@ impl SlideTrainer {
                     sim_time: device.now().secs(),
                     epochs: stream.epochs(),
                     accuracy,
-                    mean_loss: if loss_n == 0 { 0.0 } else { loss_sum / loss_n as f64 },
+                    mean_loss: if loss_n == 0 {
+                        0.0
+                    } else {
+                        loss_sum / loss_n as f64
+                    },
                     batch_sizes: vec![cfg.batch_size as f64],
                     updates: vec![updates_in_interval],
                     perturbed: false,
@@ -311,7 +309,12 @@ mod tests {
         let run = |threads: usize| {
             let mut c = quick();
             c.threads = threads;
-            SlideTrainer::new(c).run(&ds).records.last().unwrap().sim_time
+            SlideTrainer::new(c)
+                .run(&ds)
+                .records
+                .last()
+                .unwrap()
+                .sim_time
         };
         assert!(run(16) < run(2), "threads should shorten simulated time");
     }

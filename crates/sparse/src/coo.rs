@@ -51,8 +51,7 @@ impl CooBuilder {
     /// dropping them would make nnz data-dependent in a way the cost model
     /// should see.
     pub fn into_csr(mut self) -> CsrMatrix {
-        self.entries
-            .sort_unstable_by_key(|a| (a.0, a.1));
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
         let mut indptr = Vec::with_capacity(self.rows + 1);
         let mut indices: Vec<u32> = Vec::with_capacity(self.entries.len());
         let mut values: Vec<f32> = Vec::with_capacity(self.entries.len());
@@ -62,10 +61,7 @@ impl CooBuilder {
         while i < self.entries.len() {
             let (r, c, mut v) = self.entries[i];
             i += 1;
-            while i < self.entries.len()
-                && self.entries[i].0 == r
-                && self.entries[i].1 == c
-            {
+            while i < self.entries.len() && self.entries[i].0 == r && self.entries[i].1 == c {
                 v += self.entries[i].2;
                 i += 1;
             }

@@ -124,10 +124,7 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if a row's indices/values lengths differ. Column order and
     /// bounds are validated through [`CsrMatrix::try_new`].
-    pub fn from_rows(
-        cols: usize,
-        rows: &[(Vec<u32>, Vec<f32>)],
-    ) -> Result<Self, CsrError> {
+    pub fn from_rows(cols: usize, rows: &[(Vec<u32>, Vec<f32>)]) -> Result<Self, CsrError> {
         let nnz: usize = rows.iter().map(|(i, _)| i.len()).sum();
         let mut indptr = Vec::with_capacity(rows.len() + 1);
         let mut indices = Vec::with_capacity(nnz);

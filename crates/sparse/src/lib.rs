@@ -9,8 +9,8 @@
 //! * [`coo::CooBuilder`] — coordinate-format accumulation that sorts and
 //!   de-duplicates into CSR.
 //! * [`ops`] — `C = A·B` ([`ops::spmm`]) and the transposed-accumulate
-//!   gradient kernel `W += α·Aᵀ·G` ([`ops::spmm_tn_acc`]), both parallel over
-//!   crossbeam scoped threads.
+//!   gradient kernel `W += α·Aᵀ·G` ([`ops::spmm_tn_acc`]), both parallel
+//!   over the persistent worker pool of `asgd_tensor::parallel`.
 //! * [`libsvm`] — reader/writer for the Extreme Classification repository's
 //!   multi-label libSVM format.
 //!

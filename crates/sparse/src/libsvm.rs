@@ -59,7 +59,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "libsvm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "libsvm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -75,9 +79,7 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
 /// Reads an XC-format dataset from a buffered reader.
 pub fn read<R: BufRead>(reader: R) -> Result<LibsvmDataset, ParseError> {
     let mut lines = reader.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| err(0, "missing header line"))?;
+    let (_, header) = lines.next().ok_or_else(|| err(0, "missing header line"))?;
     let header = header.map_err(|e| err(1, e.to_string()))?;
     let mut parts = header.split_whitespace();
     let n: usize = parts

@@ -5,15 +5,14 @@
 //! * forward: `H = X · W₁` where `X` is a CSR batch — [`spmm`];
 //! * weight gradient: `∇W₁ += α · Xᵀ · G` — [`spmm_tn_acc`].
 //!
-//! Both parallelize over *output* rows with crossbeam scoped threads, so no
-//! two workers ever write the same cache line. The transposed kernel
-//! partitions the feature (output-row) space and lets each worker stream the
-//! whole batch, touching only its own partition — O(threads · nnz) index
-//! reads but zero synchronization, which wins for the batch-sized operands
-//! this workload produces.
+//! Both parallelize over *output* rows on the persistent worker pool
+//! (`asgd_tensor::parallel`), so no two workers ever write the same cache
+//! line. The transposed kernel partitions the feature (output-row) space and
+//! lets each worker stream the whole batch, touching only its own partition —
+//! O(threads · nnz) index reads but zero synchronization, which wins for the
+//! batch-sized operands this workload produces.
 
 use crate::csr::CsrMatrix;
-use asgd_tensor::parallel::{num_threads, split_ranges};
 use asgd_tensor::Matrix;
 
 /// Output rows below which kernels stay serial.
@@ -62,26 +61,16 @@ pub fn spmm_tn_acc(alpha: f32, a: &CsrMatrix, g: &Matrix, c: &mut Matrix) {
     let n = g.cols();
     let k = a.cols();
     let g_data = g.as_slice();
-    let threads = num_threads();
-    if threads == 1 || k < MIN_PAR_ROWS || a.nnz() == 0 {
-        spmm_tn_acc_range(alpha, a, g_data, n, 0..k, c.as_mut_slice());
-        return;
-    }
-    let ranges = split_ranges(k, threads);
-    let c_data = c.as_mut_slice();
-    crossbeam::scope(|s| {
-        let mut rest = c_data;
-        let mut prev_end = 0usize;
-        for r in &ranges {
-            debug_assert_eq!(r.start, prev_end);
-            let (head, tail) = rest.split_at_mut((r.end - r.start) * n);
-            rest = tail;
-            prev_end = r.end;
-            let r = r.clone();
-            s.spawn(move |_| spmm_tn_acc_range(alpha, a, g_data, n, r, head));
-        }
-    })
-    .expect("spmm_tn worker panicked");
+    asgd_tensor::parallel::par_chunks_mut(
+        c.as_mut_slice(),
+        k,
+        n,
+        MIN_PAR_ROWS,
+        |first_row, chunk| {
+            let range = first_row..first_row + chunk.len() / n.max(1);
+            spmm_tn_acc_range(alpha, a, g_data, n, range, chunk);
+        },
+    );
 }
 
 /// Accumulates the rows of `Aᵀ·G` that fall in `range` into `c_part`, which
@@ -94,11 +83,30 @@ fn spmm_tn_acc_range(
     range: std::ops::Range<usize>,
     c_part: &mut [f32],
 ) {
+    // Serial call (or a single partition): every column index falls in the
+    // window, so skip the per-row window searches entirely.
+    let full = range.start == 0 && range.end >= a.cols();
     for row in 0..a.rows() {
         let (idx, val) = a.row(row);
-        // Rows are sorted, so binary-search the window inside this partition.
-        let lo = idx.partition_point(|&c| (c as usize) < range.start);
-        let hi = idx.partition_point(|&c| (c as usize) < range.end);
+        // Rows are sorted: a first/last span check rejects rows that miss
+        // this partition without the two binary searches below.
+        match (idx.first(), idx.last()) {
+            (Some(&first), Some(&last)) => {
+                if (last as usize) < range.start || (first as usize) >= range.end {
+                    continue;
+                }
+            }
+            _ => continue,
+        }
+        let (lo, hi) = if full {
+            (0, idx.len())
+        } else {
+            // Binary-search the window inside this partition.
+            (
+                idx.partition_point(|&c| (c as usize) < range.start),
+                idx.partition_point(|&c| (c as usize) < range.end),
+            )
+        };
         if lo == hi {
             continue;
         }
@@ -123,7 +131,9 @@ mod tests {
         let mut b = crate::CooBuilder::new(rows, cols);
         let mut state = seed.wrapping_mul(2654435761).wrapping_add(1);
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for r in 0..rows {
@@ -196,6 +206,27 @@ mod tests {
     }
 
     #[test]
+    fn spmm_bit_identical_across_thread_counts() {
+        // Determinism guarantee of the worker pool: the same product at 1
+        // and 8 threads must match bit for bit (each output row is computed
+        // whole by one task with a fixed inner-loop order).
+        let a = sparse_sample(96, 300, 11);
+        let b = dense_sample(300, 24, 12);
+        let run = |threads: usize| {
+            asgd_tensor::parallel::override_threads(threads);
+            let mut c = Matrix::zeros(96, 24);
+            spmm(&a, &b, &mut c);
+            let mut t = Matrix::zeros(300, 24);
+            spmm_tn_acc(1.0, &a, &c, &mut t);
+            (c, t)
+        };
+        let single = run(1);
+        let eight = run(8);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single, eight);
+    }
+
+    #[test]
     fn parallel_and_serial_tn_agree() {
         // k large enough to hit the parallel path.
         let a = sparse_sample(30, 500, 9);
@@ -205,6 +236,44 @@ mod tests {
         let mut ser = Matrix::zeros(500, 4);
         spmm_tn_acc_range(1.0, &a, g.as_slice(), 4, 0..500, ser.as_mut_slice());
         assert!(par.max_abs_diff(&ser) < 1e-5);
+    }
+
+    #[test]
+    fn partitioned_ranges_stitch_bit_identically() {
+        // The partition fast paths (full-range skip, first/last span
+        // rejection) must not change results: computing each partition
+        // independently must reproduce the full-range result bit for bit.
+        let a = sparse_sample(20, 300, 11);
+        let g = dense_sample(20, 6, 12);
+        let mut full = Matrix::zeros(300, 6);
+        spmm_tn_acc_range(1.0, &a, g.as_slice(), 6, 0..300, full.as_mut_slice());
+        for parts in [2usize, 3, 7, 32] {
+            let mut stitched = Matrix::zeros(300, 6);
+            for r in asgd_tensor::parallel::split_ranges(300, parts) {
+                let slice = &mut stitched.as_mut_slice()[r.start * 6..r.end * 6];
+                spmm_tn_acc_range(1.0, &a, g.as_slice(), 6, r, slice);
+            }
+            assert_eq!(full.as_slice(), stitched.as_slice(), "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn banded_rows_exercise_span_rejection() {
+        // Each row's features sit in a narrow band, so most (row, partition)
+        // pairs miss entirely — the span early-exit path.
+        let mut b = crate::CooBuilder::new(16, 400);
+        for r in 0..16 {
+            for j in 0..6 {
+                b.push(r, r * 25 + j, (r + j) as f32 * 0.25 - 1.0);
+            }
+        }
+        let a = b.into_csr();
+        let g = dense_sample(16, 5, 13);
+        let mut c = Matrix::zeros(400, 5);
+        spmm_tn_acc(1.0, &a, &g, &mut c);
+        let mut want = Matrix::zeros(400, 5);
+        dops::gemm_tn(1.0, &a.to_dense(), &g, 0.0, &mut want);
+        assert!(c.max_abs_diff(&want) < 1e-4);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! variants (NN/NT/TN), element-wise kernels, numerically stable softmax /
 //! log-sum-exp, and seeded weight initialization.
 //!
-//! All parallelism goes through [`parallel`], which chunks row ranges over
-//! scoped crossbeam threads — one pool-free fork/join per kernel call, with
-//! the thread count resolved once from `ASGD_THREADS` or
+//! All parallelism goes through [`parallel`], which chunks row ranges over a
+//! process-wide persistent worker pool — workers are spawned once and parked
+//! between jobs, so a kernel's fork/join is a lock + notify, not a round of
+//! thread spawns. The thread count is resolved once from `ASGD_THREADS` or
 //! `std::thread::available_parallelism`.
 //!
 //! # Example
@@ -28,5 +29,6 @@ pub mod matrix;
 pub mod numerics;
 pub mod ops;
 pub mod parallel;
+pub(crate) mod pool;
 
 pub use matrix::Matrix;

@@ -145,12 +145,41 @@ impl Matrix {
     /// The transpose as a new matrix.
     pub fn transposed(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
+        self.transpose_into(&mut out);
+        out
+    }
+
+    /// Writes the transpose of `self` into `out` (which must already be
+    /// `cols × rows`) without allocating — the workspace-friendly variant of
+    /// [`Matrix::transposed`].
+    ///
+    /// # Panics
+    /// Panics when `out` is not the transposed shape.
+    pub fn transpose_into(&self, out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (self.cols, self.rows),
+            "transpose_into shape mismatch"
+        );
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
             }
         }
-        out
+    }
+
+    /// Re-shapes `self` to `rows × cols` in place, reusing the backing
+    /// allocation whenever its capacity suffices. Element values after the
+    /// call are unspecified (kernels that write the full output, like GEMM
+    /// with `beta = 0`, don't care); only the shape is guaranteed.
+    ///
+    /// This is the growth primitive of the zero-allocation training
+    /// workspace: after the first (largest) batch, subsequent calls never
+    /// touch the allocator.
+    pub fn reshape_in_place(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, 0.0);
+        self.rows = rows;
+        self.cols = cols;
     }
 
     /// Squared L2 (Frobenius) norm.
@@ -197,6 +226,34 @@ mod tests {
         let m = Matrix::from_fn(3, 4, |r, c| (r * 7 + c * 3) as f32);
         assert_eq!(m.transposed().transposed(), m);
         assert_eq!(m.transposed().at(2, 1), m.at(1, 2));
+    }
+
+    #[test]
+    fn transpose_into_matches_transposed() {
+        let m = Matrix::from_fn(5, 3, |r, c| (r * 11 + c * 5) as f32 - 6.0);
+        let mut out = Matrix::zeros(3, 5);
+        m.transpose_into(&mut out);
+        assert_eq!(out, m.transposed());
+    }
+
+    #[test]
+    fn reshape_in_place_reuses_allocation() {
+        let mut m = Matrix::zeros(8, 4);
+        let ptr = m.as_slice().as_ptr();
+        m.reshape_in_place(4, 4);
+        assert_eq!(m.shape(), (4, 4));
+        m.reshape_in_place(8, 4);
+        assert_eq!(m.shape(), (8, 4));
+        // Shrink + regrow within capacity must not move the buffer.
+        assert_eq!(m.as_slice().as_ptr(), ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "transpose_into shape mismatch")]
+    fn transpose_into_wrong_shape_panics() {
+        let m = Matrix::zeros(2, 3);
+        let mut out = Matrix::zeros(2, 3);
+        m.transpose_into(&mut out);
     }
 
     #[test]

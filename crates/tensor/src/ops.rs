@@ -153,7 +153,11 @@ pub fn scale(a: f32, x: &mut [f32]) {
 /// Panics when `mats` is empty, lengths differ, or shapes mismatch.
 pub fn weighted_sum(mats: &[&Matrix], weights: &[f64], out: &mut Matrix) {
     assert!(!mats.is_empty(), "weighted_sum needs at least one matrix");
-    assert_eq!(mats.len(), weights.len(), "weights/matrices length mismatch");
+    assert_eq!(
+        mats.len(),
+        weights.len(),
+        "weights/matrices length mismatch"
+    );
     for m in mats {
         assert_eq!(m.shape(), out.shape(), "weighted_sum shape mismatch");
     }

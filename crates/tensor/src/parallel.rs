@@ -1,22 +1,38 @@
-//! Fork/join row-range parallelism over scoped crossbeam threads.
+//! Fork/join row-range parallelism over the persistent worker pool.
 //!
 //! The kernels in this workspace parallelize over *disjoint row ranges* of an
-//! output buffer. Instead of pulling in a work-stealing pool, each kernel
-//! call forks `num_threads` scoped threads over contiguous chunks and joins —
-//! predictable, allocation-light, and deterministic in its partitioning.
+//! output buffer. Each parallel call splits its index space with
+//! [`split_ranges`] — deterministic, contiguous, near-equal chunks — and
+//! hands one task per range to the process-wide pool ([`crate::pool`]).
+//! Workers are spawned once and parked between jobs, so the per-call cost is
+//! a lock and a condvar notify instead of `num_threads` thread spawns.
+//!
+//! Determinism: every output row is computed in full by exactly one task,
+//! with the same inner loop order regardless of how ranges are partitioned
+//! or which worker claims them — results are bit-identical for any thread
+//! count, including 1.
 //!
 //! The thread count is resolved once per process: the `ASGD_THREADS`
 //! environment variable wins, otherwise `std::thread::available_parallelism`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// In-process override used by determinism tests (see [`override_threads`]);
+/// `0` means "no override".
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// The number of worker threads kernels will fork.
 ///
 /// Resolved once from `ASGD_THREADS` (if set to a positive integer) or the
 /// machine's available parallelism; at least 1.
 pub fn num_threads() -> usize {
+    let forced = THREADS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
     *THREADS.get_or_init(|| {
         if let Ok(v) = std::env::var("ASGD_THREADS") {
             if let Ok(n) = v.trim().parse::<usize>() {
@@ -29,6 +45,14 @@ pub fn num_threads() -> usize {
             .map(|n| n.get())
             .unwrap_or(1)
     })
+}
+
+/// Forces [`num_threads`] to `n` for the current process (`0` clears the
+/// override). Test-only: lets one process compare e.g. 1-thread vs 8-thread
+/// kernel results, which the env-var path (read once) cannot.
+#[doc(hidden)]
+pub fn override_threads(n: usize) {
+    THREADS_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// Splits `0..n` into at most `parts` contiguous ranges of near-equal size.
@@ -52,8 +76,9 @@ pub fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Runs `f(range)` over a partition of `0..n`, in parallel when `n` is large
-/// enough to amortize thread spawning (`n >= min_serial`), serially otherwise.
+/// Runs `f(range)` over a partition of `0..n`, on the worker pool when `n`
+/// is large enough to amortize the fork/join (`n >= min_serial`), serially
+/// otherwise.
 ///
 /// `f` must only touch state it can access through `&self`/captured `Sync`
 /// references; use [`par_chunks_mut`] when each range owns a slice of output.
@@ -69,20 +94,12 @@ where
         return;
     }
     let ranges = split_ranges(n, threads);
-    crossbeam::scope(|s| {
-        // First range runs on the calling thread to save one spawn.
-        for r in ranges.iter().skip(1).cloned() {
-            let f = &f;
-            s.spawn(move |_| f(r));
-        }
-        f(ranges[0].clone());
-    })
-    .expect("parallel worker panicked");
+    crate::pool::run(ranges.len(), threads, &|i| f(ranges[i].clone()));
 }
 
 /// Partitions `data` (logically `rows` rows of `row_len` elements) into
-/// contiguous row chunks and runs `f(first_row, chunk)` on each, in parallel
-/// when `rows >= min_serial`.
+/// contiguous row chunks and runs `f(first_row, chunk)` on each, on the
+/// worker pool when `rows >= min_serial`.
 ///
 /// # Panics
 /// Panics when `data.len() != rows * row_len`.
@@ -99,19 +116,36 @@ where
         return;
     }
     let ranges = split_ranges(rows, threads);
-    crossbeam::scope(|s| {
-        let mut rest = data;
-        let mut consumed = 0usize;
-        for r in &ranges {
-            let (head, tail) = rest.split_at_mut((r.end - r.start) * row_len);
-            rest = tail;
-            let first_row = consumed;
-            consumed = r.end;
-            let f = &f;
-            s.spawn(move |_| f(first_row, head));
+    // Tasks carve disjoint row ranges out of `data`; the raw-pointer share
+    // is sound because ranges never overlap and the pool joins before
+    // returning.
+    let base = data.as_mut_ptr() as usize;
+    crate::pool::run(ranges.len(), threads, &|i| {
+        let r = &ranges[i];
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut(
+                (base as *mut f32).add(r.start * row_len),
+                r.len() * row_len,
+            )
+        };
+        f(r.start, chunk);
+    });
+}
+
+/// `dst[i] += src[i]` over the worker pool — the reduction arithmetic of the
+/// collective algorithms. Element-wise, so any partitioning yields the exact
+/// same result; small inputs (`len < min_serial`) stay serial.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_add_assign(dst: &mut [f32], src: &[f32], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_add_assign length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        let src_part = &src[first..first + chunk.len()];
+        for (d, &s) in chunk.iter_mut().zip(src_part) {
+            *d += s;
         }
-    })
-    .expect("parallel worker panicked");
+    });
 }
 
 #[cfg(test)]
@@ -191,10 +225,57 @@ mod tests {
     }
 
     #[test]
+    fn par_add_assign_adds_elementwise() {
+        let src: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let mut a = vec![1.0f32; 1000];
+        let mut b = vec![1.0f32; 1000];
+        par_add_assign(&mut a, &src, 1); // pooled
+        par_add_assign(&mut b, &src, usize::MAX); // serial
+        assert_eq!(a, b);
+        assert_eq!(a[999], 1000.0);
+    }
+
+    #[test]
     fn num_threads_is_positive_and_stable() {
         let a = num_threads();
         let b = num_threads();
         assert!(a >= 1);
         assert_eq!(a, b);
+    }
+
+    /// Serializes tests that toggle the global thread-count override so they
+    /// can't clobber each other's setting mid-assertion. (Other tests are
+    /// unaffected by the override: results are thread-count independent.)
+    pub(crate) static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn override_forces_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        override_threads(5);
+        assert_eq!(num_threads(), 5);
+        override_threads(0);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn gemm_bit_identical_across_thread_counts() {
+        use crate::{ops, Matrix};
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let a = Matrix::from_fn(120, 64, |r, c| ((r * 31 + c * 17) % 13) as f32 / 7.0 - 0.9);
+        let b = Matrix::from_fn(64, 90, |r, c| ((r * 23 + c * 29) % 11) as f32 / 5.0 - 1.1);
+        let run = |threads: usize| {
+            override_threads(threads);
+            let mut nn = Matrix::zeros(120, 90);
+            ops::gemm(1.0, &a, &b, 0.0, &mut nn);
+            let mut tn = Matrix::zeros(64, 64);
+            ops::gemm_tn(1.0, &a, &a, 0.0, &mut tn);
+            (nn, tn)
+        };
+        let single = run(1);
+        let eight = run(8);
+        override_threads(0);
+        // Bit-identical, not approximately equal: every output row is
+        // computed whole by one task with a fixed inner-loop order.
+        assert_eq!(single, eight);
     }
 }

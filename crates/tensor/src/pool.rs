@@ -1,0 +1,279 @@
+//! Process-wide persistent worker pool for fork/join kernels.
+//!
+//! The kernels in this workspace parallelize over disjoint, deterministic
+//! index ranges (see [`crate::parallel::split_ranges`]). Before this pool
+//! existed every kernel call spawned fresh scoped threads; now a set of
+//! long-lived workers parks on a condvar and fork/join is a lock + notify.
+//!
+//! Design:
+//!
+//! - **One job at a time.** A submission mutex serializes jobs; the caller
+//!   holds it for the duration of its job and participates in executing
+//!   tasks, so a pool of `W` workers serves `W + 1`-way parallelism. With
+//!   multiple submitter threads (e.g. several GPU managers), jobs queue on
+//!   the mutex instead of oversubscribing the CPU.
+//! - **Claim-based scheduling, deterministic results.** A job is `ntasks`
+//!   closures-by-index; workers claim indices from a shared atomic counter.
+//!   *Which* thread runs a task is nondeterministic, but tasks are disjoint
+//!   and each is executed exactly once, so outputs are bit-identical for any
+//!   worker count — the partitioning itself stays the caller's business.
+//! - **Borrow-safe by barrier.** Task closures may borrow the caller's stack
+//!   (the lifetime is erased internally): `run` does not return until every
+//!   worker has finished the job, panicked or not, so no borrow outlives it.
+//! - **Panic propagation.** A panicking task aborts the job's remaining
+//!   tasks; the first payload is re-raised on the calling thread after the
+//!   completion barrier (matching what scoped-thread joins did before).
+//! - **Re-entrancy.** A task that itself calls `run` executes its inner job
+//!   inline (serially): the submission mutex is not re-entrant and the outer
+//!   job would deadlock waiting on this worker otherwise.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A lifetime-erased reference to the current job's task body. Sound because
+/// [`run`] never returns (not even by unwinding) before every worker is done
+/// with the job — the borrow can not outlive the data it points into.
+#[derive(Clone, Copy)]
+struct JobTask(&'static (dyn Fn(usize) + Sync));
+
+struct State {
+    /// Incremented per job; workers use it to tell "new job" from spurious
+    /// wake-ups.
+    epoch: u64,
+    /// The current job, if any.
+    job: Option<(JobTask, usize)>,
+    /// Workers still executing the current job.
+    active: usize,
+    /// First panic payload raised by a worker task.
+    panic_payload: Option<Box<dyn std::any::Any + Send + 'static>>,
+    /// Total workers spawned so far.
+    workers: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: a new job is available.
+    work_cv: Condvar,
+    /// Signals the submitter: all workers finished the job.
+    done_cv: Condvar,
+    /// Next unclaimed task index of the current job.
+    cursor: AtomicUsize,
+}
+
+/// The pool singleton plus the submission lock that serializes jobs.
+struct Pool {
+    shared: &'static Shared,
+    submit: Mutex<()>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+thread_local! {
+    /// Set while this thread is executing pool tasks (worker or
+    /// participating submitter); nested `run` calls go serial.
+    static IN_POOL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        shared: Box::leak(Box::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                active: 0,
+                panic_payload: None,
+                workers: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        })),
+        submit: Mutex::new(()),
+    })
+}
+
+/// The worker loop: park until a new job epoch, drain the claim counter,
+/// report completion, repeat. Workers live for the process lifetime.
+fn worker_loop(shared: &'static Shared) {
+    IN_POOL.with(|f| f.set(true));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    // A job is always installed before the epoch is bumped;
+                    // the `None` check is pure defence.
+                    if let Some(job) = st.job {
+                        break job;
+                    }
+                    continue;
+                }
+                st = shared.work_cv.wait(st).expect("pool state poisoned");
+            }
+        };
+        let (task, ntasks) = job;
+        run_claim_loop(shared, task, ntasks);
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Claims and executes task indices until the job is exhausted. On a panic,
+/// stores the first payload and aborts the job's remaining tasks.
+fn run_claim_loop(shared: &Shared, task: JobTask, ntasks: usize) {
+    loop {
+        let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= ntasks {
+            return;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (task.0)(i))) {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(payload);
+            }
+            drop(st);
+            // Abort what has not started; running tasks finish on their own.
+            shared.cursor.store(ntasks, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Executes `task(0..ntasks)` across the persistent workers plus the calling
+/// thread, returning after every index has been executed exactly once.
+///
+/// Panics from any task are re-raised here (first payload wins). Calls from
+/// inside a pool task run serially inline. `want_threads` is the
+/// parallelism the caller sized its tasks for; the pool lazily grows to
+/// `want_threads - 1` workers.
+pub(crate) fn run(ntasks: usize, want_threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    if ntasks == 0 {
+        return;
+    }
+    let serial = ntasks == 1 || want_threads <= 1 || IN_POOL.with(|f| f.get());
+    if serial {
+        for i in 0..ntasks {
+            task(i);
+        }
+        return;
+    }
+
+    let pool = pool();
+    let guard = pool.submit.lock().expect("pool submit lock poisoned");
+
+    // Erase the borrow; the completion barrier below keeps this sound.
+    let task: &'static (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(task) };
+
+    {
+        let mut st = pool.shared.state.lock().expect("pool state poisoned");
+        // Lazily grow to the requested parallelism (workers are never torn
+        // down; they park on `work_cv` between jobs).
+        while st.workers + 1 < want_threads {
+            st.workers += 1;
+            let shared = pool.shared;
+            std::thread::Builder::new()
+                .name(format!("asgd-pool-{}", st.workers))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+        }
+        pool.shared.cursor.store(0, Ordering::Relaxed);
+        st.job = Some((JobTask(task), ntasks));
+        st.active = st.workers;
+        st.epoch += 1;
+    }
+    pool.shared.work_cv.notify_all();
+
+    // Participate from the calling thread.
+    IN_POOL.with(|f| f.set(true));
+    run_claim_loop(pool.shared, JobTask(task), ntasks);
+    IN_POOL.with(|f| f.set(false));
+
+    // Completion barrier: no return (or unwind) before all workers are done.
+    let payload = {
+        let mut st = pool.shared.state.lock().expect("pool state poisoned");
+        while st.active > 0 {
+            st = pool.shared.done_cv.wait(st).expect("pool state poisoned");
+        }
+        st.job = None;
+        st.panic_payload.take()
+    };
+    drop(guard);
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_every_task_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        super::run(100, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn borrows_caller_stack_mutably_through_disjoint_indices() {
+        let mut data = vec![0usize; 64];
+        let ptr = data.as_mut_ptr() as usize;
+        super::run(64, 4, &|i| unsafe {
+            *(ptr as *mut usize).add(i) = i * 3;
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn nested_runs_execute_inline() {
+        let total = AtomicUsize::new(0);
+        super::run(4, 4, &|_| {
+            super::run(8, 4, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn panic_propagates_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            super::run(16, 4, &|i| {
+                if i == 7 {
+                    panic!("boom from task 7");
+                }
+            });
+        });
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom from task 7");
+        // The pool must stay usable after a panicked job.
+        let ok = AtomicUsize::new(0);
+        super::run(16, 4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn grows_to_larger_thread_requests() {
+        let hits = AtomicUsize::new(0);
+        super::run(32, 2, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        super::run(32, 6, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 64);
+    }
+}

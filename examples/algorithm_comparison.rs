@@ -47,7 +47,10 @@ fn main() {
     println!("running slide-cpu ...");
     results.push(SlideTrainer::new(slide_cfg).run(&dataset));
 
-    println!("\n{:<22} {:>10} {:>14} {:>10}", "algorithm", "best acc", "sim time (s)", "records");
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>10}",
+        "algorithm", "best acc", "sim time (s)", "records"
+    );
     for r in &results {
         let t_end = r.records.last().map(|x| x.sim_time).unwrap_or(0.0);
         println!(

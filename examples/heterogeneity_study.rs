@@ -29,10 +29,7 @@ fn main() {
     // --- Part 1: identical batch, four "identical" V100s (Fig. 1) ---
     println!("== identical batch across 4 V100s (Fig. 1) ==");
     let ids: Vec<usize> = (0..256).collect();
-    let nnz: usize = ids
-        .iter()
-        .map(|&i| dataset.train.features.row_nnz(i))
-        .sum();
+    let nnz: usize = ids.iter().map(|&i| dataset.train.features.row_nnz(i)).sum();
     let kinds = epoch_kernels(&mconfig, ids.len(), nnz);
     let mut devices = build_server(&heterogeneous_server(4), 99);
     let mut per_gpu = Vec::new();
@@ -65,10 +62,7 @@ fn main() {
         let ids: Vec<usize> = (b * 256..(b + 1) * 256)
             .map(|i| i % dataset.train.len())
             .collect();
-        let nnz: usize = ids
-            .iter()
-            .map(|&i| dataset.train.features.row_nnz(i))
-            .sum();
+        let nnz: usize = ids.iter().map(|&i| dataset.train.features.row_nnz(i)).sum();
         batch_costs.record(d.execute_all(&epoch_kernels(&mconfig, ids.len(), nnz)));
     }
     println!(
@@ -86,12 +80,8 @@ fn main() {
     config.base_lr = 0.1;
     config.mega_batch_limit = Some(12);
     config.overhead_scale = 0.005;
-    let result = Trainer::new(
-        algorithms::adaptive_sgd(),
-        heterogeneous_server(4),
-        config,
-    )
-    .run(&dataset);
+    let result =
+        Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(4), config).run(&dataset);
     println!("  mega-batch | per-GPU batch sizes | per-GPU updates");
     for r in &result.records {
         println!(

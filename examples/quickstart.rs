@@ -33,12 +33,11 @@ fn main() {
     config.overhead_scale = 0.005;
     config.seed = 42;
 
-    let trainer = Trainer::new(
-        algorithms::adaptive_sgd(),
-        heterogeneous_server(4),
-        config,
+    let trainer = Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(4), config);
+    println!(
+        "training {} on a 4x V100 heterogeneous server ...",
+        trainer.spec().name
     );
-    println!("training {} on a 4x V100 heterogeneous server ...", trainer.spec().name);
     let result = trainer.run(&dataset);
 
     println!("\nmega-batch |  sim time (s) | epochs | top-1 acc | batch sizes");

@@ -53,12 +53,8 @@ fn main() {
     config.hidden = 64;
     config.base_lr = 0.2;
     config.mega_batch_limit = Some(6);
-    let result = Trainer::new(
-        algorithms::adaptive_sgd(),
-        heterogeneous_server(2),
-        config,
-    )
-    .run(&dataset);
+    let result =
+        Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), config).run(&dataset);
     for r in &result.records {
         println!(
             "mega-batch {:>2}: sim {:.4}s, epochs {:.2}, top-1 {:.4}",

@@ -40,7 +40,10 @@ fn main() {
                 r.sim_time,
                 format!(
                     "{:?}",
-                    r.batch_sizes.iter().map(|b| b.round() as i64).collect::<Vec<_>>()
+                    r.batch_sizes
+                        .iter()
+                        .map(|b| b.round() as i64)
+                        .collect::<Vec<_>>()
                 ),
                 r.updates
             );

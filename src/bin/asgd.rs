@@ -270,7 +270,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
             r.sim_time,
             r.epochs,
             r.accuracy,
-            r.batch_sizes.iter().map(|b| b.round() as i64).collect::<Vec<_>>()
+            r.batch_sizes
+                .iter()
+                .map(|b| b.round() as i64)
+                .collect::<Vec<_>>()
         );
     }
     println!(
@@ -309,7 +312,10 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         .map(|p| p.with_overhead_scale(scale))
         .collect();
     let mut devices = build_server(&profiles, seed);
-    println!("identical batch (size {}, nnz {nnz}) x {reps} reps:", ids.len());
+    println!(
+        "identical batch (size {}, nnz {nnz}) x {reps} reps:",
+        ids.len()
+    );
     let mut means = StreamingSummary::new();
     for (i, d) in devices.iter_mut().enumerate() {
         let mut s = StreamingSummary::new();
@@ -326,7 +332,10 @@ fn cmd_simulate(flags: &Flags) -> Result<(), String> {
         means.record(s.mean());
     }
     if let Some(gap) = means.relative_gap() {
-        println!("fastest-to-slowest gap: {:.1}% (paper Fig. 1: up to 32%)", gap * 100.0);
+        println!(
+            "fastest-to-slowest gap: {:.1}% (paper Fig. 1: up to 32%)",
+            gap * 100.0
+        );
     }
     Ok(())
 }

@@ -153,10 +153,7 @@ fn crossbow_is_more_volatile_than_adaptive() {
     // Adaptive should never be dramatically *more* volatile than CROSSBOW.
     let va = volatility(&adaptive.records[2..]);
     let vc = volatility(&crossbow.records[2..]);
-    assert!(
-        va <= vc + 0.05,
-        "adaptive volatility {va} vs crossbow {vc}"
-    );
+    assert!(va <= vc + 0.05, "adaptive volatility {va} vs crossbow {vc}");
 }
 
 #[test]

@@ -42,10 +42,7 @@ fn resume_continues_from_snapshot() {
     // The resumed run starts from the trained model, not from scratch: its
     // first-merge accuracy should be at least the cold run's first-merge
     // accuracy (it has 4 mega-batches of training behind it).
-    assert!(
-        second.records.first().unwrap().accuracy
-            >= first.records.first().unwrap().accuracy
-    );
+    assert!(second.records.first().unwrap().accuracy >= first.records.first().unwrap().accuracy);
 }
 
 #[test]

@@ -113,8 +113,19 @@ fn train_rejects_unknown_algorithm() {
 fn train_slide_baseline_works() {
     let out = asgd()
         .args([
-            "train", "--dataset", "tiny", "--algo", "slide", "--megas", "2", "--bmax", "32",
-            "--batches-per-mega", "4", "--hidden", "16",
+            "train",
+            "--dataset",
+            "tiny",
+            "--algo",
+            "slide",
+            "--megas",
+            "2",
+            "--bmax",
+            "32",
+            "--batches-per-mega",
+            "4",
+            "--hidden",
+            "16",
         ])
         .output()
         .unwrap();
@@ -130,8 +141,17 @@ fn train_slide_baseline_works() {
 fn simulate_reports_gap() {
     let out = asgd()
         .args([
-            "simulate", "--gpus", "4", "--batch", "32", "--reps", "20", "--dataset", "tiny",
-            "--hidden", "16",
+            "simulate",
+            "--gpus",
+            "4",
+            "--batch",
+            "32",
+            "--reps",
+            "20",
+            "--dataset",
+            "tiny",
+            "--hidden",
+            "16",
         ])
         .output()
         .unwrap();

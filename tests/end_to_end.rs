@@ -57,9 +57,8 @@ fn adaptive_converges_toward_equal_update_counts() {
         config(12),
     )
     .run(&ds);
-    let spread = |updates: &[u64]| -> u64 {
-        updates.iter().max().unwrap() - updates.iter().min().unwrap()
-    };
+    let spread =
+        |updates: &[u64]| -> u64 { updates.iter().max().unwrap() - updates.iter().min().unwrap() };
     let early = spread(&result.records[0].updates);
     let late_avg: f64 = result.records[8..]
         .iter()
@@ -83,18 +82,10 @@ fn homogeneous_server_keeps_adaptive_close_to_elastic() {
     // mechanisms have little to adapt to, so both algorithms should reach
     // similar accuracy.
     let ds = small_amazon();
-    let adaptive = Trainer::new(
-        algorithms::adaptive_sgd(),
-        homogeneous_server(2),
-        config(6),
-    )
-    .run(&ds);
-    let elastic = Trainer::new(
-        algorithms::elastic_sgd(),
-        homogeneous_server(2),
-        config(6),
-    )
-    .run(&ds);
+    let adaptive =
+        Trainer::new(algorithms::adaptive_sgd(), homogeneous_server(2), config(6)).run(&ds);
+    let elastic =
+        Trainer::new(algorithms::elastic_sgd(), homogeneous_server(2), config(6)).run(&ds);
     let diff = (adaptive.best_accuracy() - elastic.best_accuracy()).abs();
     assert!(
         diff < 0.15,
@@ -128,7 +119,12 @@ fn more_gpus_shorten_time_to_target() {
     // less simulated time than 1 GPU.
     let ds = small_amazon();
     let run = |n: usize| {
-        Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(n), config(10)).run(&ds)
+        Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(n),
+            config(10),
+        )
+        .run(&ds)
     };
     let one = run(1);
     let four = run(4);
@@ -169,12 +165,7 @@ fn time_limit_stops_training() {
     let mut c = config(1000);
     c.mega_batch_limit = None;
     c.time_limit = Some(0.002);
-    let result = Trainer::new(
-        algorithms::adaptive_sgd(),
-        heterogeneous_server(2),
-        c,
-    )
-    .run(&ds);
+    let result = Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), c).run(&ds);
     let end = result.records.last().unwrap().sim_time;
     // Stops at the first mega-batch boundary past the limit.
     assert!(end >= 0.002, "end {end}");

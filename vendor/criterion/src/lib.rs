@@ -1,0 +1,343 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion surface this workspace's benches
+//! use: `Criterion`, `benchmark_group`, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, `Throughput`,
+//! `BenchmarkId`, `BatchSize`, and the `criterion_group!` /
+//! `criterion_main!` macros. Measurement is a simple calibrated wall-clock
+//! harness: one warm-up pass sizes the per-sample iteration count, then
+//! `sample_size` samples are timed and min/median/mean per-iteration times
+//! are printed (plus throughput when configured).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation: converts per-iteration time into a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Controls how `iter_batched` amortizes setup; the shim times the routine
+/// per batch regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Input is cheap to set up.
+    SmallInput,
+    /// Input is expensive to set up.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` back-to-back for the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+/// The benchmark harness root.
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            config: Config {
+                sample_size: 20,
+                measurement_time: Duration::from_millis(600),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget each benchmark's samples aim to fill.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().id, self.config, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/config settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, self.criterion.config, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark that borrows a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, self.criterion.config, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    config: Config,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Warm-up / calibration pass: one iteration tells us roughly how long a
+    // single call takes so samples can be sized to fill the time budget.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter_ns = (bencher.elapsed.as_nanos() as u64).max(1);
+
+    let per_sample_ns =
+        (config.measurement_time.as_nanos() as u64 / config.sample_size.max(1) as u64).max(1);
+    let iters = (per_sample_ns / per_iter_ns).clamp(1, 1_000_000_000);
+
+    let mut sample_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        bencher.iters = iters;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        sample_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+
+    let min = sample_ns[0];
+    let median = sample_ns[sample_ns.len() / 2];
+    let mean = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        sample_ns.len(),
+        iters,
+    );
+    if let Some(t) = throughput {
+        let (count, unit) = match t {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let rate = count as f64 / (median / 1e9);
+        println!("{:<50} thrpt: {:.3e} {unit}/s (median)", "", rate);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_selftest");
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(8), &8u64, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n as usize],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5));
+        sample_bench(&mut c);
+        c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(2));
+        targets = sample_bench
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        benches();
+    }
+}
