@@ -19,6 +19,19 @@ cargo test -q
 if [[ "${1:-}" != "quick" ]]; then
     echo "== workspace tests =="
     cargo test --workspace -q
+
+    echo "== benches compile (cargo bench --no-run) =="
+    cargo bench --workspace --no-run
+
+    echo "== fig2 trace determinism =="
+    # The scheduler trace must be byte-for-byte reproducible: regenerate it
+    # at the default scale into a scratch dir and diff against the
+    # checked-in artifact.
+    tmp_out="$(mktemp -d)"
+    trap 'rm -rf "$tmp_out"' EXIT
+    ASGD_OUT_DIR="$tmp_out" cargo run --release -p asgd-bench --bin fig2_trace >/dev/null
+    diff -u results/fig2_trace.txt "$tmp_out/fig2_trace.txt"
+    echo "fig2_trace.txt reproduced byte-for-byte"
 fi
 
 echo "CI OK"

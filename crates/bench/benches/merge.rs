@@ -1,8 +1,14 @@
 //! Model-merging microbenchmarks: Algorithm 2's weight computation, the
-//! weighted model sum, the momentum update, and Algorithm 1's scaling step.
+//! weighted model sum, the momentum update, Algorithm 1's scaling step, and
+//! the full merge stage (gather + all-reduce + global update +
+//! redistribution) with and without the persistent merge arena.
 
+use asgd_collective::{allreduce, Algorithm, CollectiveContext};
 use asgd_core::merging::apply_global_update;
 use asgd_core::{compute_merge_weights, scale_batch_sizes, GpuHyper, MergeParams, ScalingParams};
+use asgd_gpusim::{profile, SimTime, Topology};
+use asgd_model::{Mlp, MlpConfig};
+use asgd_tensor::parallel::par_copy;
 use asgd_tensor::{ops, Matrix};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -65,9 +71,63 @@ fn bench_merge(c: &mut Criterion) {
     });
 }
 
+/// One full scheduler-side merge at the amazon-like shape (hot_path bench's
+/// shape), 4 replicas: gather every replica flat, weighted all-reduce
+/// (multi-stream ring), momentum global update, redistribute + load. The
+/// `arena` variant recycles persistent buffers (the trainer's steady
+/// state); `alloc_per_merge` allocates the flats and redistribution clones
+/// fresh every merge — quantifying what the arena saves.
+fn bench_merge_stage(c: &mut Criterion) {
+    let n = 4;
+    let config = MlpConfig {
+        num_features: 135_909,
+        hidden: 128,
+        num_classes: 6_701,
+    };
+    let mut replicas: Vec<Mlp> = (0..n).map(|g| Mlp::init(&config, 3 + g as u64)).collect();
+    let mut global = replicas[0].to_flat();
+    let mut prev_global = global.clone();
+    let weights = vec![1.0 / n as f64; n];
+    let ctx = CollectiveContext::new(Topology::pcie(n), &profile::heterogeneous_server(n));
+    let arrivals = vec![SimTime::ZERO; n];
+    let algo = Algorithm::MultiStreamRing { partitions: 4 };
+
+    let mut group = c.benchmark_group("merge_stage");
+    group.sample_size(10);
+
+    let mut bufs: Vec<Vec<f32>> = (0..n).map(|_| Vec::new()).collect();
+    group.bench_function("arena_4x_amazon", |b| {
+        b.iter(|| {
+            for (r, buf) in replicas.iter().zip(bufs.iter_mut()) {
+                r.write_flat_into(buf);
+            }
+            allreduce(&mut bufs, &weights, algo, &ctx, &arrivals);
+            apply_global_update(&bufs[0], &mut global, &mut prev_global, 0.9);
+            for (r, buf) in replicas.iter_mut().zip(bufs.iter_mut()) {
+                par_copy(&global, buf, 1 << 14);
+                r.read_flat_from(buf);
+            }
+        });
+    });
+
+    group.bench_function("alloc_per_merge_4x_amazon", |b| {
+        b.iter(|| {
+            let mut fresh: Vec<Vec<f32>> = replicas.iter().map(|r| r.to_flat()).collect();
+            allreduce(&mut fresh, &weights, algo, &ctx, &arrivals);
+            let merged = fresh.swap_remove(0);
+            apply_global_update(&merged, &mut global, &mut prev_global, 0.9);
+            for r in replicas.iter_mut() {
+                let flat = global.clone();
+                r.load_flat(&flat);
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_merge
+    targets = bench_merge, bench_merge_stage
 }
 criterion_main!(benches);

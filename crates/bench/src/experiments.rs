@@ -108,8 +108,35 @@ pub fn fig2_trace(env: &Env) -> String {
 /// every full evaluation run so regressions show up in the artifact
 /// trajectory.)
 pub fn hot_path(env: &Env) -> String {
-    use asgd_model::{Mlp, Workspace};
     let mut out = String::from("dataset,batch,steps,ms_per_batch,samples_per_s\n");
+    for r in measure_hot_path(env) {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.0}",
+            r.dataset,
+            r.batch,
+            r.steps,
+            r.ns_per_iter / 1e6,
+            r.throughput
+        );
+    }
+    out
+}
+
+/// One timed hot-path shape, shared by the CSV row and `BENCH_hot_path.json`.
+struct HotPathRow {
+    dataset: String,
+    shape: String,
+    batch: usize,
+    steps: usize,
+    ns_per_iter: f64,
+    /// samples/s
+    throughput: f64,
+}
+
+fn measure_hot_path(env: &Env) -> Vec<HotPathRow> {
+    use asgd_model::{Mlp, Workspace};
+    let mut rows = Vec::new();
     for spec in env.dataset_specs() {
         let ds = env.dataset(&spec);
         let config = MlpConfig {
@@ -120,7 +147,7 @@ pub fn hot_path(env: &Env) -> String {
         let batch = env.b_max.min(ds.train.len());
         let ids: Vec<usize> = (0..batch).collect();
         let x = ds.train.features.select_rows(&ids);
-        let labels: Vec<Vec<u32>> = ids.iter().map(|&i| ds.train.labels[i].clone()).collect();
+        let labels: Vec<&[u32]> = ids.iter().map(|&i| ds.train.labels[i].as_slice()).collect();
         let mut model = Mlp::init(&config, env.seed);
         let mut ws = Workspace::new(&config);
         model.train_batch_ws(&x, &labels, 1e-3, &mut ws); // warm up buffers
@@ -130,14 +157,170 @@ pub fn hot_path(env: &Env) -> String {
             model.train_batch_ws(&x, &labels, 1e-3, &mut ws);
         }
         let elapsed = t0.elapsed().as_secs_f64();
+        rows.push(HotPathRow {
+            dataset: spec.name.clone(),
+            shape: format!(
+                "{}x{}x{}",
+                config.num_features, config.hidden, config.num_classes
+            ),
+            batch,
+            steps,
+            ns_per_iter: elapsed * 1e9 / steps as f64,
+            throughput: (batch * steps) as f64 / elapsed,
+        });
+    }
+    rows
+}
+
+/// Machine-readable twin of the `hot_path` CSV: one JSON object per shape
+/// with `ns_per_iter` (one training step) and samples/s throughput.
+pub fn bench_hot_path_json(env: &Env) -> String {
+    let mut out = String::from("{\n  \"bench\": \"hot_path\",\n  \"rows\": [\n");
+    let rows = measure_hot_path(env);
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"dataset\": \"{}\", \"shape\": \"{}\", \"batch\": {}, \
+             \"ns_per_iter\": {:.0}, \"throughput\": {:.1}, \
+             \"throughput_unit\": \"samples_per_s\"}}",
+            r.dataset, r.shape, r.batch, r.ns_per_iter, r.throughput
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// **Merge-stage throughput** — the scheduler-side merge (gather every
+/// replica's flat model, weighted all-reduce, momentum global update,
+/// redistribute + load) at the amazon-like shape with 4 replicas, timed for
+/// the persistent-arena path against the allocate-per-merge path it
+/// replaced. (The Criterion twin at the paper's full shape lives in
+/// `benches/merge.rs`; this row keeps the ratio in the artifact trajectory.)
+pub fn merge_stage(env: &Env) -> String {
+    let mut out = String::from("variant,params,replicas,merges,ms_per_merge,mparams_per_s\n");
+    for r in measure_merge_stage(env) {
         let _ = writeln!(
             out,
-            "{},{batch},{steps},{:.3},{:.0}",
-            spec.name,
-            elapsed * 1e3 / steps as f64,
-            (batch * steps) as f64 / elapsed
+            "{},{},{},{},{:.3},{:.1}",
+            r.variant,
+            r.params,
+            r.replicas,
+            r.merges,
+            r.ns_per_iter / 1e6,
+            r.throughput / 1e6
         );
     }
+    out
+}
+
+/// One timed merge-stage variant, shared by the CSV and `BENCH_merge.json`.
+struct MergeStageRow {
+    variant: &'static str,
+    shape: String,
+    params: usize,
+    replicas: usize,
+    merges: usize,
+    ns_per_iter: f64,
+    /// replica-parameters merged per second (`params * replicas / t`).
+    throughput: f64,
+}
+
+fn measure_merge_stage(env: &Env) -> Vec<MergeStageRow> {
+    use asgd_collective::{allreduce, Algorithm, CollectiveContext};
+    use asgd_core::merging::apply_global_update;
+    use asgd_gpusim::{SimTime, Topology};
+    use asgd_model::Mlp;
+    use asgd_tensor::parallel::par_copy;
+
+    let spec = &env.dataset_specs()[0]; // amazon-like twin
+    let ds = env.dataset(spec);
+    let config = MlpConfig {
+        num_features: ds.num_features,
+        hidden: env.hidden,
+        num_classes: ds.num_labels,
+    };
+    let n = 4;
+    let params = config.param_len();
+    let shape = format!(
+        "{}x{}x{} x{n}",
+        config.num_features, config.hidden, config.num_classes
+    );
+    let weights = vec![1.0 / n as f64; n];
+    let ctx = CollectiveContext::new(Topology::pcie(n), &heterogeneous_server(n));
+    let arrivals = vec![SimTime::ZERO; n];
+    let algo = Algorithm::MultiStreamRing { partitions: 4 };
+    let merges = 5;
+
+    let mut rows = Vec::new();
+    for variant in ["arena", "alloc_per_merge"] {
+        let mut replicas: Vec<Mlp> = (0..n)
+            .map(|g| Mlp::init(&config, env.seed + g as u64))
+            .collect();
+        let mut global = replicas[0].to_flat();
+        let mut prev_global = global.clone();
+        let mut bufs: Vec<Vec<f32>> = (0..n).map(|_| Vec::new()).collect();
+        let run_merge = |replicas: &mut [Mlp],
+                         global: &mut Vec<f32>,
+                         prev_global: &mut Vec<f32>,
+                         bufs: &mut [Vec<f32>]| {
+            if variant == "arena" {
+                for (r, buf) in replicas.iter().zip(bufs.iter_mut()) {
+                    r.write_flat_into(buf);
+                }
+                allreduce(bufs, &weights, algo, &ctx, &arrivals);
+                apply_global_update(&bufs[0], global, prev_global, 0.9);
+                for (r, buf) in replicas.iter_mut().zip(bufs.iter_mut()) {
+                    par_copy(global, buf, 1 << 14);
+                    r.read_flat_from(buf);
+                }
+            } else {
+                let mut fresh: Vec<Vec<f32>> = replicas.iter().map(|r| r.to_flat()).collect();
+                allreduce(&mut fresh, &weights, algo, &ctx, &arrivals);
+                let merged = fresh.swap_remove(0);
+                apply_global_update(&merged, global, prev_global, 0.9);
+                for r in replicas.iter_mut() {
+                    let flat = global.clone();
+                    r.load_flat(&flat);
+                }
+            }
+        };
+        run_merge(&mut replicas, &mut global, &mut prev_global, &mut bufs); // warm up
+        let t0 = std::time::Instant::now();
+        for _ in 0..merges {
+            run_merge(&mut replicas, &mut global, &mut prev_global, &mut bufs);
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        rows.push(MergeStageRow {
+            variant,
+            shape: shape.clone(),
+            params,
+            replicas: n,
+            merges,
+            ns_per_iter: elapsed * 1e9 / merges as f64,
+            throughput: (params * n * merges) as f64 / elapsed,
+        });
+    }
+    rows
+}
+
+/// Machine-readable twin of the `merge_stage` CSV: one JSON object per
+/// variant with `ns_per_iter` (one full merge) and replica-parameters/s
+/// throughput.
+pub fn bench_merge_json(env: &Env) -> String {
+    let mut out = String::from("{\n  \"bench\": \"merge_stage\",\n  \"rows\": [\n");
+    let rows = measure_merge_stage(env);
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"variant\": \"{}\", \"shape\": \"{}\", \"params\": {}, \
+             \"replicas\": {}, \"ns_per_iter\": {:.0}, \"throughput\": {:.0}, \
+             \"throughput_unit\": \"replica_params_per_s\"}}",
+            r.variant, r.shape, r.params, r.replicas, r.ns_per_iter, r.throughput
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

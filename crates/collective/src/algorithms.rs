@@ -4,10 +4,19 @@
 //! following the exact data flow of the algorithm (so floating-point
 //! summation order matches what the hardware collective would produce), and
 //! simultaneously accounts simulated time step-by-step.
+//!
+//! Reduction arithmetic is applied **in place** on the destination buffers:
+//! within any single step of any algorithm here, the chunks written never
+//! alias the chunks read (the ring forwards chunk `i - s` while reading
+//! `i + 1 - s`; halving/doubling partners exchange disjoint halves), so no
+//! staging copies of the payloads are needed and the result is bit-identical
+//! to a fully simultaneous exchange. Per-chunk arithmetic routes through the
+//! persistent worker pool (`asgd_tensor::parallel`), which partitions
+//! deterministically — results are bit-identical for any `ASGD_THREADS`.
 
 use crate::timing::{AllReduceTiming, CollectiveContext};
 use asgd_gpusim::SimTime;
-use asgd_tensor::parallel::{par_add_assign, split_ranges};
+use asgd_tensor::parallel::{par_add_assign, par_copy, par_scale, par_tasks, split_ranges};
 
 /// Reductions shorter than this stay serial — the fork/join on the worker
 /// pool only pays off for model-sized buffers. Element-wise addition is
@@ -67,14 +76,14 @@ pub fn allreduce(
     );
 
     // Pre-scale each replica by its merge weight on its own device. The
-    // scale pass overlaps nothing — it delays that device's arrival.
+    // scale pass overlaps nothing — it delays that device's arrival. It must
+    // stay a separate pass (not fused into the ring's adds): ring chunks
+    // forward partial sums, so fusing would re-scale them.
     let mut ready = Vec::with_capacity(n);
     for (d, buf) in buffers.iter_mut().enumerate() {
         let w = weights[d] as f32;
         if w != 1.0 {
-            for v in buf.iter_mut() {
-                *v *= w;
-            }
+            par_scale(w, buf, MIN_PAR_REDUCE);
         }
         let scale_t = 8.0 * len as f64
             / (ctx.profiles()[d].mem_bandwidth_gbs * 1e9)
@@ -92,26 +101,49 @@ pub fn allreduce(
         };
     }
 
+    let mut views: Vec<&mut [f32]> = buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
     let (elapsed, bytes) = match algo {
-        Algorithm::Naive => naive(buffers, ctx),
-        Algorithm::Tree => tree(buffers, ctx),
-        Algorithm::Ring => ring_range(buffers, ctx, 0..len, 0),
+        Algorithm::Naive => naive(&mut views, ctx),
+        Algorithm::Tree => tree(&mut views, ctx),
+        Algorithm::Ring => ring_slices(&mut views, ctx, 0),
         Algorithm::HalvingDoubling => {
             if n.is_power_of_two() {
-                halving_doubling(buffers, ctx)
+                halving_doubling(&mut views, ctx)
             } else {
-                ring_range(buffers, ctx, 0..len, 0)
+                ring_slices(&mut views, ctx, 0)
             }
         }
         Algorithm::MultiStreamRing { partitions } => {
             let partitions = partitions.clamp(1, len.max(1));
             let ranges = split_ranges(len, partitions);
+            let nparts = ranges.len();
+            // Each partition's ring starts at a different GPU and runs on
+            // its own stream: the partitions are element-disjoint, so they
+            // map directly onto pool tasks. Durations overlap (take the
+            // max); bytes add. Results are written by partition index and
+            // combined in partition order, so the totals are deterministic.
+            let mut results: Vec<(f64, usize)> = vec![(0.0, 0); nparts];
+            let bases: Vec<usize> = views.iter_mut().map(|v| v.as_mut_ptr() as usize).collect();
+            let results_base = results.as_mut_ptr() as usize;
+            par_tasks(nparts, |p| {
+                let r = &ranges[p];
+                // SAFETY: partition ranges are disjoint sub-ranges of every
+                // buffer, each task touches only its own partition `p`, and
+                // `par_tasks` joins all tasks before returning — so the
+                // reborrowed sub-slices (and the `results[p]` writes) never
+                // alias across tasks and never outlive the borrow.
+                let mut part: Vec<&mut [f32]> = bases
+                    .iter()
+                    .map(|&b| unsafe {
+                        std::slice::from_raw_parts_mut((b as *mut f32).add(r.start), r.len())
+                    })
+                    .collect();
+                let out = ring_slices(&mut part, ctx, p % n);
+                unsafe { *(results_base as *mut (f64, usize)).add(p) = out };
+            });
             let mut worst = 0.0f64;
             let mut total_bytes = 0usize;
-            for (p, range) in ranges.into_iter().enumerate() {
-                // Each partition's ring starts at a different GPU and runs
-                // on its own stream: durations overlap, take the max.
-                let (t, b) = ring_range(buffers, ctx, range, p % n);
+            for (t, b) in results {
                 worst = worst.max(t);
                 total_bytes += b;
             }
@@ -127,20 +159,20 @@ pub fn allreduce(
 }
 
 /// Gather-to-root + broadcast. Sequential on the root's links.
-fn naive(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
-    let n = buffers.len();
-    let len = buffers[0].len();
+fn naive(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = bufs.len();
+    let len = bufs[0].len();
     let mut t = 0.0;
     let mut bytes = 0usize;
     for src in 1..n {
-        let (root_slice, src_slice) = pair_mut(buffers, 0, src);
+        let (root_slice, src_slice) = chunk_pair(bufs, 0, src, 0..len, 0..len);
         par_add_assign(root_slice, src_slice, MIN_PAR_REDUCE);
         t += ctx.p2p_time(src, 0, len) + ctx.reduce_time(0, len);
         bytes += 4 * len;
     }
-    let (root, rest) = buffers.split_first_mut().expect("n >= 1");
+    let (root, rest) = bufs.split_first_mut().expect("n >= 1");
     for (i, dst) in rest.iter_mut().enumerate() {
-        dst.copy_from_slice(root);
+        par_copy(root, dst, MIN_PAR_REDUCE);
         t += ctx.p2p_time(0, i + 1, len);
         bytes += 4 * len;
     }
@@ -148,9 +180,9 @@ fn naive(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
 }
 
 /// Binomial tree reduce + broadcast, single stream, whole-model transfers.
-fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
-    let n = buffers.len();
-    let len = buffers[0].len();
+fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = bufs.len();
+    let len = bufs[0].len();
     let mut t = 0.0;
     let mut bytes = 0usize;
     // Reduce up: stride doubling. Active pairs in a round are concurrent.
@@ -159,7 +191,7 @@ fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
         let mut round = 0.0f64;
         let mut i = 0;
         while i + stride < n {
-            let (dst, src) = pair_mut(buffers, i, i + stride);
+            let (dst, src) = chunk_pair(bufs, i, i + stride, 0..len, 0..len);
             par_add_assign(dst, src, MIN_PAR_REDUCE);
             round = round.max(ctx.p2p_time(i + stride, i, len) + ctx.reduce_time(i, len));
             bytes += 4 * len;
@@ -173,8 +205,8 @@ fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
         let mut round = 0.0f64;
         let mut i = 0;
         while i + stride < n {
-            let (dst, src) = pair_mut(buffers, i + stride, i);
-            dst.copy_from_slice(src);
+            let (dst, src) = chunk_pair(bufs, i + stride, i, 0..len, 0..len);
+            par_copy(src, dst, MIN_PAR_REDUCE);
             round = round.max(ctx.p2p_time(i, i + stride, len));
             bytes += 4 * len;
             i += stride * 2;
@@ -185,32 +217,31 @@ fn tree(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
     (t, bytes)
 }
 
-/// Ring all-reduce restricted to `range` of every buffer, with the ring
+/// Ring all-reduce over equal-length per-device slices, with the ring
 /// starting role rotated by `rotate` (used by the multi-stream variant so
 /// each partition's traffic starts at a different GPU).
 ///
+/// Payloads are applied directly, without staging: in reduce-scatter step
+/// `s`, device `i+1` receives chunk `i - s` while only chunk `i + 1 - s` of
+/// its buffer is read (as the source of the next hop) — written and read
+/// chunks never coincide within a step, so in-place application is
+/// bit-identical to a simultaneous exchange. The all-gather phase overwrites
+/// chunk `i + 1 - s` while chunk `i + 2 - s` is read: again disjoint.
+///
 /// Returns `(elapsed, bytes_moved)`.
-fn ring_range(
-    buffers: &mut [Vec<f32>],
-    ctx: &CollectiveContext,
-    range: std::ops::Range<usize>,
-    rotate: usize,
-) -> (f64, usize) {
-    let n = buffers.len();
-    let len = range.len();
+fn ring_slices(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, rotate: usize) -> (f64, usize) {
+    let n = bufs.len();
+    let len = bufs[0].len();
     if len == 0 || n < 2 {
         return (0.0, 0);
     }
-    // Chunk the partition into n near-equal pieces (some may be empty when
+    // Chunk the slice into n near-equal pieces (some may be empty when
     // len < n; timing then charges only the setup of non-empty sends).
-    let mut chunks: Vec<std::ops::Range<usize>> = split_ranges(len, n)
-        .into_iter()
-        .map(|r| range.start + r.start..range.start + r.end)
-        .collect();
+    let mut chunks: Vec<std::ops::Range<usize>> = split_ranges(len, n);
     // `split_ranges` emits fewer ranges when len < n; pad with empty chunks
     // so every logical chunk index is addressable.
     while chunks.len() < n {
-        chunks.push(range.end..range.end);
+        chunks.push(len..len);
     }
     let chunk_of = |logical: usize| chunks[logical % n].clone();
     // Physical device playing logical role `i`.
@@ -223,24 +254,17 @@ fn ring_range(
     // (i - s) mod n to logical device i+1, which accumulates.
     for s in 0..n - 1 {
         let mut step_t = 0.0f64;
-        // Collect sends first so the step is simultaneous (values read
-        // before any accumulation of this step lands).
-        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
         for i in 0..n {
             let c = chunk_of((i + n - s) % n);
-            let src = dev(i);
-            let payload = buffers[src][c.clone()].to_vec();
-            sends.push((dev((i + 1) % n), c, payload));
-        }
-        for (dst, c, payload) in sends {
-            let elems = payload.len();
-            if elems == 0 {
+            if c.is_empty() {
                 continue;
             }
-            par_add_assign(&mut buffers[dst][c], &payload, MIN_PAR_REDUCE);
+            let elems = c.len();
+            let (src, dst) = (dev(i), dev((i + 1) % n));
+            let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
+            par_add_assign(dst_chunk, src_chunk, MIN_PAR_REDUCE);
             bytes += 4 * elems;
             // All transfers of a step run on disjoint ring links: take max.
-            let src = prev_dev(dst, n);
             step_t = step_t.max(ctx.p2p_time(src, dst, elems) + ctx.reduce_time(dst, elems));
         }
         t += step_t;
@@ -251,20 +275,16 @@ fn ring_range(
     // (i + 1 - s) mod n to i+1, which overwrites.
     for s in 0..n - 1 {
         let mut step_t = 0.0f64;
-        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
         for i in 0..n {
             let c = chunk_of((i + 1 + n - s) % n);
-            let src = dev(i);
-            sends.push((dev((i + 1) % n), c.clone(), buffers[src][c].to_vec()));
-        }
-        for (dst, c, payload) in sends {
-            let elems = payload.len();
-            if elems == 0 {
+            if c.is_empty() {
                 continue;
             }
-            buffers[dst][c].copy_from_slice(&payload);
+            let elems = c.len();
+            let (src, dst) = (dev(i), dev((i + 1) % n));
+            let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
+            par_copy(src_chunk, dst_chunk, MIN_PAR_REDUCE);
             bytes += 4 * elems;
-            let src = prev_dev(dst, n);
             step_t = step_t.max(ctx.p2p_time(src, dst, elems));
         }
         t += step_t;
@@ -273,16 +293,17 @@ fn ring_range(
     (t, bytes)
 }
 
-fn prev_dev(d: usize, n: usize) -> usize {
-    (d + n - 1) % n
-}
-
 /// Recursive halving reduce-scatter + recursive doubling all-gather.
 /// Requires `n` to be a power of two (the caller guarantees it).
-fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, usize) {
-    let n = buffers.len();
+///
+/// Like the ring, payloads are applied in place: a pair exchanges the two
+/// complementary halves of its shared active range (halving), or its two
+/// disjoint owned ranges (doubling), so within a step no written region is
+/// ever read.
+fn halving_doubling(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+    let n = bufs.len();
     debug_assert!(n.is_power_of_two() && n >= 2);
-    let len = buffers[0].len();
+    let len = bufs[0].len();
     let mut t = 0.0f64;
     let mut bytes = 0usize;
 
@@ -294,8 +315,6 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
     let mut d = n / 2;
     while d >= 1 {
         let mut step_t = 0.0f64;
-        // Stage sends: (dst, dst_new_range, payload from src's half).
-        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
         let mut new_ranges = ranges.clone();
         for i in 0..n {
             let p = i ^ d;
@@ -306,19 +325,16 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
             } else {
                 (mid..r.end, r.start..mid)
             };
-            sends.push((p, send.clone(), buffers[i][send].to_vec()));
             new_ranges[i] = keep;
-        }
-        for (dst, range, payload) in sends {
-            let elems = payload.len();
-            if elems == 0 {
+            if send.is_empty() {
                 continue;
             }
-            par_add_assign(&mut buffers[dst][range], &payload, MIN_PAR_REDUCE);
+            let elems = send.len();
+            let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, send.clone(), send);
+            par_add_assign(dst_chunk, src_chunk, MIN_PAR_REDUCE);
             bytes += 4 * elems;
             // The pair's two transfers share one link; serialize them.
-            step_t =
-                step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems) + ctx.reduce_time(dst, elems));
+            step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems) + ctx.reduce_time(p, elems));
         }
         ranges = new_ranges;
         t += step_t;
@@ -329,23 +345,20 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
     let mut d = 1;
     while d < n {
         let mut step_t = 0.0f64;
-        let mut sends: Vec<(usize, std::ops::Range<usize>, Vec<f32>)> = Vec::with_capacity(n);
-        for i in 0..n {
-            let p = i ^ d;
-            let r = ranges[i].clone();
-            sends.push((p, r.clone(), buffers[i][r].to_vec()));
-        }
         let mut new_ranges = ranges.clone();
-        for (dst, range, payload) in sends {
-            let elems = payload.len();
-            if elems > 0 {
-                buffers[dst][range.clone()].copy_from_slice(&payload);
+        for (i, r) in ranges.iter().enumerate() {
+            let p = i ^ d;
+            let r = r.clone();
+            if !r.is_empty() {
+                let elems = r.len();
+                let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, r.clone(), r.clone());
+                par_copy(src_chunk, dst_chunk, MIN_PAR_REDUCE);
                 bytes += 4 * elems;
-                step_t = step_t.max(2.0 * ctx.p2p_time(dst ^ d, dst, elems));
+                step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems));
             }
             // The destination now owns the union of the two ranges.
-            let own = &mut new_ranges[dst];
-            *own = own.start.min(range.start)..own.end.max(range.end);
+            let own = &mut new_ranges[p];
+            *own = own.start.min(r.start)..own.end.max(r.end);
         }
         ranges = new_ranges;
         t += step_t;
@@ -354,15 +367,22 @@ fn halving_doubling(buffers: &mut [Vec<f32>], ctx: &CollectiveContext) -> (f64, 
     (t, bytes)
 }
 
-/// Mutably borrows two distinct buffers.
-fn pair_mut(buffers: &mut [Vec<f32>], a: usize, b: usize) -> (&mut [f32], &[f32]) {
-    assert_ne!(a, b);
-    if a < b {
-        let (lo, hi) = buffers.split_at_mut(b);
-        (&mut lo[a], &hi[0])
+/// Borrows chunk `dst_range` of buffer `dst` mutably and chunk `src_range`
+/// of buffer `src` immutably (`dst != src`).
+fn chunk_pair<'a>(
+    bufs: &'a mut [&mut [f32]],
+    dst: usize,
+    src: usize,
+    dst_range: std::ops::Range<usize>,
+    src_range: std::ops::Range<usize>,
+) -> (&'a mut [f32], &'a [f32]) {
+    assert_ne!(dst, src);
+    if dst < src {
+        let (lo, hi) = bufs.split_at_mut(src);
+        (&mut lo[dst][dst_range], &hi[0][src_range])
     } else {
-        let (lo, hi) = buffers.split_at_mut(a);
-        (&mut hi[0], &lo[b])
+        let (lo, hi) = bufs.split_at_mut(dst);
+        (&mut hi[0][dst_range], &lo[src][src_range])
     }
 }
 
@@ -373,6 +393,11 @@ mod tests {
 
     fn ctx(n: usize) -> CollectiveContext {
         CollectiveContext::new(Topology::pcie(n), &profile::homogeneous_server(n))
+    }
+
+    fn ring_on_vecs(bufs: &mut [Vec<f32>], ctx: &CollectiveContext, rotate: usize) -> (f64, usize) {
+        let mut views: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+        ring_slices(&mut views, ctx, rotate)
     }
 
     #[test]
@@ -433,8 +458,8 @@ mod tests {
         };
         let mut a = make();
         let mut b = make();
-        ring_range(&mut a, &ctx(n), 0..50, 0);
-        ring_range(&mut b, &ctx(n), 0..50, 2);
+        ring_on_vecs(&mut a, &ctx(n), 0);
+        ring_on_vecs(&mut b, &ctx(n), 2);
         assert_eq!(a[0], b[0]);
     }
 
@@ -453,6 +478,62 @@ mod tests {
         );
         // Ring moves 2(n-1)/n of the model per device: 2*(n-1)*len*4 bytes total.
         assert_eq!(t.bytes_moved, 2 * (n - 1) * len * 4);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_any_algorithm_bits() {
+        // Buffers longer than MIN_PAR_REDUCE so the worker pool actually
+        // engages; pseudo-random values so rounding differences would show.
+        let n = 4;
+        let len = MIN_PAR_REDUCE * 2 + 37;
+        let make = || -> Vec<Vec<f32>> {
+            let mut state = 0x9e3779b97f4a7c15u64;
+            (0..n)
+                .map(|_| {
+                    (0..len)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                            ((state >> 33) as f32 / u32::MAX as f32) * 4.0 - 2.0
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let algos = [
+            Algorithm::Naive,
+            Algorithm::Tree,
+            Algorithm::Ring,
+            Algorithm::HalvingDoubling,
+            Algorithm::MultiStreamRing { partitions: n },
+        ];
+        for algo in algos {
+            let mut serial = make();
+            let mut pooled = make();
+            asgd_tensor::parallel::override_threads(1);
+            allreduce(
+                &mut serial,
+                &weights,
+                algo,
+                &ctx(n),
+                &vec![SimTime::ZERO; n],
+            );
+            asgd_tensor::parallel::override_threads(8);
+            allreduce(
+                &mut pooled,
+                &weights,
+                algo,
+                &ctx(n),
+                &vec![SimTime::ZERO; n],
+            );
+            asgd_tensor::parallel::override_threads(0);
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{algo:?}: 1-thread and 8-thread results differ"
+                );
+            }
+        }
     }
 
     #[test]

@@ -121,17 +121,20 @@ pub fn apply_global_update(
 ) {
     assert_eq!(merged.len(), global.len(), "merged/global length");
     assert_eq!(merged.len(), prev_global.len(), "merged/prev length");
-    let g = gamma as f32;
-    for ((m, w), wp) in merged
-        .iter()
-        .zip(global.iter_mut())
-        .zip(prev_global.iter_mut())
-    {
-        let w_new = m + g * (*w - *wp);
-        *wp = *w;
-        *w = w_new;
-    }
+    // One fused pool-parallel sweep; element-wise, so partitioning cannot
+    // change the bits.
+    asgd_tensor::parallel::par_momentum_update(
+        merged,
+        global,
+        prev_global,
+        gamma as f32,
+        MIN_PAR_GLOBAL,
+    );
 }
+
+/// Global updates shorter than this stay serial (same rationale as the
+/// collective's reduction threshold).
+const MIN_PAR_GLOBAL: usize = 1 << 14;
 
 #[cfg(test)]
 mod tests {

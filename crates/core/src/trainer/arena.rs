@@ -1,0 +1,145 @@
+//! The merge arena: per-replica flat model buffers owned by the scheduler
+//! and recycled across merges.
+//!
+//! Ownership rule: **the scheduler owns the arena; a manager borrows at most
+//! one buffer at a time** (lent out inside a `GetModel`, `SetModel`, or
+//! `Blend` message and always sent back in the reply). Between merges every
+//! buffer is home, so the whole merge stage — gather, all-reduce,
+//! redistribution — reuses the same `n` allocations for the run's lifetime:
+//! after the first merge sizes them, no model-sized allocation ever happens
+//! again.
+
+/// Per-replica flat buffers, recycled across merges.
+#[derive(Debug)]
+pub struct MergeArena {
+    param_len: usize,
+    /// `slots[g]` is GPU `g`'s buffer; an empty `Vec` marks it as on loan
+    /// (a filled buffer always has `param_len > 0` elements).
+    slots: Vec<Vec<f32>>,
+}
+
+impl MergeArena {
+    /// An arena for `n` replicas of `param_len` parameters. Buffers start
+    /// empty: the first `Mlp::write_flat_into` sizes them.
+    pub fn new(n: usize, param_len: usize) -> Self {
+        assert!(param_len > 0, "empty model");
+        Self {
+            param_len,
+            slots: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of replica slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena holds no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Takes GPU `g`'s buffer out of the arena to lend it to a manager.
+    ///
+    /// # Panics
+    /// Panics if the buffer is already on loan (after the first merge a
+    /// home buffer is never empty).
+    pub fn lend(&mut self, g: usize) -> Vec<f32> {
+        let buf = std::mem::take(&mut self.slots[g]);
+        assert!(
+            buf.capacity() == 0 || buf.len() == self.param_len,
+            "arena slot {g} lent while on loan"
+        );
+        buf
+    }
+
+    /// Returns a lent buffer to GPU `g`'s slot.
+    ///
+    /// # Panics
+    /// Panics on a length mismatch or if the slot is already occupied.
+    pub fn restore(&mut self, g: usize, buf: Vec<f32>) {
+        assert_eq!(buf.len(), self.param_len, "arena buffer length");
+        assert!(self.slots[g].is_empty(), "arena slot {g} restored twice");
+        self.slots[g] = buf;
+    }
+
+    /// All buffers at once, for the in-place all-reduce.
+    ///
+    /// # Panics
+    /// Panics if any buffer is on loan.
+    pub fn buffers_mut(&mut self) -> &mut [Vec<f32>] {
+        assert!(
+            self.slots.iter().all(|s| s.len() == self.param_len),
+            "all-reduce with arena buffers on loan"
+        );
+        &mut self.slots
+    }
+
+    /// GPU `g`'s buffer, read-only.
+    ///
+    /// # Panics
+    /// Panics if the buffer is on loan.
+    pub fn buffer(&self, g: usize) -> &[f32] {
+        assert_eq!(
+            self.slots[g].len(),
+            self.param_len,
+            "arena slot {g} on loan"
+        );
+        &self.slots[g]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lend_restore_cycle_is_pointer_stable() {
+        let mut arena = MergeArena::new(2, 8);
+        // First cycle sizes the buffers.
+        let mut a = arena.lend(0);
+        a.resize(8, 1.0);
+        let ptr = a.as_ptr();
+        arena.restore(0, a);
+        // Every later cycle reuses the same allocation.
+        for round in 0..5 {
+            let mut b = arena.lend(0);
+            assert_eq!(b.as_ptr(), ptr, "round {round} reallocated");
+            b.clear();
+            b.resize(8, round as f32);
+            assert_eq!(b.as_ptr(), ptr, "round {round} refill reallocated");
+            arena.restore(0, b);
+        }
+        assert_eq!(arena.buffer(0).as_ptr(), ptr);
+    }
+
+    #[test]
+    fn buffers_mut_exposes_all_slots() {
+        let mut arena = MergeArena::new(3, 4);
+        for g in 0..3 {
+            let mut b = arena.lend(g);
+            b.resize(4, g as f32);
+            arena.restore(g, b);
+        }
+        assert_eq!(arena.len(), 3);
+        assert!(!arena.is_empty());
+        let bufs = arena.buffers_mut();
+        assert_eq!(bufs.len(), 3);
+        assert_eq!(bufs[2], vec![2.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arena buffer length")]
+    fn restoring_wrong_length_panics() {
+        let mut arena = MergeArena::new(1, 4);
+        arena.restore(0, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "on loan")]
+    fn reading_a_lent_buffer_panics() {
+        let mut arena = MergeArena::new(1, 4);
+        let _b = arena.lend(0);
+        let _ = arena.buffer(0);
+    }
+}

@@ -27,14 +27,19 @@ pub(crate) fn run_manager(
     tx: Sender<FromManager>,
 ) {
     let mut ws = Workspace::new(replica.config());
+    // Reusable view of the batch's label slices: borrows from the shared
+    // dataset instead of cloning every label vector per batch.
+    let mut labels: Vec<&[u32]> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ToManager::Train { batch_ids, lr } => {
                 let x = dataset.train.features.select_rows(&batch_ids);
-                let labels: Vec<Vec<u32>> = batch_ids
-                    .iter()
-                    .map(|&i| dataset.train.labels[i].clone())
-                    .collect();
+                labels.clear();
+                labels.extend(
+                    batch_ids
+                        .iter()
+                        .map(|&i| dataset.train.labels[i].as_slice()),
+                );
                 let out = replica.train_batch_ws(&x, &labels, lr, &mut ws);
                 if tx
                     .send(FromManager::Trained {
@@ -47,13 +52,13 @@ pub(crate) fn run_manager(
                     return;
                 }
             }
-            ToManager::GetModel => {
-                let flat = replica.to_flat();
+            ToManager::GetModel { mut buf } => {
+                replica.write_flat_into(&mut buf);
                 let norm_per_param = replica.l2_norm_per_param();
                 if tx
                     .send(FromManager::Model {
                         gpu,
-                        flat,
+                        flat: buf,
                         norm_per_param,
                     })
                     .is_err()
@@ -61,16 +66,20 @@ pub(crate) fn run_manager(
                     return;
                 }
             }
-            ToManager::SetModel(flat) => {
-                replica.load_flat(&flat);
+            ToManager::SetModel(buf) => {
+                replica.read_flat_from(&buf);
+                if tx.send(FromManager::Redistributed { gpu, buf }).is_err() {
+                    return;
+                }
             }
             ToManager::Blend { target, pull } => {
-                assert_eq!(target.len(), replica.param_len(), "blend target length");
-                let mut flat = replica.to_flat();
-                for (w, &z) in flat.iter_mut().zip(&target) {
-                    *w += pull * (z - *w);
+                replica.blend_from_flat(&target, pull);
+                if tx
+                    .send(FromManager::Redistributed { gpu, buf: target })
+                    .is_err()
+                {
+                    return;
                 }
-                replica.load_flat(&flat);
             }
             ToManager::Stop => return,
         }
@@ -124,7 +133,7 @@ mod tests {
                     batch_ids: vec![0, 1, 2],
                     lr: 0.1,
                 },
-                ToManager::GetModel,
+                ToManager::GetModel { buf: Vec::new() },
             ],
         );
         assert_eq!(replies.len(), 2);
@@ -160,9 +169,16 @@ mod tests {
         let replies = drive(
             &ds,
             model,
-            vec![ToManager::SetModel(target.clone()), ToManager::GetModel],
+            vec![
+                ToManager::SetModel(target.clone()),
+                ToManager::GetModel { buf: Vec::new() },
+            ],
         );
         match &replies[0] {
+            FromManager::Redistributed { buf, .. } => assert_eq!(buf, &target),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &replies[1] {
             FromManager::Model { flat, .. } => assert_eq!(flat, &target),
             other => panic!("unexpected {other:?}"),
         }
@@ -176,9 +192,12 @@ mod tests {
         let replies = drive(
             &ds,
             model,
-            vec![ToManager::Blend { target, pull: 0.5 }, ToManager::GetModel],
+            vec![
+                ToManager::Blend { target, pull: 0.5 },
+                ToManager::GetModel { buf: Vec::new() },
+            ],
         );
-        match &replies[0] {
+        match &replies[1] {
             FromManager::Model { flat, .. } => {
                 for (got, want) in flat.iter().zip(&start) {
                     assert!((got - want * 0.5).abs() < 1e-6);
@@ -186,6 +205,65 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// The merge-protocol buffer cycle reuses one heap allocation: lend via
+    /// `GetModel`, get it back via `Model`, lend via `SetModel`, get it back
+    /// via `Redistributed` — pointer-stable after the first fill, and the
+    /// contents stay bit-identical to a freshly allocated `to_flat`.
+    #[test]
+    fn merge_protocol_recycles_one_buffer_without_reallocating() {
+        let (ds, model) = setup();
+        let mut twin = model.clone();
+        let mut tws = Workspace::new(twin.config());
+        let (to_tx, to_rx) = channel();
+        let (from_tx, from_rx) = channel();
+        std::thread::scope(|s| {
+            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx));
+
+            // First round trip sizes the buffer (the one allowed allocation).
+            to_tx.send(ToManager::GetModel { buf: Vec::new() }).unwrap();
+            let buf = match from_rx.recv().unwrap() {
+                FromManager::Model { flat, .. } => flat,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(buf, twin.to_flat());
+            let ptr = buf.as_ptr();
+
+            // Redistribute and train, then gather again with the same buffer.
+            to_tx.send(ToManager::SetModel(buf)).unwrap();
+            let buf = match from_rx.recv().unwrap() {
+                FromManager::Redistributed { buf, .. } => buf,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(buf.as_ptr(), ptr, "SetModel must return the same buffer");
+            let batch_ids = vec![0usize, 1, 2];
+            to_tx
+                .send(ToManager::Train {
+                    batch_ids: batch_ids.clone(),
+                    lr: 0.1,
+                })
+                .unwrap();
+            let _ = from_rx.recv().unwrap();
+            to_tx.send(ToManager::GetModel { buf }).unwrap();
+            let buf = match from_rx.recv().unwrap() {
+                FromManager::Model { flat, .. } => flat,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(buf.as_ptr(), ptr, "steady-state gather must not realloc");
+
+            // Replay the same step on the twin: the recycled buffer holds
+            // exactly what a fresh allocation would.
+            let x = ds.train.features.select_rows(&batch_ids);
+            let labels: Vec<&[u32]> = batch_ids
+                .iter()
+                .map(|&i| ds.train.labels[i].as_slice())
+                .collect();
+            twin.train_batch_ws(&x, &labels, 0.1, &mut tws);
+            assert_eq!(buf, twin.to_flat());
+
+            to_tx.send(ToManager::Stop).unwrap();
+        });
     }
 
     #[test]

@@ -1,5 +1,11 @@
 //! Event messages between the dynamic scheduler and the GPU managers
 //! (the "event messages" of the HeteroGPU architecture, Fig. 3).
+//!
+//! Model-sized payloads travel in scheduler-owned arena buffers (see
+//! [`super::arena::MergeArena`]): `GetModel` lends a buffer out, `Model`
+//! returns it filled, and `SetModel`/`Blend` lend it out again for
+//! redistribution, with `Redistributed` bringing it home. After the first
+//! merge no message allocates.
 
 /// Scheduler → GPU manager commands. Each manager processes its queue in
 /// FIFO order, so a `GetModel` enqueued after a run of `Train`s acts as a
@@ -14,10 +20,16 @@ pub(crate) enum ToManager {
         lr: f32,
     },
     /// Send the current replica (flat) and its L2-norm-per-parameter back.
-    GetModel,
-    /// Replace the replica with the given flat parameters.
+    GetModel {
+        /// Arena buffer the manager writes its flat replica into; returned
+        /// via [`FromManager::Model`].
+        buf: Vec<f32>,
+    },
+    /// Replace the replica with the given flat parameters; the buffer is
+    /// returned via [`FromManager::Redistributed`].
     SetModel(Vec<f32>),
-    /// CROSSBOW-style partial pull: `w ← w + pull·(target − w)`.
+    /// CROSSBOW-style partial pull: `w ← w + pull·(target − w)`; the buffer
+    /// is returned via [`FromManager::Redistributed`].
     Blend {
         /// The central average model.
         target: Vec<f32>,
@@ -44,9 +56,17 @@ pub(crate) enum FromManager {
     Model {
         /// Manager/device index.
         gpu: usize,
-        /// Flat replica parameters.
+        /// Flat replica parameters, in the buffer `GetModel` lent out.
         flat: Vec<f32>,
         /// `‖w‖₂ / |w|` — Algorithm 2's regularization measure.
         norm_per_param: f64,
+    },
+    /// Reply to `SetModel`/`Blend`: the replica was updated and the
+    /// borrowed arena buffer comes back to the scheduler.
+    Redistributed {
+        /// Manager/device index.
+        gpu: usize,
+        /// The arena buffer being returned.
+        buf: Vec<f32>,
     },
 }

@@ -18,6 +18,7 @@
 //! sizes, merge-per-mega-batch vs merge-every-round, and the merge rule
 //! (Algorithm 2, plain averaging, or CROSSBOW-style partial pull).
 
+pub mod arena;
 mod manager;
 mod messages;
 
@@ -26,6 +27,7 @@ use crate::hyper::{scale_batch_sizes, GpuHyper, ScalingParams};
 use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision, MergeParams};
 use crate::metrics::{MergeRecord, RunRecorder, RunResult};
 use crate::schedule::ScalingScheduler;
+use arena::MergeArena;
 use asgd_collective::{allreduce, Algorithm, CollectiveContext};
 use asgd_data::{batching::MegaBatchBudget, SampleStream, XmlDataset};
 use asgd_gpusim::device::build_server;
@@ -33,8 +35,13 @@ use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
 use asgd_gpusim::{Device, DeviceId, DeviceProfile, SimTime, Topology, TraceLog};
 use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels};
 use asgd_model::{eval, Mlp, MlpConfig};
+use asgd_tensor::parallel::par_copy;
 use messages::{FromManager, ToManager};
 use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Redistribution copies shorter than this stay serial (same rationale as
+/// the collective's reduction threshold).
+const MIN_PAR_MERGE: usize = 1 << 14;
 
 /// How batches are assigned to GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -284,6 +291,7 @@ impl Trainer {
             ),
             budget: MegaBatchBudget::new(cfg.mega_batch_size),
             hypers,
+            arena: MergeArena::new(n, mconfig.param_len()),
             global: init_model.to_flat(),
             prev_global: resume
                 .map(|s| s.prev_global.clone())
@@ -348,6 +356,8 @@ struct SchedulerState<'a> {
     stream: SampleStream,
     budget: MegaBatchBudget,
     hypers: Vec<GpuHyper>,
+    /// Persistent flat-model buffers recycled across merges (see [`arena`]).
+    arena: MergeArena,
     global: Vec<f32>,
     prev_global: Vec<f32>,
     eval_model: Mlp,
@@ -605,8 +615,8 @@ impl SchedulerState<'_> {
                     *loss_sum += loss;
                     *loss_n += 1;
                 }
-                FromManager::Model { .. } => {
-                    unreachable!("Model reply outside a merge phase")
+                FromManager::Model { .. } | FromManager::Redistributed { .. } => {
+                    unreachable!("merge-phase reply outside a merge phase")
                 }
             }
         }
@@ -614,13 +624,20 @@ impl SchedulerState<'_> {
 
     /// One full model-merging stage: collect replicas, compute weights,
     /// all-reduce, global update, redistribute, advance clocks.
+    ///
+    /// Model-sized payloads live in the scheduler's [`MergeArena`]: every
+    /// buffer is lent to its manager for the gather (`GetModel` → `Model`),
+    /// all-reduced in place — after which **all** buffers hold the merged
+    /// model — then lent again for redistribution (`SetModel`/`Blend` →
+    /// `Redistributed`). Steady-state merges allocate nothing model-sized.
     fn merge(&mut self, to: &[Sender<ToManager>], from: &Receiver<FromManager>) -> MergeDecision {
         let n = self.n();
-        for tx in to {
-            tx.send(ToManager::GetModel)
-                .expect("manager channel closed");
+        for (g, tx) in to.iter().enumerate() {
+            tx.send(ToManager::GetModel {
+                buf: self.arena.lend(g),
+            })
+            .expect("manager channel closed");
         }
-        let mut flats: Vec<Option<Vec<f32>>> = vec![None; n];
         let mut norms = vec![0.0f64; n];
         let mut received = 0usize;
         while received < n {
@@ -630,19 +647,15 @@ impl SchedulerState<'_> {
                     flat,
                     norm_per_param,
                 } => {
-                    flats[gpu] = Some(flat);
+                    self.arena.restore(gpu, flat);
                     norms[gpu] = norm_per_param;
                     received += 1;
                 }
-                FromManager::Trained { .. } => {
-                    unreachable!("Trained reply during a merge phase")
+                FromManager::Trained { .. } | FromManager::Redistributed { .. } => {
+                    unreachable!("non-Model reply during the merge gather")
                 }
             }
         }
-        let mut buffers: Vec<Vec<f32>> = flats
-            .into_iter()
-            .map(|f| f.expect("missing replica"))
-            .collect();
 
         let decision = match self.spec.merge_rule {
             MergeRule::Normalized(params) => compute_merge_weights(&self.hypers, &norms, &params),
@@ -655,42 +668,46 @@ impl SchedulerState<'_> {
 
         let arrivals: Vec<SimTime> = self.devices.iter().map(|d| d.now()).collect();
         let timing = allreduce(
-            &mut buffers,
+            self.arena.buffers_mut(),
             &decision.weights,
             self.spec.allreduce,
             &self.ctx,
             &arrivals,
         );
-        let merged = buffers.swap_remove(0);
 
         match self.spec.merge_rule {
             MergeRule::Normalized(params) => {
-                apply_global_update(
-                    &merged,
-                    &mut self.global,
-                    &mut self.prev_global,
-                    params.gamma,
-                );
-                for tx in to {
-                    tx.send(ToManager::SetModel(self.global.clone()))
-                        .expect("manager channel closed");
-                }
+                self.redistribute_set_model(to, params.gamma);
             }
             MergeRule::Average { gamma } => {
-                apply_global_update(&merged, &mut self.global, &mut self.prev_global, gamma);
-                for tx in to {
-                    tx.send(ToManager::SetModel(self.global.clone()))
-                        .expect("manager channel closed");
-                }
+                self.redistribute_set_model(to, gamma);
             }
             MergeRule::Crossbow { pull } => {
-                self.global = merged.clone();
-                for tx in to {
+                // The merged model becomes the new global; each buffer
+                // already holds it, so the blend targets ship with zero
+                // copies.
+                par_copy(self.arena.buffer(0), &mut self.global, MIN_PAR_MERGE);
+                for (g, tx) in to.iter().enumerate() {
                     tx.send(ToManager::Blend {
-                        target: merged.clone(),
+                        target: self.arena.lend(g),
                         pull: pull as f32,
                     })
                     .expect("manager channel closed");
+                }
+            }
+        }
+
+        // Drain the redistribution acks, bringing every buffer home for the
+        // next merge.
+        let mut returned = 0usize;
+        while returned < n {
+            match from.recv().expect("manager channel closed") {
+                FromManager::Redistributed { gpu, buf } => {
+                    self.arena.restore(gpu, buf);
+                    returned += 1;
+                }
+                FromManager::Trained { .. } | FromManager::Model { .. } => {
+                    unreachable!("non-Redistributed reply during redistribution")
                 }
             }
         }
@@ -714,6 +731,24 @@ impl SchedulerState<'_> {
             ),
         );
         decision
+    }
+
+    /// Applies the momentum global update from the merged model (held by
+    /// every arena buffer after the all-reduce) and redistributes the new
+    /// global through the recycled buffers.
+    fn redistribute_set_model(&mut self, to: &[Sender<ToManager>], gamma: f64) {
+        apply_global_update(
+            self.arena.buffer(0),
+            &mut self.global,
+            &mut self.prev_global,
+            gamma,
+        );
+        for (g, tx) in to.iter().enumerate() {
+            let mut buf = self.arena.lend(g);
+            par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+            tx.send(ToManager::SetModel(buf))
+                .expect("manager channel closed");
+        }
     }
 
     fn max_clock(&self) -> SimTime {
@@ -906,6 +941,90 @@ mod tests {
         );
         // Same model math: identical final replicas.
         assert_eq!(a.final_model, e.final_model);
+    }
+
+    /// The pooled merge path (collective reductions, redistribution copies,
+    /// momentum update) must not depend on the worker count: a whole run is
+    /// bit-identical at `ASGD_THREADS=1` and `=8`, for both the arena
+    /// `SetModel` and the zero-copy `Blend` redistribution.
+    #[test]
+    fn run_is_bit_identical_across_thread_counts() {
+        let ds = dataset();
+        for spec in [algorithms::adaptive_sgd(), algorithms::crossbow_sma()] {
+            let run =
+                || Trainer::new(spec.clone(), heterogeneous_server(2), quick_config()).run(&ds);
+            asgd_tensor::parallel::override_threads(1);
+            let serial = run();
+            asgd_tensor::parallel::override_threads(8);
+            let pooled = run();
+            asgd_tensor::parallel::override_threads(0);
+            assert_eq!(
+                serial.final_model, pooled.final_model,
+                "{}: thread count changed the result",
+                spec.name
+            );
+            assert_eq!(
+                serial
+                    .records
+                    .iter()
+                    .map(|r| r.accuracy)
+                    .collect::<Vec<_>>(),
+                pooled
+                    .records
+                    .iter()
+                    .map(|r| r.accuracy)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// Recycled arena buffers across consecutive merges produce exactly the
+    /// bits fresh allocations would — no state leaks through the recycling.
+    #[test]
+    fn recycled_arena_merges_match_fresh_buffers() {
+        use crate::trainer::arena::MergeArena;
+        use asgd_gpusim::profile::homogeneous_server;
+
+        let n = 4;
+        let len = 257;
+        let ctx = CollectiveContext::new(Topology::pcie(n), &homogeneous_server(n));
+        let arrivals = vec![SimTime::ZERO; n];
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 2) as f64).collect();
+        let replica =
+            |merge: usize, g: usize, i: usize| ((merge * 31 + g * 7 + i) % 13) as f32 - 6.0;
+
+        let mut arena = MergeArena::new(n, len);
+        for merge in 0..3 {
+            // Arena path: recycle the same buffers, refilled like a manager
+            // would via `write_flat_into`.
+            for g in 0..n {
+                let mut buf = arena.lend(g);
+                buf.clear();
+                buf.extend((0..len).map(|i| replica(merge, g, i)));
+                arena.restore(g, buf);
+            }
+            allreduce(
+                arena.buffers_mut(),
+                &weights,
+                Algorithm::MultiStreamRing { partitions: n },
+                &ctx,
+                &arrivals,
+            );
+            // Fresh path: identical inputs in brand-new allocations.
+            let mut fresh: Vec<Vec<f32>> = (0..n)
+                .map(|g| (0..len).map(|i| replica(merge, g, i)).collect())
+                .collect();
+            allreduce(
+                &mut fresh,
+                &weights,
+                Algorithm::MultiStreamRing { partitions: n },
+                &ctx,
+                &arrivals,
+            );
+            for (g, f) in fresh.iter().enumerate() {
+                assert_eq!(arena.buffer(g), f.as_slice(), "merge {merge} gpu {g}");
+            }
+        }
     }
 
     #[test]

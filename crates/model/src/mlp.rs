@@ -94,12 +94,51 @@ impl Mlp {
     /// Flattens all parameters into one contiguous vector
     /// (`W₁ ‖ b₁ ‖ W₂ ‖ b₂`) — the wire format of model merging.
     pub fn to_flat(&self) -> Vec<f32> {
-        let mut out = Vec::with_capacity(self.param_len());
+        let mut out = Vec::new();
+        self.write_flat_into(&mut out);
+        out
+    }
+
+    /// Writes the flat parameter layout of [`Mlp::to_flat`] into a
+    /// caller-owned buffer, reusing its allocation — the zero-alloc path
+    /// for the merge arena (steady-state calls on a recycled buffer never
+    /// touch the heap).
+    pub fn write_flat_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.param_len());
         out.extend_from_slice(self.w1.as_slice());
         out.extend_from_slice(&self.b1);
         out.extend_from_slice(self.w2.as_slice());
         out.extend_from_slice(&self.b2);
-        out
+    }
+
+    /// Loads parameters from the flat format — the read counterpart of
+    /// [`Mlp::write_flat_into`], identical to [`Mlp::load_flat`].
+    pub fn read_flat_from(&mut self, flat: &[f32]) {
+        self.load_flat(flat);
+    }
+
+    /// Pulls every parameter a fraction `pull` toward `target` (flat
+    /// layout): `θ ← θ + pull·(target − θ)` — CROSSBOW's central-model
+    /// blend, applied in place without materializing the replica's own
+    /// flat vector.
+    ///
+    /// # Panics
+    /// Panics when the length does not match the architecture.
+    pub fn blend_from_flat(&mut self, target: &[f32], pull: f32) {
+        assert_eq!(target.len(), self.param_len(), "flat parameter length");
+        let mut off = 0usize;
+        let mut blend = |params: &mut [f32]| {
+            let t = &target[off..off + params.len()];
+            off += params.len();
+            for (w, &z) in params.iter_mut().zip(t) {
+                *w += pull * (z - *w);
+            }
+        };
+        blend(self.w1.as_mut_slice());
+        blend(&mut self.b1);
+        blend(self.w2.as_mut_slice());
+        blend(&mut self.b2);
     }
 
     /// Loads parameters from the flat format produced by [`Mlp::to_flat`].
@@ -314,10 +353,10 @@ impl Mlp {
     /// # Panics
     /// Panics when the workspace was built for a different architecture or
     /// on a labels/batch length mismatch.
-    pub fn loss_and_gradients_ws(
+    pub fn loss_and_gradients_ws<L: AsRef<[u32]>>(
         &self,
         x: &CsrMatrix,
-        labels: &[Vec<u32>],
+        labels: &[L],
         ws: &mut Workspace,
     ) -> f64 {
         let batch = x.rows();
@@ -353,6 +392,7 @@ impl Mlp {
         let mut loss = 0.0f64;
         let mut contributing = 0usize;
         for (r, labs) in labels.iter().enumerate() {
+            let labs = labs.as_ref();
             let row = probs.row_mut(r);
             if labs.is_empty() {
                 row.fill(0.0);
@@ -394,10 +434,10 @@ impl Mlp {
     /// Allocating wrapper around [`Mlp::loss_and_gradients_ws`]: builds a
     /// fresh [`Workspace`] per call and returns the gradients through
     /// `grads`. Results are bit-identical to the workspace path.
-    pub fn loss_and_gradients(
+    pub fn loss_and_gradients<L: AsRef<[u32]>>(
         &self,
         x: &CsrMatrix,
-        labels: &[Vec<u32>],
+        labels: &[L],
         grads: &mut Gradients,
     ) -> f64 {
         let mut ws = Workspace::new(&self.config);
@@ -426,10 +466,10 @@ impl Mlp {
     /// caller-owned buffers; returns the loss and batch statistics used by
     /// the device cost model. This is the trainer hot path: with a reused
     /// workspace, steady-state steps allocate nothing.
-    pub fn train_batch_ws(
+    pub fn train_batch_ws<L: AsRef<[u32]>>(
         &mut self,
         x: &CsrMatrix,
-        labels: &[Vec<u32>],
+        labels: &[L],
         lr: f32,
         ws: &mut Workspace,
     ) -> TrainOutput {
@@ -445,7 +485,12 @@ impl Mlp {
     /// Allocating wrapper around [`Mlp::train_batch_ws`] (fresh workspace
     /// per call) — convenient for tests and one-off steps; long-running
     /// loops should hold a [`Workspace`].
-    pub fn train_batch(&mut self, x: &CsrMatrix, labels: &[Vec<u32>], lr: f32) -> TrainOutput {
+    pub fn train_batch<L: AsRef<[u32]>>(
+        &mut self,
+        x: &CsrMatrix,
+        labels: &[L],
+        lr: f32,
+    ) -> TrainOutput {
         let mut ws = Workspace::new(&self.config);
         self.train_batch_ws(x, labels, lr, &mut ws)
     }
@@ -653,6 +698,53 @@ mod tests {
         let mut m2 = Mlp::zeros(&config);
         m2.load_flat(&flat);
         assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn write_flat_into_reuses_the_buffer_and_matches_to_flat() {
+        let config = tiny_config();
+        let a = Mlp::init(&config, 5);
+        let b = Mlp::init(&config, 6);
+        let mut buf = Vec::new();
+        a.write_flat_into(&mut buf);
+        assert_eq!(buf, a.to_flat());
+        let ptr = buf.as_ptr();
+        b.write_flat_into(&mut buf);
+        assert_eq!(buf, b.to_flat());
+        assert_eq!(buf.as_ptr(), ptr, "recycled write must not reallocate");
+        let mut m2 = Mlp::zeros(&config);
+        m2.read_flat_from(&buf);
+        assert_eq!(m2, b);
+    }
+
+    #[test]
+    fn blend_from_flat_matches_flat_space_blend() {
+        let config = tiny_config();
+        let mut direct = Mlp::init(&config, 5);
+        let reference = direct.clone();
+        let target = Mlp::init(&config, 6).to_flat();
+        let pull = 0.37f32;
+        direct.blend_from_flat(&target, pull);
+        let mut flat = reference.to_flat();
+        for (w, &z) in flat.iter_mut().zip(&target) {
+            *w += pull * (z - *w);
+        }
+        let mut expect = Mlp::zeros(&config);
+        expect.load_flat(&flat);
+        assert_eq!(direct, expect);
+    }
+
+    #[test]
+    fn train_batch_accepts_borrowed_label_slices() {
+        let config = tiny_config();
+        let (x, labels) = tiny_batch();
+        let mut owned = Mlp::init(&config, 5);
+        let mut borrowed = owned.clone();
+        let out_owned = owned.train_batch(&x, &labels, 0.1);
+        let views: Vec<&[u32]> = labels.iter().map(|l| l.as_slice()).collect();
+        let out_borrowed = borrowed.train_batch(&x, &views, 0.1);
+        assert_eq!(out_owned, out_borrowed);
+        assert_eq!(owned, borrowed);
     }
 
     #[test]

@@ -149,6 +149,11 @@ pub fn scale(a: f32, x: &mut [f32]) {
 /// `out = Σ wᵢ · mᵢ` — the weighted model average at the heart of normalized
 /// model merging (Algorithm 2, line 8).
 ///
+/// Each replica's contribution is a pool-parallel fused scale+add
+/// ([`crate::parallel::par_weighted_axpy`]); the passes run in replica order,
+/// so every output element accumulates its terms in the exact serial order —
+/// bit-identical for any thread count.
+///
 /// # Panics
 /// Panics when `mats` is empty, lengths differ, or shapes mismatch.
 pub fn weighted_sum(mats: &[&Matrix], weights: &[f64], out: &mut Matrix) {
@@ -163,12 +168,18 @@ pub fn weighted_sum(mats: &[&Matrix], weights: &[f64], out: &mut Matrix) {
     }
     out.fill(0.0);
     for (m, &w) in mats.iter().zip(weights) {
-        let w = w as f32;
-        for (o, &v) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
-            *o += w * v;
-        }
+        crate::parallel::par_weighted_axpy(
+            w as f32,
+            m.as_slice(),
+            out.as_mut_slice(),
+            MIN_PAR_ELEMS,
+        );
     }
 }
+
+/// Element counts below this stay serial in the flat merge helpers — the
+/// fork/join only pays off for model-sized buffers.
+const MIN_PAR_ELEMS: usize = 1 << 14;
 
 /// Adds `delta * (cur - prev)` into `out` — the momentum term of Algorithm 2.
 pub fn add_momentum(out: &mut Matrix, cur: &Matrix, prev: &Matrix, gamma: f32) {

@@ -148,6 +148,90 @@ pub fn par_add_assign(dst: &mut [f32], src: &[f32], min_serial: usize) {
     });
 }
 
+/// `dst[i] += a * src[i]` over the worker pool — the fused scale+add of a
+/// weighted model sum. Each element is produced by exactly one rounding of
+/// `a * src[i]` followed by one add, matching the scale-then-add formulation
+/// bit for bit, for any thread count.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_weighted_axpy(a: f32, src: &[f32], dst: &mut [f32], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_weighted_axpy length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        let src_part = &src[first..first + chunk.len()];
+        for (d, &s) in chunk.iter_mut().zip(src_part) {
+            *d += a * s;
+        }
+    });
+}
+
+/// `buf[i] *= a` over the worker pool — the merge-weight pre-scale of the
+/// collective algorithms. Element-wise, bit-identical for any thread count.
+pub fn par_scale(a: f32, buf: &mut [f32], min_serial: usize) {
+    par_chunks_mut(buf, buf.len(), 1, min_serial, |_, chunk| {
+        for v in chunk.iter_mut() {
+            *v *= a;
+        }
+    });
+}
+
+/// `dst.copy_from_slice(src)` over the worker pool — model broadcast /
+/// redistribution copies. Element-wise, bit-identical for any thread count.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_copy(src: &[f32], dst: &mut [f32], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_copy length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        chunk.copy_from_slice(&src[first..first + chunk.len()]);
+    });
+}
+
+/// The fused global-model momentum update (Algorithm 2, lines 8–9) as a
+/// single pool-parallel sweep: per element, `w' = m + gamma·(w − w_prev)`,
+/// then `w_prev ← w`, `w ← w'`. Strictly element-wise over three equally
+/// indexed slices, so any partitioning yields the exact serial result.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_momentum_update(
+    merged: &[f32],
+    global: &mut [f32],
+    prev: &mut [f32],
+    gamma: f32,
+    min_serial: usize,
+) {
+    assert_eq!(merged.len(), global.len(), "par_momentum_update length");
+    assert_eq!(merged.len(), prev.len(), "par_momentum_update length");
+    // `global` is chunked by the pool; `prev` is carved into the same
+    // disjoint ranges through a raw base pointer (sound: ranges never
+    // overlap and the pool joins before returning — same pattern as
+    // `par_chunks_mut` itself).
+    let prev_base = prev.as_mut_ptr() as usize;
+    par_chunks_mut(global, global.len(), 1, min_serial, |first, chunk| {
+        let prev_part = unsafe {
+            std::slice::from_raw_parts_mut((prev_base as *mut f32).add(first), chunk.len())
+        };
+        let merged_part = &merged[first..first + chunk.len()];
+        for ((&m, w), wp) in merged_part.iter().zip(chunk).zip(prev_part) {
+            let w_new = m + gamma * (*w - *wp);
+            *wp = *w;
+            *w = w_new;
+        }
+    });
+}
+
+/// Runs `f(0), …, f(ntasks-1)` on the worker pool, one task per index —
+/// coarse-grained fork/join for jobs that are already partitioned by the
+/// caller (e.g. the multi-stream ring's per-partition rings). Tasks must
+/// touch disjoint state. Calls from inside a pool task run serially inline.
+pub fn par_tasks<F>(ntasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    crate::pool::run(ntasks, num_threads().min(ntasks.max(1)), &f);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +317,74 @@ mod tests {
         par_add_assign(&mut b, &src, usize::MAX); // serial
         assert_eq!(a, b);
         assert_eq!(a[999], 1000.0);
+    }
+
+    #[test]
+    fn par_weighted_axpy_matches_scale_then_add() {
+        let src: Vec<f32> = (0..5000).map(|i| (i % 37) as f32 / 7.0 - 2.0).collect();
+        let w = 0.3721f32;
+        // Reference: scale a copy, then plain add — the old two-pass path.
+        let mut scaled = src.clone();
+        for v in scaled.iter_mut() {
+            *v *= w;
+        }
+        let mut two_pass = vec![1.5f32; 5000];
+        par_add_assign(&mut two_pass, &scaled, usize::MAX);
+        let mut fused_par = vec![1.5f32; 5000];
+        par_weighted_axpy(w, &src, &mut fused_par, 1);
+        let mut fused_serial = vec![1.5f32; 5000];
+        par_weighted_axpy(w, &src, &mut fused_serial, usize::MAX);
+        assert_eq!(fused_par, fused_serial);
+        assert_eq!(fused_par, two_pass);
+    }
+
+    #[test]
+    fn par_scale_and_copy_match_serial() {
+        let src: Vec<f32> = (0..3000).map(|i| i as f32 * 0.25 - 100.0).collect();
+        let mut a = src.clone();
+        let mut b = src.clone();
+        par_scale(1.7, &mut a, 1);
+        par_scale(1.7, &mut b, usize::MAX);
+        assert_eq!(a, b);
+        let mut dst_par = vec![0.0f32; 3000];
+        let mut dst_ser = vec![0.0f32; 3000];
+        par_copy(&a, &mut dst_par, 1);
+        par_copy(&a, &mut dst_ser, usize::MAX);
+        assert_eq!(dst_par, a);
+        assert_eq!(dst_ser, a);
+    }
+
+    #[test]
+    fn par_momentum_update_matches_serial_sweep() {
+        let n = 4097;
+        let merged: Vec<f32> = (0..n).map(|i| (i % 13) as f32 - 6.0).collect();
+        let g0: Vec<f32> = (0..n).map(|i| (i % 7) as f32 * 0.5).collect();
+        let p0: Vec<f32> = (0..n).map(|i| (i % 11) as f32 * 0.25).collect();
+        let run = |min_serial: usize| {
+            let mut g = g0.clone();
+            let mut p = p0.clone();
+            par_momentum_update(&merged, &mut g, &mut p, 0.9, min_serial);
+            (g, p)
+        };
+        let (g_par, p_par) = run(1);
+        let (g_ser, p_ser) = run(usize::MAX);
+        assert_eq!(g_par, g_ser);
+        assert_eq!(p_par, p_ser);
+        // Spot-check the formula and the prev hand-off.
+        for i in [0usize, 1000, n - 1] {
+            assert_eq!(g_par[i], merged[i] + 0.9 * (g0[i] - p0[i]));
+            assert_eq!(p_par[i], g0[i]);
+        }
+    }
+
+    #[test]
+    fn par_tasks_runs_each_index_once() {
+        let hits: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(0)).collect();
+        par_tasks(9, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        par_tasks(0, |_| panic!("must not run"));
     }
 
     #[test]

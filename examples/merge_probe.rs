@@ -1,0 +1,57 @@
+//! Wall-clock probe of the scheduler-side merge stage: gather 4 replica
+//! models, all-reduce, momentum update, redistribute. Used to compare the
+//! allocation-per-merge path against the persistent-arena path.
+
+use std::time::Instant;
+
+use asgd_collective::{allreduce, Algorithm, CollectiveContext};
+use asgd_core::merging::apply_global_update;
+use asgd_gpusim::{profile, SimTime, Topology};
+use asgd_model::{Mlp, MlpConfig};
+use asgd_tensor::parallel::par_copy;
+
+fn main() {
+    let n = 4;
+    // Amazon-670k-like shape (hot_path bench's "amazon" shape).
+    let config = MlpConfig {
+        num_features: 135_909,
+        hidden: 128,
+        num_classes: 6_701,
+    };
+    let mut replicas: Vec<Mlp> = (0..n).map(|g| Mlp::init(&config, 3 + g as u64)).collect();
+    let mut global = replicas[0].to_flat();
+    let mut prev_global = global.clone();
+    let weights = vec![1.0 / n as f64; n];
+    let ctx = CollectiveContext::new(Topology::pcie(n), &profile::heterogeneous_server(n));
+    let arrivals = vec![SimTime::ZERO; n];
+    let algo = Algorithm::MultiStreamRing { partitions: 4 };
+
+    // Persistent arena: per-replica flat buffers recycled across merges.
+    let mut bufs: Vec<Vec<f32>> = (0..n).map(|_| Vec::new()).collect();
+
+    let iters = 20;
+    let mut times = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        // Gather: managers fill the recycled arena buffers.
+        for (r, buf) in replicas.iter().zip(bufs.iter_mut()) {
+            r.write_flat_into(buf);
+        }
+        let _timing = allreduce(&mut bufs, &weights, algo, &ctx, &arrivals);
+        apply_global_update(&bufs[0], &mut global, &mut prev_global, 0.9);
+        // Redistribute: copy the new global into each recycled buffer, load.
+        for (r, buf) in replicas.iter_mut().zip(bufs.iter_mut()) {
+            par_copy(&global, buf, 1 << 14);
+            r.read_flat_from(buf);
+        }
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "merge stage ({} params, {} replicas): median {:.2} ms  min {:.2} ms",
+        config.param_len(),
+        n,
+        times[iters / 2],
+        times[0]
+    );
+}
