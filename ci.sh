@@ -32,6 +32,23 @@ if [[ "${1:-}" != "quick" ]]; then
     ASGD_OUT_DIR="$tmp_out" cargo run --release -p asgd-bench --bin fig2_trace >/dev/null
     diff -u results/fig2_trace.txt "$tmp_out/fig2_trace.txt"
     echo "fig2_trace.txt reproduced byte-for-byte"
+
+    echo "== chaos determinism across thread counts =="
+    # A faulted run must be a pure function of (run seed, fault seed):
+    # replay the same fault plans under different worker-pool sizes (in
+    # separate processes, so each gets its own pool) and byte-diff the
+    # reports. See DESIGN.md, "Fault model & degradation semantics".
+    for fault_seed in 7 23; do
+        ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/chaos1" ASGD_MEGA_LIMIT=4 \
+            ASGD_FAULT_SEED="$fault_seed" \
+            cargo run --release -p asgd-bench --bin chaos_probe >/dev/null
+        ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/chaos8" ASGD_MEGA_LIMIT=4 \
+            ASGD_FAULT_SEED="$fault_seed" \
+            cargo run --release -p asgd-bench --bin chaos_probe >/dev/null
+        diff -u "$tmp_out/chaos1/chaos_probe_$fault_seed.txt" \
+                "$tmp_out/chaos8/chaos_probe_$fault_seed.txt"
+        echo "fault seed $fault_seed: bit-identical at ASGD_THREADS=1 and =8"
+    done
 fi
 
 echo "CI OK"

@@ -64,6 +64,36 @@ pub fn allreduce(
     ctx: &CollectiveContext,
     arrivals: &[SimTime],
 ) -> AllReduceTiming {
+    allreduce_with(buffers, weights, algo, ctx, arrivals, MIN_PAR_REDUCE)
+}
+
+/// [`allreduce`] degraded to the serial (non-pooled) path: no work is ever
+/// submitted to the persistent worker pool, so the reduction succeeds even
+/// when pooled scratch can't be allocated (the trainer's merge-time OOM
+/// fallback). Per-element arithmetic order is identical to the pooled path —
+/// results AND timing are bit-identical to [`allreduce`]; only wall-clock
+/// execution differs.
+pub fn allreduce_serial(
+    buffers: &mut [Vec<f32>],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+) -> AllReduceTiming {
+    allreduce_with(buffers, weights, algo, ctx, arrivals, usize::MAX)
+}
+
+/// Shared implementation: `min_par` is the minimum element count at which
+/// per-chunk arithmetic is handed to the worker pool (`usize::MAX` keeps
+/// everything on the calling thread).
+fn allreduce_with(
+    buffers: &mut [Vec<f32>],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+    min_par: usize,
+) -> AllReduceTiming {
     let n = buffers.len();
     assert!(n > 0, "allreduce needs at least one participant");
     assert_eq!(weights.len(), n, "weights/buffers mismatch");
@@ -83,7 +113,7 @@ pub fn allreduce(
     for (d, buf) in buffers.iter_mut().enumerate() {
         let w = weights[d] as f32;
         if w != 1.0 {
-            par_scale(w, buf, MIN_PAR_REDUCE);
+            par_scale(w, buf, min_par);
         }
         let scale_t = 8.0 * len as f64
             / (ctx.profiles()[d].mem_bandwidth_gbs * 1e9)
@@ -103,51 +133,70 @@ pub fn allreduce(
 
     let mut views: Vec<&mut [f32]> = buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
     let (elapsed, bytes) = match algo {
-        Algorithm::Naive => naive(&mut views, ctx),
-        Algorithm::Tree => tree(&mut views, ctx),
-        Algorithm::Ring => ring_slices(&mut views, ctx, 0),
+        Algorithm::Naive => naive(&mut views, ctx, min_par),
+        Algorithm::Tree => tree(&mut views, ctx, min_par),
+        Algorithm::Ring => ring_slices(&mut views, ctx, 0, min_par),
         Algorithm::HalvingDoubling => {
             if n.is_power_of_two() {
-                halving_doubling(&mut views, ctx)
+                halving_doubling(&mut views, ctx, min_par)
             } else {
-                ring_slices(&mut views, ctx, 0)
+                ring_slices(&mut views, ctx, 0, min_par)
             }
         }
         Algorithm::MultiStreamRing { partitions } => {
             let partitions = partitions.clamp(1, len.max(1));
             let ranges = split_ranges(len, partitions);
             let nparts = ranges.len();
-            // Each partition's ring starts at a different GPU and runs on
-            // its own stream: the partitions are element-disjoint, so they
-            // map directly onto pool tasks. Durations overlap (take the
-            // max); bytes add. Results are written by partition index and
-            // combined in partition order, so the totals are deterministic.
-            let mut results: Vec<(f64, usize)> = vec![(0.0, 0); nparts];
-            let bases: Vec<usize> = views.iter_mut().map(|v| v.as_mut_ptr() as usize).collect();
-            let results_base = results.as_mut_ptr() as usize;
-            par_tasks(nparts, |p| {
-                let r = &ranges[p];
-                // SAFETY: partition ranges are disjoint sub-ranges of every
-                // buffer, each task touches only its own partition `p`, and
-                // `par_tasks` joins all tasks before returning — so the
-                // reborrowed sub-slices (and the `results[p]` writes) never
-                // alias across tasks and never outlive the borrow.
-                let mut part: Vec<&mut [f32]> = bases
-                    .iter()
-                    .map(|&b| unsafe {
-                        std::slice::from_raw_parts_mut((b as *mut f32).add(r.start), r.len())
-                    })
-                    .collect();
-                let out = ring_slices(&mut part, ctx, p % n);
-                unsafe { *(results_base as *mut (f64, usize)).add(p) = out };
-            });
-            let mut worst = 0.0f64;
-            let mut total_bytes = 0usize;
-            for (t, b) in results {
-                worst = worst.max(t);
-                total_bytes += b;
+            if min_par == usize::MAX {
+                // Serial fallback: run the partition rings one after another
+                // on the calling thread. Partition order matches the pooled
+                // path's result-combining order, and each partition touches a
+                // disjoint element range, so results and timing are
+                // bit-identical — only the simulated streams overlap, never
+                // the host-side arithmetic.
+                let mut worst = 0.0f64;
+                let mut total_bytes = 0usize;
+                for (p, r) in ranges.iter().enumerate() {
+                    let mut part: Vec<&mut [f32]> =
+                        views.iter_mut().map(|v| &mut v[r.start..r.end]).collect();
+                    let (t, b) = ring_slices(&mut part, ctx, p % n, min_par);
+                    worst = worst.max(t);
+                    total_bytes += b;
+                }
+                (worst, total_bytes)
+            } else {
+                // Each partition's ring starts at a different GPU and runs on
+                // its own stream: the partitions are element-disjoint, so they
+                // map directly onto pool tasks. Durations overlap (take the
+                // max); bytes add. Results are written by partition index and
+                // combined in partition order, so the totals are deterministic.
+                let mut results: Vec<(f64, usize)> = vec![(0.0, 0); nparts];
+                let bases: Vec<usize> = views.iter_mut().map(|v| v.as_mut_ptr() as usize).collect();
+                let results_base = results.as_mut_ptr() as usize;
+                par_tasks(nparts, |p| {
+                    let r = &ranges[p];
+                    // SAFETY: partition ranges are disjoint sub-ranges of every
+                    // buffer, each task touches only its own partition `p`, and
+                    // `par_tasks` joins all tasks before returning — so the
+                    // reborrowed sub-slices (and the `results[p]` writes) never
+                    // alias across tasks and never outlive the borrow.
+                    let mut part: Vec<&mut [f32]> = bases
+                        .iter()
+                        .map(|&b| unsafe {
+                            std::slice::from_raw_parts_mut((b as *mut f32).add(r.start), r.len())
+                        })
+                        .collect();
+                    let out = ring_slices(&mut part, ctx, p % n, min_par);
+                    unsafe { *(results_base as *mut (f64, usize)).add(p) = out };
+                });
+                let mut worst = 0.0f64;
+                let mut total_bytes = 0usize;
+                for (t, b) in results {
+                    worst = worst.max(t);
+                    total_bytes += b;
+                }
+                (worst, total_bytes)
             }
-            (worst, total_bytes)
         }
     };
 
@@ -159,20 +208,20 @@ pub fn allreduce(
 }
 
 /// Gather-to-root + broadcast. Sequential on the root's links.
-fn naive(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+fn naive(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f64, usize) {
     let n = bufs.len();
     let len = bufs[0].len();
     let mut t = 0.0;
     let mut bytes = 0usize;
     for src in 1..n {
         let (root_slice, src_slice) = chunk_pair(bufs, 0, src, 0..len, 0..len);
-        par_add_assign(root_slice, src_slice, MIN_PAR_REDUCE);
+        par_add_assign(root_slice, src_slice, min_par);
         t += ctx.p2p_time(src, 0, len) + ctx.reduce_time(0, len);
         bytes += 4 * len;
     }
     let (root, rest) = bufs.split_first_mut().expect("n >= 1");
     for (i, dst) in rest.iter_mut().enumerate() {
-        par_copy(root, dst, MIN_PAR_REDUCE);
+        par_copy(root, dst, min_par);
         t += ctx.p2p_time(0, i + 1, len);
         bytes += 4 * len;
     }
@@ -180,7 +229,7 @@ fn naive(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
 }
 
 /// Binomial tree reduce + broadcast, single stream, whole-model transfers.
-fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f64, usize) {
     let n = bufs.len();
     let len = bufs[0].len();
     let mut t = 0.0;
@@ -192,7 +241,7 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
         let mut i = 0;
         while i + stride < n {
             let (dst, src) = chunk_pair(bufs, i, i + stride, 0..len, 0..len);
-            par_add_assign(dst, src, MIN_PAR_REDUCE);
+            par_add_assign(dst, src, min_par);
             round = round.max(ctx.p2p_time(i + stride, i, len) + ctx.reduce_time(i, len));
             bytes += 4 * len;
             i += stride * 2;
@@ -206,7 +255,7 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
         let mut i = 0;
         while i + stride < n {
             let (dst, src) = chunk_pair(bufs, i + stride, i, 0..len, 0..len);
-            par_copy(src, dst, MIN_PAR_REDUCE);
+            par_copy(src, dst, min_par);
             round = round.max(ctx.p2p_time(i, i + stride, len));
             bytes += 4 * len;
             i += stride * 2;
@@ -229,7 +278,12 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
 /// chunk `i + 1 - s` while chunk `i + 2 - s` is read: again disjoint.
 ///
 /// Returns `(elapsed, bytes_moved)`.
-fn ring_slices(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, rotate: usize) -> (f64, usize) {
+fn ring_slices(
+    bufs: &mut [&mut [f32]],
+    ctx: &CollectiveContext,
+    rotate: usize,
+    min_par: usize,
+) -> (f64, usize) {
     let n = bufs.len();
     let len = bufs[0].len();
     if len == 0 || n < 2 {
@@ -262,7 +316,7 @@ fn ring_slices(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, rotate: usize) 
             let elems = c.len();
             let (src, dst) = (dev(i), dev((i + 1) % n));
             let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
-            par_add_assign(dst_chunk, src_chunk, MIN_PAR_REDUCE);
+            par_add_assign(dst_chunk, src_chunk, min_par);
             bytes += 4 * elems;
             // All transfers of a step run on disjoint ring links: take max.
             step_t = step_t.max(ctx.p2p_time(src, dst, elems) + ctx.reduce_time(dst, elems));
@@ -283,7 +337,7 @@ fn ring_slices(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, rotate: usize) 
             let elems = c.len();
             let (src, dst) = (dev(i), dev((i + 1) % n));
             let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
-            par_copy(src_chunk, dst_chunk, MIN_PAR_REDUCE);
+            par_copy(src_chunk, dst_chunk, min_par);
             bytes += 4 * elems;
             step_t = step_t.max(ctx.p2p_time(src, dst, elems));
         }
@@ -300,7 +354,11 @@ fn ring_slices(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, rotate: usize) 
 /// complementary halves of its shared active range (halving), or its two
 /// disjoint owned ranges (doubling), so within a step no written region is
 /// ever read.
-fn halving_doubling(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, usize) {
+fn halving_doubling(
+    bufs: &mut [&mut [f32]],
+    ctx: &CollectiveContext,
+    min_par: usize,
+) -> (f64, usize) {
     let n = bufs.len();
     debug_assert!(n.is_power_of_two() && n >= 2);
     let len = bufs[0].len();
@@ -331,7 +389,7 @@ fn halving_doubling(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, u
             }
             let elems = send.len();
             let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, send.clone(), send);
-            par_add_assign(dst_chunk, src_chunk, MIN_PAR_REDUCE);
+            par_add_assign(dst_chunk, src_chunk, min_par);
             bytes += 4 * elems;
             // The pair's two transfers share one link; serialize them.
             step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems) + ctx.reduce_time(p, elems));
@@ -352,7 +410,7 @@ fn halving_doubling(bufs: &mut [&mut [f32]], ctx: &CollectiveContext) -> (f64, u
             if !r.is_empty() {
                 let elems = r.len();
                 let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, r.clone(), r.clone());
-                par_copy(src_chunk, dst_chunk, MIN_PAR_REDUCE);
+                par_copy(src_chunk, dst_chunk, min_par);
                 bytes += 4 * elems;
                 step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems));
             }
@@ -397,7 +455,7 @@ mod tests {
 
     fn ring_on_vecs(bufs: &mut [Vec<f32>], ctx: &CollectiveContext, rotate: usize) -> (f64, usize) {
         let mut views: Vec<&mut [f32]> = bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-        ring_slices(&mut views, ctx, rotate)
+        ring_slices(&mut views, ctx, rotate, MIN_PAR_REDUCE)
     }
 
     #[test]
@@ -533,6 +591,50 @@ mod tests {
                     "{algo:?}: 1-thread and 8-thread results differ"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn serial_fallback_is_bit_identical_to_pooled_with_equal_timing() {
+        // The OOM degradation path must change *nothing* observable but the
+        // host-side execution strategy: same bits, same simulated timing.
+        let n = 4;
+        let len = MIN_PAR_REDUCE * 2 + 11;
+        let make = || -> Vec<Vec<f32>> {
+            let mut state = 0xDEAD_BEEF_u64;
+            (0..n)
+                .map(|_| {
+                    (0..len)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                            ((state >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let weights: Vec<f64> = (0..n).map(|i| (i + 1) as f64 / 10.0).collect();
+        let arrivals: Vec<SimTime> = (0..n).map(|i| SimTime(i as f64 * 0.01)).collect();
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Tree,
+            Algorithm::Ring,
+            Algorithm::HalvingDoubling,
+            Algorithm::MultiStreamRing { partitions: n },
+        ] {
+            let mut pooled = make();
+            let mut serial = make();
+            let tp = allreduce(&mut pooled, &weights, algo, &ctx(n), &arrivals);
+            let ts = allreduce_serial(&mut serial, &weights, algo, &ctx(n), &arrivals);
+            for (a, b) in pooled.iter().zip(&serial) {
+                assert!(
+                    a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{algo:?}: serial fallback changed result bits"
+                );
+            }
+            assert_eq!(tp.start, ts.start, "{algo:?}: start differs");
+            assert_eq!(tp.end, ts.end, "{algo:?}: end differs");
+            assert_eq!(tp.bytes_moved, ts.bytes_moved, "{algo:?}: bytes differ");
         }
     }
 

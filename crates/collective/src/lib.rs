@@ -39,7 +39,7 @@
 pub mod algorithms;
 pub mod timing;
 
-pub use algorithms::{allreduce, Algorithm};
+pub use algorithms::{allreduce, allreduce_serial, Algorithm};
 pub use timing::{AllReduceTiming, CollectiveContext};
 
 #[cfg(test)]

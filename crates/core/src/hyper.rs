@@ -255,6 +255,95 @@ mod tests {
         assert_eq!(gpus[1].batch_size, 1000.0);
     }
 
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Batch sizes that start inside `[b_min, b_max]` never leave it —
+        /// Algorithm 1's clamps are an invariant, not a best effort.
+        #[test]
+        fn scaling_preserves_batch_bounds(
+            seeds in proptest::collection::vec((0.0f64..1.0, 0u64..500), 1..8),
+            rule in prop_oneof![Just(ScalingRule::Linear), Just(ScalingRule::Multiplicative)],
+            rounds in 1usize..6,
+        ) {
+            let p = ScalingParams::paper_defaults(1024);
+            let mut gpus: Vec<GpuHyper> = seeds
+                .iter()
+                .map(|&(frac, u)| GpuHyper {
+                    batch_size: p.b_min + frac * (p.b_max - p.b_min),
+                    lr: 0.1,
+                    updates: u,
+                })
+                .collect();
+            for _ in 0..rounds {
+                scale_batch_sizes_with(&mut gpus, &p, rule);
+            }
+            for g in &gpus {
+                prop_assert!(g.batch_size >= p.b_min - 1e-9, "b {} < b_min", g.batch_size);
+                prop_assert!(g.batch_size <= p.b_max + 1e-9, "b {} > b_max", g.batch_size);
+            }
+        }
+
+        /// The linear learning-rate scaling rule holds exactly: `lr_i / b_i`
+        /// is invariant under every accepted update (and untouched by skipped
+        /// ones), for both update rules.
+        #[test]
+        fn lr_tracks_batch_size_linearly(
+            seeds in proptest::collection::vec((130.0f64..1020.0, 0u64..200), 1..8),
+            rule in prop_oneof![Just(ScalingRule::Linear), Just(ScalingRule::Multiplicative)],
+        ) {
+            let p = ScalingParams::paper_defaults(1024);
+            let mut gpus: Vec<GpuHyper> = seeds
+                .iter()
+                .map(|&(b, u)| GpuHyper { batch_size: b, lr: 0.05, updates: u })
+                .collect();
+            let before: Vec<f64> = gpus.iter().map(|g| g.lr / g.batch_size).collect();
+            scale_batch_sizes_with(&mut gpus, &p, rule);
+            for (g, ratio) in gpus.iter().zip(before) {
+                prop_assert!(
+                    (g.lr / g.batch_size - ratio).abs() < 1e-12 * ratio.abs().max(1.0),
+                    "lr/b drifted: {} vs {}", g.lr / g.batch_size, ratio
+                );
+            }
+        }
+
+        /// Equal update counts are Algorithm 1's fixed point: scaling is a
+        /// no-op, no matter the batch sizes or the rule.
+        #[test]
+        fn equal_updates_are_a_fixed_point(
+            batches in proptest::collection::vec(130.0f64..1020.0, 1..8),
+            u in 0u64..500,
+            rule in prop_oneof![Just(ScalingRule::Linear), Just(ScalingRule::Multiplicative)],
+        ) {
+            let p = ScalingParams::paper_defaults(1024);
+            let mut gpus: Vec<GpuHyper> = batches
+                .iter()
+                .map(|&b| GpuHyper { batch_size: b, lr: 0.1, updates: u })
+                .collect();
+            let before = gpus.clone();
+            let mu = scale_batch_sizes_with(&mut gpus, &p, rule);
+            prop_assert_eq!(gpus, before);
+            prop_assert!((mu - u as f64).abs() < 1e-9);
+        }
+
+        /// The returned µ̃ is the plain mean of the update counts.
+        #[test]
+        fn returned_mu_is_the_mean(
+            updates in proptest::collection::vec(0u64..1000, 1..10),
+        ) {
+            let p = ScalingParams::paper_defaults(512);
+            let mut gpus: Vec<GpuHyper> = updates
+                .iter()
+                .map(|&u| GpuHyper { batch_size: 256.0, lr: 0.1, updates: u })
+                .collect();
+            let mu = scale_batch_sizes(&mut gpus, &p);
+            let want = updates.iter().sum::<u64>() as f64 / updates.len() as f64;
+            prop_assert!((mu - want).abs() < 1e-9);
+        }
+    }
+
     #[test]
     fn multiplicative_overreacts_to_jitter_more_than_linear() {
         // One noisy observation (u = [11, 9] around a true 10/10 split):

@@ -51,3 +51,4 @@ pub use hyper::{scale_batch_sizes, scale_batch_sizes_with, GpuHyper, ScalingPara
 pub use merging::{compute_merge_weights, MergeDecision, MergeParams, Normalization};
 pub use metrics::{MergeRecord, RunRecorder, RunResult};
 pub use schedule::{ScalingScheduler, StalenessBound, Trajectory};
+pub use trainer::chaos::{AppliedFault, ChaosStats};

@@ -66,6 +66,9 @@ pub struct RunResult {
     /// Resumable snapshot at the final merge (GPU trainers only; the SLIDE
     /// baseline reports `None`).
     pub final_state: Option<crate::checkpoint::TrainingState>,
+    /// Fault-injection outcome accounting (quiet/default when the run had no
+    /// [`crate::trainer::RunConfig::fault_plan`]).
+    pub chaos: crate::trainer::chaos::ChaosStats,
 }
 
 impl RunResult {
@@ -144,6 +147,7 @@ mod tests {
             final_model: vec![],
             trace: String::new(),
             final_state: None,
+            chaos: Default::default(),
         }
     }
 
@@ -190,6 +194,7 @@ mod tests {
             final_model: vec![],
             trace: String::new(),
             final_state: None,
+            chaos: Default::default(),
         };
         assert_eq!(r.best_accuracy(), 0.0);
         assert_eq!(r.time_to_accuracy(0.1), None);

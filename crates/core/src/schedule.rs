@@ -262,4 +262,102 @@ mod tests {
         assert_eq!(bound.min_updates, 0.0);
         assert!(bound.check(&[2, 0, 0, 0]));
     }
+
+    #[test]
+    fn interval_growth_is_capped_at_max_interval() {
+        let mut s = ScalingScheduler::new(0.02, 4);
+        for _ in 0..40 {
+            s.observe_and_decide(&[100.0]);
+        }
+        assert_eq!(s.interval(), 4, "interval must saturate at the cap");
+    }
+
+    #[test]
+    fn interval_doubles_geometrically_while_settled() {
+        let mut s = ScalingScheduler::new(0.02, 64);
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            s.observe_and_decide(&[100.0]);
+            seen.push(s.interval());
+        }
+        // First two observations can't classify (Unknown): interval stays 1.
+        assert_eq!(&seen[..2], &[1, 1]);
+        // From the third on: 2, 4, 8, ... pure doubling under stability.
+        assert_eq!(&seen[2..7], &[2, 4, 8, 16, 32]);
+    }
+
+    #[test]
+    fn backed_off_scheduler_fires_exactly_on_cadence() {
+        let mut s = ScalingScheduler::new(0.02, 2);
+        let fired: Vec<bool> = (0..10).map(|_| s.observe_and_decide(&[100.0])).collect();
+        // Once the interval saturates at 2, decisions alternate skip/fire —
+        // never two skips in a row.
+        for w in fired.windows(2) {
+            assert!(
+                w[0] || w[1],
+                "two consecutive skips at interval 2: {fired:?}"
+            );
+        }
+        assert!(fired.iter().filter(|&&f| !f).count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be non-negative")]
+    fn negative_tolerance_panics() {
+        let _ = ScalingScheduler::new(-0.1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval cap must be at least 1")]
+    fn zero_interval_cap_panics() {
+        let _ = ScalingScheduler::new(0.02, 0);
+    }
+
+    #[test]
+    fn trajectory_uses_only_recent_history() {
+        // Long-gone movement must not keep a now-stable GPU classified as
+        // Converging: only the last three observations matter.
+        let mut s = ScalingScheduler::new(0.02, 8);
+        for b in [100.0, 300.0, 500.0, 700.0] {
+            s.observe_and_decide(&[b]);
+        }
+        assert_eq!(s.trajectory(0), Trajectory::Converging);
+        for _ in 0..3 {
+            s.observe_and_decide(&[700.0]);
+        }
+        assert_eq!(s.trajectory(0), Trajectory::Stable);
+    }
+
+    #[test]
+    fn staleness_bound_shrinks_with_fewer_survivors() {
+        // Evicting a replica (device loss) re-derives the bound over the
+        // survivor count: with fewer GPUs the same mega-batch guarantees the
+        // straggler floor at a smaller mega-batch size.
+        let params = ScalingParams::paper_defaults(1024);
+        let four = StalenessBound::derive(&params, 3072, 4);
+        let three = StalenessBound::derive(&params, 3072, 3);
+        assert_eq!(four.min_updates, 0.0);
+        assert_eq!(three.min_updates, 1.0);
+        assert!(three.max_staleness() < four.max_staleness());
+        // max_updates is survivor-count independent (one GPU could still
+        // consume the whole mega-batch at b_min).
+        assert_eq!(four.max_updates, three.max_updates);
+    }
+
+    #[test]
+    fn staleness_check_on_empty_slice_is_vacuously_true() {
+        let params = ScalingParams::paper_defaults(1024);
+        let bound = StalenessBound::derive(&params, 4096, 2);
+        assert!(bound.check(&[]));
+    }
+
+    #[test]
+    fn single_gpu_bound_is_consistent() {
+        let params = ScalingParams::paper_defaults(256); // b_min = 32
+        let bound = StalenessBound::derive(&params, 256, 1);
+        assert_eq!(bound.max_updates, 8.0);
+        assert_eq!(bound.min_updates, 1.0);
+        assert!(bound.check(&[8]));
+        assert!(!bound.check(&[9]));
+    }
 }

@@ -1,0 +1,485 @@
+//! Chaos-mode scheduler extensions: applying a seeded [`FaultPlan`] and
+//! degrading gracefully.
+//!
+//! The fault *vocabulary* lives in `asgd_gpusim::faults`; this module is the
+//! trainer's *reaction*. Everything here runs on the scheduler thread and
+//! consumes only virtual clocks and plan state, so a faulted run stays a
+//! deterministic function of `(run seed, fault plan)` at any `ASGD_THREADS`.
+//!
+//! Degradation semantics (see `DESIGN.md`, "Fault model & degradation
+//! semantics"):
+//!
+//! * **Speed change** — scheduled on the device from the current dispatch
+//!   frontier onward (never retroactive to in-flight work); dynamic dispatch
+//!   and Algorithm 1 re-balance around it.
+//! * **Stall** — the device's virtual clock jumps forward; dynamic dispatch
+//!   routes batches elsewhere until it catches up.
+//! * **Device loss** — the replica's un-merged batches are re-dispatched to
+//!   survivors (no sample lost, none double-counted), the dead replica is
+//!   evicted from Algorithm 2 merging with `α_i` renormalized over the
+//!   survivors, and batch-size scaling re-targets the surviving set.
+//! * **Merge OOM** — the pooled reduction's scratch allocation fails and the
+//!   merge falls back to the serial (non-pooled) all-reduce, which is
+//!   bit-identical in results and simulated timing.
+
+use super::messages::ToManager;
+use super::{MergeRule, SchedulerState, MIN_PAR_MERGE};
+use crate::hyper::GpuHyper;
+use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision};
+use asgd_collective::AllReduceTiming;
+use asgd_collective::{allreduce, allreduce_serial, Algorithm, CollectiveContext};
+use asgd_gpusim::memory::MemoryTracker;
+use asgd_gpusim::{DeviceId, DeviceProfile, FaultKind, FaultPlan, SimTime, Topology};
+use asgd_tensor::parallel::par_copy;
+use std::sync::mpsc::{Receiver, Sender};
+
+use super::messages::FromManager;
+
+/// One fault the scheduler actually applied (the plan's events resolved to
+/// concrete sim times and reactions). The log is deterministic for a fixed
+/// `(run seed, fault plan)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppliedFault {
+    /// A speed-factor change took effect.
+    SpeedChange {
+        /// Mega-batch in which it fired.
+        mega: usize,
+        /// Target device.
+        gpu: usize,
+        /// New speed factor.
+        factor: f64,
+        /// Sim time it was scheduled from (the dispatch frontier).
+        at: f64,
+    },
+    /// A transient stall froze a device.
+    Stall {
+        /// Mega-batch in which it fired.
+        mega: usize,
+        /// Target device.
+        gpu: usize,
+        /// Stall duration in simulated seconds.
+        seconds: f64,
+        /// Sim time the stall began (the device's clock).
+        at: f64,
+    },
+    /// A device was lost permanently and its in-flight work re-dispatched.
+    DeviceLoss {
+        /// Mega-batch in which it fired.
+        mega: usize,
+        /// The dead device.
+        gpu: usize,
+        /// Batches re-dispatched to survivors.
+        redispatched: u64,
+        /// Sim time of death (the device's clock).
+        at: f64,
+    },
+    /// The pooled merge scratch allocation failed; the merge degraded to the
+    /// serial reduction path.
+    MergeOomFallback {
+        /// Mega-batch whose merge degraded.
+        mega: usize,
+        /// Bytes the pooled path requested.
+        requested: u64,
+        /// Bytes that were available.
+        available: u64,
+    },
+}
+
+/// Accounting of everything chaos-related that happened in a run. Populated
+/// only when [`super::RunConfig::fault_plan`] is set (a plain run reports the
+/// `Default`), so the fault-free hot path stays untouched.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosStats {
+    /// Faults applied, in firing order.
+    pub faults: Vec<AppliedFault>,
+    /// Devices permanently lost, in death order.
+    pub lost_gpus: Vec<usize>,
+    /// Batches re-dispatched from dead replicas to survivors.
+    pub redispatched_batches: u64,
+    /// Batches whose trained-but-unmerged effect died with a replica (these
+    /// are exactly the re-dispatched ones: discarded from the dead replica,
+    /// re-run on a survivor).
+    pub discarded_batches: u64,
+    /// Merges that degraded to the serial (non-pooled) reduction.
+    pub serial_fallback_merges: u64,
+    /// Batches whose updates made it into a merge (summed over surviving
+    /// replicas at every merge boundary).
+    pub batches_committed: u64,
+    /// Samples covered by `batches_committed`.
+    pub samples_committed: u64,
+}
+
+impl ChaosStats {
+    /// Whether nothing chaos-related happened.
+    pub fn is_quiet(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Deterministic plain-text rendering (one line per fault plus the
+    /// accounting summary) — the chaos CI gate byte-diffs this across
+    /// `ASGD_THREADS` settings.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.faults {
+            match f {
+                AppliedFault::SpeedChange {
+                    mega,
+                    gpu,
+                    factor,
+                    at,
+                } => out.push_str(&format!(
+                    "mega {mega} gpu {gpu} speed-change factor {factor:.6} at {at:.9}\n"
+                )),
+                AppliedFault::Stall {
+                    mega,
+                    gpu,
+                    seconds,
+                    at,
+                } => out.push_str(&format!(
+                    "mega {mega} gpu {gpu} stall {seconds:.6}s at {at:.9}\n"
+                )),
+                AppliedFault::DeviceLoss {
+                    mega,
+                    gpu,
+                    redispatched,
+                    at,
+                } => out.push_str(&format!(
+                    "mega {mega} gpu {gpu} device-loss redispatched {redispatched} at {at:.9}\n"
+                )),
+                AppliedFault::MergeOomFallback {
+                    mega,
+                    requested,
+                    available,
+                } => out.push_str(&format!(
+                    "mega {mega} merge-oom requested {requested} available {available} -> serial\n"
+                )),
+            }
+        }
+        out.push_str(&format!(
+            "lost {:?} redispatched {} discarded {} serial_merges {} committed {} batches / {} samples\n",
+            self.lost_gpus,
+            self.redispatched_batches,
+            self.discarded_batches,
+            self.serial_fallback_merges,
+            self.batches_committed,
+            self.samples_committed,
+        ));
+        out
+    }
+}
+
+/// Runs the all-reduce through the merge memory tracker: the pooled path
+/// needs a scratch allocation; when it fails (an OOM fault hogged the
+/// capacity) the merge degrades to [`allreduce_serial`] instead of aborting.
+/// Free function over disjoint scheduler fields so callers can split borrows.
+#[allow(clippy::too_many_arguments)]
+pub(super) fn reduce_with_oom_fallback(
+    memory: &mut MemoryTracker,
+    chaos: &mut ChaosStats,
+    plan: Option<&FaultPlan>,
+    algo: Algorithm,
+    bufs: &mut [Vec<f32>],
+    weights: &[f64],
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+    mega: usize,
+) -> AllReduceTiming {
+    let scratch_bytes = (bufs.len() * bufs[0].len() * std::mem::size_of::<f32>()) as u64;
+    // A scheduled MergeOom manifests as a co-tenant burst eating the whole
+    // remaining capacity, so the pooled scratch request below genuinely
+    // fails through the memory tracker.
+    let hog = plan.filter(|p| p.merge_oom_at(mega)).map(|_| {
+        memory
+            .alloc("chaos-oom-cotenant", memory.available())
+            .expect("hogging the available bytes cannot fail")
+    });
+    let timing = match memory.alloc("merge-pool-scratch", scratch_bytes) {
+        Ok(scratch) => {
+            let t = allreduce(bufs, weights, algo, ctx, arrivals);
+            memory.free(scratch);
+            t
+        }
+        Err(oom) => {
+            chaos.serial_fallback_merges += 1;
+            chaos.faults.push(AppliedFault::MergeOomFallback {
+                mega,
+                requested: oom.requested,
+                available: oom.available,
+            });
+            allreduce_serial(bufs, weights, algo, ctx, arrivals)
+        }
+    };
+    if let Some(h) = hog {
+        memory.free(h);
+    }
+    timing
+}
+
+impl SchedulerState<'_> {
+    /// The dispatch frontier: the earliest point the scheduler can still
+    /// influence — the minimum virtual clock over surviving devices.
+    fn frontier(&self) -> SimTime {
+        self.devices
+            .iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(d, _)| d.now())
+            .fold(SimTime(f64::INFINITY), |acc, t| {
+                if t.secs() < acc.secs() {
+                    t
+                } else {
+                    acc
+                }
+            })
+    }
+
+    /// Fires every plan event due at `(mega, dispatched)` (or, `at_merge`,
+    /// every not-yet-reached ordinal of the mega-batch). Returns the number
+    /// of extra `Train` messages sent (loss re-dispatches), which the caller
+    /// must add to its drain count.
+    pub(super) fn fire_due_faults(
+        &mut self,
+        to: &[Sender<ToManager>],
+        mega: usize,
+        dispatched: usize,
+        at_merge: bool,
+        interval_updates: &mut [u64],
+        interval_samples: &mut [u64],
+    ) -> usize {
+        let Some(plan) = self.cfg.fault_plan.as_ref() else {
+            return 0;
+        };
+        let events = plan.due(mega, dispatched, at_merge);
+        let mut extra = 0usize;
+        for e in events {
+            match e.kind {
+                FaultKind::SpeedChange { factor } => {
+                    let at = self.frontier();
+                    self.devices[e.gpu].schedule_speed_factor(at, factor);
+                    self.chaos.faults.push(AppliedFault::SpeedChange {
+                        mega,
+                        gpu: e.gpu,
+                        factor,
+                        at: at.secs(),
+                    });
+                }
+                FaultKind::Stall { seconds } => {
+                    let from = self.devices[e.gpu].now();
+                    self.devices[e.gpu].advance_to(from + seconds);
+                    self.chaos.faults.push(AppliedFault::Stall {
+                        mega,
+                        gpu: e.gpu,
+                        seconds,
+                        at: from.secs(),
+                    });
+                }
+                FaultKind::DeviceLoss => {
+                    extra += self.lose_device(e.gpu, mega, to, interval_updates, interval_samples);
+                }
+                FaultKind::MergeOom => unreachable!("MergeOom is filtered out of FaultPlan::due"),
+            }
+        }
+        extra
+    }
+
+    /// Kills device `g`: evicts it from dispatch and merging and re-dispatches
+    /// its un-merged batches to survivors. A loss targeting an already-dead
+    /// device or the last survivor is ignored (the run must stay able to
+    /// finish). Returns the number of re-dispatched batches.
+    fn lose_device(
+        &mut self,
+        g: usize,
+        mega: usize,
+        to: &[Sender<ToManager>],
+        interval_updates: &mut [u64],
+        interval_samples: &mut [u64],
+    ) -> usize {
+        if !self.alive[g] || self.alive.iter().filter(|&&a| a).count() == 1 {
+            return 0;
+        }
+        self.alive[g] = false;
+        let at = self.devices[g].now().secs();
+        // The manager drains its queued work (replying `Trained` for each
+        // batch — the accounting below discards those results) and exits.
+        let _ = to[g].send(ToManager::Stop);
+        // Everything the replica trained since the last merge dies with it:
+        // zero its accounting and hand the exact same sample batches to
+        // survivors, so no sample is lost and none is double-counted.
+        let in_flight = std::mem::take(&mut self.in_flight[g]);
+        interval_updates[g] = 0;
+        interval_samples[g] = 0;
+        self.hypers[g].updates = 0;
+        let redispatched = in_flight.len() as u64;
+        for ids in in_flight {
+            let s = self.pick_gpu();
+            interval_updates[s] += 1;
+            interval_samples[s] += ids.len() as u64;
+            self.charge_and_send(s, ids, to);
+        }
+        self.chaos.redispatched_batches += redispatched;
+        self.chaos.discarded_batches += redispatched;
+        self.chaos.lost_gpus.push(g);
+        self.chaos.faults.push(AppliedFault::DeviceLoss {
+            mega,
+            gpu: g,
+            redispatched,
+            at,
+        });
+        redispatched as usize
+    }
+
+    /// The merge stage after one or more device losses: gathers only from
+    /// survivors, renormalizes `α_i` over them (Σα = 1 by construction),
+    /// reduces over a survivor-sized collective context, and redistributes
+    /// to survivors only. Dead devices' clocks freeze and their slots report
+    /// weight 0 in the record.
+    pub(super) fn merge_survivors(
+        &mut self,
+        to: &[Sender<ToManager>],
+        from: &Receiver<FromManager>,
+        mega: usize,
+    ) -> MergeDecision {
+        let alive_idx: Vec<usize> = (0..self.n()).filter(|&g| self.alive[g]).collect();
+        let k = alive_idx.len();
+        assert!(k >= 1, "no surviving device to merge");
+
+        for &g in &alive_idx {
+            to[g]
+                .send(ToManager::GetModel {
+                    buf: self.arena.lend(g),
+                })
+                .expect("manager channel closed");
+        }
+        let mut norms_full = vec![0.0f64; self.n()];
+        let mut received = 0usize;
+        while received < k {
+            match from.recv().expect("manager channel closed") {
+                FromManager::Model {
+                    gpu,
+                    flat,
+                    norm_per_param,
+                } => {
+                    self.arena.restore(gpu, flat);
+                    norms_full[gpu] = norm_per_param;
+                    received += 1;
+                }
+                FromManager::Trained { .. } | FromManager::Redistributed { .. } => {
+                    unreachable!("non-Model reply during the merge gather")
+                }
+            }
+        }
+
+        // The merge sub-problem over survivors, in device-index order.
+        let sub_hypers: Vec<GpuHyper> = alive_idx.iter().map(|&g| self.hypers[g].clone()).collect();
+        let sub_norms: Vec<f64> = alive_idx.iter().map(|&g| norms_full[g]).collect();
+        let decision = match self.spec.merge_rule {
+            MergeRule::Normalized(params) => {
+                compute_merge_weights(&sub_hypers, &sub_norms, &params)
+            }
+            MergeRule::Average { .. } | MergeRule::Crossbow { .. } => MergeDecision {
+                weights: vec![1.0 / k as f64; k],
+                by_updates: false,
+                perturbed: false,
+            },
+        };
+        let sub_profiles: Vec<DeviceProfile> = alive_idx
+            .iter()
+            .map(|&g| self.profiles[g].clone())
+            .collect();
+        let sub_ctx = CollectiveContext::new(
+            Topology::pcie(k).with_setup_scale(self.cfg.overhead_scale),
+            &sub_profiles,
+        );
+        let arrivals: Vec<SimTime> = alive_idx.iter().map(|&g| self.devices[g].now()).collect();
+        let mut bufs: Vec<Vec<f32>> = alive_idx.iter().map(|&g| self.arena.lend(g)).collect();
+        let timing = reduce_with_oom_fallback(
+            &mut self.merge_memory,
+            &mut self.chaos,
+            self.cfg.fault_plan.as_ref(),
+            self.spec.allreduce,
+            &mut bufs,
+            &decision.weights,
+            &sub_ctx,
+            &arrivals,
+            mega,
+        );
+
+        match self.spec.merge_rule {
+            MergeRule::Normalized(params) => {
+                apply_global_update(
+                    &bufs[0],
+                    &mut self.global,
+                    &mut self.prev_global,
+                    params.gamma,
+                );
+                for (&g, mut buf) in alive_idx.iter().zip(bufs.drain(..)) {
+                    par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+                    to[g]
+                        .send(ToManager::SetModel(buf))
+                        .expect("manager channel closed");
+                }
+            }
+            MergeRule::Average { gamma } => {
+                apply_global_update(&bufs[0], &mut self.global, &mut self.prev_global, gamma);
+                for (&g, mut buf) in alive_idx.iter().zip(bufs.drain(..)) {
+                    par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+                    to[g]
+                        .send(ToManager::SetModel(buf))
+                        .expect("manager channel closed");
+                }
+            }
+            MergeRule::Crossbow { pull } => {
+                par_copy(&bufs[0], &mut self.global, MIN_PAR_MERGE);
+                for (&g, buf) in alive_idx.iter().zip(bufs.drain(..)) {
+                    to[g]
+                        .send(ToManager::Blend {
+                            target: buf,
+                            pull: pull as f32,
+                        })
+                        .expect("manager channel closed");
+                }
+            }
+        }
+
+        let mut returned = 0usize;
+        while returned < k {
+            match from.recv().expect("manager channel closed") {
+                FromManager::Redistributed { gpu, buf } => {
+                    self.arena.restore(gpu, buf);
+                    returned += 1;
+                }
+                FromManager::Trained { .. } | FromManager::Model { .. } => {
+                    unreachable!("non-Redistributed reply during redistribution")
+                }
+            }
+        }
+
+        for &g in &alive_idx {
+            self.devices[g].advance_to(timing.end);
+        }
+        // Full-length weights for the record: dead slots carry weight 0.
+        let mut weights_full = vec![0.0f64; self.n()];
+        for (&g, &w) in alive_idx.iter().zip(&decision.weights) {
+            weights_full[g] = w;
+        }
+        self.trace.record(
+            DeviceId(alive_idx[0]),
+            timing.start,
+            timing.end,
+            format!(
+                "merge (survivors {:?}, weights {:?}, perturbed {})",
+                alive_idx,
+                weights_full
+                    .iter()
+                    .map(|w| (w * 1000.0).round() / 1000.0)
+                    .collect::<Vec<_>>(),
+                decision.perturbed
+            ),
+        );
+        MergeDecision {
+            weights: weights_full,
+            by_updates: decision.by_updates,
+            perturbed: decision.perturbed,
+        }
+    }
+}

@@ -19,23 +19,26 @@
 //! (Algorithm 2, plain averaging, or CROSSBOW-style partial pull).
 
 pub mod arena;
+pub mod chaos;
 mod manager;
 mod messages;
 
 use crate::checkpoint::TrainingState;
-use crate::hyper::{scale_batch_sizes, GpuHyper, ScalingParams};
+use crate::hyper::{GpuHyper, ScalingParams};
 use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision, MergeParams};
 use crate::metrics::{MergeRecord, RunRecorder, RunResult};
 use crate::schedule::ScalingScheduler;
 use arena::MergeArena;
-use asgd_collective::{allreduce, Algorithm, CollectiveContext};
+use asgd_collective::{Algorithm, CollectiveContext};
 use asgd_data::{batching::MegaBatchBudget, SampleStream, XmlDataset};
 use asgd_gpusim::device::build_server;
 use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
-use asgd_gpusim::{Device, DeviceId, DeviceProfile, SimTime, Topology, TraceLog};
+use asgd_gpusim::memory::MemoryTracker;
+use asgd_gpusim::{Device, DeviceId, DeviceProfile, FaultPlan, SimTime, Topology, TraceLog};
 use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels};
 use asgd_model::{eval, Mlp, MlpConfig};
 use asgd_tensor::parallel::par_copy;
+use chaos::ChaosStats;
 use messages::{FromManager, ToManager};
 use std::sync::mpsc::{channel, Receiver, Sender};
 
@@ -166,6 +169,12 @@ pub struct RunConfig {
     /// throttling / DVFS / co-tenant interference and exercises Adaptive
     /// SGD's ability to re-balance at runtime.
     pub speed_events: Vec<(usize, usize, f64)>,
+    /// Optional seeded fault plan (straggler spikes, stalls, device loss,
+    /// merge-time OOM) injected against the deterministic scheduling loop;
+    /// the trainer degrades gracefully (see [`chaos`]). Requires
+    /// [`MergeInterval::MegaBatch`]. `None` injects nothing and skips all
+    /// chaos bookkeeping.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -187,6 +196,7 @@ impl RunConfig {
             overhead_scale: 1.0,
             scaling_schedule: None,
             speed_events: Vec::new(),
+            fault_plan: None,
         }
     }
 }
@@ -206,6 +216,10 @@ impl Trainer {
         assert!(
             config.time_limit.is_some() || config.mega_batch_limit.is_some(),
             "set a time limit or a mega-batch limit"
+        );
+        assert!(
+            config.fault_plan.is_none() || spec.merge_interval == MergeInterval::MegaBatch,
+            "fault injection requires merge-per-mega-batch"
         );
         Self {
             spec,
@@ -269,6 +283,8 @@ impl Trainer {
             .collect();
         let mut launch_model = LaunchModel::default_cuda();
         launch_model.base_overhead_s *= cfg.overhead_scale;
+        let track_in_flight = cfg.fault_plan.as_ref().is_some_and(|p| p.has_device_loss());
+        let param_len = mconfig.param_len();
         let mut state = SchedulerState {
             spec: &self.spec,
             cfg,
@@ -304,6 +320,17 @@ impl Trainer {
             scaling_scheduler: cfg
                 .scaling_schedule
                 .map(|(tol, cap)| ScalingScheduler::new(tol, cap)),
+            alive: vec![true; n],
+            in_flight: vec![Vec::new(); n],
+            track_in_flight,
+            chaos: ChaosStats::default(),
+            // Enough for the pooled merge scratch (n replica-sized buffers)
+            // plus slack; an OOM fault hogs the capacity so the scratch
+            // request genuinely fails.
+            merge_memory: MemoryTracker::new(
+                (n * param_len * std::mem::size_of::<f32>()) as u64 + 4096,
+            ),
+            profiles: profiles.clone(),
         };
 
         // std scoped threads: a panicking manager propagates out of the
@@ -339,6 +366,7 @@ impl Trainer {
             final_model: state.global,
             trace: state.trace.render(),
             final_state: Some(final_state),
+            chaos: state.chaos,
         }
     }
 }
@@ -366,6 +394,21 @@ struct SchedulerState<'a> {
     batches_dispatched: usize,
     start_index: usize,
     scaling_scheduler: Option<ScalingScheduler>,
+    /// Which replicas still participate (all `true` until a DeviceLoss).
+    alive: Vec<bool>,
+    /// Per-GPU sample-id batches dispatched since the last merge — the work
+    /// that dies with a replica. Populated only when `track_in_flight`.
+    in_flight: Vec<Vec<Vec<usize>>>,
+    /// Whether the fault plan contains a device loss (gates the in-flight
+    /// clones so the fault-free hot path stays zero-overhead).
+    track_in_flight: bool,
+    /// Chaos accounting (empty unless a fault plan is set).
+    chaos: ChaosStats,
+    /// Memory budget of the merge stage's pooled scratch.
+    merge_memory: MemoryTracker,
+    /// Overhead-scaled device profiles (kept for rebuilding a survivor-sized
+    /// collective context after a device loss).
+    profiles: Vec<DeviceProfile>,
 }
 
 impl SchedulerState<'_> {
@@ -391,7 +434,7 @@ impl SchedulerState<'_> {
                 }
             }
             self.budget.refill();
-            let mega = self.run_mega_batch(to, from);
+            let mega = self.run_mega_batch(to, from, mega_index);
             let sim_time = self.max_clock().secs();
             self.eval_model.load_flat(&self.global);
             let accuracy = eval::top1_accuracy(
@@ -431,11 +474,16 @@ impl SchedulerState<'_> {
         &mut self,
         to: &[Sender<ToManager>],
         from: &Receiver<FromManager>,
+        mega_index: usize,
     ) -> MegaSummary {
         let n = self.n();
-        let mut loss_sum = 0.0f64;
-        let mut loss_n = 0usize;
+        // Losses are accumulated per GPU (each manager's replies arrive in
+        // its own FIFO order) and summed in GPU-index order afterwards, so
+        // the mean loss is independent of cross-manager arrival interleaving.
+        let mut loss_sums = vec![0.0f64; n];
+        let mut loss_counts = vec![0usize; n];
         let mut interval_updates = vec![0u64; n];
+        let mut interval_samples = vec![0u64; n];
         let mut perturbed = false;
         let mut weights = vec![1.0 / n as f64; n];
 
@@ -443,7 +491,16 @@ impl SchedulerState<'_> {
         match self.spec.merge_interval {
             MergeInterval::MegaBatch => {
                 let mut dispatched = 0usize;
+                let mut extra_trains = 0usize;
                 loop {
+                    extra_trains += self.fire_due_faults(
+                        to,
+                        mega_index,
+                        dispatched,
+                        false,
+                        &mut interval_updates,
+                        &mut interval_samples,
+                    );
                     let g = self.pick_gpu();
                     // Stop dispatching once the budgeted time is exhausted
                     // (the merge still runs, so the final state is global).
@@ -456,12 +513,34 @@ impl SchedulerState<'_> {
                     };
                     self.dispatch_batch(g, got, to);
                     interval_updates[g] += 1;
+                    interval_samples[g] += got as u64;
                     dispatched += 1;
                 }
-                self.drain_trained(from, dispatched, &mut loss_sum, &mut loss_n);
-                let decision = self.merge(to, from);
+                // Events whose dispatch ordinal was never reached fire at
+                // the merge boundary (no event is silently dropped).
+                extra_trains += self.fire_due_faults(
+                    to,
+                    mega_index,
+                    dispatched,
+                    true,
+                    &mut interval_updates,
+                    &mut interval_samples,
+                );
+                self.drain_trained(
+                    from,
+                    dispatched + extra_trains,
+                    &mut loss_sums,
+                    &mut loss_counts,
+                );
+                let decision = self.merge(to, from, mega_index);
                 perturbed = decision.perturbed;
                 weights = decision.weights;
+                if self.track_in_flight {
+                    // Merged work can no longer die with a replica.
+                    for f in &mut self.in_flight {
+                        f.clear();
+                    }
+                }
                 let scale_now = match &mut self.scaling_scheduler {
                     Some(sched) => {
                         let sizes: Vec<f64> = self.hypers.iter().map(|h| h.batch_size).collect();
@@ -470,19 +549,7 @@ impl SchedulerState<'_> {
                     None => true,
                 };
                 if scale_now {
-                    match self.spec.scaling {
-                        ScalingPolicy::Adaptive => {
-                            scale_batch_sizes(&mut self.hypers, &self.cfg.scaling_params);
-                        }
-                        ScalingPolicy::AdaptiveMultiplicative => {
-                            crate::hyper::scale_batch_sizes_with(
-                                &mut self.hypers,
-                                &self.cfg.scaling_params,
-                                crate::hyper::ScalingRule::Multiplicative,
-                            );
-                        }
-                        ScalingPolicy::Fixed => {}
-                    }
+                    self.scale_survivors();
                 }
                 for h in &mut self.hypers {
                     h.updates = 0;
@@ -503,13 +570,14 @@ impl SchedulerState<'_> {
                         };
                         self.dispatch_batch(g, got, to);
                         interval_updates[g] += 1;
+                        interval_samples[g] += got as u64;
                         sent += 1;
                     }
                     if sent == 0 {
                         break;
                     }
-                    self.drain_trained(from, sent, &mut loss_sum, &mut loss_n);
-                    let decision = self.merge(to, from);
+                    self.drain_trained(from, sent, &mut loss_sums, &mut loss_counts);
+                    let decision = self.merge(to, from, mega_index);
                     weights = decision.weights;
                     for h in &mut self.hypers {
                         h.updates = 0;
@@ -517,6 +585,25 @@ impl SchedulerState<'_> {
                     if self.budget.remaining() == 0 {
                         break;
                     }
+                }
+            }
+        }
+
+        // Commit accounting and the interval mean loss over survivors only:
+        // a dead replica's results never reach the global model.
+        let mut loss_sum = 0.0f64;
+        let mut loss_n = 0usize;
+        for g in 0..n {
+            if self.alive[g] {
+                loss_sum += loss_sums[g];
+                loss_n += loss_counts[g];
+            }
+        }
+        if self.cfg.fault_plan.is_some() {
+            for g in 0..n {
+                if self.alive[g] {
+                    self.chaos.batches_committed += interval_updates[g];
+                    self.chaos.samples_committed += interval_samples[g];
                 }
             }
         }
@@ -533,13 +620,36 @@ impl SchedulerState<'_> {
         }
     }
 
-    /// Chooses the GPU for the next batch per the dispatch policy.
+    /// Runs the configured Algorithm 1 variant over the surviving replicas
+    /// (the scaler's mean update count must not be dragged down by dead
+    /// replicas pinned at zero updates).
+    fn scale_survivors(&mut self) {
+        let rule = match self.spec.scaling {
+            ScalingPolicy::Adaptive => crate::hyper::ScalingRule::Linear,
+            ScalingPolicy::AdaptiveMultiplicative => crate::hyper::ScalingRule::Multiplicative,
+            ScalingPolicy::Fixed => return,
+        };
+        if self.alive.iter().all(|&a| a) {
+            crate::hyper::scale_batch_sizes_with(&mut self.hypers, &self.cfg.scaling_params, rule);
+            return;
+        }
+        let alive_idx: Vec<usize> = (0..self.n()).filter(|&g| self.alive[g]).collect();
+        let mut sub: Vec<GpuHyper> = alive_idx.iter().map(|&g| self.hypers[g].clone()).collect();
+        crate::hyper::scale_batch_sizes_with(&mut sub, &self.cfg.scaling_params, rule);
+        for (&g, h) in alive_idx.iter().zip(sub) {
+            self.hypers[g] = h;
+        }
+    }
+
+    /// Chooses the GPU for the next batch per the dispatch policy. Dead
+    /// replicas are never picked.
     fn pick_gpu(&mut self) -> usize {
         match self.spec.dispatch {
             DispatchPolicy::Dynamic => {
                 // First-available = smallest virtual clock; ties (exact f64
                 // equality, e.g. at t = 0) break by id for determinism.
                 (0..self.n())
+                    .filter(|&g| self.alive[g])
                     .min_by(|&a, &b| {
                         self.devices[a]
                             .now()
@@ -547,11 +657,14 @@ impl SchedulerState<'_> {
                             .unwrap_or(std::cmp::Ordering::Equal)
                             .then(a.cmp(&b))
                     })
-                    .expect("non-empty device list")
+                    .expect("at least one device alive")
             }
             DispatchPolicy::Static => {
-                let g = self.rr_cursor;
-                self.rr_cursor = (self.rr_cursor + 1) % self.n();
+                let mut g = self.rr_cursor;
+                while !self.alive[g] {
+                    g = (g + 1) % self.n();
+                }
+                self.rr_cursor = (g + 1) % self.n();
                 g
             }
         }
@@ -561,6 +674,14 @@ impl SchedulerState<'_> {
     /// sends the numeric work to manager `g`.
     fn dispatch_batch(&mut self, g: usize, got: usize, to: &[Sender<ToManager>]) {
         let ids = self.stream.take(got);
+        self.charge_and_send(g, ids, to);
+    }
+
+    /// Charges an id-batch's kernels to device `g` and sends the numeric
+    /// work to manager `g` at its current learning rate. Shared by the
+    /// primary dispatch path and the device-loss re-dispatch path.
+    fn charge_and_send(&mut self, g: usize, ids: Vec<usize>, to: &[Sender<ToManager>]) {
+        let got = ids.len();
         let nnz: usize = ids
             .iter()
             .map(|&i| self.dataset.train.features.row_nnz(i))
@@ -587,6 +708,9 @@ impl SchedulerState<'_> {
         );
         self.batches_dispatched += 1;
         self.hypers[g].updates += 1;
+        if self.track_in_flight {
+            self.in_flight[g].push(ids.clone());
+        }
         to[g]
             .send(ToManager::Train {
                 batch_ids: ids,
@@ -595,13 +719,15 @@ impl SchedulerState<'_> {
             .expect("manager channel closed");
     }
 
-    /// Receives exactly `count` `Trained` messages, accumulating losses.
+    /// Receives exactly `count` `Trained` messages, accumulating losses
+    /// per GPU (callers sum the per-GPU buckets in index order, keeping the
+    /// mean loss independent of cross-manager arrival interleaving).
     fn drain_trained(
         &mut self,
         from: &Receiver<FromManager>,
         count: usize,
-        loss_sum: &mut f64,
-        loss_n: &mut usize,
+        loss_sums: &mut [f64],
+        loss_counts: &mut [usize],
     ) {
         for _ in 0..count {
             match from.recv().expect("manager channel closed") {
@@ -612,8 +738,8 @@ impl SchedulerState<'_> {
                 } => {
                     debug_assert!(gpu < self.n(), "reply from unknown manager");
                     debug_assert!(batch_size > 0, "empty batch trained");
-                    *loss_sum += loss;
-                    *loss_n += 1;
+                    loss_sums[gpu] += loss;
+                    loss_counts[gpu] += 1;
                 }
                 FromManager::Model { .. } | FromManager::Redistributed { .. } => {
                     unreachable!("merge-phase reply outside a merge phase")
@@ -630,7 +756,15 @@ impl SchedulerState<'_> {
     /// all-reduced in place — after which **all** buffers hold the merged
     /// model — then lent again for redistribution (`SetModel`/`Blend` →
     /// `Redistributed`). Steady-state merges allocate nothing model-sized.
-    fn merge(&mut self, to: &[Sender<ToManager>], from: &Receiver<FromManager>) -> MergeDecision {
+    fn merge(
+        &mut self,
+        to: &[Sender<ToManager>],
+        from: &Receiver<FromManager>,
+        mega_index: usize,
+    ) -> MergeDecision {
+        if self.alive.iter().any(|&a| !a) {
+            return self.merge_survivors(to, from, mega_index);
+        }
         let n = self.n();
         for (g, tx) in to.iter().enumerate() {
             tx.send(ToManager::GetModel {
@@ -667,12 +801,16 @@ impl SchedulerState<'_> {
         };
 
         let arrivals: Vec<SimTime> = self.devices.iter().map(|d| d.now()).collect();
-        let timing = allreduce(
+        let timing = chaos::reduce_with_oom_fallback(
+            &mut self.merge_memory,
+            &mut self.chaos,
+            self.cfg.fault_plan.as_ref(),
+            self.spec.allreduce,
             self.arena.buffers_mut(),
             &decision.weights,
-            self.spec.allreduce,
             &self.ctx,
             &arrivals,
+            mega_index,
         );
 
         match self.spec.merge_rule {
@@ -754,7 +892,9 @@ impl SchedulerState<'_> {
     fn max_clock(&self) -> SimTime {
         self.devices
             .iter()
-            .map(|d| d.now())
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(d, _)| d.now())
             .fold(SimTime::ZERO, SimTime::max)
     }
 }
@@ -771,6 +911,7 @@ struct MegaSummary {
 mod tests {
     use super::*;
     use crate::algorithms;
+    use asgd_collective::allreduce;
     use asgd_data::{generate, DatasetSpec};
     use asgd_gpusim::profile::{heterogeneous_server, homogeneous_server};
 

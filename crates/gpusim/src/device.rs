@@ -31,6 +31,9 @@ pub struct Device {
     kernels_executed: u64,
     rng: StdRng,
     phase: f64,
+    /// Speed changes scheduled for a future sim time, sorted by time
+    /// ascending (see [`Device::schedule_speed_factor`]).
+    pending_speed: Vec<(SimTime, f64)>,
 }
 
 impl Device {
@@ -47,6 +50,7 @@ impl Device {
             kernels_executed: 0,
             rng,
             phase,
+            pending_speed: Vec::new(),
         }
     }
 
@@ -89,9 +93,25 @@ impl Device {
         osc * noise
     }
 
+    /// Applies every pending speed change whose scheduled time is at or
+    /// before `now` (the start of the next kernel). Later changes win when
+    /// several are due at once.
+    fn apply_due_speed_changes(&mut self, now: SimTime) {
+        while let Some(&(at, factor)) = self.pending_speed.first() {
+            if at.secs() > now.secs() {
+                break;
+            }
+            self.profile.speed_factor = factor;
+            self.pending_speed.remove(0);
+        }
+    }
+
     /// Charges one kernel: advances the clock by the perturbed duration and
     /// returns that duration in seconds.
     pub fn execute(&mut self, kind: KernelKind) -> f64 {
+        if !self.pending_speed.is_empty() {
+            self.apply_due_speed_changes(self.clock);
+        }
         let base = kernel_time(&self.profile, kind);
         let jitter = self.next_jitter();
         self.kernels_executed += 1;
@@ -116,6 +136,16 @@ impl Device {
     pub fn charge_epoch(&mut self, kinds: &[KernelKind], multiplier: f64, extra: f64) -> f64 {
         let mut total = 0.0;
         for &k in kinds {
+            if !self.pending_speed.is_empty() {
+                // A scheduled speed change landing mid-epoch applies from
+                // the first kernel *starting* at or after its time — the
+                // kernel in flight when the change fires keeps its old
+                // price, it is never re-charged retroactively. Boundary
+                // times track compute progress (`total · multiplier`); the
+                // additive launch-overhead `extra` is charged at epoch end
+                // as before.
+                self.apply_due_speed_changes(self.clock + total * multiplier);
+            }
             let base = kernel_time(&self.profile, k);
             let jitter = self.next_jitter();
             self.kernels_executed += 1;
@@ -128,9 +158,16 @@ impl Device {
 
     /// Advances the clock to `t` if `t` is later (e.g. waiting at a barrier
     /// or for a peer transfer to complete). Returns the wait duration (≥ 0).
+    ///
+    /// Waiting through a scheduled speed change activates it: any pending
+    /// change whose time is at or before the new clock takes effect for the
+    /// kernels that follow.
     pub fn advance_to(&mut self, t: SimTime) -> f64 {
         let wait = (t - self.clock).max(0.0);
         self.clock = self.clock.max(t);
+        if !self.pending_speed.is_empty() {
+            self.apply_due_speed_changes(self.clock);
+        }
         wait
     }
 
@@ -141,10 +178,30 @@ impl Device {
 
     /// Changes the device's speed factor at runtime — models thermal
     /// throttling, DVFS state changes, or co-tenant interference. Takes
-    /// effect for every subsequently charged kernel.
+    /// effect for every subsequently charged kernel, **from the device's
+    /// current sim time**: work already charged keeps its price. Callers
+    /// whose "now" is not this device's clock (e.g. a scheduler whose
+    /// decision time lags the device's last charge) should use
+    /// [`Device::schedule_speed_factor`] instead, which anchors the change
+    /// to an explicit sim time.
     pub fn set_speed_factor(&mut self, factor: f64) {
         assert!(factor > 0.0, "speed factor must be positive");
         self.profile.speed_factor = factor;
+    }
+
+    /// Schedules a speed-factor change at sim time `at`.
+    ///
+    /// The change takes effect for the first kernel *starting* at or after
+    /// `at` — never retroactively: a kernel (or epoch portion) already in
+    /// flight when `at` passes keeps its original duration. If the clock is
+    /// already past `at`, the change applies from the current time (the next
+    /// charged kernel), which is the non-retroactive reading of "change the
+    /// speed now".
+    pub fn schedule_speed_factor(&mut self, at: SimTime, factor: f64) {
+        assert!(factor > 0.0, "speed factor must be positive");
+        self.pending_speed.push((at, factor));
+        self.pending_speed
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     }
 }
 
@@ -316,6 +373,80 @@ mod tests {
         let mut b = quiet(1, 1.0);
         let dt = b.charge_epoch(&kinds, 1.0, -1.0);
         assert_eq!(dt, 0.0);
+    }
+
+    /// Regression for the `set_speed_factor`/`advance_to` audit: a speed
+    /// change scheduled mid-epoch must apply from its sim time onward, not
+    /// retroactively to kernels already charged (the in-flight work).
+    #[test]
+    fn scheduled_speed_change_is_not_retroactive_within_an_epoch() {
+        let k = KernelKind::Gemm {
+            m: 64,
+            k: 64,
+            n: 64,
+        };
+        let base = crate::cost::kernel_time(quiet(0, 1.0).profile(), k);
+        // Four identical kernels; the change lands between kernel 2 and 3.
+        let mut d = quiet(0, 1.0);
+        d.schedule_speed_factor(SimTime(base * 1.5), 0.5);
+        let dt = d.charge_epoch(&[k, k, k, k], 1.0, 0.0);
+        // Kernels 0 and 1 start before 1.5·base: old speed. Kernels 2 and 3
+        // start at 2·base and later: half speed, double duration.
+        assert!(
+            (dt - (2.0 * base + 2.0 * 2.0 * base)).abs() < 1e-12,
+            "dt {dt} vs expected {}",
+            6.0 * base
+        );
+        // The retroactive (wrong) answer would have been 8·base;
+        // the ignore-until-next-epoch answer 4·base.
+    }
+
+    #[test]
+    fn scheduled_speed_change_in_the_past_applies_from_now() {
+        let k = KernelKind::Gemm {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
+        let mut d = quiet(0, 1.0);
+        let base = crate::cost::kernel_time(d.profile(), k);
+        let t0 = d.execute(k);
+        assert!((t0 - base).abs() < 1e-15);
+        // Scheduled before the clock: the already-executed kernel keeps its
+        // price, the next one runs at the new speed.
+        d.schedule_speed_factor(SimTime::ZERO, 2.0);
+        let t1 = d.execute(k);
+        assert!((t1 - base / 2.0).abs() < 1e-15);
+        assert!((d.now().secs() - (base + base / 2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn advance_to_through_a_scheduled_change_activates_it() {
+        let k = KernelKind::Elementwise { elems: 1 << 16 };
+        let mut d = quiet(0, 1.0);
+        let base = crate::cost::kernel_time(d.profile(), k);
+        d.schedule_speed_factor(SimTime(1.0), 0.25);
+        // Waiting at a barrier past t = 1 activates the throttle.
+        d.advance_to(SimTime(2.0));
+        assert_eq!(d.profile().speed_factor, 0.25);
+        let dt = d.execute(k);
+        assert!((dt - base * 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn multiple_scheduled_changes_apply_in_time_order() {
+        let k = KernelKind::Gemm {
+            m: 16,
+            k: 16,
+            n: 16,
+        };
+        let mut d = quiet(0, 1.0);
+        // Inserted out of order; both due at once — the latest wins.
+        d.schedule_speed_factor(SimTime(0.5), 2.0);
+        d.schedule_speed_factor(SimTime(0.1), 0.5);
+        d.advance_to(SimTime(1.0));
+        assert_eq!(d.profile().speed_factor, 2.0);
+        let _ = d.execute(k);
     }
 
     #[test]

@@ -21,7 +21,10 @@
 //!   including the CUDA-environment contention the paper observes when many
 //!   GPU managers launch kernels concurrently;
 //! * [`topology`] — host↔device and peer-to-peer link timing;
-//! * [`trace`] — optional event traces (Fig. 2-style dispatch timelines).
+//! * [`trace`] — optional event traces (Fig. 2-style dispatch timelines);
+//! * [`faults`] — seeded, reproducible fault plans (straggler spikes,
+//!   transient stalls, permanent device loss, merge-time OOM) keyed to the
+//!   deterministic scheduling loop, for chaos testing the trainer.
 //!
 //! Numerical work is **not** done here — callers run the real math on the CPU
 //! and charge the corresponding [`KernelKind`] to a device. Scheduling
@@ -30,6 +33,7 @@
 
 pub mod cost;
 pub mod device;
+pub mod faults;
 pub mod fusion;
 pub mod memory;
 pub mod profile;
@@ -39,6 +43,7 @@ pub mod trace;
 
 pub use cost::KernelKind;
 pub use device::{Device, DeviceId};
+pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use profile::{DeviceProfile, JitterModel};
 pub use topology::Topology;
 pub use trace::{TraceEvent, TraceLog};

@@ -241,6 +241,7 @@ impl SlideTrainer {
             final_model: model.to_flat(),
             trace: String::new(),
             final_state: None,
+            chaos: Default::default(),
         }
     }
 }

@@ -1,0 +1,308 @@
+//! Chaos suite: seeded fault injection against the full trainer stack.
+//!
+//! Every test drives a real training run through a [`FaultPlan`] and checks
+//! the degradation contract (see `DESIGN.md`, "Fault model & degradation
+//! semantics"): no sample lost or double-counted, dead replicas evicted with
+//! `α_i` renormalized over survivors, arena OOM degrading to the serial
+//! reduction with identical numerics, and the whole faulted run remaining a
+//! deterministic function of `(run seed, fault plan)`.
+
+use adaptive_sgd::core::metrics::RunResult;
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+    AppliedFault, StalenessBound,
+};
+use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+use adaptive_sgd::gpusim::FaultPlan;
+
+const MEGAS: usize = 4;
+
+fn dataset() -> XmlDataset {
+    generate(&DatasetSpec::tiny("chaos"), 11)
+}
+
+fn config(megas: usize) -> RunConfig {
+    let mut c = RunConfig::paper_defaults(64, 8); // 512-sample mega-batches
+    c.hidden = 16;
+    c.base_lr = 0.2;
+    c.mega_batch_limit = Some(megas);
+    c.overhead_scale = 0.001;
+    c
+}
+
+fn run(n_gpus: usize, plan: Option<FaultPlan>) -> RunResult {
+    let ds = dataset();
+    let mut cfg = config(MEGAS);
+    cfg.trace = true;
+    cfg.fault_plan = plan;
+    Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(n_gpus),
+        cfg,
+    )
+    .run(&ds)
+}
+
+/// Σα must be exactly 1 over the participating replicas, except when
+/// Algorithm 2's perturbation deliberately shifted the extreme weights by
+/// ±δ (paper default δ = 0.1), which bounds |Σα − 1| by δ.
+fn assert_weight_sum(r: &adaptive_sgd::core::MergeRecord) {
+    let sum: f64 = r.merge_weights.iter().sum();
+    let tol = if r.perturbed { 0.1 + 1e-9 } else { 1e-9 };
+    assert!(
+        (sum - 1.0).abs() <= tol,
+        "Σα = {sum} (perturbed: {}) at merge {}",
+        r.perturbed,
+        r.merge_index
+    );
+}
+
+/// Total committed samples must equal the dispatched mega-batches exactly —
+/// chaos or not, every granted sample is trained on a surviving replica
+/// exactly once.
+fn assert_balanced_accounting(result: &RunResult, megas: usize, mega_batch_size: usize) {
+    assert_eq!(
+        result.chaos.samples_committed,
+        (megas * mega_batch_size) as u64,
+        "samples lost or double-counted"
+    );
+    let recorded_updates: u64 = result
+        .records
+        .iter()
+        .map(|r| r.updates.iter().sum::<u64>())
+        .sum();
+    assert_eq!(
+        result.chaos.batches_committed, recorded_updates,
+        "committed batches disagree with the per-merge records"
+    );
+}
+
+#[test]
+fn replica_loss_completes_with_balanced_accounting() {
+    let plan = FaultPlan::new().device_loss(1, 6, 0);
+    let result = run(4, Some(plan));
+
+    assert_eq!(result.records.len(), MEGAS, "run did not complete");
+    assert_eq!(result.chaos.lost_gpus, vec![0]);
+    assert!(
+        result.chaos.redispatched_batches >= 1,
+        "the dead replica had in-flight batches to re-dispatch"
+    );
+    assert_eq!(
+        result.chaos.redispatched_batches,
+        result.chaos.discarded_batches
+    );
+    assert_balanced_accounting(&result, MEGAS, 512);
+
+    // From the loss on, the dead replica contributes no updates and no merge
+    // weight; the survivors' weights renormalize to Σα = 1 (up to Algorithm
+    // 2's deliberate ±δ perturbation when it fires).
+    for r in &result.records[1..] {
+        assert_eq!(r.updates[0], 0, "dead replica recorded updates");
+        assert_eq!(r.merge_weights[0], 0.0, "dead replica kept merge weight");
+        assert_weight_sum(r);
+    }
+    // And the loss itself is on the fault log with its re-dispatch count.
+    assert!(result.chaos.faults.iter().any(|f| matches!(
+        f,
+        AppliedFault::DeviceLoss { mega: 1, gpu: 0, redispatched, .. } if *redispatched >= 1
+    )));
+}
+
+#[test]
+fn merged_models_stay_finite_under_faults() {
+    let plan = FaultPlan::new()
+        .speed_change(0, 2, 1, 0.3)
+        .device_loss(1, 4, 2)
+        .merge_oom(2);
+    let result = run(4, Some(plan));
+    assert!(
+        result.final_model.iter().all(|w| w.is_finite()),
+        "non-finite weights after faulted run"
+    );
+    for r in &result.records {
+        assert!(r.mean_loss.is_finite());
+        assert!(r.merge_weights.iter().all(|w| w.is_finite()));
+        assert_weight_sum(r);
+    }
+}
+
+#[test]
+fn staleness_bound_holds_for_survivors_under_device_loss() {
+    let cfg = config(MEGAS);
+    let bound = StalenessBound::derive(&cfg.scaling_params, cfg.mega_batch_size, 4);
+    let plan = FaultPlan::new().device_loss(1, 6, 3);
+    let result = run(4, Some(plan));
+    for r in &result.records {
+        let alive: Vec<u64> = r
+            .updates
+            .iter()
+            .enumerate()
+            .filter(|&(g, _)| !result.chaos.lost_gpus.contains(&g) || r.merge_index == 0)
+            .map(|(_, &u)| u)
+            .collect();
+        assert!(
+            bound.check(&alive),
+            "staleness bound violated at merge {}: {:?} vs [{}, {}]",
+            r.merge_index,
+            alive,
+            bound.min_updates,
+            bound.max_updates
+        );
+    }
+}
+
+#[test]
+fn arena_oom_degrades_to_serial_with_identical_numerics() {
+    // The serial reduction is bit-identical (results AND simulated timing)
+    // to the pooled path, so a run whose only fault is a merge OOM must be
+    // indistinguishable from the fault-free run everywhere except the log.
+    let clean = run(4, None);
+    let oom = run(4, Some(FaultPlan::new().merge_oom(1)));
+
+    assert_eq!(oom.chaos.serial_fallback_merges, 1);
+    assert!(oom.chaos.faults.iter().any(|f| matches!(
+        f,
+        AppliedFault::MergeOomFallback { mega: 1, requested, available }
+            if requested > available
+    )));
+    assert_eq!(
+        clean.final_model, oom.final_model,
+        "serial fallback changed the numerics"
+    );
+    assert_eq!(clean.trace, oom.trace, "serial fallback changed the timing");
+    let times = |r: &RunResult| r.records.iter().map(|x| x.sim_time).collect::<Vec<_>>();
+    assert_eq!(times(&clean), times(&oom));
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    // An armed-but-empty plan turns the chaos bookkeeping on without
+    // injecting anything: the run itself must not change at all.
+    let clean = run(3, None);
+    let armed = run(3, Some(FaultPlan::new()));
+    assert_eq!(clean.final_model, armed.final_model);
+    assert_eq!(clean.trace, armed.trace);
+    assert!(armed.chaos.is_quiet());
+    assert!(clean.chaos.is_quiet());
+    assert_balanced_accounting(&armed, MEGAS, 512);
+    // The quiet run commits nothing to the chaos counters.
+    assert_eq!(clean.chaos.samples_committed, 0);
+}
+
+#[test]
+fn straggler_spike_sheds_load_until_recovery() {
+    let clean = run(4, None);
+    let plan = FaultPlan::new()
+        .speed_change(0, 4, 0, 0.15)
+        .speed_change(2, 0, 0, 1.0);
+    let spiked = run(4, Some(plan));
+
+    let sc: Vec<&AppliedFault> = spiked
+        .chaos
+        .faults
+        .iter()
+        .filter(|f| matches!(f, AppliedFault::SpeedChange { .. }))
+        .collect();
+    assert_eq!(sc.len(), 2, "both speed events must apply");
+    // While throttled, dynamic dispatch routes work away from the victim.
+    assert!(
+        spiked.records[1].updates[0] < clean.records[1].updates[0],
+        "throttled gpu kept its load: {} vs {}",
+        spiked.records[1].updates[0],
+        clean.records[1].updates[0]
+    );
+    assert_balanced_accounting(&spiked, MEGAS, 512);
+}
+
+#[test]
+fn transient_stall_routes_batches_around_the_victim() {
+    let clean = run(4, None);
+    let stalled = run(4, Some(FaultPlan::new().stall(0, 2, 0, 1.0)));
+    assert!(stalled.chaos.faults.iter().any(|f| matches!(
+        f,
+        AppliedFault::Stall { mega: 0, gpu: 0, seconds, .. } if *seconds == 1.0
+    )));
+    // A one-second freeze dwarfs the mega-batch: the victim does (almost)
+    // nothing more in it while the others absorb its share.
+    assert!(
+        stalled.records[0].updates[0] < clean.records[0].updates[0],
+        "stalled gpu kept dispatching: {} vs {}",
+        stalled.records[0].updates[0],
+        clean.records[0].updates[0]
+    );
+    assert_balanced_accounting(&stalled, MEGAS, 512);
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_re_runs() {
+    let plan = FaultPlan::random(7, 4, MEGAS);
+    let a = run(4, Some(plan.clone()));
+    let b = run(4, Some(plan));
+    assert_eq!(a.final_model, b.final_model);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.chaos, b.chaos);
+    assert_eq!(a.chaos.render(), b.chaos.render());
+    let acc = |r: &RunResult| r.records.iter().map(|x| x.accuracy).collect::<Vec<_>>();
+    assert_eq!(acc(&a), acc(&b));
+}
+
+#[test]
+fn random_plans_always_complete_with_balanced_accounting() {
+    for seed in [1u64, 13, 99] {
+        let plan = FaultPlan::random(seed, 3, MEGAS);
+        let result = run(3, Some(plan.clone()));
+        assert_eq!(result.records.len(), MEGAS, "seed {seed} aborted the run");
+        assert_balanced_accounting(&result, MEGAS, 512);
+        assert!(
+            result.final_model.iter().all(|w| w.is_finite()),
+            "seed {seed} produced non-finite weights"
+        );
+        assert!(
+            !result.chaos.is_quiet(),
+            "seed {seed}: a random plan must apply something"
+        );
+    }
+}
+
+#[test]
+fn elastic_sgd_survives_device_loss_too() {
+    // The degradation path is spec-independent (any MegaBatch-merging
+    // trainer): Elastic SGD with plain averaging also evicts and completes.
+    let ds = dataset();
+    let mut cfg = config(MEGAS);
+    cfg.fault_plan = Some(FaultPlan::new().device_loss(1, 5, 1));
+    let result = Trainer::new(algorithms::elastic_sgd(), heterogeneous_server(3), cfg).run(&ds);
+    assert_eq!(result.records.len(), MEGAS);
+    assert_eq!(result.chaos.lost_gpus, vec![1]);
+    for r in &result.records[1..] {
+        assert_weight_sum(r);
+        assert_eq!(r.merge_weights[1], 0.0);
+    }
+    assert_balanced_accounting(&result, MEGAS, 512);
+}
+
+#[test]
+#[should_panic(expected = "fault injection requires merge-per-mega-batch")]
+fn fault_plan_rejects_per_round_merging() {
+    let mut cfg = config(2);
+    cfg.fault_plan = Some(FaultPlan::new().merge_oom(0));
+    let _ = Trainer::new(algorithms::tensorflow_sync(), heterogeneous_server(2), cfg);
+}
+
+#[test]
+fn losing_the_last_survivor_is_refused() {
+    // A plan that tries to kill both devices: the second loss must be
+    // ignored (the run has to finish), leaving exactly one survivor.
+    let plan = FaultPlan::new().device_loss(1, 2, 0).device_loss(1, 3, 1);
+    let result = run(2, Some(plan));
+    assert_eq!(result.records.len(), MEGAS);
+    assert_eq!(
+        result.chaos.lost_gpus,
+        vec![0],
+        "second loss must be refused"
+    );
+    assert_balanced_accounting(&result, MEGAS, 512);
+}

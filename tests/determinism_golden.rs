@@ -1,0 +1,68 @@
+//! Golden determinism gate (tier-1): a fixed-seed run must reproduce
+//! checked-in checksums of its dispatch trace and final model, byte for
+//! byte, on every machine and at every `ASGD_THREADS` setting.
+//!
+//! The trainer's contract is that scheduling consumes only virtual device
+//! clocks and seeded RNG, and that all floating-point reductions fix their
+//! association order — so these values are constants of the codebase, not
+//! of the host. If a change legitimately alters the numerics (new kernel
+//! order, different merge arithmetic), re-derive the constants by running
+//! this test and copying the printed values; an *unintentional* mismatch is
+//! a determinism regression.
+
+use adaptive_sgd::core::{
+    algorithms,
+    trainer::{RunConfig, Trainer},
+};
+use adaptive_sgd::data::{generate, DatasetSpec};
+use adaptive_sgd::gpusim::profile::heterogeneous_server;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn golden_run() -> adaptive_sgd::core::metrics::RunResult {
+    let ds = generate(&DatasetSpec::tiny("golden"), 5);
+    let mut cfg = RunConfig::paper_defaults(64, 8);
+    cfg.hidden = 16;
+    cfg.base_lr = 0.2;
+    cfg.seed = 42;
+    cfg.mega_batch_limit = Some(3);
+    cfg.overhead_scale = 0.001;
+    cfg.trace = true;
+    Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(3), cfg).run(&ds)
+}
+
+const GOLDEN_TRACE_FNV: u64 = 0x63a8_f15d_ffcb_a276;
+const GOLDEN_MODEL_FNV: u64 = 0xb7f5_35bc_0f26_2377;
+
+#[test]
+fn fixed_seed_run_matches_checked_in_checksums() {
+    let result = golden_run();
+    let trace_fnv = fnv1a(result.trace.bytes());
+    let model_fnv = fnv1a(result.final_model.iter().flat_map(|w| w.to_le_bytes()));
+    assert!(!result.trace.is_empty(), "trace capture was disabled");
+    assert!(
+        trace_fnv == GOLDEN_TRACE_FNV && model_fnv == GOLDEN_MODEL_FNV,
+        "golden checksums diverged:\n  trace: got {trace_fnv:#018x}, want {GOLDEN_TRACE_FNV:#018x}\n  model: got {model_fnv:#018x}, want {GOLDEN_MODEL_FNV:#018x}\n\
+         If this change is *supposed* to alter the numerics or the trace \
+         format, update the constants in tests/determinism_golden.rs."
+    );
+}
+
+#[test]
+fn golden_run_is_stable_within_a_process() {
+    // The cheaper sibling check: two in-process runs agree exactly. A
+    // failure here (with the checksum test passing) means nondeterminism
+    // crept in *between* runs — a stateful cache or pool leak.
+    let a = golden_run();
+    let b = golden_run();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.final_model, b.final_model);
+}
