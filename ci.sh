@@ -49,6 +49,24 @@ if [[ "${1:-}" != "quick" ]]; then
                 "$tmp_out/chaos8/chaos_probe_$fault_seed.txt"
         echo "fault seed $fault_seed: bit-identical at ASGD_THREADS=1 and =8"
     done
+
+    echo "== serve determinism across thread counts =="
+    # A serving run (train → checkpoint → serve, faulted and fault-free)
+    # must be a pure function of (request seed, fault seed): replay the
+    # probe under different worker-pool sizes and byte-diff the latency/
+    # throughput reports. See DESIGN.md, "Serving subsystem".
+    serve_seed=11 fault_seed=7
+    ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/serve1" \
+        ASGD_SERVE_SEED="$serve_seed" ASGD_FAULT_SEED="$fault_seed" \
+        cargo run --release -p asgd-bench --bin serve_probe >/dev/null
+    ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/serve8" \
+        ASGD_SERVE_SEED="$serve_seed" ASGD_FAULT_SEED="$fault_seed" \
+        cargo run --release -p asgd-bench --bin serve_probe >/dev/null
+    diff -u "$tmp_out/serve1/serve_probe_${serve_seed}_${fault_seed}.txt" \
+            "$tmp_out/serve8/serve_probe_${serve_seed}_${fault_seed}.txt"
+    diff -u results/serve_probe_${serve_seed}_${fault_seed}.txt \
+            "$tmp_out/serve8/serve_probe_${serve_seed}_${fault_seed}.txt"
+    echo "serve seeds $serve_seed/$fault_seed: bit-identical at ASGD_THREADS=1 and =8, matches checked-in report"
 fi
 
 echo "CI OK"

@@ -6,7 +6,7 @@
 use crate::{grid_learning_rate, Env};
 use asgd_core::trainer::Trainer;
 use asgd_core::{algorithms, RunResult};
-use asgd_data::DatasetStats;
+use asgd_data::{DatasetSpec, DatasetStats};
 use asgd_gpusim::device::build_server;
 use asgd_gpusim::profile::heterogeneous_server;
 use asgd_model::workload::epoch_kernels;
@@ -324,6 +324,73 @@ pub fn bench_merge_json(env: &Env) -> String {
     out
 }
 
+/// **Serving tail latency** (`BENCH_serve.json`) — the online-inference twin
+/// of the training-side batch-size experiments: the wide-head serving
+/// testbed (many classes, tiny hidden layer, so per-request softmax/top-k
+/// cost dominates per-batch flat cost; see DESIGN.md, "Serving subsystem")
+/// on a 2-fast/2-slow fleet, served once with the adaptive SLO controller
+/// and once with the fixed `b_max` baseline. Latency and throughput are
+/// simulated time, so every row is exact and deterministic. The load
+/// constants are tuned at the default `ASGD_SCALE = 0.01` and scale
+/// linearly with it (per-request cost is proportional to the head width).
+pub fn bench_serve_json(env: &Env) -> String {
+    use asgd_gpusim::profile::two_tier_server;
+    use asgd_gpusim::FaultPlan;
+    use asgd_model::Mlp;
+    use asgd_serve::{open_loop_stream, serve, ServeConfig};
+
+    let spec = DatasetSpec::amazon_670k(3.0 * env.scale);
+    let ds = env.dataset(&spec);
+    let config = MlpConfig {
+        num_features: ds.num_features,
+        hidden: 8,
+        num_classes: ds.num_labels,
+    };
+    let model = Mlp::init(&config, env.seed);
+    let pool = &ds.test.features;
+    let profiles: Vec<_> = two_tier_server(2, 2, 0.25)
+        .into_iter()
+        .map(|p| p.with_overhead_scale(0.05))
+        .collect();
+    let rate_rps = 4.0e6 * 0.01 / env.scale;
+    let slo_s = 1.5e-3 * env.scale;
+    // 2400 requests: long enough that the post-engagement tail (the
+    // controller needs a window of dispatches before it moves) dominates
+    // the p99 estimate, short enough to stay a smoke-affordable row.
+    let requests = open_loop_stream(env.seed, 2400, rate_rps, pool.rows());
+    let adaptive_cfg = ServeConfig::paper_defaults(64, slo_s);
+    let sessions = [
+        ("adaptive", adaptive_cfg.clone()),
+        ("fixed", adaptive_cfg.fixed_batch()),
+    ];
+
+    let mut out = String::from("{\n  \"bench\": \"serve\",\n  \"rows\": [\n");
+    for (i, (mode, cfg)) in sessions.iter().enumerate() {
+        let o = serve(&model, &profiles, pool, &requests, &FaultPlan::new(), cfg);
+        let stats = o.fleet_latency();
+        let us = |q: &asgd_stats::P2Quantile| q.value().unwrap_or(0.0) * 1e6;
+        let final_b: Vec<usize> = o.replicas.iter().map(|r| r.final_b).collect();
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{mode}\", \"dataset\": \"{}\", \"requests\": {}, \
+             \"p50_us\": {:.3}, \"p95_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"throughput_rps\": {:.1}, \"throughput_unit\": \"requests_per_sim_s\", \
+             \"final_b\": {final_b:?}, \"served\": {}, \"lost\": {}}}",
+            ds.name,
+            requests.len(),
+            us(&stats.p50),
+            us(&stats.p95),
+            us(&stats.p99),
+            o.throughput_rps(),
+            o.served,
+            o.lost
+        );
+        out.push_str(if i + 1 < sessions.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Formats one run's curve as CSV rows tagged with dataset/gpus/algorithm.
 fn curve_rows(out: &mut String, dataset: &str, gpus: usize, result: &RunResult) {
     for r in &result.records {
@@ -566,6 +633,16 @@ mod tests {
         let data_rows = csv.lines().filter(|l| !l.starts_with(['m', '#'])).count();
         assert_eq!(data_rows, env.mega_limit * 2);
         assert!(csv.contains("perturbation frequency"));
+    }
+
+    #[test]
+    fn bench_serve_reports_both_modes_with_zero_loss() {
+        let env = Env::smoke();
+        let json = bench_serve_json(&env);
+        assert!(json.contains("\"mode\": \"adaptive\""));
+        assert!(json.contains("\"mode\": \"fixed\""));
+        assert!(json.contains("\"served\": 2400"));
+        assert!(!json.contains("\"lost\": 1"), "no request may be lost");
     }
 
     #[test]

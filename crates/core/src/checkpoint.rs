@@ -12,6 +12,7 @@
 //! (batch f64, lr f64, updates u64)*`.
 
 use crate::hyper::GpuHyper;
+use asgd_model::{checkpoint as model_checkpoint, Mlp, MlpConfig};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"ASGC";
@@ -77,6 +78,25 @@ impl TrainingState {
         buf.freeze()
     }
 
+    /// Exports the snapshot's *global model* as a standalone, serveable
+    /// model checkpoint (the `asgd_model::checkpoint` "ASGD" format): the
+    /// handoff from training to the serving tier. Only the model crosses —
+    /// optimizer memory (`prev_global`) and per-GPU hyperparameter state
+    /// stay behind, because inference needs neither.
+    ///
+    /// # Panics
+    /// Panics when the architecture does not match the stored flat model.
+    pub fn export_model(&self, config: &MlpConfig) -> Bytes {
+        assert_eq!(
+            self.global.len(),
+            config.param_len(),
+            "training state / architecture mismatch"
+        );
+        let mut model = Mlp::zeros(config);
+        model.load_flat(&self.global);
+        model_checkpoint::encode(&model)
+    }
+
     /// Deserializes a state produced by [`TrainingState::encode`].
     pub fn decode(mut data: Bytes) -> Result<Self, StateError> {
         if data.remaining() < 8 + 24 {
@@ -120,6 +140,14 @@ impl TrainingState {
             megas_done,
         })
     }
+}
+
+/// Loads a serveable model from the bytes produced by
+/// [`TrainingState::export_model`] (or `asgd_model::checkpoint::encode`
+/// directly) — the read side of the train→serve handoff, used by
+/// `asgd-serve` to boot its replicas.
+pub fn load_model(data: Bytes) -> Result<Mlp, model_checkpoint::CheckpointError> {
+    model_checkpoint::decode(data)
 }
 
 #[cfg(test)]
@@ -171,6 +199,41 @@ mod tests {
             TrainingState::decode(Bytes::from(raw)),
             Err(StateError::BadVersion(_))
         ));
+    }
+
+    #[test]
+    fn export_model_roundtrips_through_load_model() {
+        let config = MlpConfig {
+            num_features: 6,
+            hidden: 4,
+            num_classes: 3,
+        };
+        let trained = Mlp::init(&config, 99);
+        let state = TrainingState {
+            global: trained.to_flat(),
+            prev_global: vec![0.0; config.param_len()],
+            hypers: vec![],
+            megas_done: 2,
+        };
+        let served = load_model(state.export_model(&config)).unwrap();
+        assert_eq!(served, trained, "train→serve handoff must be lossless");
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn export_model_rejects_wrong_architecture() {
+        let state = TrainingState {
+            global: vec![0.0; 10],
+            prev_global: vec![],
+            hypers: vec![],
+            megas_done: 0,
+        };
+        let config = MlpConfig {
+            num_features: 6,
+            hidden: 4,
+            num_classes: 3,
+        };
+        let _ = state.export_model(&config);
     }
 
     #[test]

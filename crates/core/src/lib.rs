@@ -46,7 +46,7 @@ pub mod metrics;
 pub mod schedule;
 pub mod trainer;
 
-pub use checkpoint::TrainingState;
+pub use checkpoint::{load_model, TrainingState};
 pub use hyper::{scale_batch_sizes, scale_batch_sizes_with, GpuHyper, ScalingParams, ScalingRule};
 pub use merging::{compute_merge_weights, MergeDecision, MergeParams, Normalization};
 pub use metrics::{MergeRecord, RunRecorder, RunResult};

@@ -23,6 +23,10 @@ pub enum KernelKind {
     Softmax { rows: usize, cols: usize },
     /// Reduction over `elems` values (losses, norms).
     Reduce { elems: usize },
+    /// Per-row top-`k` selection over a `rows × cols` matrix (inference
+    /// result extraction). Memory-bound: one streaming pass over the scores
+    /// plus a small per-row heap.
+    TopK { rows: usize, cols: usize, k: usize },
     /// Host-to-device copy.
     H2d { bytes: usize },
     /// Device-to-host copy.
@@ -43,6 +47,9 @@ impl KernelKind {
             // exp + add + div per element, plus the max scan.
             KernelKind::Softmax { rows, cols } => 4.0 * rows as f64 * cols as f64,
             KernelKind::Reduce { elems } => elems as f64,
+            // One comparison per score, plus log(k) heap work on the few
+            // entries that displace — dominated by the scan.
+            KernelKind::TopK { rows, cols, .. } => rows as f64 * cols as f64,
             KernelKind::H2d { .. } | KernelKind::D2h { .. } | KernelKind::P2p { .. } => 0.0,
         }
     }
@@ -58,6 +65,8 @@ impl KernelKind {
             KernelKind::Elementwise { elems } => 8.0 * elems as f64,
             KernelKind::Softmax { rows, cols } => 8.0 * rows as f64 * cols as f64,
             KernelKind::Reduce { elems } => 4.0 * elems as f64,
+            // Read every score once; write k (index, score) pairs per row.
+            KernelKind::TopK { rows, cols, k } => (4 * rows * cols + 8 * rows * k) as f64,
             KernelKind::H2d { bytes } | KernelKind::D2h { bytes } | KernelKind::P2p { bytes } => {
                 bytes as f64
             }
@@ -96,7 +105,10 @@ pub fn kernel_time(profile: &DeviceProfile, kind: KernelKind) -> f64 {
                 + (kind.flops() / (profile.dense_gflops * 1e9))
                     .max(kind.bytes() / (profile.mem_bandwidth_gbs * 1e9))
         }
-        KernelKind::Elementwise { .. } | KernelKind::Softmax { .. } | KernelKind::Reduce { .. } => {
+        KernelKind::Elementwise { .. }
+        | KernelKind::Softmax { .. }
+        | KernelKind::Reduce { .. }
+        | KernelKind::TopK { .. } => {
             profile.launch_overhead_s + kind.bytes() / (profile.mem_bandwidth_gbs * 1e9)
         }
         KernelKind::H2d { bytes } | KernelKind::D2h { bytes } => {
@@ -178,6 +190,43 @@ mod tests {
     fn transfer_predicate() {
         assert!(KernelKind::P2p { bytes: 1 }.is_transfer());
         assert!(!KernelKind::Reduce { elems: 1 }.is_transfer());
+        assert!(!KernelKind::TopK {
+            rows: 1,
+            cols: 2,
+            k: 1
+        }
+        .is_transfer());
+    }
+
+    #[test]
+    fn topk_cost_scales_with_scores_scanned() {
+        let p = quiet_v100();
+        let small = kernel_time(
+            &p,
+            KernelKind::TopK {
+                rows: 8,
+                cols: 1_000,
+                k: 5,
+            },
+        );
+        let wide = kernel_time(
+            &p,
+            KernelKind::TopK {
+                rows: 8,
+                cols: 100_000,
+                k: 5,
+            },
+        );
+        let tall = kernel_time(
+            &p,
+            KernelKind::TopK {
+                rows: 512,
+                cols: 1_000,
+                k: 5,
+            },
+        );
+        assert!(wide > small);
+        assert!(tall > small);
     }
 }
 
@@ -200,6 +249,8 @@ mod proptests {
             (1usize..1024, 1usize..100_000)
                 .prop_map(|(rows, cols)| KernelKind::Softmax { rows, cols }),
             (1usize..10_000_000).prop_map(|elems| KernelKind::Reduce { elems }),
+            (1usize..1024, 1usize..100_000, 1usize..64)
+                .prop_map(|(rows, cols, k)| KernelKind::TopK { rows, cols, k }),
             (1usize..100_000_000).prop_map(|bytes| KernelKind::H2d { bytes }),
             (1usize..100_000_000).prop_map(|bytes| KernelKind::D2h { bytes }),
             (1usize..100_000_000).prop_map(|bytes| KernelKind::P2p { bytes }),

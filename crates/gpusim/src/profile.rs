@@ -154,6 +154,27 @@ pub fn heterogeneous_server(n: usize) -> Vec<DeviceProfile> {
         .collect()
 }
 
+/// A two-tier server: `fast` nominal-speed devices followed by `slow`
+/// devices throttled to `slow_factor` — the serving testbed's worst case for
+/// fixed-size micro-batching, where a slow device greedily draining
+/// full-size batches inflates exactly those requests' tail latency.
+///
+/// # Panics
+/// Panics when the server would be empty or `slow_factor` is not in `(0, 1]`.
+pub fn two_tier_server(fast: usize, slow: usize, slow_factor: f64) -> Vec<DeviceProfile> {
+    assert!(fast + slow >= 1, "need at least one device");
+    assert!(
+        slow_factor > 0.0 && slow_factor <= 1.0,
+        "slow factor must be in (0, 1]"
+    );
+    (0..fast + slow)
+        .map(|i| {
+            let speed = if i < fast { 1.0 } else { slow_factor };
+            DeviceProfile::v100(format!("V100-{i}")).with_speed(speed)
+        })
+        .collect()
+}
+
 /// A homogeneous server (all devices identical) — the control configuration
 /// in which Adaptive SGD should behave like Elastic SGD.
 pub fn homogeneous_server(n: usize) -> Vec<DeviceProfile> {
@@ -196,6 +217,23 @@ mod tests {
         assert_eq!(profiles.len(), 6);
         assert!(profiles[4].speed_factor < profiles[0].speed_factor);
         assert_eq!(profiles[5].name, "V100-5");
+    }
+
+    #[test]
+    fn two_tier_server_splits_speeds() {
+        let profiles = two_tier_server(2, 2, 0.5);
+        assert_eq!(profiles.len(), 4);
+        assert_eq!(profiles[0].speed_factor, 1.0);
+        assert_eq!(profiles[1].speed_factor, 1.0);
+        assert_eq!(profiles[2].speed_factor, 0.5);
+        assert_eq!(profiles[3].speed_factor, 0.5);
+        assert_eq!(profiles[3].name, "V100-3");
+    }
+
+    #[test]
+    #[should_panic(expected = "slow factor")]
+    fn two_tier_rejects_bad_factor() {
+        let _ = two_tier_server(1, 1, 1.5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Held-out evaluation: top-1 accuracy and precision@k.
 
 use crate::mlp::Mlp;
+use crate::workspace::Workspace;
 use asgd_sparse::CsrMatrix;
 use asgd_tensor::numerics::argmax;
 
@@ -41,6 +42,11 @@ pub fn top1_accuracy(model: &Mlp, x: &CsrMatrix, labels: &[Vec<u32>], chunk: usi
 }
 
 /// Precision@k: mean over samples of `|top-k predictions ∩ labels| / k`.
+///
+/// Runs on the batched, workspace-reusing [`Mlp::predict_topk_ws`] path —
+/// one workspace and one prediction buffer serve every chunk, so the
+/// per-batch activation and per-row selection allocations of the naive
+/// formulation are gone (the same path the serving engine uses).
 pub fn precision_at_k(
     model: &Mlp,
     x: &CsrMatrix,
@@ -51,30 +57,26 @@ pub fn precision_at_k(
     assert_eq!(x.rows(), labels.len(), "labels/batch mismatch");
     assert!(k >= 1, "k must be at least 1");
     let chunk = chunk.max(1);
+    let mut ws = Workspace::new(model.config());
+    let mut topk: Vec<u32> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
     let mut total = 0.0f64;
     let mut counted = 0usize;
     let mut start = 0usize;
     while start < x.rows() {
         let end = (start + chunk).min(x.rows());
-        let ids: Vec<usize> = (start..end).collect();
+        ids.clear();
+        ids.extend(start..end);
         let part = x.select_rows(&ids);
-        let (_, probs) = model.forward(&part);
+        let k_eff = model.predict_topk_ws(&part, k, &mut ws, &mut topk);
         for (r, labs) in labels[start..end].iter().enumerate() {
             if labs.is_empty() {
                 continue;
             }
             counted += 1;
-            let row = probs.row(r);
-            let mut order: Vec<usize> = (0..row.len()).collect();
-            let k_eff = k.min(row.len());
-            order.select_nth_unstable_by(k_eff - 1, |&a, &b| {
-                row[b]
-                    .partial_cmp(&row[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let hits = order[..k_eff]
+            let hits = topk[r * k_eff..(r + 1) * k_eff]
                 .iter()
-                .filter(|&&c| labs.binary_search(&(c as u32)).is_ok())
+                .filter(|&&c| labs.binary_search(&c).is_ok())
                 .count();
             total += hits as f64 / k as f64;
         }

@@ -331,14 +331,92 @@ impl Mlp {
         assert_eq!(x.cols(), self.config.num_features, "input width");
         let batch = x.rows();
         let mut h = Matrix::zeros(batch, self.config.hidden);
-        sops::spmm(x, &self.w1, &mut h);
-        numerics::add_bias_inplace(&mut h, &self.b1);
-        numerics::relu_inplace(&mut h);
-        let mut logits = Matrix::zeros(batch, self.config.num_classes);
-        ops::gemm(1.0, &h, &self.w2, 0.0, &mut logits);
-        numerics::add_bias_inplace(&mut logits, &self.b2);
-        numerics::softmax_rows_inplace(&mut logits);
-        (h, logits)
+        let mut probs = Matrix::zeros(batch, self.config.num_classes);
+        self.forward_into(x, &mut h, &mut probs);
+        (h, probs)
+    }
+
+    /// Forward pass into caller-owned buffers — the one kernel sequence
+    /// shared by training ([`Mlp::loss_and_gradients_ws`]), evaluation, and
+    /// serving ([`Mlp::predict_topk_ws`]). A single body keeps every path
+    /// bit-identical: `h` becomes `relu(X·W₁ + b₁)` and `probs` the softmax
+    /// class distribution, both reshaped to the batch in place.
+    fn forward_into(&self, x: &CsrMatrix, h: &mut Matrix, probs: &mut Matrix) {
+        let batch = x.rows();
+        h.reshape_in_place(batch, self.config.hidden);
+        sops::spmm(x, &self.w1, h);
+        numerics::add_bias_inplace(h, &self.b1);
+        numerics::relu_inplace(h);
+        probs.reshape_in_place(batch, self.config.num_classes);
+        ops::gemm(1.0, h, &self.w2, 0.0, probs);
+        numerics::add_bias_inplace(probs, &self.b2);
+        numerics::softmax_rows_inplace(probs);
+    }
+
+    /// Batched top-k inference through a reused [`Workspace`]: forwards the
+    /// batch and writes, row-major into `out`, each sample's `k_eff` class
+    /// ids ordered by descending probability (ties broken by ascending class
+    /// id, consistent with `argmax`'s first-max rule). Returns
+    /// `k_eff = min(k, num_classes)`, the row stride of `out`.
+    ///
+    /// In steady state (workspace reused across batches of bounded size)
+    /// this allocates nothing: the forward pass reuses `ws.h`/`ws.probs` and
+    /// the selection reuses `ws.order`; `out` is cleared and refilled in
+    /// place. The tie-break makes the result a pure function of the
+    /// probabilities — independent of selection internals — so served
+    /// predictions are reproducible bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `k == 0`, the batch is empty, or the workspace was built
+    /// for a different architecture.
+    pub fn predict_topk_ws(
+        &self,
+        x: &CsrMatrix,
+        k: usize,
+        ws: &mut Workspace,
+        out: &mut Vec<u32>,
+    ) -> usize {
+        assert!(k >= 1, "k must be at least 1");
+        let batch = x.rows();
+        assert!(batch > 0, "empty batch");
+        assert_eq!(x.cols(), self.config.num_features, "input width");
+        assert_eq!(
+            ws.slot.len(),
+            self.config.num_features,
+            "workspace/model architecture mismatch"
+        );
+        self.forward_into(x, &mut ws.h, &mut ws.probs);
+        let classes = self.config.num_classes;
+        let k_eff = k.min(classes);
+        out.clear();
+        out.reserve(batch * k_eff);
+        for r in 0..batch {
+            let row = ws.probs.row(r);
+            let cmp = |a: &u32, b: &u32| {
+                row[*b as usize]
+                    .partial_cmp(&row[*a as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
+            };
+            ws.order.clear();
+            ws.order.extend(0..classes as u32);
+            if k_eff < classes {
+                ws.order.select_nth_unstable_by(k_eff - 1, cmp);
+            }
+            ws.order[..k_eff].sort_unstable_by(cmp);
+            out.extend_from_slice(&ws.order[..k_eff]);
+        }
+        k_eff
+    }
+
+    /// Allocating wrapper around [`Mlp::predict_topk_ws`]: fresh workspace
+    /// per call, returns the row-major `batch × min(k, num_classes)` top-k
+    /// class ids. Bit-identical to the workspace path.
+    pub fn predict_topk(&self, x: &CsrMatrix, k: usize) -> Vec<u32> {
+        let mut ws = Workspace::new(&self.config);
+        let mut out = Vec::new();
+        self.predict_topk_ws(x, k, &mut ws, &mut out);
+        out
     }
 
     /// Computes the multi-label cross-entropy loss and the gradient, without
@@ -376,17 +454,11 @@ impl Mlp {
             grads,
             slot,
             arena,
+            ..
         } = ws;
 
         // Forward into the workspace.
-        h.reshape_in_place(batch, self.config.hidden);
-        sops::spmm(x, &self.w1, h);
-        numerics::add_bias_inplace(h, &self.b1);
-        numerics::relu_inplace(h);
-        probs.reshape_in_place(batch, self.config.num_classes);
-        ops::gemm(1.0, h, &self.w2, 0.0, probs);
-        numerics::add_bias_inplace(probs, &self.b2);
-        numerics::softmax_rows_inplace(probs);
+        self.forward_into(x, h, probs);
 
         // Loss, then convert `probs` into dlogits = (probs - target)/batch.
         let mut loss = 0.0f64;
@@ -979,6 +1051,108 @@ mod tests {
         assert_eq!(ptrs.3, ws.w2t.as_slice().as_ptr());
         assert_eq!(ptrs.4, ws.grads.w2.as_slice().as_ptr());
         assert_eq!(rows_cap, ws.grads.w1_updates.capacity());
+    }
+
+    #[test]
+    fn predict_topk_orders_by_probability_with_id_tiebreak() {
+        let config = tiny_config();
+        let m = Mlp::init(&config, 51);
+        let (x, _) = tiny_batch();
+        let (_, probs) = m.forward(&x);
+        let top = m.predict_topk(&x, 4);
+        assert_eq!(top.len(), 3 * 4);
+        for r in 0..3 {
+            let row = probs.row(r);
+            let ids = &top[r * 4..(r + 1) * 4];
+            // Row covers all classes exactly once (k == num_classes)...
+            let mut sorted = ids.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3]);
+            // ...in non-increasing probability order.
+            for w in ids.windows(2) {
+                let (pa, pb) = (row[w[0] as usize], row[w[1] as usize]);
+                assert!(pa > pb || (pa == pb && w[0] < w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_topk_ws_reuse_is_bit_identical_to_fresh() {
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let m = Mlp::init(&config, 52);
+        let (xa, _) = wide_batch(&config, 48, 5);
+        let (xb, _) = wide_batch(&config, 32, 6); // shrink path
+        let (xc, _) = wide_batch(&config, 48, 7); // regrow path
+        let mut ws = Workspace::new(&config);
+        let mut out = Vec::new();
+        for x in [&xa, &xb, &xc] {
+            let k_eff = m.predict_topk_ws(x, 5, &mut ws, &mut out);
+            assert_eq!(k_eff, 5);
+            assert_eq!(out, m.predict_topk(x, 5), "stale workspace leaked");
+        }
+        // A workspace that already trained serves predictions unchanged.
+        let mut trained_ws = Workspace::new(&config);
+        let mut m2 = m.clone();
+        let (xt, lt) = wide_batch(&config, 48, 8);
+        m2.train_batch_ws(&xt, &lt, 0.1, &mut trained_ws);
+        m2.predict_topk_ws(&xa, 5, &mut trained_ws, &mut out);
+        assert_eq!(out, m2.predict_topk(&xa, 5));
+    }
+
+    #[test]
+    fn predict_topk_steady_state_does_not_reallocate() {
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let m = Mlp::init(&config, 53);
+        let (x, _) = wide_batch(&config, 48, 9);
+        let mut ws = Workspace::new(&config);
+        let mut out = Vec::new();
+        m.predict_topk_ws(&x, 5, &mut ws, &mut out);
+        let ptrs = (
+            ws.h.as_slice().as_ptr(),
+            ws.probs.as_slice().as_ptr(),
+            ws.order.as_ptr(),
+            out.as_ptr(),
+        );
+        for _ in 0..3 {
+            m.predict_topk_ws(&x, 5, &mut ws, &mut out);
+        }
+        assert_eq!(ptrs.0, ws.h.as_slice().as_ptr());
+        assert_eq!(ptrs.1, ws.probs.as_slice().as_ptr());
+        assert_eq!(ptrs.2, ws.order.as_ptr());
+        assert_eq!(ptrs.3, out.as_ptr());
+    }
+
+    #[test]
+    fn predict_topk_bit_identical_across_thread_counts() {
+        let config = MlpConfig {
+            num_features: 80,
+            hidden: 32,
+            num_classes: 48,
+        };
+        let (x, _) = wide_batch(&config, 64, 17);
+        let m = Mlp::init(&config, 54);
+        asgd_tensor::parallel::override_threads(1);
+        let single = m.predict_topk(&x, 5);
+        asgd_tensor::parallel::override_threads(8);
+        let eight = m.predict_topk(&x, 5);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single, eight, "predictions diverged across thread counts");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn predict_topk_rejects_zero_k() {
+        let m = Mlp::init(&tiny_config(), 55);
+        let (x, _) = tiny_batch();
+        let _ = m.predict_topk(&x, 0);
     }
 
     #[test]

@@ -101,6 +101,46 @@ pub fn epoch_kernels(config: &MlpConfig, batch_size: usize, nnz: usize) -> Vec<K
     ]
 }
 
+/// The kernels of one inference micro-batch (transfer in, forward, top-k
+/// extraction, results out), in issue order — the serving counterpart of
+/// [`epoch_kernels`]. No backward pass, no update: inference is
+/// forward-dominated and its result transfer is tiny (`k` class ids per
+/// request), so micro-batch cost is driven by the data-dependent `nnz` and
+/// the `batch × classes` softmax/top-k scan, exactly the heterogeneity the
+/// adaptive dispatcher exploits.
+pub fn inference_kernels(
+    config: &MlpConfig,
+    batch_size: usize,
+    nnz: usize,
+    k: usize,
+) -> Vec<KernelKind> {
+    let h = config.hidden;
+    let c = config.num_classes;
+    let b = batch_size;
+    let k_eff = k.min(c).max(1);
+    vec![
+        // Host → device: the micro-batch itself.
+        KernelKind::H2d {
+            bytes: batch_bytes(b, nnz),
+        },
+        // Forward: H = X·W1 (+bias, ReLU), probs = softmax(H·W2 + bias).
+        KernelKind::SpMm { nnz, n: h },
+        KernelKind::Elementwise { elems: b * h },
+        KernelKind::Gemm { m: b, k: h, n: c },
+        KernelKind::Softmax { rows: b, cols: c },
+        // Per-row top-k over the class distribution.
+        KernelKind::TopK {
+            rows: b,
+            cols: c,
+            k: k_eff,
+        },
+        // Device → host: k class ids per request.
+        KernelKind::D2h {
+            bytes: 4 * b * k_eff,
+        },
+    ]
+}
+
 /// The kernels of moving a full model replica host↔device (mega-batch entry).
 pub fn model_transfer_kernels(config: &MlpConfig, to_device: bool) -> Vec<KernelKind> {
     let bytes = 4 * config.param_len();
@@ -165,6 +205,31 @@ mod tests {
         };
         assert_eq!(nnz_of(&a), 1000);
         assert_eq!(nnz_of(&b), 9000);
+    }
+
+    #[test]
+    fn inference_kernel_list_is_forward_only() {
+        let ks = inference_kernels(&config(), 32, 1500, 5);
+        assert_eq!(ks.len(), 7);
+        assert!(matches!(ks[0], KernelKind::H2d { .. }));
+        assert!(matches!(ks[1], KernelKind::SpMm { nnz: 1500, n: 128 }));
+        assert!(matches!(
+            ks[5],
+            KernelKind::TopK {
+                rows: 32,
+                cols: 500,
+                k: 5
+            }
+        ));
+        assert!(matches!(ks[6], KernelKind::D2h { bytes: 640 }));
+        // No backward or update kernels: strictly cheaper than an epoch.
+        assert!(ks.len() < epoch_kernels(&config(), 32, 1500).len());
+    }
+
+    #[test]
+    fn inference_k_is_capped_at_class_count() {
+        let ks = inference_kernels(&config(), 8, 100, 10_000);
+        assert!(matches!(ks[5], KernelKind::TopK { k: 500, .. }));
     }
 
     #[test]

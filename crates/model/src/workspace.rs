@@ -11,7 +11,10 @@
 //!
 //! One workspace belongs to one replica loop (e.g. one GPU-manager thread
 //! owns one). Workspaces are plain owned data — to train two replicas
-//! concurrently, give each its own.
+//! concurrently, give each its own. Inference shares the same buffers:
+//! [`crate::Mlp::predict_topk_ws`] reuses `h`/`probs` for the forward pass
+//! and `order` for per-row top-k selection, so a serving replica's steady
+//! state is as allocation-free as a training replica's.
 //!
 //! Reusing a workspace is *bit-for-bit* equivalent to using a fresh one:
 //! every kernel in the hot path fully overwrites the buffer regions it reads
@@ -49,6 +52,9 @@ pub struct Workspace {
     pub(crate) slot: Vec<u32>,
     /// Recycled gradient-row buffers for `grads.w1_updates`.
     pub(crate) arena: Vec<Vec<f32>>,
+    /// Class-index scratch for per-row top-k selection
+    /// ([`crate::Mlp::predict_topk_ws`]); capacity `num_classes`.
+    pub(crate) order: Vec<u32>,
 }
 
 impl Workspace {
@@ -63,6 +69,7 @@ impl Workspace {
             grads: Gradients::new(config),
             slot: vec![u32::MAX; config.num_features],
             arena: Vec::new(),
+            order: Vec::with_capacity(config.num_classes),
         }
     }
 

@@ -1,0 +1,31 @@
+//! `asgd-serve` — heterogeneity-aware online inference with adaptive
+//! micro-batching.
+//!
+//! The paper's training-side mechanisms map one-to-one onto a serving tier:
+//!
+//! | training (paper)                      | serving (this crate)              |
+//! |---------------------------------------|-----------------------------------|
+//! | one-batch-at-a-time dynamic dispatch  | next micro-batch to the replica whose clock frees first |
+//! | Algorithm 1 batch-size scaling        | [`SloController`]: `b ← clamp(b − β·(p99−target)/target, b_min, b_max)` |
+//! | chaos-harness fault injection         | same [`asgd_gpusim::FaultPlan`], reinterpreted at `(window, dispatch)` points |
+//! | replica loss → survivor re-dispatch   | queued requests drain through survivors; zero loss |
+//!
+//! A run loads a trained [`asgd_model::Mlp`] (typically via
+//! [`asgd_core::load_model`] from a training checkpoint), boots one replica
+//! per simulated device, and drains a seeded open-loop request stream
+//! ([`open_loop_stream`]) through a central admission queue. Every
+//! scheduling decision consumes only virtual clocks and seeded state, so
+//! the full outcome — dispatch order, latencies, trajectories, predictions
+//! — is a pure function of `(request seed, fault seed)` at any
+//! `ASGD_THREADS`; the real forward math runs on worker threads off the
+//! decision path and lands in id-indexed buffers.
+//!
+//! Entry point: [`serve`]. See DESIGN.md, "Serving subsystem".
+
+pub mod engine;
+pub mod slo;
+pub mod stream;
+
+pub use engine::{serve, LatencyStats, ReplicaReport, RequestRecord, ServeConfig, ServeOutcome};
+pub use slo::SloController;
+pub use stream::{open_loop_stream, Request};

@@ -1,0 +1,152 @@
+//! The per-replica SLO controller: Algorithm 1's linear rule, re-targeted
+//! from update-count balance to tail latency.
+//!
+//! Training's Algorithm 1 moves each GPU's batch size toward the point where
+//! every replica performs the same number of updates per mega-batch. Serving
+//! replaces the balance target with a latency target: at each window
+//! boundary the replica's observed p99 is compared to the SLO and the
+//! micro-batch size moves by `β` scaled by the *normalized* error,
+//!
+//! ```text
+//! b ← clamp(b − β·(p99 − target)/target, b_min, b_max)
+//! ```
+//!
+//! Over the SLO the batch shrinks — each request waits for fewer peers and
+//! the dynamic dispatcher routes the overflow to faster replicas; under the
+//! SLO it grows back, re-amortizing launch overhead. Normalizing by the
+//! target makes `β` unit-free (requests per "100% over SLO"), so the paper's
+//! `β = b_min/2` default carries over unchanged.
+//!
+//! One deliberate deviation from the training rule: training *skips* an
+//! update that would leave `[b_min, b_max]` (utilization reasoning, §IV),
+//! while the controller *truncates* to the bound. A skip rule pinned at
+//! `b_max` would never react to a large SLO violation — exactly the straggler
+//! case serving must handle.
+
+use asgd_core::ScalingParams;
+
+/// Adaptive micro-batch controller for one serving replica.
+#[derive(Debug, Clone)]
+pub struct SloController {
+    params: ScalingParams,
+    target_s: f64,
+    b: f64,
+}
+
+impl SloController {
+    /// A controller starting at `b_max` (maximum utilization, as in
+    /// training) aiming at a per-request latency SLO of `target_s` seconds.
+    ///
+    /// # Panics
+    /// Panics when the target or the scaling bounds are not positive.
+    pub fn new(params: ScalingParams, target_s: f64) -> Self {
+        assert!(target_s > 0.0, "SLO target must be positive");
+        assert!(
+            params.b_min >= 1.0 && params.b_max >= params.b_min && params.beta >= 0.0,
+            "bad scaling parameters"
+        );
+        Self {
+            params,
+            target_s,
+            b: params.b_max,
+        }
+    }
+
+    /// The micro-batch size to cut next (rounded, never below 1).
+    pub fn micro_batch(&self) -> usize {
+        self.b.round().max(1.0) as usize
+    }
+
+    /// The latency target, seconds.
+    pub fn target_s(&self) -> f64 {
+        self.target_s
+    }
+
+    /// Applies one window observation (`p99_s` = the replica's p99 request
+    /// latency over the window, in seconds) and returns the new fractional
+    /// batch size. Windows with no observations should simply not call this.
+    pub fn observe_window(&mut self, p99_s: f64) -> f64 {
+        let err = (p99_s - self.target_s) / self.target_s;
+        self.b = (self.b - self.params.beta * err).clamp(self.params.b_min, self.params.b_max);
+        self.b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(b_max: usize, slo: f64) -> SloController {
+        SloController::new(ScalingParams::paper_defaults(b_max), slo)
+    }
+
+    #[test]
+    fn starts_at_b_max() {
+        let c = controller(64, 0.010);
+        assert_eq!(c.micro_batch(), 64);
+        assert_eq!(c.target_s(), 0.010);
+    }
+
+    #[test]
+    fn over_slo_shrinks_and_under_slo_grows() {
+        let mut c = controller(64, 0.010);
+        let after_violation = c.observe_window(0.020); // 100% over
+        assert!(after_violation < 64.0, "should shrink: {after_violation}");
+        let shrunk = after_violation;
+        // Well under the SLO: grow back (but the error is now negative and
+        // smaller in magnitude, so growth is slower than the shrink was).
+        let after_slack = c.observe_window(0.005);
+        assert!(after_slack > shrunk, "should regrow: {after_slack}");
+    }
+
+    #[test]
+    fn truncates_at_bounds_instead_of_skipping() {
+        let mut c = controller(64, 0.010);
+        // A massive violation repeatedly applied pins at b_min — the skip
+        // rule of training's Algorithm 1 would stay frozen at b_max here.
+        for _ in 0..200 {
+            c.observe_window(1.0);
+        }
+        assert_eq!(
+            c.micro_batch() as f64,
+            ScalingParams::paper_defaults(64).b_min
+        );
+        // And sustained slack saturates back at b_max.
+        for _ in 0..2_000 {
+            c.observe_window(0.0001);
+        }
+        assert_eq!(
+            c.micro_batch() as f64,
+            ScalingParams::paper_defaults(64).b_max
+        );
+    }
+
+    #[test]
+    fn exactly_on_target_is_a_fixed_point() {
+        let mut c = controller(64, 0.010);
+        c.observe_window(0.020);
+        let b = c.micro_batch();
+        for _ in 0..5 {
+            c.observe_window(0.010);
+        }
+        assert_eq!(c.micro_batch(), b);
+    }
+
+    #[test]
+    fn update_is_deterministic() {
+        let run = || {
+            let mut c = controller(32, 0.008);
+            for p99 in [0.02, 0.011, 0.006, 0.009] {
+                c.observe_window(p99);
+            }
+            c.observe_window(0.012).to_bits()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO target must be positive")]
+    fn zero_target_panics() {
+        let _ = controller(64, 0.0);
+    }
+}

@@ -71,6 +71,27 @@ impl Histogram {
         let width = (self.hi - self.lo) / self.bins.len() as f64;
         self.lo + width * (i as f64 + 0.5)
     }
+
+    /// Folds another histogram into this one (bin-wise count addition).
+    ///
+    /// Counts are integers, so the result is exact and independent of merge
+    /// order — unlike [`crate::P2Quantile::merge`], which is a replay and
+    /// must be applied in a fixed (e.g. replica-index) order.
+    ///
+    /// # Panics
+    /// Panics when the two histograms have different bounds or bin counts —
+    /// merging incompatible layouts is a programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different layouts"
+        );
+        for (b, o) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +130,30 @@ mod tests {
     #[should_panic(expected = "bad bounds")]
     fn inverted_bounds_panic() {
         let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn merge_adds_counts_exactly() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 3.0, 9.5, -1.0] {
+            a.record(x);
+        }
+        for x in [0.7, 5.0, 12.0, 12.5] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.total(), 8);
+        assert_eq!(a.bins()[0], 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "different layouts")]
+    fn merge_rejects_mismatched_layouts() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 10);
+        a.merge(&b);
     }
 }

@@ -119,6 +119,46 @@ impl P2Quantile {
             + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
+    /// Folds another estimator for the *same* quantile into this one by
+    /// replaying a deterministic summary of `other`'s stream: its raw buffer
+    /// when it saw ≤ 5 observations, otherwise its five marker heights, each
+    /// weighted by `other.count() / 5` (remainder spread over the lowest
+    /// markers), in ascending marker order.
+    ///
+    /// P² is a streaming estimator, so merging is inherently *order
+    /// dependent*: `a.merge(&b)` and `b.merge(&a)` may disagree in the last
+    /// bits. Callers that need run-to-run determinism (e.g. fleet-wide tail
+    /// latency across replicas) must merge in a fixed order — replica index,
+    /// not completion order. Do not assume commutativity.
+    ///
+    /// # Panics
+    /// Panics when the two estimators track different quantiles.
+    pub fn merge(&mut self, other: &P2Quantile) {
+        assert!(
+            self.q == other.q,
+            "cannot merge estimators of different quantiles ({} vs {})",
+            self.q,
+            other.q
+        );
+        if other.count == 0 {
+            return;
+        }
+        if other.count <= 5 {
+            for &x in &other.initial {
+                self.record(x);
+            }
+            return;
+        }
+        let base = other.count / 5;
+        let rem = other.count % 5;
+        for (i, &h) in other.heights.iter().enumerate() {
+            let reps = base + usize::from(i < rem);
+            for _ in 0..reps {
+                self.record(h);
+            }
+        }
+    }
+
     /// Current estimate (`None` until 5 observations arrive; before that,
     /// use an exact method — the buffer is tiny anyway).
     pub fn value(&self) -> Option<f64> {
@@ -215,6 +255,104 @@ mod tests {
     #[should_panic(expected = "quantile must be in")]
     fn q_out_of_range_panics() {
         let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn merge_of_split_stream_tracks_exact_quantile() {
+        // One stream recorded whole vs the same stream split across 4
+        // per-replica estimators merged in replica-index order: both must
+        // land near the exact quantile.
+        let mut rng = StdRng::seed_from_u64(11);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.gen::<f64>()).collect();
+        let mut parts: Vec<P2Quantile> = (0..4).map(|_| P2Quantile::new(0.99)).collect();
+        for (i, &x) in xs.iter().enumerate() {
+            parts[i % 4].record(x);
+        }
+        let mut merged = P2Quantile::new(0.99);
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), xs.len());
+        let exact = crate::summary::percentile(&xs, 0.99).unwrap();
+        let v = merged.value().unwrap();
+        assert!((v - exact).abs() < 0.03, "merged p99 {v} vs exact {exact}");
+    }
+
+    #[test]
+    fn merge_in_fixed_order_is_deterministic() {
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut parts: Vec<P2Quantile> = (0..3).map(|_| P2Quantile::new(0.95)).collect();
+            for i in 0..9_000 {
+                parts[i % 3].record(rng.gen::<f64>());
+            }
+            let mut fleet = P2Quantile::new(0.95);
+            for p in &parts {
+                fleet.merge(p);
+            }
+            fleet.value().unwrap()
+        };
+        assert_eq!(build().to_bits(), build().to_bits());
+    }
+
+    #[test]
+    fn merge_order_matters_so_callers_must_fix_it() {
+        // P² merge is a replay, hence order dependent: merging the same two
+        // estimators in opposite orders is NOT guaranteed to agree. This
+        // test documents that callers must merge in replica-index order —
+        // if this ever starts failing because the results agree bit-for-bit,
+        // the estimator has become commutative and the ordering contract in
+        // the docs can be relaxed.
+        let mut a = P2Quantile::new(0.9);
+        let mut b = P2Quantile::new(0.9);
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..4_000 {
+            a.record(rng.gen::<f64>());
+            b.record(rng.gen::<f64>() * 2.0);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.count(), ba.count());
+        assert_ne!(
+            ab.value().unwrap().to_bits(),
+            ba.value().unwrap().to_bits(),
+            "merge appears commutative for this stream; ordering contract may be relaxable"
+        );
+    }
+
+    #[test]
+    fn merge_small_counterpart_replays_raw_buffer() {
+        let mut big = P2Quantile::new(0.5);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0] {
+            big.record(x);
+        }
+        let mut small = P2Quantile::new(0.5);
+        small.record(100.0);
+        small.record(-100.0);
+        let mut merged = big.clone();
+        merged.merge(&small);
+        assert_eq!(merged.count(), 9);
+        // Exact replay of the raw buffer: identical to recording directly.
+        let mut direct = big.clone();
+        direct.record(100.0);
+        direct.record(-100.0);
+        assert_eq!(
+            merged.value().unwrap().to_bits(),
+            direct.value().unwrap().to_bits()
+        );
+        // Merging an empty estimator is a no-op.
+        let before = merged.value().unwrap().to_bits();
+        merged.merge(&P2Quantile::new(0.5));
+        assert_eq!(merged.value().unwrap().to_bits(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "different quantiles")]
+    fn merge_rejects_mismatched_quantiles() {
+        let mut a = P2Quantile::new(0.5);
+        a.merge(&P2Quantile::new(0.9));
     }
 }
 

@@ -16,6 +16,7 @@
 //! | [`sparse`] | `asgd-sparse` | CSR matrices + SpMM kernels |
 //! | [`tensor`] | `asgd-tensor` | dense kernels (GEMM, softmax, …) |
 //! | [`stats`] | `asgd-stats` | seeded distributions + streaming statistics |
+//! | [`serve`] | `asgd-serve` | online inference with adaptive micro-batching |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@ pub use asgd_core as core;
 pub use asgd_data as data;
 pub use asgd_gpusim as gpusim;
 pub use asgd_model as model;
+pub use asgd_serve as serve;
 pub use asgd_slide as slide;
 pub use asgd_sparse as sparse;
 pub use asgd_stats as stats;
