@@ -67,6 +67,33 @@ if [[ "${1:-}" != "quick" ]]; then
     diff -u results/serve_probe_${serve_seed}_${fault_seed}.txt \
             "$tmp_out/serve8/serve_probe_${serve_seed}_${fault_seed}.txt"
     echo "serve seeds $serve_seed/$fault_seed: bit-identical at ASGD_THREADS=1 and =8, matches checked-in report"
+
+    echo "== kernel goldens across thread counts =="
+    # The compute-kernel layer (blocked GEMM/SpMM micro-kernels, fused
+    # epilogues, streaming top-k) promises bit-identical results for every
+    # ASGD_THREADS: replay the probe under different worker-pool sizes (in
+    # separate processes, so each gets its own pool) and byte-diff the
+    # FNV-checksum reports against each other and the checked-in golden.
+    # See DESIGN.md, "Kernel layer".
+    ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/kern1" \
+        cargo run --release -p asgd-bench --bin kernel_probe >/dev/null
+    ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/kern8" \
+        cargo run --release -p asgd-bench --bin kernel_probe >/dev/null
+    diff -u "$tmp_out/kern1/kernel_probe.txt" "$tmp_out/kern8/kernel_probe.txt"
+    diff -u results/kernel_probe.txt "$tmp_out/kern8/kernel_probe.txt"
+    echo "kernel goldens: bit-identical at ASGD_THREADS=1 and =8, match checked-in report"
+
+    echo "== kernel goldens across build profiles =="
+    # The same probe, debug vs release: optimization level, inlining, and
+    # (Thin)LTO must not change a single bit. This is the gate that catches
+    # the nastiest class of kernel bug — LTO inlining a fused multiply-add
+    # across a target-feature boundary and legalizing it into a separate
+    # multiply and add (silent double rounding). See DESIGN.md, "Kernel
+    # layer".
+    ASGD_OUT_DIR="$tmp_out/kern_dbg" \
+        cargo run -p asgd-bench --bin kernel_probe >/dev/null
+    diff -u results/kernel_probe.txt "$tmp_out/kern_dbg/kernel_probe.txt"
+    echo "kernel goldens: bit-identical in debug and release profiles"
 fi
 
 echo "CI OK"

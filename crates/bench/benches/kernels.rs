@@ -1,0 +1,205 @@
+//! Compute-kernel micro-benchmarks: the blocked/vectorized GEMM and SpMM
+//! micro-kernels against the scalar baselines they replaced, at the amazon
+//! hot-path shape (`batch = 256`, `hidden = 128`, `classes ≈ 3350` — the
+//! exact shapes one `train_batch`/`predict_topk` step runs).
+//!
+//! Three groups:
+//!
+//! * `dense_kernels` — tiled `ops::gemm`/`gemm_tn`/`gemm_nt` vs the
+//!   verbatim pre-tiling kernels preserved in [`asgd_tensor::reference`],
+//!   plus the fused epilogues (`gemm_bias_relu`, `gemm_bias_topk`) vs their
+//!   unfused two-pass formulations.
+//! * `sparse_kernels` — register-blocked `spmm`/`spmm_bias_relu` on a real
+//!   amazon-like CSR batch.
+//! * `min_par_rows` — sweep of the `par_chunks_mut` serial-fallback
+//!   threshold around [`asgd_tensor::parallel::MIN_PAR_ROWS`]; see
+//!   EXPERIMENTS.md ("Kernel benchmarks") for how to read it on hosts where
+//!   the pool resolves to one worker (the sweep is flat there by design:
+//!   every threshold degenerates to the serial path).
+
+use asgd_data::{generate, DatasetSpec};
+use asgd_sparse::{ops as sops, CsrMatrix};
+use asgd_tensor::kernels::{self, Epilogue};
+use asgd_tensor::parallel::{par_chunks_mut, MIN_PAR_ROWS};
+use asgd_tensor::{numerics, ops, reference, Matrix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const BATCH: usize = 256;
+const HIDDEN: usize = 128;
+
+/// Deterministic pseudo-random fill (same LCG family as the tensor tests).
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn amazon_batch() -> (CsrMatrix, usize) {
+    let spec = DatasetSpec::amazon_670k(0.005);
+    let ds = generate(&spec, 42 ^ 0xD5);
+    let ids: Vec<usize> = (0..BATCH).map(|i| i % ds.train.len()).collect();
+    (ds.train.features.select_rows(&ids), spec.num_labels)
+}
+
+fn dense_kernels(c: &mut Criterion) {
+    let classes = DatasetSpec::amazon_670k(0.005).num_labels;
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(15);
+    let flops = (2 * BATCH * HIDDEN * classes) as u64;
+    group.throughput(Throughput::Elements(flops));
+
+    // Forward output layer: C[batch × classes] = H[batch × hidden] · W2.
+    let h = filled(BATCH, HIDDEN, 1);
+    let w2 = filled(HIDDEN, classes, 2);
+    let mut out = Matrix::zeros(BATCH, classes);
+    group.bench_function(BenchmarkId::new("gemm_nn", "scalar"), |b| {
+        b.iter(|| reference::gemm_scalar(1.0, &h, &w2, 0.0, &mut out))
+    });
+    group.bench_function(BenchmarkId::new("gemm_nn", "tiled"), |b| {
+        b.iter(|| ops::gemm(1.0, &h, &w2, 0.0, &mut out))
+    });
+
+    // Weight gradient: G[hidden × classes] = Hᵀ[batch × hidden]ᵀ · D[batch × classes].
+    let d = filled(BATCH, classes, 3);
+    let mut grad = Matrix::zeros(HIDDEN, classes);
+    group.bench_function(BenchmarkId::new("gemm_tn", "scalar"), |b| {
+        b.iter(|| reference::gemm_tn_scalar(1.0, &h, &d, 0.0, &mut grad))
+    });
+    group.bench_function(BenchmarkId::new("gemm_tn", "tiled"), |b| {
+        b.iter(|| ops::gemm_tn(1.0, &h, &d, 0.0, &mut grad))
+    });
+
+    // Input gradient: DH[batch × hidden] = D[batch × classes] · W2ᵀ.
+    let mut dh = Matrix::zeros(BATCH, HIDDEN);
+    group.bench_function(BenchmarkId::new("gemm_nt", "scalar"), |b| {
+        b.iter(|| reference::gemm_nt_scalar(1.0, &d, &w2, 0.0, &mut dh))
+    });
+    group.bench_function(BenchmarkId::new("gemm_nt", "tiled"), |b| {
+        b.iter(|| ops::gemm_nt(1.0, &d, &w2, 0.0, &mut dh))
+    });
+
+    // Fused epilogues vs their unfused two-pass formulations.
+    let bias: Vec<f32> = (0..classes).map(|j| (j as f32 * 0.01).sin()).collect();
+    group.bench_function(BenchmarkId::new("gemm_bias_relu", "unfused"), |b| {
+        b.iter(|| {
+            ops::gemm(1.0, &h, &w2, 0.0, &mut out);
+            numerics::add_bias_inplace(&mut out, &bias);
+            numerics::relu_inplace(&mut out);
+        })
+    });
+    group.bench_function(BenchmarkId::new("gemm_bias_relu", "fused"), |b| {
+        b.iter(|| ops::gemm_bias_relu(&h, &w2, &bias, &mut out))
+    });
+
+    let k = 5usize;
+    let mut topk = vec![0u32; BATCH * k];
+    let mut order: Vec<u32> = Vec::new();
+    group.bench_function(BenchmarkId::new("gemm_bias_topk", "materialized"), |b| {
+        b.iter(|| {
+            ops::gemm_bias(&h, &w2, &bias, &mut out);
+            for r in 0..BATCH {
+                let row = out.row(r);
+                order.clear();
+                order.extend(0..classes as u32);
+                order.select_nth_unstable_by(k - 1, |&x, &y| {
+                    row[y as usize]
+                        .partial_cmp(&row[x as usize])
+                        .unwrap()
+                        .then(x.cmp(&y))
+                });
+                order[..k].sort_unstable_by(|&x, &y| {
+                    row[y as usize]
+                        .partial_cmp(&row[x as usize])
+                        .unwrap()
+                        .then(x.cmp(&y))
+                });
+                topk[r * k..(r + 1) * k].copy_from_slice(&order[..k]);
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("gemm_bias_topk", "streaming"), |b| {
+        b.iter(|| ops::gemm_bias_topk(&h, &w2, &bias, k, &mut topk))
+    });
+    group.finish();
+}
+
+fn sparse_kernels(c: &mut Criterion) {
+    let (x, _classes) = amazon_batch();
+    let w1 = filled(x.cols(), HIDDEN, 7);
+    let bias: Vec<f32> = (0..HIDDEN).map(|j| (j as f32 * 0.1).cos()).collect();
+    let mut h = Matrix::zeros(BATCH, HIDDEN);
+
+    let mut group = c.benchmark_group("sparse_kernels");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((2 * x.nnz() * HIDDEN) as u64));
+    group.bench_function("spmm", |b| b.iter(|| sops::spmm(&x, &w1, &mut h)));
+    group.bench_function(BenchmarkId::new("spmm_bias_relu", "unfused"), |b| {
+        b.iter(|| {
+            sops::spmm(&x, &w1, &mut h);
+            numerics::add_bias_inplace(&mut h, &bias);
+            numerics::relu_inplace(&mut h);
+        })
+    });
+    group.bench_function(BenchmarkId::new("spmm_bias_relu", "fused"), |b| {
+        b.iter(|| sops::spmm_bias_relu(&x, &w1, &bias, &mut h))
+    });
+    group.finish();
+}
+
+/// Sweeps the `par_chunks_mut` serial-fallback threshold for the NN
+/// micro-kernel at a chunk-sized row count. `MIN_PAR_ROWS` is a compile-time
+/// constant in the production kernels; here the threshold is passed straight
+/// to `par_chunks_mut`, so each point shows what the kernels would do if the
+/// constant were retuned.
+fn min_par_rows_sweep(c: &mut Criterion) {
+    let classes = DatasetSpec::amazon_670k(0.005).num_labels;
+    let rows = 2 * MIN_PAR_ROWS;
+    let a = filled(rows, HIDDEN, 11);
+    let b = filled(HIDDEN, classes, 12);
+    let mut out = Matrix::zeros(rows, classes);
+
+    let mut group = c.benchmark_group("min_par_rows");
+    group.sample_size(20);
+    for threshold in [1usize, 4, 8, 16, 32, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("gemm_nn_32rows", threshold),
+            &threshold,
+            |bench, &threshold| {
+                bench.iter(|| {
+                    let (adata, bdata) = (a.as_slice(), b.as_slice());
+                    par_chunks_mut(
+                        out.as_mut_slice(),
+                        rows,
+                        classes,
+                        threshold,
+                        |first, chunk| {
+                            kernels::gemm_nn_chunk(
+                                adata,
+                                HIDDEN,
+                                bdata,
+                                classes,
+                                first,
+                                chunk,
+                                Epilogue::AlphaBeta {
+                                    alpha: 1.0,
+                                    beta: 0.0,
+                                },
+                            )
+                        },
+                    );
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dense_kernels, sparse_kernels, min_par_rows_sweep);
+criterion_main!(benches);

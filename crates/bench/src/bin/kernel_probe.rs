@@ -1,0 +1,153 @@
+//! Kernel determinism probe: every blocked/vectorized compute kernel run at
+//! awkward shapes, rendered to a deterministic report.
+//!
+//! The CI gate runs this binary under different `ASGD_THREADS` settings (in
+//! separate processes, so each gets its own worker pool) and byte-diffs the
+//! reports against each other and against the checked-in
+//! `results/kernel_probe.txt`: the kernel layer's reduction contract
+//! (DESIGN.md, "Kernel layer") promises results are a pure function of the
+//! inputs, independent of host parallelism. A diff is a contract
+//! regression.
+//!
+//! Shapes are chosen to hit every code path: full MR×LANES tiles, row and
+//! column remainders, single rows, empty CSR rows, and both the streaming
+//! and materialized top-k paths.
+
+use asgd_sparse::{ops as sops, CsrMatrix};
+use asgd_tensor::{ops, Matrix};
+use std::fmt::Write as _;
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fnv_f32(xs: &[f32]) -> u64 {
+    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+fn fnv_u32(xs: &[u32]) -> u64 {
+    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
+}
+
+/// Deterministic pseudo-random fill in [-0.5, 0.5).
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed | 1;
+    let data: Vec<f32> = (0..rows * cols)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "kernel probe: lanes {}, mr {}, threads-invariant goldens",
+        asgd_tensor::kernels::LANES,
+        asgd_tensor::kernels::MR
+    );
+
+    // Shapes hitting full tiles plus every remainder combination.
+    let shapes: [(usize, usize, usize); 5] =
+        [(1, 1, 1), (3, 7, 5), (4, 8, 8), (13, 24, 19), (33, 40, 53)];
+    for &(m, k, n) in &shapes {
+        let a = filled(m, k, 0x5EED ^ ((m as u64) << 8) ^ k as u64);
+        let b = filled(k, n, 0xBEEF ^ ((n as u64) << 4) ^ k as u64);
+        let at = filled(k, m, 0xA5A5 ^ ((m as u64) << 2) ^ n as u64);
+        let bt = filled(n, k, 0xC3C3 ^ ((k as u64) << 6) ^ m as u64);
+        let mut c = filled(m, n, 0xD00D ^ (m * n) as u64);
+        ops::gemm(1.0, &a, &b, 0.0, &mut c);
+        let _ = writeln!(
+            report,
+            "gemm_nn {m}x{k}x{n} fnv {:#018x}",
+            fnv_f32(c.as_slice())
+        );
+        ops::gemm(0.5, &a, &b, 0.25, &mut c);
+        let _ = writeln!(
+            report,
+            "gemm_nn_ab {m}x{k}x{n} fnv {:#018x}",
+            fnv_f32(c.as_slice())
+        );
+        ops::gemm_tn(1.0, &at, &b, 0.0, &mut c);
+        let _ = writeln!(
+            report,
+            "gemm_tn {m}x{k}x{n} fnv {:#018x}",
+            fnv_f32(c.as_slice())
+        );
+        ops::gemm_nt(1.0, &a, &bt, 0.0, &mut c);
+        let _ = writeln!(
+            report,
+            "gemm_nt {m}x{k}x{n} fnv {:#018x}",
+            fnv_f32(c.as_slice())
+        );
+
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32 * 0.37).sin()).collect();
+        ops::gemm_bias_relu(&a, &b, &bias, &mut c);
+        let _ = writeln!(
+            report,
+            "gemm_bias_relu {m}x{k}x{n} fnv {:#018x}",
+            fnv_f32(c.as_slice())
+        );
+        let kk = 3.min(n);
+        let mut topk = vec![0u32; m * kk];
+        ops::gemm_bias_topk(&a, &b, &bias, kk, &mut topk);
+        let _ = writeln!(
+            report,
+            "gemm_bias_topk {m}x{k}x{n} k{kk} fnv {:#018x}",
+            fnv_u32(&topk)
+        );
+    }
+
+    // Sparse kernels on a CSR with empty, short and long rows.
+    let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..23)
+        .map(|r| {
+            let nnz = [0usize, 1, 3, 9, 17][r % 5];
+            let idx: Vec<u32> = (0..nnz).map(|i| ((r * 7 + i * 11) % 40) as u32).collect();
+            let mut idx = idx;
+            idx.sort_unstable();
+            idx.dedup();
+            let val: Vec<f32> = idx
+                .iter()
+                .map(|&i| (i as f32 * 0.3 + r as f32).cos())
+                .collect();
+            (idx, val)
+        })
+        .collect();
+    let x = CsrMatrix::from_rows(40, &rows).unwrap();
+    for n in [1usize, 8, 19, 24] {
+        let w = filled(40, n, 0xFACE ^ n as u64);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32 * 0.21).cos()).collect();
+        let mut h = Matrix::zeros(23, n);
+        sops::spmm(&x, &w, &mut h);
+        let _ = writeln!(report, "spmm 23x40x{n} fnv {:#018x}", fnv_f32(h.as_slice()));
+        sops::spmm_bias_relu(&x, &w, &bias, &mut h);
+        let _ = writeln!(
+            report,
+            "spmm_bias_relu 23x40x{n} fnv {:#018x}",
+            fnv_f32(h.as_slice())
+        );
+        let mut grad = Matrix::zeros(40, n);
+        let g = filled(23, n, 0xCAFE ^ n as u64);
+        sops::spmm_tn_acc(1.0, &x, &g, &mut grad);
+        let _ = writeln!(
+            report,
+            "spmm_tn_acc 40x23x{n} fnv {:#018x}",
+            fnv_f32(grad.as_slice())
+        );
+    }
+
+    print!("{report}");
+    let path = env.write_artifact("kernel_probe.txt", &report);
+    eprintln!("wrote {path:?}");
+}

@@ -1,18 +1,24 @@
 //! Runs the complete evaluation (Table I + Figures 1-6 + ablations) and
 //! writes every artifact under `results/`.
+//!
+//! With arguments, runs only the experiments whose artifact name contains
+//! one of them: `run_all BENCH_kernels` regenerates just
+//! `results/BENCH_kernels.json`.
 use asgd_bench::experiments as ex;
 use asgd_bench::Env;
 
 fn main() {
+    let filters: Vec<String> = std::env::args().skip(1).collect();
     let env = Env::from_env();
     println!("experiment environment: {env:?}\n");
     let t0 = std::time::Instant::now();
     type Exp = (&'static str, fn(&Env) -> String);
-    let experiments: [Exp; 12] = [
+    let experiments: [Exp; 13] = [
         ("table1.csv", ex::table1),
         ("hot_path.csv", ex::hot_path),
         ("merge_stage.csv", ex::merge_stage),
         ("BENCH_hot_path.json", ex::bench_hot_path_json),
+        ("BENCH_kernels.json", ex::bench_kernels_json),
         ("BENCH_merge.json", ex::bench_merge_json),
         ("BENCH_serve.json", ex::bench_serve_json),
         ("fig1.csv", ex::fig1),
@@ -23,6 +29,9 @@ fn main() {
         ("ablations.csv", ex::ablations),
     ];
     for (name, run) in experiments {
+        if !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str())) {
+            continue;
+        }
         let csv = run(&env);
         let path = env.write_artifact(name, &csv);
         println!(

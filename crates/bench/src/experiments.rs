@@ -191,6 +191,169 @@ pub fn bench_hot_path_json(env: &Env) -> String {
     out
 }
 
+/// One timed kernel variant, shared by the rows of `BENCH_kernels.json`.
+struct KernelRow {
+    kernel: &'static str,
+    variant: &'static str,
+    ns_per_iter: f64,
+    gflops: f64,
+}
+
+/// Median wall-clock nanoseconds of `iters` single calls (one warm-up call
+/// first). Medians keep one slow outlier from hiding a 2x kernel win.
+fn median_ns(mut f: impl FnMut(), iters: usize) -> f64 {
+    f(); // warm up (page in buffers, wake the pool)
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            f();
+            t0.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// **Kernel micro-benchmarks** (`BENCH_kernels.json`) — the blocked /
+/// vectorized GEMM and SpMM micro-kernels against the verbatim scalar
+/// kernels they replaced (preserved in [`asgd_tensor::reference`]), at the
+/// amazon hot-path shape: `batch = 256`, `hidden = 128`, and the label
+/// space of `amazon_670k(scale / 2)` — at the default `ASGD_SCALE = 0.01`
+/// that is exactly the `256 × 128 × ~3350` shape of `benches/kernels.rs`
+/// and `benches/hot_path.rs`. Tiled rows carry `speedup_vs_scalar` so the
+/// artifact shows the before/after ratio directly.
+pub fn bench_kernels_json(env: &Env) -> String {
+    use asgd_data::generate;
+    use asgd_tensor::parallel::{par_chunks_mut, MIN_PAR_ROWS};
+    use asgd_tensor::{ops, reference, Matrix};
+
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed | 1;
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    let batch = 256usize;
+    let hidden = 128usize;
+    let spec = DatasetSpec::amazon_670k(env.scale / 2.0);
+    let classes = spec.num_labels;
+    let ds = generate(&spec, env.seed ^ 0xD5);
+    let ids: Vec<usize> = (0..batch).map(|i| i % ds.train.len()).collect();
+    let x = ds.train.features.select_rows(&ids);
+    let iters = 5;
+
+    let h = filled(batch, hidden, 1);
+    let w1 = filled(x.cols(), hidden, 5);
+    let w2 = filled(hidden, classes, 2);
+    let d = filled(batch, classes, 3);
+    let mut out = Matrix::zeros(batch, classes);
+    let mut grad = Matrix::zeros(hidden, classes);
+    let mut dh = Matrix::zeros(batch, hidden);
+    let mut act = Matrix::zeros(batch, hidden);
+    let gemm_flops = (2 * batch * hidden * classes) as f64;
+    let spmm_flops = (2 * x.nnz() * hidden) as f64;
+
+    // The pre-tiling SpMM, verbatim: per-row scalar j-loop with zero-skip,
+    // same row partition (kept here because `asgd_tensor::reference` is
+    // dense-only).
+    let spmm_scalar = |c: &mut Matrix| {
+        let n = hidden;
+        let (indptr, indices, values) = (x.indptr(), x.indices(), x.values());
+        let bdata = w1.as_slice();
+        par_chunks_mut(c.as_mut_slice(), batch, n, MIN_PAR_ROWS, |first, chunk| {
+            for (r, crow) in chunk.chunks_mut(n).enumerate() {
+                crow.fill(0.0);
+                let row = first + r;
+                for p in indptr[row]..indptr[row + 1] {
+                    let v = values[p];
+                    if v == 0.0 {
+                        continue;
+                    }
+                    let brow = &bdata[indices[p] as usize * n..indices[p] as usize * n + n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += v * bv;
+                    }
+                }
+            }
+        });
+    };
+
+    let mut rows: Vec<KernelRow> = Vec::new();
+    let pair = |kernel: &'static str,
+                flops: f64,
+                scalar_ns: f64,
+                tiled_ns: f64,
+                rows: &mut Vec<KernelRow>| {
+        rows.push(KernelRow {
+            kernel,
+            variant: "scalar",
+            ns_per_iter: scalar_ns,
+            gflops: flops / scalar_ns,
+        });
+        rows.push(KernelRow {
+            kernel,
+            variant: "tiled",
+            ns_per_iter: tiled_ns,
+            gflops: flops / tiled_ns,
+        });
+    };
+
+    let s = median_ns(
+        || reference::gemm_scalar(1.0, &h, &w2, 0.0, &mut out),
+        iters,
+    );
+    let t = median_ns(|| ops::gemm(1.0, &h, &w2, 0.0, &mut out), iters);
+    pair("gemm", gemm_flops, s, t, &mut rows);
+    let s = median_ns(
+        || reference::gemm_tn_scalar(1.0, &h, &d, 0.0, &mut grad),
+        iters,
+    );
+    let t = median_ns(|| ops::gemm_tn(1.0, &h, &d, 0.0, &mut grad), iters);
+    pair("gemm_tn", gemm_flops, s, t, &mut rows);
+    let s = median_ns(
+        || reference::gemm_nt_scalar(1.0, &d, &w2, 0.0, &mut dh),
+        iters,
+    );
+    let t = median_ns(|| ops::gemm_nt(1.0, &d, &w2, 0.0, &mut dh), iters);
+    pair("gemm_nt", gemm_flops, s, t, &mut rows);
+    let s = median_ns(|| spmm_scalar(&mut act), iters);
+    let t = median_ns(|| asgd_sparse::ops::spmm(&x, &w1, &mut act), iters);
+    pair("spmm", spmm_flops, s, t, &mut rows);
+
+    let mut out_json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"shape\": \"{batch}x{hidden}x{classes}\", \
+         \"spmm_nnz\": {},\n  \"rows\": [\n",
+        x.nnz()
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out_json,
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"ns_per_iter\": {:.0}, \
+             \"gflops\": {:.3}",
+            r.kernel, r.variant, r.ns_per_iter, r.gflops
+        );
+        if r.variant == "tiled" {
+            let scalar = &rows[i - 1];
+            let _ = write!(
+                out_json,
+                ", \"speedup_vs_scalar\": {:.2}",
+                scalar.ns_per_iter / r.ns_per_iter
+            );
+        }
+        out_json.push('}');
+        out_json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out_json.push_str("  ]\n}\n");
+    out_json
+}
+
 /// **Merge-stage throughput** — the scheduler-side merge (gather every
 /// replica's flat model, weighted all-reduce, momentum global update,
 /// redistribute + load) at the amazon-like shape with 4 replicas, timed for
@@ -633,6 +796,19 @@ mod tests {
         let data_rows = csv.lines().filter(|l| !l.starts_with(['m', '#'])).count();
         assert_eq!(data_rows, env.mega_limit * 2);
         assert!(csv.contains("perturbation frequency"));
+    }
+
+    #[test]
+    fn bench_kernels_pairs_every_kernel_with_a_scalar_baseline() {
+        let env = Env::smoke();
+        let json = bench_kernels_json(&env);
+        for kernel in ["gemm", "gemm_tn", "gemm_nt", "spmm"] {
+            assert!(json.contains(&format!(
+                "\"kernel\": \"{kernel}\", \"variant\": \"scalar\""
+            )));
+            assert!(json.contains(&format!("\"kernel\": \"{kernel}\", \"variant\": \"tiled\"")));
+        }
+        assert_eq!(json.matches("speedup_vs_scalar").count(), 4);
     }
 
     #[test]

@@ -3,32 +3,41 @@
 use crate::mlp::Mlp;
 use crate::workspace::Workspace;
 use asgd_sparse::CsrMatrix;
-use asgd_tensor::numerics::argmax;
 
 /// Top-1 accuracy on multi-label data: the fraction of samples whose highest-
-/// probability predicted class is in the sample's label set (the metric of
-/// the paper's Figures 4 and 5). Samples without labels are skipped.
+/// scored predicted class is in the sample's label set (the metric of the
+/// paper's Figures 4 and 5). Samples without labels are skipped.
+///
+/// Runs through the fused [`Mlp::predict_topk_ws`] path with `k = 1` — the
+/// same streaming logits→top-k kernel serving uses, so eval never
+/// materializes the `chunk × num_classes` probability matrix. The `(score
+/// desc, id asc)` tie rule of that path is exactly `argmax`'s first-max
+/// convention, and softmax is monotone, so the prediction is identical to
+/// the old argmax-over-probabilities formulation.
 ///
 /// Evaluation runs in chunks of `chunk` rows to bound the dense activation
-/// memory (the output layer is `batch × num_classes`).
+/// memory.
 pub fn top1_accuracy(model: &Mlp, x: &CsrMatrix, labels: &[Vec<u32>], chunk: usize) -> f64 {
     assert_eq!(x.rows(), labels.len(), "labels/batch mismatch");
     let chunk = chunk.max(1);
+    let mut ws = Workspace::new(model.config());
+    let mut top1: Vec<u32> = Vec::new();
+    let mut ids: Vec<usize> = Vec::new();
     let mut correct = 0usize;
     let mut counted = 0usize;
     let mut start = 0usize;
     while start < x.rows() {
         let end = (start + chunk).min(x.rows());
-        let ids: Vec<usize> = (start..end).collect();
+        ids.clear();
+        ids.extend(start..end);
         let part = x.select_rows(&ids);
-        let (_, probs) = model.forward(&part);
+        model.predict_topk_ws(&part, 1, &mut ws, &mut top1);
         for (r, labs) in labels[start..end].iter().enumerate() {
             if labs.is_empty() {
                 continue;
             }
             counted += 1;
-            let pred = argmax(probs.row(r)).expect("non-empty row") as u32;
-            if labs.binary_search(&pred).is_ok() {
+            if labs.binary_search(&top1[r]).is_ok() {
                 correct += 1;
             }
         }

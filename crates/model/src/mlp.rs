@@ -211,13 +211,12 @@ impl Mlp {
         &self.b2
     }
 
-    /// Forward through the hidden layer only: `relu(X·W₁ + b₁)`.
+    /// Forward through the hidden layer only: `relu(X·W₁ + b₁)`, via the
+    /// fused sparse kernel (one pass over `H` instead of three).
     pub fn hidden_forward(&self, x: &CsrMatrix) -> Matrix {
         assert_eq!(x.cols(), self.config.num_features, "input width");
         let mut h = Matrix::zeros(x.rows(), self.config.hidden);
-        sops::spmm(x, &self.w1, &mut h);
-        numerics::add_bias_inplace(&mut h, &self.b1);
-        numerics::relu_inplace(&mut h);
+        sops::spmm_bias_relu(x, &self.w1, &self.b1, &mut h);
         h
     }
 
@@ -341,30 +340,41 @@ impl Mlp {
     /// serving ([`Mlp::predict_topk_ws`]). A single body keeps every path
     /// bit-identical: `h` becomes `relu(X·W₁ + b₁)` and `probs` the softmax
     /// class distribution, both reshaped to the batch in place.
+    /// Both layers run fused epilogues (`spmm_bias_relu`, `gemm_bias`):
+    /// per element, the op sequence is identical to the old separate
+    /// GEMM/bias/ReLU sweeps, so results are bit-compatible — the fusion
+    /// removes memory passes, not arithmetic.
     fn forward_into(&self, x: &CsrMatrix, h: &mut Matrix, probs: &mut Matrix) {
         let batch = x.rows();
         h.reshape_in_place(batch, self.config.hidden);
-        sops::spmm(x, &self.w1, h);
-        numerics::add_bias_inplace(h, &self.b1);
-        numerics::relu_inplace(h);
+        sops::spmm_bias_relu(x, &self.w1, &self.b1, h);
         probs.reshape_in_place(batch, self.config.num_classes);
-        ops::gemm(1.0, h, &self.w2, 0.0, probs);
-        numerics::add_bias_inplace(probs, &self.b2);
+        ops::gemm_bias(h, &self.w2, &self.b2, probs);
         numerics::softmax_rows_inplace(probs);
     }
 
     /// Batched top-k inference through a reused [`Workspace`]: forwards the
     /// batch and writes, row-major into `out`, each sample's `k_eff` class
-    /// ids ordered by descending probability (ties broken by ascending class
-    /// id, consistent with `argmax`'s first-max rule). Returns
+    /// ids ordered by descending score (ties broken by ascending class id,
+    /// consistent with `argmax`'s first-max rule). Returns
     /// `k_eff = min(k, num_classes)`, the row stride of `out`.
     ///
+    /// Selection runs on the *logits*: softmax is strictly monotone per row,
+    /// so the ranking is the one the class probabilities induce, without
+    /// paying for the exp/normalize pass. For `k_eff ≤ TOPK_STREAM_MAX` the
+    /// logits are never materialized at all — `gemm_bias_topk` streams each
+    /// register tile of `H·W₂ + b₂` straight into the selection, skipping
+    /// the `batch × num_classes` memory round-trip that dominated this path.
+    /// Larger `k` falls back to materialized logits in `ws.probs` plus a
+    /// partial sort through `ws.order`; both paths apply the same total
+    /// order, so they agree exactly on overlapping `k`.
+    ///
     /// In steady state (workspace reused across batches of bounded size)
-    /// this allocates nothing: the forward pass reuses `ws.h`/`ws.probs` and
-    /// the selection reuses `ws.order`; `out` is cleared and refilled in
-    /// place. The tie-break makes the result a pure function of the
-    /// probabilities — independent of selection internals — so served
-    /// predictions are reproducible bit for bit.
+    /// this allocates nothing: `ws.h` (and on the fallback path `ws.probs` /
+    /// `ws.order`) are reused and `out` is resized in place. The tie-break
+    /// makes the result a pure function of the logits — independent of
+    /// selection internals — so served predictions are reproducible bit for
+    /// bit.
     ///
     /// # Panics
     /// Panics when `k == 0`, the batch is empty, or the workspace was built
@@ -385,26 +395,33 @@ impl Mlp {
             self.config.num_features,
             "workspace/model architecture mismatch"
         );
-        self.forward_into(x, &mut ws.h, &mut ws.probs);
         let classes = self.config.num_classes;
         let k_eff = k.min(classes);
+        ws.h.reshape_in_place(batch, self.config.hidden);
+        sops::spmm_bias_relu(x, &self.w1, &self.b1, &mut ws.h);
         out.clear();
-        out.reserve(batch * k_eff);
-        for r in 0..batch {
-            let row = ws.probs.row(r);
-            let cmp = |a: &u32, b: &u32| {
-                row[*b as usize]
-                    .partial_cmp(&row[*a as usize])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(b))
-            };
-            ws.order.clear();
-            ws.order.extend(0..classes as u32);
-            if k_eff < classes {
-                ws.order.select_nth_unstable_by(k_eff - 1, cmp);
+        out.resize(batch * k_eff, 0);
+        if k_eff <= ops::TOPK_STREAM_MAX {
+            ops::gemm_bias_topk(&ws.h, &self.w2, &self.b2, k_eff, out);
+        } else {
+            ws.probs.reshape_in_place(batch, classes);
+            ops::gemm_bias(&ws.h, &self.w2, &self.b2, &mut ws.probs);
+            for r in 0..batch {
+                let row = ws.probs.row(r);
+                let cmp = |a: &u32, b: &u32| {
+                    row[*b as usize]
+                        .partial_cmp(&row[*a as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(b))
+                };
+                ws.order.clear();
+                ws.order.extend(0..classes as u32);
+                if k_eff < classes {
+                    ws.order.select_nth_unstable_by(k_eff - 1, cmp);
+                }
+                ws.order[..k_eff].sort_unstable_by(cmp);
+                out[r * k_eff..(r + 1) * k_eff].copy_from_slice(&ws.order[..k_eff]);
             }
-            ws.order[..k_eff].sort_unstable_by(cmp);
-            out.extend_from_slice(&ws.order[..k_eff]);
         }
         k_eff
     }
@@ -1128,6 +1145,31 @@ mod tests {
         assert_eq!(ptrs.1, ws.probs.as_slice().as_ptr());
         assert_eq!(ptrs.2, ws.order.as_ptr());
         assert_eq!(ptrs.3, out.as_ptr());
+    }
+
+    #[test]
+    fn predict_topk_streaming_and_fallback_paths_agree() {
+        // k ≤ TOPK_STREAM_MAX runs the fused streaming kernel; larger k
+        // materializes logits and partial-sorts. Both apply the same
+        // (score desc, id asc) total order, so the fallback's prefix must
+        // equal the streaming result exactly.
+        let config = MlpConfig {
+            num_features: 80,
+            hidden: 32,
+            num_classes: 48,
+        };
+        let m = Mlp::init(&config, 56);
+        let (x, _) = wide_batch(&config, 20, 18);
+        let kmax = asgd_tensor::ops::TOPK_STREAM_MAX;
+        let stream = m.predict_topk(&x, kmax);
+        let fallback = m.predict_topk(&x, kmax + 1);
+        for r in 0..20 {
+            assert_eq!(
+                &stream[r * kmax..(r + 1) * kmax],
+                &fallback[r * (kmax + 1)..r * (kmax + 1) + kmax],
+                "row {r}"
+            );
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Sparse-times-dense kernels.
 //!
-//! These are the two products the sparse input layer needs:
+//! These are the products the sparse input layer needs:
 //!
-//! * forward: `H = X · W₁` where `X` is a CSR batch — [`spmm`];
+//! * forward: `H = X · W₁` where `X` is a CSR batch — [`spmm`], or fused
+//!   with the bias add and ReLU as [`spmm_bias_relu`];
 //! * weight gradient: `∇W₁ += α · Xᵀ · G` — [`spmm_tn_acc`].
 //!
 //! Both parallelize over *output* rows on the persistent worker pool
@@ -11,12 +12,117 @@
 //! lets each worker stream the whole batch, touching only its own partition —
 //! O(threads · nnz) index reads but zero synchronization, which wins for the
 //! batch-sized operands this workload produces.
+//!
+//! Inner kernels follow the lane-width-8 reduction contract of
+//! `asgd_tensor::kernels`: the lanes span the output row (`j`), which is not
+//! a reduction axis, so every output element accumulates its nonzero terms
+//! one at a time in ascending CSR order — rule 1 of the contract, and the
+//! exact association order of the scalar kernels these replaced.
 
 use crate::csr::CsrMatrix;
+use asgd_tensor::kernels::{self, Epilogue, NB};
+use asgd_tensor::parallel::MIN_PAR_ROWS;
 use asgd_tensor::Matrix;
 
-/// Output rows below which kernels stay serial.
-const MIN_PAR_ROWS: usize = 32;
+/// One CSR row times `B`, panel-blocked: an `NB`-wide stack accumulator
+/// panel sweeps the output row; each panel streams the row's nonzeros in
+/// ascending CSR order (rule 1 of the reduction contract), reading `w`
+/// contiguous floats of `B` per nonzero, then the shared epilogue writes
+/// the output row once.
+#[inline(always)]
+fn spmm_row(idx: &[u32], val: &[f32], b_data: &[f32], n: usize, crow: &mut [f32], ep: Epilogue) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2+FMA support was just verified.
+        unsafe { spmm_row_avx2(idx, val, b_data, n, crow, ep) };
+        return;
+    }
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        let mut acc = [0.0f32; NB];
+        for (&col, &av) in idx.iter().zip(val) {
+            let brow = &b_data[col as usize * n + j0..col as usize * n + j0 + w];
+            for (av_slot, &bv) in acc[..w].iter_mut().zip(brow) {
+                *av_slot = kernels::fused(av, bv, *av_slot);
+            }
+        }
+        let out = &mut crow[j0..j0 + w];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = ep.apply(j0 + l, acc[l], *o);
+        }
+        j0 += w;
+    }
+}
+
+/// AVX2+FMA leaf of [`spmm_row`]: the same panel loop compiled with
+/// hardware-FMA features, so the per-term `mul_add` vectorizes to `vfmadd`.
+/// The body must live textually inside this `#[target_feature]` function
+/// and stay out-of-line — see the reduction-contract docs in
+/// `asgd_tensor::kernels` for the LTO hazard this avoids.
+///
+/// # Safety
+/// The caller must have verified AVX2+FMA support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[inline(never)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn spmm_row_avx2(
+    idx: &[u32],
+    val: &[f32],
+    b_data: &[f32],
+    n: usize,
+    crow: &mut [f32],
+    ep: Epilogue,
+) {
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        let mut acc = [0.0f32; NB];
+        for (&col, &av) in idx.iter().zip(val) {
+            let brow = &b_data[col as usize * n + j0..col as usize * n + j0 + w];
+            for (av_slot, &bv) in acc[..w].iter_mut().zip(brow) {
+                *av_slot = av.mul_add(bv, *av_slot);
+            }
+        }
+        let out = &mut crow[j0..j0 + w];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = ep.apply(j0 + l, acc[l], *o);
+        }
+        j0 += w;
+    }
+}
+
+/// One chunk of CSR·dense: one pass over the chunk's CSR rows; [`spmm_row`]
+/// dispatches to its AVX2+FMA leaf per row.
+fn spmm_chunk(
+    a: &CsrMatrix,
+    b_data: &[f32],
+    n: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    for (i, crow) in chunk.chunks_mut(n).enumerate() {
+        let (idx, val) = a.row(first_row + i);
+        spmm_row(idx, val, b_data, n, crow, ep);
+    }
+}
+
+fn spmm_with_epilogue(a: &CsrMatrix, b: &Matrix, c: &mut Matrix, ep: Epilogue) {
+    let n = b.cols();
+    if n == 0 {
+        return;
+    }
+    let b_data = b.as_slice();
+    let m = a.rows();
+    asgd_tensor::parallel::par_chunks_mut(
+        c.as_mut_slice(),
+        m,
+        n,
+        MIN_PAR_ROWS,
+        |first_row, chunk| spmm_chunk(a, b_data, n, first_row, chunk, ep),
+    );
+}
 
 /// `C = A · B` where `A` is sparse CSR (`m×k`), `B` dense (`k×n`).
 ///
@@ -26,27 +132,29 @@ pub fn spmm(a: &CsrMatrix, b: &Matrix, c: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "spmm inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "spmm output rows mismatch");
     assert_eq!(c.cols(), b.cols(), "spmm output cols mismatch");
-    let n = b.cols();
-    let b_data = b.as_slice();
-    let m = a.rows();
-    asgd_tensor::parallel::par_chunks_mut(
-        c.as_mut_slice(),
-        m,
-        n,
-        MIN_PAR_ROWS,
-        |first_row, chunk| {
-            for (i, crow) in chunk.chunks_mut(n).enumerate() {
-                crow.fill(0.0);
-                let (idx, val) = a.row(first_row + i);
-                for (&col, &av) in idx.iter().zip(val) {
-                    let brow = &b_data[col as usize * n..(col as usize + 1) * n];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        *cv += av * bv;
-                    }
-                }
-            }
-        },
+    let ep = Epilogue::AlphaBeta {
+        alpha: 1.0,
+        beta: 0.0,
+    };
+    spmm_with_epilogue(a, b, c, ep);
+}
+
+/// Fused forward activation: `C = relu(A·B + bias)` in a single pass —
+/// the `H = relu(X·W₁ + b₁)` hot path without the separate bias and ReLU
+/// sweeps over `H`. Empty CSR rows produce `relu(bias)`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn spmm_bias_relu(a: &CsrMatrix, b: &Matrix, bias: &[f32], c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "spmm_bias_relu inner dimension mismatch"
     );
+    assert_eq!(c.rows(), a.rows(), "spmm_bias_relu output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "spmm_bias_relu output cols mismatch");
+    assert_eq!(bias.len(), b.cols(), "spmm_bias_relu bias length mismatch");
+    spmm_with_epilogue(a, b, c, Epilogue::BiasRelu(bias));
 }
 
 /// `C += alpha · Aᵀ · G` where `A` is CSR (`m×k`), `G` dense (`m×n`), `C`
@@ -74,8 +182,45 @@ pub fn spmm_tn_acc(alpha: f32, a: &CsrMatrix, g: &Matrix, c: &mut Matrix) {
 }
 
 /// Accumulates the rows of `Aᵀ·G` that fall in `range` into `c_part`, which
-/// is the `range`-rows slice of the output.
+/// is the `range`-rows slice of the output. Dispatches to the AVX2 clone
+/// when the host supports it.
 fn spmm_tn_acc_range(
+    alpha: f32,
+    a: &CsrMatrix,
+    g_data: &[f32],
+    n: usize,
+    range: std::ops::Range<usize>,
+    c_part: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: AVX2 support was just verified.
+        unsafe { spmm_tn_acc_range_avx2(alpha, a, g_data, n, range, c_part) };
+        return;
+    }
+    spmm_tn_acc_range_impl(alpha, a, g_data, n, range, c_part)
+}
+
+/// AVX2 clone of [`spmm_tn_acc_range_impl`] (same body, wider codegen).
+///
+/// # Safety
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[inline(never)] // inlining past the feature boundary under LTO splits the FMAs
+#[target_feature(enable = "avx2")]
+unsafe fn spmm_tn_acc_range_avx2(
+    alpha: f32,
+    a: &CsrMatrix,
+    g_data: &[f32],
+    n: usize,
+    range: std::ops::Range<usize>,
+    c_part: &mut [f32],
+) {
+    spmm_tn_acc_range_impl(alpha, a, g_data, n, range, c_part)
+}
+
+#[inline(always)]
+fn spmm_tn_acc_range_impl(
     alpha: f32,
     a: &CsrMatrix,
     g_data: &[f32],
@@ -115,9 +260,7 @@ fn spmm_tn_acc_range(
             let feature = idx[j] as usize - range.start;
             let s = alpha * val[j];
             let crow = &mut c_part[feature * n..(feature + 1) * n];
-            for (cv, &gv) in crow.iter_mut().zip(grow) {
-                *cv += s * gv;
-            }
+            kernels::axpy_lanes(s, grow, crow);
         }
     }
 }
@@ -155,6 +298,36 @@ mod tests {
         })
     }
 
+    /// Executable spec of the contract for CSR·dense: per element, ascending
+    /// CSR-nonzero serial accumulation (one fused multiply-add per term),
+    /// then the epilogue.
+    fn spmm_ordered(a: &CsrMatrix, b: &Matrix, bias_relu: Option<&[f32]>) -> Matrix {
+        let n = b.cols();
+        let mut c = Matrix::zeros(a.rows(), n);
+        for r in 0..a.rows() {
+            let (idx, val) = a.row(r);
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for (&col, &av) in idx.iter().zip(val) {
+                    s = kernels::fused(av, b.at(col as usize, j), s);
+                }
+                let out = match bias_relu {
+                    None => s,
+                    Some(bias) => {
+                        let v = s + bias[j];
+                        if v < 0.0 {
+                            0.0
+                        } else {
+                            v
+                        }
+                    }
+                };
+                c.set(r, j, out);
+            }
+        }
+        c
+    }
+
     #[test]
     fn spmm_matches_dense_gemm() {
         for (m, k, n) in [(1, 3, 2), (8, 16, 4), (40, 64, 12), (100, 50, 8)] {
@@ -169,12 +342,54 @@ mod tests {
     }
 
     #[test]
+    fn spmm_bit_matches_ordered_reference_on_edge_shapes() {
+        // Widths off the lane grid, single rows, and rows with empty CSR
+        // ranges must all reproduce the contract's association order exactly.
+        for (m, k, n) in [(1, 5, 1), (3, 9, 7), (8, 16, 8), (17, 40, 13), (33, 64, 24)] {
+            let a = sparse_sample(m, k, m as u64 + 1);
+            let b = dense_sample(k, n, 2);
+            let mut c = Matrix::from_fn(m, n, |_, _| f32::NAN); // output must be overwritten
+            spmm(&a, &b, &mut c);
+            let want = spmm_ordered(&a, &b, None);
+            let got: Vec<u32> = c.as_slice().iter().map(|x| x.to_bits()).collect();
+            let spec: Vec<u32> = want.as_slice().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(got, spec, "({m},{k},{n})");
+        }
+    }
+
+    #[test]
     fn spmm_with_empty_rows() {
         let a = CsrMatrix::zeros(3, 4);
         let b = dense_sample(4, 2, 3);
         let mut c = Matrix::from_fn(3, 2, |_, _| 9.0);
         spmm(&a, &b, &mut c);
         assert_eq!(c.as_slice(), &[0.0; 6]);
+    }
+
+    #[test]
+    fn fused_bias_relu_bit_matches_two_pass() {
+        let a = sparse_sample(21, 50, 5);
+        let b = dense_sample(50, 13, 6);
+        let bias: Vec<f32> = (0..13).map(|j| (j % 7) as f32 * 0.3 - 1.0).collect();
+        let mut fused = Matrix::zeros(21, 13);
+        spmm_bias_relu(&a, &b, &bias, &mut fused);
+        let want = spmm_ordered(&a, &b, Some(&bias));
+        let got_bits: Vec<u32> = fused.as_slice().iter().map(|x| x.to_bits()).collect();
+        let want_bits: Vec<u32> = want.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got_bits, want_bits);
+        assert!(fused.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn fused_bias_relu_on_empty_rows_is_relu_bias() {
+        let a = CsrMatrix::zeros(2, 4);
+        let b = dense_sample(4, 3, 7);
+        let bias = [0.5f32, -0.25, 1.5];
+        let mut c = Matrix::from_fn(2, 3, |_, _| -7.0);
+        spmm_bias_relu(&a, &b, &bias, &mut c);
+        for r in 0..2 {
+            assert_eq!(c.row(r), &[0.5, 0.0, 1.5]);
+        }
     }
 
     #[test]
@@ -212,13 +427,16 @@ mod tests {
         // whole by one task with a fixed inner-loop order).
         let a = sparse_sample(96, 300, 11);
         let b = dense_sample(300, 24, 12);
+        let bias: Vec<f32> = (0..24).map(|j| (j % 5) as f32 * 0.2 - 0.4).collect();
         let run = |threads: usize| {
             asgd_tensor::parallel::override_threads(threads);
             let mut c = Matrix::zeros(96, 24);
             spmm(&a, &b, &mut c);
+            let mut h = Matrix::zeros(96, 24);
+            spmm_bias_relu(&a, &b, &bias, &mut h);
             let mut t = Matrix::zeros(300, 24);
             spmm_tn_acc(1.0, &a, &c, &mut t);
-            (c, t)
+            (c, h, t)
         };
         let single = run(1);
         let eight = run(8);
@@ -330,6 +548,29 @@ mod proptests {
             let mut want = Matrix::zeros(12, 5);
             dops::gemm_tn(1.0, &a.to_dense(), &g, 0.0, &mut want);
             prop_assert!(c.max_abs_diff(&want) < 1e-3);
+        }
+
+        #[test]
+        fn fused_bias_relu_bit_matches_per_element_spec(
+            a in sparse_strategy(),
+            bvals in proptest::collection::vec(-2.0f32..2.0, 12 * 7),
+            bias in proptest::collection::vec(-1.0f32..1.0, 7),
+        ) {
+            let b = Matrix::from_vec(12, 7, bvals);
+            let mut fused = Matrix::zeros(8, 7);
+            spmm_bias_relu(&a, &b, &bias, &mut fused);
+            for r in 0..8 {
+                let (idx, val) = a.row(r);
+                for (j, &bj) in bias.iter().enumerate() {
+                    let mut s = 0.0f32;
+                    for (&col, &av) in idx.iter().zip(val) {
+                        s = kernels::fused(av, b.at(col as usize, j), s);
+                    }
+                    let v = s + bj;
+                    let want = if v < 0.0 { 0.0 } else { v };
+                    prop_assert_eq!(fused.at(r, j).to_bits(), want.to_bits());
+                }
+            }
         }
     }
 }

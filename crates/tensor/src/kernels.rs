@@ -1,0 +1,1131 @@
+//! SIMD-lane blocked micro-kernels and the deterministic reduction contract.
+//!
+//! Every dense/sparse matmul in this workspace is built from the blocked
+//! micro-kernels in this module, written in stable Rust. The wide-output
+//! kernels pack `B` into contiguous `NB`-float column panels (a bit-for-bit
+//! copy, [`with_b_panel`]) and reduce them in `MR × NR` register tiles. On
+//! `x86_64` every hot inner loop is a **leaf function** compiled with
+//! `#[target_feature(enable = "avx2,fma")]` (stable function
+//! multiversioning, selected per call via the cached
+//! `is_x86_feature_detected!`); the leaves hold their loop bodies directly
+//! (256-bit `std::arch` intrinsics for the register tiles, autovectorized
+//! `f32::mul_add` for the variable-width remainders) and perform the
+//! *identical* per-element IEEE-754 operation sequence as the portable
+//! twins — so the numeric contract below holds on every host and every
+//! dispatch path.
+//!
+//! The leaves are deliberately `#[inline(never)]` and self-contained:
+//! LLVM refuses to inline across a target-feature boundary, and — worse —
+//! when a fused multiply-add (`llvm.fma`) ends up in a function *without*
+//! the `fma` feature, (Thin)LTO's vector legalization **splits it into a
+//! separate multiply and add**, silently double-rounding. Keeping each
+//! fused loop textually inside its `#[target_feature]` leaf guarantees
+//! hardware FMA codegen; portable twins instead call [`fused`], whose
+//! libm `fmaf` call is opaque to the optimizer and cannot be split.
+//!
+//! # The lane-width-8 reduction contract
+//!
+//! Results are a **pure function of the inputs**: no kernel's output depends
+//! on `ASGD_THREADS`, on how the worker pool partitions rows, or on which
+//! micro-kernel path (full tile vs remainder) computed an element. Two rules
+//! pin the floating-point association order:
+//!
+//! 1. **Row-streaming kernels** (`gemm` NN, `gemm_tn`, CSR `spmm`): the
+//!    SIMD lanes span the *output row* (`j`), which is not a reduction axis,
+//!    so each output element accumulates its `k` (or CSR-nonzero) terms one
+//!    at a time, in ascending order, each term applied as a **fused
+//!    multiply-add** (`acc = fma(a, b, acc)`, a single rounding per term).
+//!    The portable path computes this with [`f32::mul_add`] — correctly
+//!    rounded on every platform, by libm call where hardware FMA is absent —
+//!    and the AVX2 path with `_mm256_fmadd_ps`; both produce the same bits.
+//!    Blocking and packing change where operands live, never the
+//!    association.
+//! 2. **Dot-product kernels** (`gemm_nt` and [`dot_lanes`]): the reduction
+//!    axis itself is vectorized, with separate multiply and add per term.
+//!    Term `t` (0-based) is accumulated into lane `t % LANES`; the tail
+//!    (`k % LANES` terms) lands in lanes `0..k % LANES`. The 8 lanes are
+//!    then reduced by the fixed binary tree
+//!    `((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))` — see [`lane_tree`].
+//!
+//! Both rules differ from the naive serial mul-then-add summation the
+//! pre-blocking kernels used (each is a different but equally deterministic
+//! association), which is why golden artifacts were regenerated when this
+//! layer landed.
+//!
+//! # The unified epilogue
+//!
+//! All GEMM variants share one epilogue, applied **once per element after
+//! the full reduction** (see [`Epilogue::apply`]):
+//!
+//! ```text
+//! AlphaBeta: out = alpha·s            (beta == 0: c_in is ignored, may be garbage)
+//!            out = alpha·s + beta·c_in  (otherwise; beta == 1 is not special-cased —
+//!                                        1.0·c_in == c_in bit-for-bit)
+//! Bias:      out = s + bias[j]
+//! BiasRelu:  out = max(s + bias[j], 0) (computed as `if v < 0.0 { 0.0 } else { v }`,
+//!                                        so -0.0 and NaN pass through unchanged)
+//! ```
+//!
+//! This replaces the pre-scaling epilogues the scalar kernels used (`gemm`/
+//! `gemm_tn` scaled the output chunk by `beta` up front and accumulated
+//! `alpha`-scaled terms; `gemm_nt` evaluated `beta * c` per element) — one
+//! documented rule instead of three ad-hoc ones.
+
+// Micro-kernels take their whole addressing context (matrix pointers, leading
+// dimensions, chunk offsets) as scalars — more than clippy's argument budget.
+#![allow(clippy::too_many_arguments)]
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch for packed `B` panels ([`with_b_panel`]). Grows to
+    /// `k × NB` floats on first use and is then reused — the training hot
+    /// path stays allocation-free after warmup.
+    static PANEL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` on the `w`-wide `B` panel at column `j0`, packed contiguously
+/// (panel row `kk` lives at `kk * w`). When the panel spans all of `B`
+/// (`w == n`, which implies `j0 == 0`), `B` itself is already in packed
+/// layout and is passed through without copying.
+///
+/// Packing copies element bits verbatim, so it cannot affect the reduction
+/// contract. It exists purely for locality: the strided panel rows of a wide
+/// `B` (consecutive `kk` rows sit `n × 4` bytes apart, which defeats the
+/// hardware prefetcher) are gathered once per *chunk* and then streamed
+/// sequentially by every `MR`-row group, instead of paying the strided walk
+/// once per row group.
+#[inline(always)]
+fn with_b_panel<R>(
+    b: &[f32],
+    n: usize,
+    k: usize,
+    j0: usize,
+    w: usize,
+    f: impl FnOnce(&[f32]) -> R,
+) -> R {
+    if w == n {
+        return f(b);
+    }
+    PANEL_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.reserve(k * w);
+        for kk in 0..k {
+            buf.extend_from_slice(&b[kk * n + j0..kk * n + j0 + w]);
+        }
+        f(&buf)
+    })
+}
+
+/// SIMD lane width of the kernel contract: accumulator tiles are
+/// `[f32; LANES]` wide and dot-product reductions run `LANES` partial sums.
+pub const LANES: usize = 8;
+
+/// Rows per block in the row-streaming kernels: `MR` output rows share one
+/// pass over the streamed `B` panel, cutting `B` traffic `MR`-fold.
+pub const MR: usize = 4;
+
+/// Column-panel width (in `f32` elements) of the row-streaming kernels: the
+/// `MR × NB` accumulator panel lives on the stack (hot in L1) while `B` is
+/// streamed through it in contiguous `NB`-float runs. A multiple of
+/// [`LANES`]; the `w = min(NB, n - j0)` tail handles any output width.
+pub const NB: usize = 256;
+
+/// Columns (`B` rows) processed together by the `gemm_nt` dot kernel.
+const NT_JB: usize = 4;
+
+/// Largest `k` the streaming top-k kernel ([`crate::ops::gemm_bias_topk`])
+/// accepts: the per-row selection list lives on the stack.
+pub const TOPK_STREAM_MAX: usize = 32;
+
+/// The shared GEMM epilogue — see the module docs for the exact formulas.
+#[derive(Debug, Clone, Copy)]
+pub enum Epilogue<'a> {
+    /// `out = alpha·s + beta·c_in` (`beta == 0` ignores `c_in` entirely).
+    AlphaBeta {
+        /// Scale of the reduction result.
+        alpha: f32,
+        /// Scale of the prior output value.
+        beta: f32,
+    },
+    /// `out = s + bias[j]` — fused bias add (forward logits).
+    Bias(&'a [f32]),
+    /// `out = relu(s + bias[j])` — fused bias + activation (forward hidden).
+    BiasRelu(&'a [f32]),
+}
+
+impl Epilogue<'_> {
+    /// Applies the epilogue to one element: `s` is the finished reduction,
+    /// `c_in` the prior value of the output element, `j` its column.
+    #[inline(always)]
+    pub fn apply(&self, j: usize, s: f32, c_in: f32) -> f32 {
+        match *self {
+            Epilogue::AlphaBeta { alpha, beta } => {
+                if beta == 0.0 {
+                    alpha * s
+                } else {
+                    alpha * s + beta * c_in
+                }
+            }
+            Epilogue::Bias(bias) => s + bias[j],
+            Epilogue::BiasRelu(bias) => {
+                let v = s + bias[j];
+                if v < 0.0 {
+                    0.0
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// The fixed lane-reduction tree of the contract:
+/// `((l0+l4) + (l2+l6)) + ((l1+l5) + (l3+l7))`.
+#[inline(always)]
+pub fn lane_tree(acc: [f32; LANES]) -> f32 {
+    let s04 = acc[0] + acc[4];
+    let s15 = acc[1] + acc[5];
+    let s26 = acc[2] + acc[6];
+    let s37 = acc[3] + acc[7];
+    (s04 + s26) + (s15 + s37)
+}
+
+/// Lane-tree dot product: term `t` goes to lane `t % LANES`, the tail to
+/// lanes `0..len % LANES`, then [`lane_tree`] folds the lanes.
+///
+/// # Panics
+/// Panics when lengths differ.
+#[inline(always)]
+pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_lanes length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (av, bv) in ac.by_ref().zip(bc.by_ref()) {
+        for l in 0..LANES {
+            acc[l] += av[l] * bv[l];
+        }
+    }
+    for (l, (&av, &bv)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+        acc[l] += av * bv;
+    }
+    lane_tree(acc)
+}
+
+/// `dst[l] += s * src[l]`, unrolled in `LANES`-wide blocks. Element-wise
+/// (one multiply + one add per element, independent across elements), so it
+/// is bit-identical to the scalar loop it replaces.
+///
+/// # Panics
+/// Panics when lengths differ.
+#[inline(always)]
+pub fn axpy_lanes(s: f32, src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "axpy_lanes length mismatch");
+    let mut sc = src.chunks_exact(LANES);
+    let mut dc = dst.chunks_exact_mut(LANES);
+    for (sv, dv) in sc.by_ref().zip(dc.by_ref()) {
+        for l in 0..LANES {
+            dv[l] += s * sv[l];
+        }
+    }
+    for (&sv, dv) in sc.remainder().iter().zip(dc.into_remainder()) {
+        *dv += s * sv;
+    }
+}
+
+/// Columns per register tile of the row-streaming kernels: an `MR × NR`
+/// accumulator block (`MR` rows × two 8-lane vectors) fits the 16 SIMD
+/// registers of AVX2 with room for the `B` loads and the `A` broadcast, so
+/// the k-loop runs with **zero** accumulator memory traffic.
+const NR: usize = 16;
+
+/// Cached runtime AVX2+FMA check (atomic loads after the first call).
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn avx2_available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+/// The contract's fused multiply-add, guaranteed correctly rounded on every
+/// host and in every build profile: `fused(a, b, acc) = fma(a, b, acc)`
+/// with a single rounding.
+///
+/// Portable (non-`#[target_feature]`) code must use this instead of
+/// [`f32::mul_add`]: `mul_add` lowers to `llvm.fma`, and when the enclosing
+/// function lacks hardware-FMA target features, LLVM's x86 vector
+/// legalization (observed under ThinLTO) *splits* the vectorized intrinsic
+/// into a separate multiply and add — silently double-rounding. Routing
+/// through libm's `fmaf`, an extern call the optimizer cannot look through,
+/// pins the single-rounding result. On targets where FMA is baseline
+/// (aarch64) or statically enabled, `mul_add` compiles to the hardware
+/// instruction and is used directly.
+#[inline(always)]
+pub fn fused(a: f32, b: f32, acc: f32) -> f32 {
+    #[cfg(any(target_arch = "aarch64", target_feature = "fma"))]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(any(target_arch = "aarch64", target_feature = "fma")))]
+    {
+        extern "C" {
+            fn fmaf(a: f32, b: f32, c: f32) -> f32;
+        }
+        // SAFETY: libm's `fmaf` is a pure function, total over all f32s.
+        unsafe { fmaf(a, b, acc) }
+    }
+}
+
+/// One `M × NR` register tile over a *packed* `B` panel
+/// (`bp[kk * w + l] = B[kk][j0 + l]`): `acc[r][l] += a_rows[r][kk] ·
+/// bp[kk][jt + l]`, `kk` ascending (rule 1 of the contract), epilogue
+/// applied from the finished accumulators. On AVX2 hosts the reduction runs
+/// in the intrinsics clone ([`nn_tile_avx2`]); both paths perform the
+/// identical per-element IEEE-754 operation sequence.
+#[inline(always)]
+fn nn_tile<const M: usize>(
+    a_rows: &[&[f32]; M],
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified; slice bounds are checked
+        // by the callee's preconditions (jt + NR <= w == panel row length).
+        unsafe { nn_tile_avx2::<M>(a_rows, bp, w, n, j0, jt, out, ep) };
+        return;
+    }
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let bv: &[f32; NR] = brow[jt..jt + NR].try_into().unwrap();
+        for (accr, arow) in acc.iter_mut().zip(a_rows) {
+            let a_rk = arow[kk];
+            for l in 0..NR {
+                accr[l] = fused(a_rk, bv[l], accr[l]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + NR];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// AVX2+FMA intrinsics body of [`nn_tile`]: the `M × NR` accumulator block
+/// is `2·M` named `__m256` values, which the register allocator keeps in
+/// ymm registers across the whole k-loop (the autovectorized portable body
+/// round-trips the accumulator array through the stack every iteration —
+/// measured ~2x slower). Per element and per step this is exactly
+/// `acc = fma(a, b, acc)` in IEEE-754 single precision — the same
+/// correctly-rounded fused operation [`f32::mul_add`] performs in the
+/// portable body, so both paths produce identical bits.
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support and `jt + NR <= w` with `bp`
+/// a whole number of `w`-float panel rows.
+#[cfg(target_arch = "x86_64")]
+#[inline(never)] // inlining past the feature boundary under LTO splits the FMAs
+#[target_feature(enable = "avx2,fma")]
+unsafe fn nn_tile_avx2<const M: usize>(
+    a_rows: &[&[f32]; M],
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    use std::arch::x86_64::*;
+    let mut acc0 = [_mm256_setzero_ps(); M];
+    let mut acc1 = [_mm256_setzero_ps(); M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let b0 = _mm256_loadu_ps(brow.as_ptr().add(jt));
+        let b1 = _mm256_loadu_ps(brow.as_ptr().add(jt + LANES));
+        for r in 0..M {
+            let av = _mm256_set1_ps(a_rows[r][kk]);
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+    }
+    for r in 0..M {
+        let mut tile = [0.0f32; NR];
+        _mm256_storeu_ps(tile.as_mut_ptr(), acc0[r]);
+        _mm256_storeu_ps(tile.as_mut_ptr().add(LANES), acc1[r]);
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + NR];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, tile[l], *cv);
+        }
+    }
+}
+
+/// The `w % NR` remainder columns of a packed panel, accumulated with the
+/// same ascending-`kk` per-element order as [`nn_tile`] (variable-width, so
+/// the accumulator may live on the stack — at most `NR - 1` columns).
+#[inline(always)]
+fn nn_tail<const M: usize>(
+    a_rows: &[&[f32]; M],
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA support was just verified.
+        unsafe { nn_tail_avx2::<M>(a_rows, bp, w, n, j0, jt, out, ep) };
+        return;
+    }
+    let rem = w - jt;
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let bv = &brow[jt..w];
+        for (accr, arow) in acc.iter_mut().zip(a_rows) {
+            let a_rk = arow[kk];
+            for (av, &b) in accr[..rem].iter_mut().zip(bv) {
+                *av = fused(a_rk, b, *av);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + rem];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// AVX2+FMA leaf of [`nn_tail`]: same loop, but compiled with hardware-FMA
+/// features so the `mul_add` calls lower to `vfmadd` (vectorized where the
+/// width allows) instead of libm calls. The body lives textually inside
+/// this `#[target_feature]` function — see the module docs for why it must.
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support; bounds as in [`nn_tail`].
+#[cfg(target_arch = "x86_64")]
+#[inline(never)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn nn_tail_avx2<const M: usize>(
+    a_rows: &[&[f32]; M],
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    let rem = w - jt;
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let bv = &brow[jt..w];
+        for (accr, arow) in acc.iter_mut().zip(a_rows) {
+            let a_rk = arow[kk];
+            for (av, &b) in accr[..rem].iter_mut().zip(bv) {
+                *av = a_rk.mul_add(b, *av);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + rem];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// One strided NN panel (panel row `kk` at
+/// `b[kk * n + j0]`). Bit-identical per element — only the operand address
+/// differs. Used by the streaming top-k path, whose per-row selection state
+/// must persist across panels and therefore keeps rows as the outer loop
+/// (packing per row group would re-copy `B` with no reuse).
+#[inline(always)]
+fn nn_panel_strided<const M: usize>(
+    a_rows: &[&[f32]; M],
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    acc: &mut [[f32; NB]; M],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA support was just verified.
+        unsafe { nn_panel_strided_avx2::<M>(a_rows, b, n, j0, w, acc) };
+        return;
+    }
+    for kk in 0..a_rows[0].len() {
+        let brow = &b[kk * n + j0..kk * n + j0 + w];
+        for (accr, arow) in acc.iter_mut().zip(a_rows) {
+            let a_rk = arow[kk];
+            for (av, &bv) in accr[..w].iter_mut().zip(brow) {
+                *av = fused(a_rk, bv, *av);
+            }
+        }
+    }
+}
+
+/// AVX2+FMA leaf of [`nn_panel_strided`] — same loop, hardware-FMA codegen
+/// (see [`nn_tail_avx2`]).
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support; bounds as in
+/// [`nn_panel_strided`].
+#[cfg(target_arch = "x86_64")]
+#[inline(never)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn nn_panel_strided_avx2<const M: usize>(
+    a_rows: &[&[f32]; M],
+    b: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    acc: &mut [[f32; NB]; M],
+) {
+    for kk in 0..a_rows[0].len() {
+        let brow = &b[kk * n + j0..kk * n + j0 + w];
+        for (accr, arow) in acc.iter_mut().zip(a_rows) {
+            let a_rk = arow[kk];
+            for (av, &bv) in accr[..w].iter_mut().zip(brow) {
+                *av = a_rk.mul_add(bv, *av);
+            }
+        }
+    }
+}
+
+/// `M` rows × one packed panel of `C = epilogue(A·B)`: [`nn_tile`] register
+/// tiles across the panel plus one [`nn_tail`], epilogue once per element
+/// after each tile's reduction finishes. `out` holds the `M` full output
+/// rows contiguously.
+#[inline(always)]
+fn nn_rows_panel<const M: usize>(
+    a: &[f32],
+    k: usize,
+    bp: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    a_first: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    let a_rows: [&[f32]; M] = std::array::from_fn(|r| &a[(a_first + r) * k..(a_first + r + 1) * k]);
+    let w_tiled = w - w % NR;
+    let mut jt = 0;
+    while jt < w_tiled {
+        nn_tile::<M>(&a_rows, bp, w, n, j0, jt, out, ep);
+        jt += NR;
+    }
+    if jt < w {
+        nn_tail::<M>(&a_rows, bp, w, n, j0, jt, out, ep);
+    }
+}
+
+/// NN GEMM body over one contiguous row chunk of `C` (as partitioned by
+/// `par_chunks_mut`): `C[i] = epilogue(Σ_k A[i][k]·B[k][·])` for the rows in
+/// `chunk`. Panels are the outer loop so each packed `B` panel is reused by
+/// every `MR`-row group of the chunk; per-element reduction order is
+/// independent of the loop nesting (each element lives in exactly one panel).
+/// The glue here (panel packing, row grouping) is feature-agnostic scalar
+/// code; the hot reduction loops dispatch to their AVX2+FMA leaves at the
+/// tile layer, so no chunk-level multiversioned clone is needed.
+pub fn gemm_nn_chunk(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    debug_assert!(n > 0 && chunk.len().is_multiple_of(n));
+    let rows = chunk.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        with_b_panel(b, n, k, j0, w, |bp| {
+            let mut i = 0;
+            while i < rows {
+                let block = &mut chunk[i * n..];
+                let first = first_row + i;
+                match rows - i {
+                    1 => nn_rows_panel::<1>(a, k, bp, n, j0, w, first, &mut block[..n], ep),
+                    2 => nn_rows_panel::<2>(a, k, bp, n, j0, w, first, &mut block[..2 * n], ep),
+                    3 => nn_rows_panel::<3>(a, k, bp, n, j0, w, first, &mut block[..3 * n], ep),
+                    _ => nn_rows_panel::<MR>(a, k, bp, n, j0, w, first, &mut block[..MR * n], ep),
+                }
+                i += (rows - i).min(MR);
+            }
+        });
+        j0 += w;
+    }
+}
+
+/// One `M × NR` register tile of `Aᵀ·B` over a packed panel: like
+/// [`nn_tile`] but `A` is `k×m` and the output rows are *columns*
+/// `cols0..cols0+M` of `A` (per-`kk` strided `A` access — only `M` scalars
+/// per step — still ascending-`k` serial per element).
+#[inline(always)]
+fn tn_tile<const M: usize>(
+    a: &[f32],
+    m: usize,
+    cols0: usize,
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified; bounds as in `nn_tile`.
+        unsafe { tn_tile_avx2::<M>(a, m, cols0, bp, w, n, j0, jt, out, ep) };
+        return;
+    }
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let a_k = &a[kk * m + cols0..kk * m + cols0 + M];
+        let bv: &[f32; NR] = brow[jt..jt + NR].try_into().unwrap();
+        for (accr, &a_rk) in acc.iter_mut().zip(a_k) {
+            for l in 0..NR {
+                accr[l] = fused(a_rk, bv[l], accr[l]);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + NR];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// AVX2+FMA intrinsics body of [`tn_tile`] — see [`nn_tile_avx2`] for why
+/// and for the bit-exactness argument (one fused multiply-add per term).
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support and `jt + NR <= w` with `bp`
+/// a whole number of `w`-float panel rows; `a` must hold `k×m` elements
+/// with `cols0 + M <= m`.
+#[cfg(target_arch = "x86_64")]
+#[inline(never)] // inlining past the feature boundary under LTO splits the FMAs
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tn_tile_avx2<const M: usize>(
+    a: &[f32],
+    m: usize,
+    cols0: usize,
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    use std::arch::x86_64::*;
+    let mut acc0 = [_mm256_setzero_ps(); M];
+    let mut acc1 = [_mm256_setzero_ps(); M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let a_k = &a[kk * m + cols0..kk * m + cols0 + M];
+        let b0 = _mm256_loadu_ps(brow.as_ptr().add(jt));
+        let b1 = _mm256_loadu_ps(brow.as_ptr().add(jt + LANES));
+        for r in 0..M {
+            let av = _mm256_set1_ps(a_k[r]);
+            acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+            acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+        }
+    }
+    for r in 0..M {
+        let mut tile = [0.0f32; NR];
+        _mm256_storeu_ps(tile.as_mut_ptr(), acc0[r]);
+        _mm256_storeu_ps(tile.as_mut_ptr().add(LANES), acc1[r]);
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + NR];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, tile[l], *cv);
+        }
+    }
+}
+
+/// The `w % NR` remainder columns of a TN packed panel (same per-element
+/// order as [`tn_tile`]).
+#[inline(always)]
+fn tn_tail<const M: usize>(
+    a: &[f32],
+    m: usize,
+    cols0: usize,
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2+FMA support was just verified.
+        unsafe { tn_tail_avx2::<M>(a, m, cols0, bp, w, n, j0, jt, out, ep) };
+        return;
+    }
+    let rem = w - jt;
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let a_k = &a[kk * m + cols0..kk * m + cols0 + M];
+        let bv = &brow[jt..w];
+        for (accr, &a_rk) in acc.iter_mut().zip(a_k) {
+            for (av, &b) in accr[..rem].iter_mut().zip(bv) {
+                *av = fused(a_rk, b, *av);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + rem];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// AVX2+FMA leaf of [`tn_tail`] — same loop, hardware-FMA codegen (see
+/// [`nn_tail_avx2`]).
+///
+/// # Safety
+/// Caller must have verified AVX2+FMA support; bounds as in [`tn_tail`].
+#[cfg(target_arch = "x86_64")]
+#[inline(never)]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tn_tail_avx2<const M: usize>(
+    a: &[f32],
+    m: usize,
+    cols0: usize,
+    bp: &[f32],
+    w: usize,
+    n: usize,
+    j0: usize,
+    jt: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    let rem = w - jt;
+    let mut acc = [[0.0f32; NR]; M];
+    for (kk, brow) in bp.chunks_exact(w).enumerate() {
+        let a_k = &a[kk * m + cols0..kk * m + cols0 + M];
+        let bv = &brow[jt..w];
+        for (accr, &a_rk) in acc.iter_mut().zip(a_k) {
+            for (av, &b) in accr[..rem].iter_mut().zip(bv) {
+                *av = a_rk.mul_add(b, *av);
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        let crow = &mut out[r * n + j0 + jt..r * n + j0 + jt + rem];
+        for (l, cv) in crow.iter_mut().enumerate() {
+            *cv = ep.apply(j0 + jt + l, accr[l], *cv);
+        }
+    }
+}
+
+/// `M` rows × one packed panel of `C = epilogue(Aᵀ·B)` (output rows = `A`
+/// columns `cols0..cols0+M`): register tiles plus tail, like
+/// [`nn_rows_panel`].
+#[inline(always)]
+fn tn_rows_panel<const M: usize>(
+    a: &[f32],
+    m: usize,
+    bp: &[f32],
+    n: usize,
+    j0: usize,
+    w: usize,
+    cols0: usize,
+    out: &mut [f32],
+    ep: Epilogue,
+) {
+    let w_tiled = w - w % NR;
+    let mut jt = 0;
+    while jt < w_tiled {
+        tn_tile::<M>(a, m, cols0, bp, w, n, j0, jt, out, ep);
+        jt += NR;
+    }
+    if jt < w {
+        tn_tail::<M>(a, m, cols0, bp, w, n, j0, jt, out, ep);
+    }
+}
+
+/// TN GEMM over one contiguous row chunk of `C`: `A` is `k×m`, the
+/// chunk covers output rows (`A` columns) starting at `first_col`. Panels
+/// outer / row groups inner, exactly like [`gemm_nn_chunk`]; dispatch to
+/// the AVX2+FMA leaves happens at the tile layer.
+pub fn gemm_tn_chunk(
+    a: &[f32],
+    kdim: usize,
+    m: usize,
+    b: &[f32],
+    n: usize,
+    first_col: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    debug_assert!(n > 0 && chunk.len().is_multiple_of(n));
+    let rows = chunk.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        with_b_panel(b, n, kdim, j0, w, |bp| {
+            let mut i = 0;
+            while i < rows {
+                let block = &mut chunk[i * n..];
+                let c0 = first_col + i;
+                match rows - i {
+                    1 => tn_rows_panel::<1>(a, m, bp, n, j0, w, c0, &mut block[..n], ep),
+                    2 => tn_rows_panel::<2>(a, m, bp, n, j0, w, c0, &mut block[..2 * n], ep),
+                    3 => tn_rows_panel::<3>(a, m, bp, n, j0, w, c0, &mut block[..3 * n], ep),
+                    _ => tn_rows_panel::<MR>(a, m, bp, n, j0, w, c0, &mut block[..MR * n], ep),
+                }
+                i += (rows - i).min(MR);
+            }
+        });
+        j0 += w;
+    }
+}
+
+/// `NT_JB` lane-tree dot products sharing one pass over `a` — each result is
+/// bit-identical to [`dot_lanes`] of the same pair (same lane assignment,
+/// same tree).
+#[inline(always)]
+fn nt_dot_block(a: &[f32], b_rows: &[&[f32]; NT_JB]) -> [f32; NT_JB] {
+    #[cfg(target_arch = "x86_64")]
+    if avx2_available() {
+        // SAFETY: AVX2 support was just verified.
+        return unsafe { nt_dot_block_avx2(a, b_rows) };
+    }
+    nt_dot_block_body(a, b_rows)
+}
+
+/// AVX2 leaf of [`nt_dot_block`]: rule 2 keeps separate multiply and add
+/// (never contracted — no fast-math flags are set, so LLVM may not fuse),
+/// the feature only widens the codegen to 256-bit lanes. Out-of-line so
+/// LTO cannot blend it with feature-less callers.
+///
+/// # Safety
+/// Caller must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[inline(never)]
+#[target_feature(enable = "avx2")]
+unsafe fn nt_dot_block_avx2(a: &[f32], b_rows: &[&[f32]; NT_JB]) -> [f32; NT_JB] {
+    nt_dot_block_body(a, b_rows)
+}
+
+/// Shared body of [`nt_dot_block`] — separate multiply and add per term
+/// gives the same bits at any vector width, so unlike the fused rule-1
+/// loops this body may be inlined into either dispatch path.
+#[inline(always)]
+fn nt_dot_block_body(a: &[f32], b_rows: &[&[f32]; NT_JB]) -> [f32; NT_JB] {
+    let mut acc = [[0.0f32; LANES]; NT_JB];
+    let k = a.len();
+    let k_tiled = k - k % LANES;
+    let mut t = 0;
+    while t < k_tiled {
+        let av = &a[t..t + LANES];
+        for (accj, brow) in acc.iter_mut().zip(b_rows) {
+            let bv = &brow[t..t + LANES];
+            for l in 0..LANES {
+                accj[l] += av[l] * bv[l];
+            }
+        }
+        t += LANES;
+    }
+    for l in 0..(k - k_tiled) {
+        for (accj, brow) in acc.iter_mut().zip(b_rows) {
+            accj[l] += a[k_tiled + l] * brow[k_tiled + l];
+        }
+    }
+    std::array::from_fn(|j| lane_tree(acc[j]))
+}
+
+/// NT GEMM over one contiguous row chunk of `C`: each element is a
+/// lane-tree dot of an `A` row and a `B` row (rule 2 of the contract),
+/// `NT_JB` `B` rows blocked per `A`-row pass; the dot layer dispatches to
+/// its AVX2 leaf.
+pub fn gemm_nt_chunk(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    debug_assert!(n > 0 && chunk.len().is_multiple_of(n));
+    for (i, crow) in chunk.chunks_mut(n).enumerate() {
+        let arow = &a[(first_row + i) * k..(first_row + i + 1) * k];
+        let n_blocked = n - n % NT_JB;
+        let mut j = 0;
+        while j < n_blocked {
+            let b_rows: [&[f32]; NT_JB] =
+                std::array::from_fn(|jj| &b[(j + jj) * k..(j + jj + 1) * k]);
+            let dots = nt_dot_block(arow, &b_rows);
+            for (jj, &d) in dots.iter().enumerate() {
+                crow[j + jj] = ep.apply(j + jj, d, crow[j + jj]);
+            }
+            j += NT_JB;
+        }
+        for j in n_blocked..n {
+            let d = dot_lanes(arow, &b[j * k..(j + 1) * k]);
+            crow[j] = ep.apply(j, d, crow[j]);
+        }
+    }
+}
+
+/// A fixed-capacity top-`k` list kept sorted by `(value desc, id asc)` — the
+/// selection state of the streaming top-k kernel. Lives entirely on the
+/// stack (`TOPK_STREAM_MAX` slots).
+///
+/// Candidates MUST be offered in ascending id order; equal-valued candidates
+/// then insert after the equal entries already present, which reproduces the
+/// `(value desc, id asc)` total order of the materialized sort exactly.
+#[derive(Debug)]
+pub struct TopList {
+    vals: [f32; TOPK_STREAM_MAX],
+    ids: [u32; TOPK_STREAM_MAX],
+    len: usize,
+    k: usize,
+}
+
+impl TopList {
+    /// An empty list selecting `k` entries (`1 <= k <= TOPK_STREAM_MAX`).
+    pub fn new(k: usize) -> Self {
+        assert!((1..=TOPK_STREAM_MAX).contains(&k), "k out of stack range");
+        Self {
+            vals: [0.0; TOPK_STREAM_MAX],
+            ids: [0; TOPK_STREAM_MAX],
+            len: 0,
+            k,
+        }
+    }
+
+    /// Offers one candidate. Ids must arrive in ascending order.
+    #[inline]
+    pub fn offer(&mut self, v: f32, id: u32) {
+        // `!(v > last)` — not `v <= last` — so a NaN candidate is rejected
+        // once the list is full, matching the select+sort fallback's order.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if self.len == self.k && !(v > self.vals[self.len - 1]) {
+            return;
+        }
+        let mut pos = self.len.min(self.k - 1);
+        while pos > 0 && v > self.vals[pos - 1] {
+            pos -= 1;
+        }
+        let last = (self.len + 1).min(self.k) - 1;
+        let mut p = last;
+        while p > pos {
+            self.vals[p] = self.vals[p - 1];
+            self.ids[p] = self.ids[p - 1];
+            p -= 1;
+        }
+        self.vals[pos] = v;
+        self.ids[pos] = id;
+        self.len = (self.len + 1).min(self.k);
+    }
+
+    /// The selected ids, best first. Shorter than `k` only when fewer
+    /// candidates were offered.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids[..self.len]
+    }
+}
+
+/// Streaming fused logits→top-k for `M` rows of `A`: computes each logit
+/// panel (`A·B + bias`, same reduction and epilogue as the materializing
+/// path) on the stack and feeds it straight into a per-row [`TopList`] —
+/// the wide `m×n` logit matrix is never written to memory. Candidates are
+/// offered in ascending column order (panels left to right, ascending
+/// within each panel), as the `TopList` contract requires. `out` receives
+/// `M` rows of `k` ids each.
+#[inline(always)]
+fn nn_rows_topk<const M: usize>(
+    a: &[f32],
+    kdim: usize,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    a_first: usize,
+    k: usize,
+    out: &mut [u32],
+) {
+    let a_rows: [&[f32]; M] =
+        std::array::from_fn(|r| &a[(a_first + r) * kdim..(a_first + r + 1) * kdim]);
+    let mut lists: [TopList; M] = std::array::from_fn(|_| TopList::new(k));
+    let ep = Epilogue::Bias(bias);
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        let mut acc = [[0.0f32; NB]; M];
+        nn_panel_strided::<M>(&a_rows, b, n, j0, w, &mut acc);
+        for (accr, list) in acc.iter().zip(lists.iter_mut()) {
+            for (l, &s) in accr[..w].iter().enumerate() {
+                list.offer(ep.apply(j0 + l, s, 0.0), (j0 + l) as u32);
+            }
+        }
+        j0 += w;
+    }
+    for (r, list) in lists.iter().enumerate() {
+        out[r * k..r * k + list.ids().len()].copy_from_slice(list.ids());
+    }
+}
+
+/// Fused logits→top-k over one contiguous row chunk: `out` holds
+/// `k`-id rows for the chunk's rows. The logit reduction dispatches to its
+/// AVX2+FMA leaf inside [`nn_panel_strided`]; the selection layer
+/// ([`TopList`]) is feature-agnostic integer code.
+pub fn gemm_bias_topk_chunk(
+    a: &[f32],
+    kdim: usize,
+    b: &[f32],
+    n: usize,
+    bias: &[f32],
+    first_row: usize,
+    k: usize,
+    out: &mut [u32],
+) {
+    debug_assert!(out.len().is_multiple_of(k));
+    let rows = out.len() / k;
+    let mut i = 0;
+    while i < rows {
+        let block = &mut out[i * k..];
+        match rows - i {
+            1 => nn_rows_topk::<1>(a, kdim, b, n, bias, first_row + i, k, &mut block[..k]),
+            2 => nn_rows_topk::<2>(a, kdim, b, n, bias, first_row + i, k, &mut block[..2 * k]),
+            3 => nn_rows_topk::<3>(a, kdim, b, n, bias, first_row + i, k, &mut block[..3 * k]),
+            _ => nn_rows_topk::<MR>(a, kdim, b, n, bias, first_row + i, k, &mut block[..MR * k]),
+        }
+        i += (rows - i).min(MR);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_tree_is_the_documented_association() {
+        let acc = [1.0f32, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+        let want = ((1.0 + 16.0) + (4.0 + 64.0)) + ((2.0 + 32.0) + (8.0 + 128.0));
+        assert_eq!(lane_tree(acc).to_bits(), (want as f32).to_bits());
+    }
+
+    #[test]
+    fn dot_lanes_matches_round_robin_reference() {
+        for len in [0usize, 1, 7, 8, 9, 16, 31, 64, 100] {
+            let a: Vec<f32> = (0..len).map(|i| (i % 13) as f32 / 7.0 - 0.9).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i % 11) as f32 / 5.0 - 1.1).collect();
+            let mut acc = [0.0f32; LANES];
+            for t in 0..len {
+                acc[t % LANES] += a[t] * b[t];
+            }
+            assert_eq!(
+                dot_lanes(&a, &b).to_bits(),
+                lane_tree(acc).to_bits(),
+                "{len}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_lanes_is_bit_identical_to_scalar() {
+        for len in [0usize, 1, 7, 8, 9, 40, 101] {
+            let src: Vec<f32> = (0..len).map(|i| (i % 17) as f32 / 3.0 - 2.0).collect();
+            let mut a: Vec<f32> = (0..len).map(|i| (i % 5) as f32).collect();
+            let mut b = a.clone();
+            axpy_lanes(0.37, &src, &mut a);
+            for (d, &s) in b.iter_mut().zip(&src) {
+                *d += 0.37 * s;
+            }
+            assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "{len}"
+            );
+        }
+    }
+
+    #[test]
+    fn epilogue_beta_zero_ignores_garbage() {
+        let ep = Epilogue::AlphaBeta {
+            alpha: 2.0,
+            beta: 0.0,
+        };
+        assert_eq!(ep.apply(0, 3.0, f32::NAN), 6.0);
+        let ep1 = Epilogue::AlphaBeta {
+            alpha: 1.0,
+            beta: 1.0,
+        };
+        assert_eq!(ep1.apply(0, 3.0, 4.0), 7.0);
+    }
+
+    #[test]
+    fn bias_relu_epilogue_clamps() {
+        let bias = [0.5f32, -10.0];
+        let ep = Epilogue::BiasRelu(&bias);
+        assert_eq!(ep.apply(0, 1.0, 9.9), 1.5);
+        assert_eq!(ep.apply(1, 1.0, 9.9), 0.0);
+    }
+
+    #[test]
+    fn top_list_orders_by_value_then_id() {
+        let mut l = TopList::new(3);
+        // Offered in ascending id order, as the contract requires.
+        for (id, v) in [(0u32, 1.0f32), (1, 5.0), (2, 5.0), (3, 0.5), (4, 7.0)] {
+            l.offer(v, id);
+        }
+        // 7.0@4, then the 5.0 tie resolves to the lower id first.
+        assert_eq!(l.ids(), &[4, 1, 2]);
+    }
+
+    #[test]
+    fn top_list_handles_fewer_candidates_than_k() {
+        let mut l = TopList::new(5);
+        l.offer(2.0, 7);
+        l.offer(3.0, 9);
+        assert_eq!(l.ids(), &[9, 7]);
+    }
+
+    #[test]
+    fn top_list_matches_full_sort_on_random_streams() {
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f32 / 250.0 - 2.0
+        };
+        for k in [1usize, 2, 5, 31, 32] {
+            let vals: Vec<f32> = (0..200).map(|_| next()).collect();
+            let mut l = TopList::new(k);
+            for (id, &v) in vals.iter().enumerate() {
+                l.offer(v, id as u32);
+            }
+            let mut order: Vec<u32> = (0..vals.len() as u32).collect();
+            order.sort_by(|&x, &y| {
+                vals[y as usize]
+                    .partial_cmp(&vals[x as usize])
+                    .unwrap()
+                    .then(x.cmp(&y))
+            });
+            assert_eq!(l.ids(), &order[..k], "k={k}");
+        }
+    }
+}

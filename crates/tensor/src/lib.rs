@@ -25,10 +25,12 @@
 //! ```
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod numerics;
 pub mod ops;
 pub mod parallel;
 pub(crate) mod pool;
+pub mod reference;
 
 pub use matrix::Matrix;

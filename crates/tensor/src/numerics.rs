@@ -1,9 +1,7 @@
 //! Numerically careful element-wise kernels: ReLU, softmax, log-sum-exp.
 
-use crate::parallel::par_chunks_mut;
+use crate::parallel::{par_chunks_mut, MIN_PAR_ROWS};
 use crate::Matrix;
-
-const MIN_PAR_ROWS: usize = 16;
 
 /// In-place ReLU: `x = max(x, 0)`.
 pub fn relu_inplace(m: &mut Matrix) {

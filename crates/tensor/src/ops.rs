@@ -1,22 +1,28 @@
-//! BLAS-like dense kernels: GEMM (NN/NT/TN), axpy, scaling, weighted sums.
+//! BLAS-like dense kernels: GEMM (NN/NT/TN), fused epilogues, axpy, scaling.
 //!
 //! The GEMM variants cover exactly the products the 3-layer MLP needs:
 //!
-//! * forward output layer: `O = H · W₂` — [`gemm`] (NN)
+//! * forward output layer: `O = H · W₂` — [`gemm`] (NN), or fused with the
+//!   bias add as [`gemm_bias`], or fused all the way into top-k selection as
+//!   [`gemm_bias_topk`]
 //! * backward through the output layer: `dH = dO · W₂ᵀ` — [`gemm_nt`]
 //! * weight gradient: `∇W₂ = Hᵀ · dO` — [`gemm_tn`]
 //!
-//! All three use an `i-k-j` loop order (unit-stride inner loop over the
-//! output row) and parallelize over output rows via
-//! [`crate::parallel::par_chunks_mut`].
+//! All variants parallelize over output rows via
+//! [`crate::parallel::par_chunks_mut`] and run the register-tiled micro-
+//! kernels of [`crate::kernels`] inside each row chunk; see that module for
+//! the lane-width-8 reduction contract and the shared epilogue definition.
 
-use crate::parallel::par_chunks_mut;
+use crate::kernels::{self, Epilogue};
+use crate::parallel::{par_chunks_mut, MIN_PAR_ROWS};
 use crate::Matrix;
 
-/// Rows below this stay serial — thread spawn costs more than the work.
-const MIN_PAR_ROWS: usize = 16;
+pub use crate::kernels::TOPK_STREAM_MAX;
 
 /// `C = alpha * A·B + beta * C` (no transposes).
+///
+/// Per-element reduction is ascending-`k` serial (contract rule 1); the
+/// epilogue is [`Epilogue::AlphaBeta`].
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -26,97 +32,145 @@ pub fn gemm(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     assert_eq!(c.cols(), b.cols(), "gemm output cols mismatch");
     let (m, k) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    let ep = Epilogue::AlphaBeta { alpha, beta };
     par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
-        for (i, crow) in chunk.chunks_mut(n).enumerate() {
-            let ai = first_row + i;
-            if beta == 0.0 {
-                crow.fill(0.0);
-            } else if beta != 1.0 {
-                for x in crow.iter_mut() {
-                    *x *= beta;
-                }
-            }
-            let arow = &a_data[ai * k..(ai + 1) * k];
-            for (kk, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let s = alpha * aik;
-                let brow = &b_data[kk * n..(kk + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += s * bv;
-                }
-            }
-        }
+        kernels::gemm_nn_chunk(a_data, k, b_data, n, first_row, chunk, ep);
     });
 }
 
 /// `C = alpha * A·Bᵀ + beta * C`.
 ///
-/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Inner loop is a dot product of
-/// two contiguous rows, so no transposition is materialized.
+/// `A` is `m×k`, `B` is `n×k`, `C` is `m×n`. Each element is a lane-tree dot
+/// product of two contiguous rows (contract rule 2), so no transposition is
+/// materialized.
 pub fn gemm_nt(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "gemm_nt inner dimension mismatch");
     assert_eq!(c.rows(), a.rows(), "gemm_nt output rows mismatch");
     assert_eq!(c.cols(), b.rows(), "gemm_nt output cols mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
+    if m == 0 || n == 0 {
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    let ep = Epilogue::AlphaBeta { alpha, beta };
     par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
-        for (i, crow) in chunk.chunks_mut(n).enumerate() {
-            let ai = first_row + i;
-            let arow = &a_data[ai * k..(ai + 1) * k];
-            for (j, cv) in crow.iter_mut().enumerate() {
-                let brow = &b_data[j * k..(j + 1) * k];
-                let mut dot = 0.0f32;
-                for (&av, &bv) in arow.iter().zip(brow) {
-                    dot += av * bv;
-                }
-                *cv = alpha * dot + if beta == 0.0 { 0.0 } else { beta * *cv };
-            }
-        }
+        kernels::gemm_nt_chunk(a_data, k, b_data, n, first_row, chunk, ep);
     });
 }
 
 /// `C = alpha * Aᵀ·B + beta * C`.
 ///
 /// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`. Parallelized over rows of `C`
-/// (columns of `A`); each worker streams over `A` and `B` once.
+/// (columns of `A`); per-element reduction is ascending-`k` serial
+/// (contract rule 1).
 pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "gemm_tn inner dimension mismatch");
     assert_eq!(c.rows(), a.cols(), "gemm_tn output rows mismatch");
     assert_eq!(c.cols(), b.cols(), "gemm_tn output cols mismatch");
     let (k, m) = a.shape();
     let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
     let a_data = a.as_slice();
     let b_data = b.as_slice();
+    let ep = Epilogue::AlphaBeta { alpha, beta };
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_col, chunk| {
+        kernels::gemm_tn_chunk(a_data, k, m, b_data, n, first_col, chunk, ep);
+    });
+}
+
+/// Fused forward logits: `C = A·B + bias` (bias broadcast over rows) — one
+/// pass over the wide output row instead of GEMM + a separate bias sweep.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_bias(a: &Matrix, b: &Matrix, bias: &[f32], c: &mut Matrix) {
+    assert_eq!(a.cols(), b.rows(), "gemm_bias inner dimension mismatch");
+    assert_eq!(c.rows(), a.rows(), "gemm_bias output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm_bias output cols mismatch");
+    assert_eq!(bias.len(), b.cols(), "gemm_bias bias length mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let ep = Epilogue::Bias(bias);
     par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
-        let rows_here = chunk.len() / n;
-        if beta == 0.0 {
-            chunk.fill(0.0);
-        } else if beta != 1.0 {
-            for x in chunk.iter_mut() {
-                *x *= beta;
-            }
-        }
-        for kk in 0..k {
-            let brow = &b_data[kk * n..(kk + 1) * n];
-            let arow = &a_data[kk * m..(kk + 1) * m];
-            for i in 0..rows_here {
-                let aik = arow[first_row + i];
-                if aik == 0.0 {
-                    continue;
-                }
-                let s = alpha * aik;
-                let crow = &mut chunk[i * n..(i + 1) * n];
-                for (cv, &bv) in crow.iter_mut().zip(brow) {
-                    *cv += s * bv;
-                }
-            }
-        }
+        kernels::gemm_nn_chunk(a_data, k, b_data, n, first_row, chunk, ep);
+    });
+}
+
+/// Fused forward activation: `C = relu(A·B + bias)` — GEMM, bias add, and
+/// ReLU in a single pass (the `H = relu(X·W₁ + b₁)` dense analogue; the
+/// sparse forward uses `asgd_sparse`'s fused spmm).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_bias_relu(a: &Matrix, b: &Matrix, bias: &[f32], c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm_bias_relu inner dimension mismatch"
+    );
+    assert_eq!(c.rows(), a.rows(), "gemm_bias_relu output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm_bias_relu output cols mismatch");
+    assert_eq!(bias.len(), b.cols(), "gemm_bias_relu bias length mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let ep = Epilogue::BiasRelu(bias);
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        kernels::gemm_nn_chunk(a_data, k, b_data, n, first_row, chunk, ep);
+    });
+}
+
+/// Fused logits→top-k: for each row of `A`, computes the logits
+/// `A·B + bias` tile by tile *in registers* and streams them into a top-`k`
+/// selection ordered by `(logit desc, class id asc)` — the wide `m×n` logit
+/// matrix is never materialized. `out` receives `m` rows of `k` class ids,
+/// best first.
+///
+/// Softmax is strictly monotone per row, so top-k over logits equals top-k
+/// over softmax probabilities (the serving/eval contract).
+///
+/// # Panics
+/// Panics on dimension mismatch, `out.len() != m·k`, `k == 0`,
+/// `k > TOPK_STREAM_MAX`, or `k > b.cols()`.
+pub fn gemm_bias_topk(a: &Matrix, b: &Matrix, bias: &[f32], k: usize, out: &mut [u32]) {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "gemm_bias_topk inner dimension mismatch"
+    );
+    assert_eq!(bias.len(), b.cols(), "gemm_bias_topk bias length mismatch");
+    let (m, kdim) = a.shape();
+    let n = b.cols();
+    assert!(
+        (1..=TOPK_STREAM_MAX).contains(&k) && k <= n,
+        "gemm_bias_topk k={k} out of range (n={n}, max {TOPK_STREAM_MAX})"
+    );
+    assert_eq!(out.len(), m * k, "gemm_bias_topk output length mismatch");
+    if m == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    par_chunks_mut(out, m, k, MIN_PAR_ROWS, |first_row, chunk| {
+        kernels::gemm_bias_topk_chunk(a_data, kdim, b_data, n, bias, first_row, k, chunk);
     });
 }
 
@@ -126,9 +180,7 @@ pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
 /// updates) already run one-per-device on separate threads.
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yv, &xv) in y.iter_mut().zip(x) {
-        *yv += a * xv;
-    }
+    kernels::axpy_lanes(a, x, y);
 }
 
 /// `y = a * x + b * y` element-wise.
@@ -257,6 +309,24 @@ mod tests {
     }
 
     #[test]
+    fn gemm_nt_beta_uses_unified_epilogue() {
+        // All variants share Epilogue::AlphaBeta: alpha·s + beta·c per
+        // element, applied once after the full reduction.
+        let a = test_mat(5, 7, 4);
+        let b = test_mat(6, 7, 5);
+        let mut c = test_mat(5, 6, 6);
+        let c0 = c.clone();
+        gemm_nt(2.0, &a, &b, 0.5, &mut c);
+        let naive = naive_gemm(&a, &b.transposed());
+        for i in 0..5 {
+            for j in 0..6 {
+                let want = 2.0 * naive.at(i, j) + 0.5 * c0.at(i, j);
+                assert!((c.at(i, j) - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
     fn gemm_tn_matches_explicit_transpose() {
         let a = test_mat(7, 6, 6);
         let b = test_mat(7, 9, 7);
@@ -288,6 +358,70 @@ mod tests {
         let mut c = Matrix::zeros(200, 120);
         gemm(1.0, &a, &b, 0.0, &mut c);
         assert!(c.max_abs_diff(&naive_gemm(&a, &b)) < 1e-3);
+    }
+
+    #[test]
+    fn gemm_bias_fuses_the_bias_add() {
+        let a = test_mat(9, 5, 1);
+        let b = test_mat(5, 21, 2);
+        let bias: Vec<f32> = (0..21).map(|j| j as f32 * 0.1 - 1.0).collect();
+        let mut fused = Matrix::zeros(9, 21);
+        gemm_bias(&a, &b, &bias, &mut fused);
+        let mut two_pass = Matrix::zeros(9, 21);
+        gemm(1.0, &a, &b, 0.0, &mut two_pass);
+        for r in 0..9 {
+            for (j, &bj) in bias.iter().enumerate() {
+                let want = two_pass.at(r, j) + bj;
+                assert_eq!(fused.at(r, j).to_bits(), want.to_bits(), "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bias_relu_clamps_negatives() {
+        let a = test_mat(7, 6, 3);
+        let b = test_mat(6, 13, 4);
+        let bias: Vec<f32> = (0..13).map(|j| j as f32 * 0.2 - 1.3).collect();
+        let mut fused = Matrix::zeros(7, 13);
+        gemm_bias_relu(&a, &b, &bias, &mut fused);
+        let mut plain = Matrix::zeros(7, 13);
+        gemm_bias(&a, &b, &bias, &mut plain);
+        let mut saw_clamp = false;
+        for r in 0..7 {
+            for j in 0..13 {
+                let pre = plain.at(r, j);
+                let want = if pre < 0.0 { 0.0 } else { pre };
+                if pre < 0.0 {
+                    saw_clamp = true;
+                }
+                assert_eq!(fused.at(r, j).to_bits(), want.to_bits());
+            }
+        }
+        assert!(saw_clamp, "test shape never exercised the clamp");
+    }
+
+    #[test]
+    fn gemm_bias_topk_matches_materialized_sort() {
+        let a = test_mat(11, 8, 5);
+        let b = test_mat(8, 37, 6);
+        let bias: Vec<f32> = (0..37).map(|j| (j % 5) as f32 * 0.3 - 0.6).collect();
+        let mut logits = Matrix::zeros(11, 37);
+        gemm_bias(&a, &b, &bias, &mut logits);
+        for k in [1usize, 3, 10, 32] {
+            let mut out = vec![0u32; 11 * k];
+            gemm_bias_topk(&a, &b, &bias, k, &mut out);
+            for r in 0..11 {
+                let row = logits.row(r);
+                let mut order: Vec<u32> = (0..37u32).collect();
+                order.sort_by(|&x, &y| {
+                    row[y as usize]
+                        .partial_cmp(&row[x as usize])
+                        .unwrap()
+                        .then(x.cmp(&y))
+                });
+                assert_eq!(&out[r * k..(r + 1) * k], &order[..k], "row {r} k {k}");
+            }
+        }
     }
 
     #[test]
@@ -333,11 +467,40 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::reference;
     use proptest::prelude::*;
 
     fn mat_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
         proptest::collection::vec(-2.0f32..2.0, rows * cols)
             .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+    }
+
+    fn bits(m: &Matrix) -> Vec<u32> {
+        m.as_slice().iter().map(|x| x.to_bits()).collect()
+    }
+
+    /// Shapes that exercise every micro-kernel path: tiles, `MR` row
+    /// remainders, `LANES` column remainders, single rows, sub-lane widths.
+    fn edge_shape() -> impl Strategy<Value = (usize, usize, usize)> {
+        (
+            prop_oneof![Just(1usize), Just(3), 2usize..10],
+            prop_oneof![Just(1usize), Just(7), Just(8), Just(9), 1usize..20],
+            prop_oneof![
+                Just(1usize),
+                Just(5),
+                Just(8),
+                Just(16),
+                Just(17),
+                1usize..24
+            ],
+        )
+    }
+
+    fn alpha_beta() -> impl Strategy<Value = (f32, f32)> {
+        (
+            prop_oneof![Just(0.0f32), Just(1.0), -2.0f32..2.0],
+            prop_oneof![Just(0.0f32), Just(1.0), Just(0.5)],
+        )
     }
 
     proptest! {
@@ -375,6 +538,82 @@ mod proptests {
             let mut out = Matrix::zeros(4, 4);
             weighted_sum(&[&m, &m, &m], &[0.2, 0.3, 0.5], &mut out);
             prop_assert!(out.max_abs_diff(&m) < 1e-5);
+        }
+
+        // ---- bit-exactness against the ordered references: the tiled
+        // kernels must implement the documented reduction contract exactly,
+        // on every tile/remainder path and for every epilogue case.
+
+        #[test]
+        fn gemm_bit_matches_ordered_reference(
+            (m, k, n) in edge_shape(),
+            (alpha, beta) in alpha_beta(),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let c0 = Matrix::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+            let mut tiled = c0.clone();
+            gemm(alpha, &a, &b, beta, &mut tiled);
+            let mut spec = c0.clone();
+            reference::gemm_ordered(alpha, &a, &b, beta, &mut spec);
+            prop_assert_eq!(bits(&tiled), bits(&spec));
+        }
+
+        #[test]
+        fn gemm_nt_bit_matches_ordered_reference(
+            (m, k, n) in edge_shape(),
+            (alpha, beta) in alpha_beta(),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(n, k, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let c0 = Matrix::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+            let mut tiled = c0.clone();
+            gemm_nt(alpha, &a, &b, beta, &mut tiled);
+            let mut spec = c0.clone();
+            reference::gemm_nt_ordered(alpha, &a, &b, beta, &mut spec);
+            prop_assert_eq!(bits(&tiled), bits(&spec));
+        }
+
+        #[test]
+        fn gemm_tn_bit_matches_ordered_reference(
+            (m, k, n) in edge_shape(),
+            (alpha, beta) in alpha_beta(),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(k, m, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let c0 = Matrix::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+            let mut tiled = c0.clone();
+            gemm_tn(alpha, &a, &b, beta, &mut tiled);
+            let mut spec = c0.clone();
+            reference::gemm_tn_ordered(alpha, &a, &b, beta, &mut spec);
+            prop_assert_eq!(bits(&tiled), bits(&spec));
+        }
+
+        #[test]
+        fn fused_bias_kernels_bit_match_gemm_plus_epilogue(
+            (m, k, n) in edge_shape(),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(k, n, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let bias: Vec<f32> = (0..n).map(|j| (j % 9) as f32 * 0.25 - 1.0).collect();
+            let mut plain = Matrix::zeros(m, n);
+            gemm(1.0, &a, &b, 0.0, &mut plain);
+            let mut with_bias = Matrix::zeros(m, n);
+            gemm_bias(&a, &b, &bias, &mut with_bias);
+            let mut with_relu = Matrix::zeros(m, n);
+            gemm_bias_relu(&a, &b, &bias, &mut with_relu);
+            for r in 0..m {
+                for (j, &bj) in bias.iter().enumerate() {
+                    let pre = plain.at(r, j) + bj;
+                    prop_assert_eq!(with_bias.at(r, j).to_bits(), pre.to_bits());
+                    let clamped = if pre < 0.0 { 0.0 } else { pre };
+                    prop_assert_eq!(with_relu.at(r, j).to_bits(), clamped.to_bits());
+                }
+            }
         }
     }
 }

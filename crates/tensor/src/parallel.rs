@@ -18,6 +18,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// Row counts below this stay serial — the fork/join (a lock and a condvar
+/// notify per call) costs more than the work. One named threshold shared by
+/// every row-parallel kernel (dense GEMM, sparse SpMM, softmax); see the
+/// `min_par_rows` sweep in the kernel bench for the measurement behind the
+/// value.
+pub const MIN_PAR_ROWS: usize = 16;
+
 static THREADS: OnceLock<usize> = OnceLock::new();
 
 /// In-process override used by determinism tests (see [`override_threads`]);
@@ -103,9 +110,10 @@ where
 ///
 /// # Panics
 /// Panics when `data.len() != rows * row_len`.
-pub fn par_chunks_mut<F>(data: &mut [f32], rows: usize, row_len: usize, min_serial: usize, f: F)
+pub fn par_chunks_mut<T, F>(data: &mut [T], rows: usize, row_len: usize, min_serial: usize, f: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     assert_eq!(data.len(), rows * row_len, "par_chunks_mut shape mismatch");
     let threads = num_threads();
@@ -124,7 +132,7 @@ where
         let r = &ranges[i];
         let chunk = unsafe {
             std::slice::from_raw_parts_mut(
-                (base as *mut f32).add(r.start * row_len),
+                (base as *mut T).add(r.start * row_len),
                 r.len() * row_len,
             )
         };

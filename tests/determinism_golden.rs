@@ -40,7 +40,7 @@ fn golden_run() -> adaptive_sgd::core::metrics::RunResult {
 }
 
 const GOLDEN_TRACE_FNV: u64 = 0x63a8_f15d_ffcb_a276;
-const GOLDEN_MODEL_FNV: u64 = 0xb7f5_35bc_0f26_2377;
+const GOLDEN_MODEL_FNV: u64 = 0x47e2_857a_2f16_1107;
 
 #[test]
 fn fixed_seed_run_matches_checked_in_checksums() {
