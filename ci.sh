@@ -50,6 +50,23 @@ if [[ "${1:-}" != "quick" ]]; then
         echo "fault seed $fault_seed: bit-identical at ASGD_THREADS=1 and =8"
     done
 
+    echo "== chaos determinism in the bf16 merge arena =="
+    # The bf16 storage tier promises the same contract as f32: half-width
+    # gather/reduce/redistribute buffers, f32 accumulation, exactly one RNE
+    # round point per store — still a pure function of (run seed, fault
+    # seed), independent of worker count, and matching the checked-in
+    # golden. See DESIGN.md, "Precision tiers & rounding contract".
+    ASGD_PRECISION=bf16 ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/chaos1" \
+        ASGD_MEGA_LIMIT=4 ASGD_FAULT_SEED=7 \
+        cargo run --release -p asgd-bench --bin chaos_probe >/dev/null
+    ASGD_PRECISION=bf16 ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/chaos8" \
+        ASGD_MEGA_LIMIT=4 ASGD_FAULT_SEED=7 \
+        cargo run --release -p asgd-bench --bin chaos_probe >/dev/null
+    diff -u "$tmp_out/chaos1/chaos_probe_7_bf16.txt" \
+            "$tmp_out/chaos8/chaos_probe_7_bf16.txt"
+    diff -u results/chaos_probe_7_bf16.txt "$tmp_out/chaos8/chaos_probe_7_bf16.txt"
+    echo "bf16 merge arena: bit-identical at ASGD_THREADS=1 and =8, matches checked-in golden"
+
     echo "== serve determinism across thread counts =="
     # A serving run (train → checkpoint → serve, faulted and fault-free)
     # must be a pure function of (request seed, fault seed): replay the

@@ -201,5 +201,50 @@ fn min_par_rows_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dense_kernels, sparse_kernels, min_par_rows_sweep);
+/// bf16 storage-tier conversion kernels (DESIGN.md, "Precision tiers &
+/// rounding contract") at a merge-sized buffer: the AVX2 slice dispatchers
+/// against a per-element loop over the scalar spec. Both produce identical
+/// bits; only the throughput differs.
+fn bf16_conversions(c: &mut Criterion) {
+    use asgd_tensor::bf16;
+    let n = 1 << 20;
+    let src = filled(1, n, 21);
+    let src = src.as_slice();
+    let mut half = vec![0u16; n];
+    let mut wide = vec![0f32; n];
+
+    let mut group = c.benchmark_group("bf16_conversions");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("narrow", "scalar"), |b| {
+        b.iter(|| {
+            for (o, &x) in half.iter_mut().zip(src) {
+                *o = bf16::narrow(x);
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("narrow", "simd"), |b| {
+        b.iter(|| bf16::narrow_slice(src, &mut half))
+    });
+    bf16::narrow_slice(src, &mut half);
+    group.bench_function(BenchmarkId::new("widen", "scalar"), |b| {
+        b.iter(|| {
+            for (o, &x) in wide.iter_mut().zip(half.iter()) {
+                *o = bf16::widen(x);
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::new("widen", "simd"), |b| {
+        b.iter(|| bf16::widen_slice(&half, &mut wide))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    dense_kernels,
+    sparse_kernels,
+    min_par_rows_sweep,
+    bf16_conversions
+);
 criterion_main!(benches);

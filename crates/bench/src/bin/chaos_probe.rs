@@ -11,6 +11,9 @@
 //! Environment (on top of the shared `ASGD_*` variables):
 //!   ASGD_FAULT_SEED   seed for `FaultPlan::random` (default 7)
 //!   ASGD_FAULT_GPUS   server size (default 4)
+//!   ASGD_PRECISION    merge-arena storage tier, `f32` (default) or `bf16`;
+//!                     bf16 artifacts get a `_bf16` name suffix so the two
+//!                     tiers keep separate goldens
 
 fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -32,11 +35,14 @@ fn main() {
         .and_then(|v| v.trim().parse().ok())
         .unwrap_or(4);
 
+    let precision = asgd_tensor::Precision::from_env_or(asgd_tensor::Precision::F32);
+
     let dataset = env.dataset(&asgd_bench::Env::dataset_specs(&env)[0]);
     let plan = asgd_gpusim::FaultPlan::random(fault_seed, n_gpus, env.mega_limit);
     let mut config = env.run_config(0.2);
     config.trace = true;
     config.fault_plan = Some(plan.clone());
+    config.precision = precision;
     let result = asgd_core::trainer::Trainer::new(
         asgd_core::algorithms::adaptive_sgd(),
         asgd_gpusim::profile::heterogeneous_server(n_gpus),
@@ -46,8 +52,9 @@ fn main() {
 
     let mut report = String::new();
     report.push_str(&format!(
-        "chaos probe: fault seed {fault_seed}, {n_gpus} gpus, {} megas\n",
-        env.mega_limit
+        "chaos probe: fault seed {fault_seed}, {n_gpus} gpus, {} megas, {} merge arena\n",
+        env.mega_limit,
+        precision.name()
     ));
     for e in plan.events() {
         report.push_str(&format!("plan: {e:?}\n"));
@@ -69,6 +76,10 @@ fn main() {
     ));
 
     print!("{report}");
-    let path = env.write_artifact(&format!("chaos_probe_{fault_seed}.txt"), &report);
+    let suffix = match precision {
+        asgd_tensor::Precision::F32 => String::new(),
+        _ => format!("_{}", precision.name()),
+    };
+    let path = env.write_artifact(&format!("chaos_probe_{fault_seed}{suffix}.txt"), &report);
     eprintln!("wrote {path:?}");
 }

@@ -34,6 +34,10 @@ fn fnv_u32(xs: &[u32]) -> u64 {
     fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
 }
 
+fn fnv_u16(xs: &[u16]) -> u64 {
+    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
+}
+
 /// Deterministic pseudo-random fill in [-0.5, 0.5).
 fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut state = seed | 1;
@@ -145,6 +149,46 @@ fn main() {
             "spmm_tn_acc 40x23x{n} fnv {:#018x}",
             fnv_f32(grad.as_slice())
         );
+    }
+
+    // bf16 conversion kernels — the storage tier's only rounding operation
+    // (DESIGN.md, "Precision tiers & rounding contract"). Edge values force
+    // every branch of the RNE formula (ties both ways, NaN quieting,
+    // infinities, denormals, signed zeros); the bulk sweep at an odd length
+    // exercises the AVX2 body plus the scalar tail.
+    {
+        use asgd_tensor::bf16;
+        let edges: Vec<f32> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::from_bits(0x3F80_8000), // tie, even mantissa: rounds down
+            f32::from_bits(0x3F81_8000), // tie, odd mantissa: rounds up
+            f32::from_bits(0x3F80_8001), // just above the tie
+            f32::from_bits(0x7F7F_FFFF), // f32::MAX → rounds to +inf
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::from_bits(0x7F80_0001), // signalling NaN → quieted
+            f32::from_bits(0x0000_0001), // smallest denormal
+            f32::from_bits(0x0080_0000), // smallest normal
+            f32::MIN_POSITIVE,
+        ];
+        let mut half = vec![0u16; edges.len()];
+        bf16::narrow_slice(&edges, &mut half);
+        let _ = writeln!(report, "bf16_narrow edges fnv {:#018x}", fnv_u16(&half));
+        let mut wide = vec![0.0f32; half.len()];
+        bf16::widen_slice(&half, &mut wide);
+        let _ = writeln!(report, "bf16_widen edges fnv {:#018x}", fnv_f32(&wide));
+
+        let bulk = filled(1, 1013, 0xB16);
+        let mut half = vec![0u16; 1013];
+        bf16::narrow_slice(bulk.as_slice(), &mut half);
+        let _ = writeln!(report, "bf16_narrow 1x1013 fnv {:#018x}", fnv_u16(&half));
+        let mut wide = vec![0.0f32; 1013];
+        bf16::widen_slice(&half, &mut wide);
+        let _ = writeln!(report, "bf16_widen 1x1013 fnv {:#018x}", fnv_f32(&wide));
     }
 
     print!("{report}");

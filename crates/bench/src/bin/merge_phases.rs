@@ -1,0 +1,62 @@
+//! Phase-level timing of one merge-stage iteration, f32 vs bf16 arena.
+//! Diagnostic companion to `merge_stage.csv` — not part of `run_all`.
+
+use asgd_collective::{allreduce_flat, Algorithm, CollectiveContext};
+use asgd_core::merging::{apply_global_update_flat, redistribute_global};
+use asgd_gpusim::{profile, SimTime, Topology};
+use asgd_model::{Mlp, MlpConfig};
+use asgd_tensor::{FlatVec, Precision};
+use std::time::Instant;
+
+fn main() {
+    let n = 4;
+    let config = MlpConfig {
+        num_features: 135_909,
+        hidden: 128,
+        num_classes: 6_701,
+    };
+    let weights = vec![1.0 / n as f64; n];
+    let ctx = CollectiveContext::new(Topology::pcie(n), &profile::heterogeneous_server(n));
+    let arrivals = vec![SimTime::ZERO; n];
+    let algo = Algorithm::MultiStreamRing { partitions: 4 };
+
+    for precision in [Precision::F32, Precision::Bf16] {
+        let mut replicas: Vec<Mlp> = (0..n).map(|g| Mlp::init(&config, 3 + g as u64)).collect();
+        let mut global = replicas[0].to_flat();
+        let mut prev_global = global.clone();
+        let mut bufs: Vec<FlatVec> = (0..n).map(|_| FlatVec::empty(precision)).collect();
+        let mut phases = [0.0f64; 4];
+        let iters = 10;
+        for it in 0..iters + 1 {
+            let record = it > 0; // first iteration is warm-up
+            let t0 = Instant::now();
+            for (r, buf) in replicas.iter().zip(bufs.iter_mut()) {
+                r.write_flat_buf(buf);
+            }
+            let t1 = Instant::now();
+            allreduce_flat(&mut bufs, &weights, algo, &ctx, &arrivals);
+            let t2 = Instant::now();
+            apply_global_update_flat(&bufs[0], &mut global, &mut prev_global, 0.9);
+            let t3 = Instant::now();
+            redistribute_global(&global, &mut bufs);
+            for (r, buf) in replicas.iter_mut().zip(bufs.iter()) {
+                r.read_flat_buf(buf);
+            }
+            let t4 = Instant::now();
+            if record {
+                phases[0] += (t1 - t0).as_secs_f64();
+                phases[1] += (t2 - t1).as_secs_f64();
+                phases[2] += (t3 - t2).as_secs_f64();
+                phases[3] += (t4 - t3).as_secs_f64();
+            }
+        }
+        println!(
+            "{}: gather {:.1} ms  allreduce {:.1} ms  global_update {:.1} ms  redistribute {:.1} ms",
+            precision.name(),
+            phases[0] * 1e3 / iters as f64,
+            phases[1] * 1e3 / iters as f64,
+            phases[2] * 1e3 / iters as f64,
+            phases[3] * 1e3 / iters as f64,
+        );
+    }
+}

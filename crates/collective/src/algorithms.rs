@@ -16,7 +16,11 @@
 
 use crate::timing::{AllReduceTiming, CollectiveContext};
 use asgd_gpusim::SimTime;
-use asgd_tensor::parallel::{par_add_assign, par_copy, par_scale, par_tasks, split_ranges};
+use asgd_tensor::bf16::ReduceElem;
+use asgd_tensor::parallel::{
+    par_add_assign_elem, par_copy_elem, par_scale_elem, par_tasks, split_ranges,
+};
+use asgd_tensor::FlatVec;
 
 /// Reductions shorter than this stay serial — the fork/join on the worker
 /// pool only pays off for model-sized buffers. Element-wise addition is
@@ -64,7 +68,76 @@ pub fn allreduce(
     ctx: &CollectiveContext,
     arrivals: &[SimTime],
 ) -> AllReduceTiming {
-    allreduce_with(buffers, weights, algo, ctx, arrivals, MIN_PAR_REDUCE)
+    let mut views: Vec<&mut [f32]> = buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+    allreduce_with(&mut views, weights, algo, ctx, arrivals, MIN_PAR_REDUCE)
+}
+
+/// [`allreduce`] over precision-tagged flat buffers: every algorithm runs
+/// on the stored element type (f32 verbatim, or bf16 bits with f32
+/// accumulators and one narrow per store — see `asgd_tensor::bf16`), with
+/// byte accounting and simulated transfer/reduce times reflecting the
+/// element width.
+///
+/// # Panics
+/// Panics when buffers mix precisions, lengths are inconsistent, or
+/// `buffers` is empty.
+pub fn allreduce_flat(
+    buffers: &mut [FlatVec],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+) -> AllReduceTiming {
+    allreduce_flat_with(buffers, weights, algo, ctx, arrivals, MIN_PAR_REDUCE)
+}
+
+/// [`allreduce_flat`] degraded to the serial path; see [`allreduce_serial`].
+pub fn allreduce_flat_serial(
+    buffers: &mut [FlatVec],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+) -> AllReduceTiming {
+    allreduce_flat_with(buffers, weights, algo, ctx, arrivals, usize::MAX)
+}
+
+/// Dispatches [`allreduce_with`] on the storage precision of the flat
+/// buffers (which must all match).
+fn allreduce_flat_with(
+    buffers: &mut [FlatVec],
+    weights: &[f64],
+    algo: Algorithm,
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+    min_par: usize,
+) -> AllReduceTiming {
+    assert!(
+        !buffers.is_empty(),
+        "allreduce needs at least one participant"
+    );
+    match buffers[0] {
+        FlatVec::F32(_) => {
+            let mut views: Vec<&mut [f32]> = buffers
+                .iter_mut()
+                .map(|b| match b {
+                    FlatVec::F32(v) => v.as_mut_slice(),
+                    FlatVec::Bf16(_) => panic!("mixed-precision allreduce"),
+                })
+                .collect();
+            allreduce_with(&mut views, weights, algo, ctx, arrivals, min_par)
+        }
+        FlatVec::Bf16(_) => {
+            let mut views: Vec<&mut [u16]> = buffers
+                .iter_mut()
+                .map(|b| match b {
+                    FlatVec::Bf16(v) => v.as_mut_slice(),
+                    FlatVec::F32(_) => panic!("mixed-precision allreduce"),
+                })
+                .collect();
+            allreduce_with(&mut views, weights, algo, ctx, arrivals, min_par)
+        }
+    }
 }
 
 /// [`allreduce`] degraded to the serial (non-pooled) path: no work is ever
@@ -80,42 +153,46 @@ pub fn allreduce_serial(
     ctx: &CollectiveContext,
     arrivals: &[SimTime],
 ) -> AllReduceTiming {
-    allreduce_with(buffers, weights, algo, ctx, arrivals, usize::MAX)
+    let mut views: Vec<&mut [f32]> = buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
+    allreduce_with(&mut views, weights, algo, ctx, arrivals, usize::MAX)
 }
 
-/// Shared implementation: `min_par` is the minimum element count at which
+/// Shared implementation, generic over the storage element (`f32`
+/// reproduces the pre-generic code path bit for bit; `u16` runs the bf16
+/// rounding contract). `min_par` is the minimum element count at which
 /// per-chunk arithmetic is handed to the worker pool (`usize::MAX` keeps
 /// everything on the calling thread).
-fn allreduce_with(
-    buffers: &mut [Vec<f32>],
+fn allreduce_with<E: ReduceElem>(
+    views: &mut [&mut [E]],
     weights: &[f64],
     algo: Algorithm,
     ctx: &CollectiveContext,
     arrivals: &[SimTime],
     min_par: usize,
 ) -> AllReduceTiming {
-    let n = buffers.len();
+    let n = views.len();
     assert!(n > 0, "allreduce needs at least one participant");
     assert_eq!(weights.len(), n, "weights/buffers mismatch");
     assert_eq!(arrivals.len(), n, "arrivals/buffers mismatch");
     assert_eq!(ctx.n_devices(), n, "context device count mismatch");
-    let len = buffers[0].len();
+    let len = views[0].len();
     assert!(
-        buffers.iter().all(|b| b.len() == len),
+        views.iter().all(|b| b.len() == len),
         "replica size mismatch"
     );
 
     // Pre-scale each replica by its merge weight on its own device. The
     // scale pass overlaps nothing — it delays that device's arrival. It must
     // stay a separate pass (not fused into the ring's adds): ring chunks
-    // forward partial sums, so fusing would re-scale them.
+    // forward partial sums, so fusing would re-scale them. Cost model: one
+    // read + one write of the stored payload (`2 · BYTES` bytes/element).
     let mut ready = Vec::with_capacity(n);
-    for (d, buf) in buffers.iter_mut().enumerate() {
+    for (d, buf) in views.iter_mut().enumerate() {
         let w = weights[d] as f32;
         if w != 1.0 {
-            par_scale(w, buf, min_par);
+            par_scale_elem(w, buf, min_par);
         }
-        let scale_t = 8.0 * len as f64
+        let scale_t = (2 * E::BYTES) as f64 * len as f64
             / (ctx.profiles()[d].mem_bandwidth_gbs * 1e9)
             / ctx.profiles()[d].speed_factor;
         ready.push(arrivals[d] + scale_t);
@@ -131,16 +208,15 @@ fn allreduce_with(
         };
     }
 
-    let mut views: Vec<&mut [f32]> = buffers.iter_mut().map(|b| b.as_mut_slice()).collect();
     let (elapsed, bytes) = match algo {
-        Algorithm::Naive => naive(&mut views, ctx, min_par),
-        Algorithm::Tree => tree(&mut views, ctx, min_par),
-        Algorithm::Ring => ring_slices(&mut views, ctx, 0, min_par),
+        Algorithm::Naive => naive(views, ctx, min_par),
+        Algorithm::Tree => tree(views, ctx, min_par),
+        Algorithm::Ring => ring_slices(views, ctx, 0, min_par),
         Algorithm::HalvingDoubling => {
             if n.is_power_of_two() {
-                halving_doubling(&mut views, ctx, min_par)
+                halving_doubling(views, ctx, min_par)
             } else {
-                ring_slices(&mut views, ctx, 0, min_par)
+                ring_slices(views, ctx, 0, min_par)
             }
         }
         Algorithm::MultiStreamRing { partitions } => {
@@ -157,7 +233,7 @@ fn allreduce_with(
                 let mut worst = 0.0f64;
                 let mut total_bytes = 0usize;
                 for (p, r) in ranges.iter().enumerate() {
-                    let mut part: Vec<&mut [f32]> =
+                    let mut part: Vec<&mut [E]> =
                         views.iter_mut().map(|v| &mut v[r.start..r.end]).collect();
                     let (t, b) = ring_slices(&mut part, ctx, p % n, min_par);
                     worst = worst.max(t);
@@ -180,10 +256,10 @@ fn allreduce_with(
                     // `par_tasks` joins all tasks before returning — so the
                     // reborrowed sub-slices (and the `results[p]` writes) never
                     // alias across tasks and never outlive the borrow.
-                    let mut part: Vec<&mut [f32]> = bases
+                    let mut part: Vec<&mut [E]> = bases
                         .iter()
                         .map(|&b| unsafe {
-                            std::slice::from_raw_parts_mut((b as *mut f32).add(r.start), r.len())
+                            std::slice::from_raw_parts_mut((b as *mut E).add(r.start), r.len())
                         })
                         .collect();
                     let out = ring_slices(&mut part, ctx, p % n, min_par);
@@ -208,28 +284,36 @@ fn allreduce_with(
 }
 
 /// Gather-to-root + broadcast. Sequential on the root's links.
-fn naive(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f64, usize) {
+fn naive<E: ReduceElem>(
+    bufs: &mut [&mut [E]],
+    ctx: &CollectiveContext,
+    min_par: usize,
+) -> (f64, usize) {
     let n = bufs.len();
     let len = bufs[0].len();
     let mut t = 0.0;
     let mut bytes = 0usize;
     for src in 1..n {
         let (root_slice, src_slice) = chunk_pair(bufs, 0, src, 0..len, 0..len);
-        par_add_assign(root_slice, src_slice, min_par);
-        t += ctx.p2p_time(src, 0, len) + ctx.reduce_time(0, len);
-        bytes += 4 * len;
+        par_add_assign_elem(root_slice, src_slice, min_par);
+        t += ctx.p2p_time_sized(src, 0, len, E::BYTES) + ctx.reduce_time_sized(0, len, E::BYTES);
+        bytes += E::BYTES * len;
     }
     let (root, rest) = bufs.split_first_mut().expect("n >= 1");
     for (i, dst) in rest.iter_mut().enumerate() {
-        par_copy(root, dst, min_par);
-        t += ctx.p2p_time(0, i + 1, len);
-        bytes += 4 * len;
+        par_copy_elem(root, dst, min_par);
+        t += ctx.p2p_time_sized(0, i + 1, len, E::BYTES);
+        bytes += E::BYTES * len;
     }
     (t, bytes)
 }
 
 /// Binomial tree reduce + broadcast, single stream, whole-model transfers.
-fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f64, usize) {
+fn tree<E: ReduceElem>(
+    bufs: &mut [&mut [E]],
+    ctx: &CollectiveContext,
+    min_par: usize,
+) -> (f64, usize) {
     let n = bufs.len();
     let len = bufs[0].len();
     let mut t = 0.0;
@@ -241,9 +325,12 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f6
         let mut i = 0;
         while i + stride < n {
             let (dst, src) = chunk_pair(bufs, i, i + stride, 0..len, 0..len);
-            par_add_assign(dst, src, min_par);
-            round = round.max(ctx.p2p_time(i + stride, i, len) + ctx.reduce_time(i, len));
-            bytes += 4 * len;
+            par_add_assign_elem(dst, src, min_par);
+            round = round.max(
+                ctx.p2p_time_sized(i + stride, i, len, E::BYTES)
+                    + ctx.reduce_time_sized(i, len, E::BYTES),
+            );
+            bytes += E::BYTES * len;
             i += stride * 2;
         }
         t += round;
@@ -255,9 +342,9 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f6
         let mut i = 0;
         while i + stride < n {
             let (dst, src) = chunk_pair(bufs, i + stride, i, 0..len, 0..len);
-            par_copy(src, dst, min_par);
-            round = round.max(ctx.p2p_time(i, i + stride, len));
-            bytes += 4 * len;
+            par_copy_elem(src, dst, min_par);
+            round = round.max(ctx.p2p_time_sized(i, i + stride, len, E::BYTES));
+            bytes += E::BYTES * len;
             i += stride * 2;
         }
         t += round;
@@ -278,8 +365,8 @@ fn tree(bufs: &mut [&mut [f32]], ctx: &CollectiveContext, min_par: usize) -> (f6
 /// chunk `i + 1 - s` while chunk `i + 2 - s` is read: again disjoint.
 ///
 /// Returns `(elapsed, bytes_moved)`.
-fn ring_slices(
-    bufs: &mut [&mut [f32]],
+fn ring_slices<E: ReduceElem>(
+    bufs: &mut [&mut [E]],
     ctx: &CollectiveContext,
     rotate: usize,
     min_par: usize,
@@ -316,10 +403,13 @@ fn ring_slices(
             let elems = c.len();
             let (src, dst) = (dev(i), dev((i + 1) % n));
             let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
-            par_add_assign(dst_chunk, src_chunk, min_par);
-            bytes += 4 * elems;
+            par_add_assign_elem(dst_chunk, src_chunk, min_par);
+            bytes += E::BYTES * elems;
             // All transfers of a step run on disjoint ring links: take max.
-            step_t = step_t.max(ctx.p2p_time(src, dst, elems) + ctx.reduce_time(dst, elems));
+            step_t = step_t.max(
+                ctx.p2p_time_sized(src, dst, elems, E::BYTES)
+                    + ctx.reduce_time_sized(dst, elems, E::BYTES),
+            );
         }
         t += step_t;
     }
@@ -337,9 +427,9 @@ fn ring_slices(
             let elems = c.len();
             let (src, dst) = (dev(i), dev((i + 1) % n));
             let (dst_chunk, src_chunk) = chunk_pair(bufs, dst, src, c.clone(), c);
-            par_copy(src_chunk, dst_chunk, min_par);
-            bytes += 4 * elems;
-            step_t = step_t.max(ctx.p2p_time(src, dst, elems));
+            par_copy_elem(src_chunk, dst_chunk, min_par);
+            bytes += E::BYTES * elems;
+            step_t = step_t.max(ctx.p2p_time_sized(src, dst, elems, E::BYTES));
         }
         t += step_t;
     }
@@ -354,8 +444,8 @@ fn ring_slices(
 /// complementary halves of its shared active range (halving), or its two
 /// disjoint owned ranges (doubling), so within a step no written region is
 /// ever read.
-fn halving_doubling(
-    bufs: &mut [&mut [f32]],
+fn halving_doubling<E: ReduceElem>(
+    bufs: &mut [&mut [E]],
     ctx: &CollectiveContext,
     min_par: usize,
 ) -> (f64, usize) {
@@ -389,10 +479,13 @@ fn halving_doubling(
             }
             let elems = send.len();
             let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, send.clone(), send);
-            par_add_assign(dst_chunk, src_chunk, min_par);
-            bytes += 4 * elems;
+            par_add_assign_elem(dst_chunk, src_chunk, min_par);
+            bytes += E::BYTES * elems;
             // The pair's two transfers share one link; serialize them.
-            step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems) + ctx.reduce_time(p, elems));
+            step_t = step_t.max(
+                2.0 * ctx.p2p_time_sized(i, p, elems, E::BYTES)
+                    + ctx.reduce_time_sized(p, elems, E::BYTES),
+            );
         }
         ranges = new_ranges;
         t += step_t;
@@ -410,9 +503,9 @@ fn halving_doubling(
             if !r.is_empty() {
                 let elems = r.len();
                 let (dst_chunk, src_chunk) = chunk_pair(bufs, p, i, r.clone(), r.clone());
-                par_copy(src_chunk, dst_chunk, min_par);
-                bytes += 4 * elems;
-                step_t = step_t.max(2.0 * ctx.p2p_time(i, p, elems));
+                par_copy_elem(src_chunk, dst_chunk, min_par);
+                bytes += E::BYTES * elems;
+                step_t = step_t.max(2.0 * ctx.p2p_time_sized(i, p, elems, E::BYTES));
             }
             // The destination now owns the union of the two ranges.
             let own = &mut new_ranges[p];
@@ -427,13 +520,13 @@ fn halving_doubling(
 
 /// Borrows chunk `dst_range` of buffer `dst` mutably and chunk `src_range`
 /// of buffer `src` immutably (`dst != src`).
-fn chunk_pair<'a>(
-    bufs: &'a mut [&mut [f32]],
+fn chunk_pair<'a, E: ReduceElem>(
+    bufs: &'a mut [&mut [E]],
     dst: usize,
     src: usize,
     dst_range: std::ops::Range<usize>,
     src_range: std::ops::Range<usize>,
-) -> (&'a mut [f32], &'a [f32]) {
+) -> (&'a mut [E], &'a [E]) {
     assert_ne!(dst, src);
     if dst < src {
         let (lo, hi) = bufs.split_at_mut(src);
@@ -636,6 +729,134 @@ mod tests {
             assert_eq!(tp.end, ts.end, "{algo:?}: end differs");
             assert_eq!(tp.bytes_moved, ts.bytes_moved, "{algo:?}: bytes differ");
         }
+    }
+
+    /// Deterministic pseudo-random bf16 buffers (bit patterns from an LCG,
+    /// narrowed from f32 so they are valid storage values).
+    fn bf16_buffers(n: usize, len: usize, seed: u64) -> Vec<FlatVec> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                FlatVec::Bf16(
+                    (0..len)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+                            asgd_tensor::bf16::narrow(
+                                ((state >> 33) as f32 / u32::MAX as f32) * 4.0 - 2.0,
+                            )
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bf16_thread_count_does_not_change_any_algorithm_bits() {
+        let n = 4;
+        let len = MIN_PAR_REDUCE * 2 + 37;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        for algo in [
+            Algorithm::Naive,
+            Algorithm::Tree,
+            Algorithm::Ring,
+            Algorithm::HalvingDoubling,
+            Algorithm::MultiStreamRing { partitions: n },
+        ] {
+            let mut one = bf16_buffers(n, len, 7);
+            let mut eight = bf16_buffers(n, len, 7);
+            asgd_tensor::parallel::override_threads(1);
+            let t1 = allreduce_flat(&mut one, &weights, algo, &ctx(n), &vec![SimTime::ZERO; n]);
+            asgd_tensor::parallel::override_threads(8);
+            let t8 = allreduce_flat(&mut eight, &weights, algo, &ctx(n), &vec![SimTime::ZERO; n]);
+            asgd_tensor::parallel::override_threads(0);
+            assert_eq!(one, eight, "{algo:?}: bf16 bits differ across threads");
+            assert_eq!(t1, t8, "{algo:?}: bf16 timing differs across threads");
+            // Serial OOM fallback: same bits AND timing as the pooled path.
+            let mut serial = bf16_buffers(n, len, 7);
+            let ts = allreduce_flat_serial(
+                &mut serial,
+                &weights,
+                algo,
+                &ctx(n),
+                &vec![SimTime::ZERO; n],
+            );
+            assert_eq!(serial, one, "{algo:?}: bf16 serial fallback bits differ");
+            assert_eq!(ts, t1, "{algo:?}: bf16 serial fallback timing differs");
+        }
+    }
+
+    #[test]
+    fn bf16_ring_moves_half_the_bytes_of_f32() {
+        let n = 4;
+        let len = 400usize;
+        let w = vec![1.0f64; n];
+        let mut halves = bf16_buffers(n, len, 3);
+        let th = allreduce_flat(
+            &mut halves,
+            &w,
+            Algorithm::Ring,
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
+        assert_eq!(th.bytes_moved, 2 * (n - 1) * len * 2);
+        let mut fulls: Vec<FlatVec> = (0..n).map(|_| FlatVec::F32(vec![1.0; len])).collect();
+        let tf = allreduce_flat(
+            &mut fulls,
+            &w,
+            Algorithm::Ring,
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
+        assert_eq!(tf.bytes_moved, 2 * th.bytes_moved);
+        // Halved payloads finish the simulated collective faster.
+        assert!(th.duration() < tf.duration());
+    }
+
+    #[test]
+    fn bf16_allreduce_approximates_weighted_sum() {
+        let n = 4;
+        let len = 257;
+        let weights = vec![1.0 / n as f64; n];
+        let mut bufs = bf16_buffers(n, len, 11);
+        let want: Vec<f64> = (0..len)
+            .map(|i| {
+                bufs.iter()
+                    .zip(&weights)
+                    .map(|(b, &w)| b.get_f32(i) as f64 * w)
+                    .sum::<f64>()
+            })
+            .collect();
+        allreduce_flat(
+            &mut bufs,
+            &weights,
+            Algorithm::MultiStreamRing { partitions: n },
+            &ctx(n),
+            &vec![SimTime::ZERO; n],
+        );
+        for b in &bufs {
+            for (i, &w) in want.iter().enumerate() {
+                // bf16 keeps ~8 mantissa bits; the ring re-rounds per step.
+                assert!(
+                    (b.get_f32(i) as f64 - w).abs() < 0.05,
+                    "elem {i}: {} vs {w}",
+                    b.get_f32(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed-precision allreduce")]
+    fn mixed_precision_panics() {
+        let mut bufs = vec![FlatVec::F32(vec![0.0; 8]), FlatVec::Bf16(vec![0; 8])];
+        let _ = allreduce_flat(
+            &mut bufs,
+            &[0.5, 0.5],
+            Algorithm::Ring,
+            &ctx(2),
+            &[SimTime::ZERO; 2],
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@
 pub mod algorithms;
 pub mod timing;
 
-pub use algorithms::{allreduce, allreduce_serial, Algorithm};
+pub use algorithms::{
+    allreduce, allreduce_flat, allreduce_flat_serial, allreduce_serial, Algorithm,
+};
 pub use timing::{AllReduceTiming, CollectiveContext};
 
 #[cfg(test)]

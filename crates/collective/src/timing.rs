@@ -41,17 +41,30 @@ impl CollectiveContext {
     /// Seconds for device `d` to add `elems` f32 pairs (the reduction
     /// compute of one chunk) — memory-bandwidth-bound.
     pub fn reduce_time(&self, d: usize, elems: usize) -> f64 {
+        self.reduce_time_sized(d, elems, 4)
+    }
+
+    /// [`Self::reduce_time`] for an arbitrary element width: read two
+    /// operands + write one result, `3 · elem_bytes` bytes per element (the
+    /// f32 path's 12 bytes/element; bf16 storage halves it to 6 — the f32
+    /// accumulation happens in registers, so it costs no extra traffic).
+    pub fn reduce_time_sized(&self, d: usize, elems: usize, elem_bytes: usize) -> f64 {
         let p = &self.profiles[d];
-        // read two operands + write one result: 12 bytes per element.
-        (12.0 * elems as f64) / (p.mem_bandwidth_gbs * 1e9) / p.speed_factor
+        ((3 * elem_bytes) as f64 * elems as f64) / (p.mem_bandwidth_gbs * 1e9) / p.speed_factor
     }
 
     /// Seconds for a peer transfer of `elems` f32s from `src` to `dst`.
     pub fn p2p_time(&self, src: usize, dst: usize, elems: usize) -> f64 {
+        self.p2p_time_sized(src, dst, elems, 4)
+    }
+
+    /// [`Self::p2p_time`] for an arbitrary element width (bf16 payloads
+    /// move half the bytes of f32 ones).
+    pub fn p2p_time_sized(&self, src: usize, dst: usize, elems: usize, elem_bytes: usize) -> f64 {
         self.topology.p2p_time(
             asgd_gpusim::DeviceId(src),
             asgd_gpusim::DeviceId(dst),
-            4 * elems,
+            elem_bytes * elems,
         )
     }
 }

@@ -132,9 +132,69 @@ pub fn apply_global_update(
     );
 }
 
+/// [`apply_global_update`] over a precision-tagged merged buffer: the f32
+/// variant is the exact pre-existing path; the bf16 variant widens each
+/// merged element exactly and runs the same momentum formula in f32 (the
+/// global and momentum memory always stay f32 — only *storage* narrows).
+pub fn apply_global_update_flat(
+    merged: &asgd_tensor::FlatVec,
+    global: &mut [f32],
+    prev_global: &mut [f32],
+    gamma: f64,
+) {
+    use asgd_tensor::FlatVec;
+    match merged {
+        FlatVec::F32(m) => apply_global_update(m, global, prev_global, gamma),
+        FlatVec::Bf16(m) => {
+            assert_eq!(m.len(), global.len(), "merged/global length");
+            assert_eq!(m.len(), prev_global.len(), "merged/prev length");
+            asgd_tensor::parallel::par_momentum_update_bf16(
+                m,
+                global,
+                prev_global,
+                gamma as f32,
+                MIN_PAR_GLOBAL,
+            );
+        }
+    }
+}
+
 /// Global updates shorter than this stay serial (same rationale as the
 /// collective's reduction threshold).
 const MIN_PAR_GLOBAL: usize = 1 << 14;
+
+/// Fills every redistribution buffer from the f32 global model, taking the
+/// rounding contract's single round point **once**: the first bf16 buffer
+/// is narrowed (one round-to-nearest-even per element) and every later bf16
+/// buffer copies its bits verbatim. Narrowing is a pure per-element
+/// function of the f32 input, so this is bit-identical to narrowing each
+/// buffer independently — but a u16 memcpy replaces the repeated
+/// conversion sweeps.
+///
+/// # Panics
+/// Panics when a buffer's length does not match the global model's.
+pub fn redistribute_global(global: &[f32], bufs: &mut [asgd_tensor::FlatVec]) {
+    use asgd_tensor::FlatVec;
+    let mut first_bf16: Option<usize> = None;
+    for i in 0..bufs.len() {
+        match first_bf16 {
+            Some(j) if matches!(bufs[i], FlatVec::Bf16(_)) => {
+                let (head, tail) = bufs.split_at_mut(i);
+                if let (FlatVec::Bf16(src), FlatVec::Bf16(dst)) = (&head[j], &mut tail[0]) {
+                    assert_eq!(dst.len(), src.len(), "redistribute buffer length");
+                    dst.copy_from_slice(src);
+                }
+            }
+            _ => match &mut bufs[i] {
+                FlatVec::F32(v) => asgd_tensor::parallel::par_copy(global, v, MIN_PAR_GLOBAL),
+                FlatVec::Bf16(v) => {
+                    asgd_tensor::parallel::par_narrow(global, v, MIN_PAR_GLOBAL);
+                    first_bf16 = Some(i);
+                }
+            },
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -245,6 +305,41 @@ mod tests {
     #[should_panic(expected = "no replicas")]
     fn empty_merge_panics() {
         compute_merge_weights(&[], &[], &MergeParams::default());
+    }
+
+    #[test]
+    fn flat_update_f32_matches_slice_path_exactly() {
+        let merged = vec![1.0f32, 2.0, -0.5];
+        let mut g1 = vec![3.0f32, 1.0, 0.25];
+        let mut p1 = vec![2.0f32, 2.0, 0.125];
+        let mut g2 = g1.clone();
+        let mut p2 = p1.clone();
+        apply_global_update(&merged, &mut g1, &mut p1, 0.9);
+        apply_global_update_flat(&asgd_tensor::FlatVec::F32(merged), &mut g2, &mut p2, 0.9);
+        assert_eq!(g1, g2);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn flat_update_bf16_widens_then_runs_the_same_formula() {
+        use asgd_tensor::bf16;
+        let merged_f32 = [1.5f32, -2.25, 0.875];
+        let merged: Vec<u16> = merged_f32.iter().map(|&x| bf16::narrow(x)).collect();
+        let mut global = vec![3.0f32, 1.0, 0.5];
+        let mut prev = vec![2.0f32, 2.0, 0.25];
+        let mut want_g = global.clone();
+        let mut want_p = prev.clone();
+        // Reference: widen exactly, then the f32 formula.
+        let widened: Vec<f32> = merged.iter().map(|&b| bf16::widen(b)).collect();
+        apply_global_update(&widened, &mut want_g, &mut want_p, 0.9);
+        apply_global_update_flat(
+            &asgd_tensor::FlatVec::Bf16(merged),
+            &mut global,
+            &mut prev,
+            0.9,
+        );
+        assert_eq!(global, want_g);
+        assert_eq!(prev, want_p);
     }
 }
 

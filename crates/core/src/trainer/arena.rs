@@ -8,24 +8,33 @@
 //! redistribution — reuses the same `n` allocations for the run's lifetime:
 //! after the first merge sizes them, no model-sized allocation ever happens
 //! again.
+//!
+//! Buffers are [`FlatVec`]s: the arena is constructed at the run's storage
+//! [`Precision`] and every slot carries that tag, so managers fill a lent
+//! buffer at the right width without consulting the scheduler.
+
+use asgd_tensor::{FlatVec, Precision};
 
 /// Per-replica flat buffers, recycled across merges.
 #[derive(Debug)]
 pub struct MergeArena {
     param_len: usize,
-    /// `slots[g]` is GPU `g`'s buffer; an empty `Vec` marks it as on loan
+    precision: Precision,
+    /// `slots[g]` is GPU `g`'s buffer; an empty buffer marks it as on loan
     /// (a filled buffer always has `param_len > 0` elements).
-    slots: Vec<Vec<f32>>,
+    slots: Vec<FlatVec>,
 }
 
 impl MergeArena {
-    /// An arena for `n` replicas of `param_len` parameters. Buffers start
-    /// empty: the first `Mlp::write_flat_into` sizes them.
-    pub fn new(n: usize, param_len: usize) -> Self {
+    /// An arena for `n` replicas of `param_len` parameters stored at
+    /// `precision`. Buffers start empty: the first `Mlp::write_flat_buf`
+    /// sizes them.
+    pub fn new(n: usize, param_len: usize, precision: Precision) -> Self {
         assert!(param_len > 0, "empty model");
         Self {
             param_len,
-            slots: (0..n).map(|_| Vec::new()).collect(),
+            precision,
+            slots: (0..n).map(|_| FlatVec::empty(precision)).collect(),
         }
     }
 
@@ -39,13 +48,18 @@ impl MergeArena {
         self.slots.is_empty()
     }
 
+    /// The storage precision every slot carries.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Takes GPU `g`'s buffer out of the arena to lend it to a manager.
     ///
     /// # Panics
     /// Panics if the buffer is already on loan (after the first merge a
     /// home buffer is never empty).
-    pub fn lend(&mut self, g: usize) -> Vec<f32> {
-        let buf = std::mem::take(&mut self.slots[g]);
+    pub fn lend(&mut self, g: usize) -> FlatVec {
+        let buf = std::mem::replace(&mut self.slots[g], FlatVec::empty(self.precision));
         assert!(
             buf.capacity() == 0 || buf.len() == self.param_len,
             "arena slot {g} lent while on loan"
@@ -56,9 +70,11 @@ impl MergeArena {
     /// Returns a lent buffer to GPU `g`'s slot.
     ///
     /// # Panics
-    /// Panics on a length mismatch or if the slot is already occupied.
-    pub fn restore(&mut self, g: usize, buf: Vec<f32>) {
+    /// Panics on a length or precision mismatch, or if the slot is already
+    /// occupied.
+    pub fn restore(&mut self, g: usize, buf: FlatVec) {
         assert_eq!(buf.len(), self.param_len, "arena buffer length");
+        assert_eq!(buf.precision(), self.precision, "arena buffer precision");
         assert!(self.slots[g].is_empty(), "arena slot {g} restored twice");
         self.slots[g] = buf;
     }
@@ -67,7 +83,7 @@ impl MergeArena {
     ///
     /// # Panics
     /// Panics if any buffer is on loan.
-    pub fn buffers_mut(&mut self) -> &mut [Vec<f32>] {
+    pub fn buffers_mut(&mut self) -> &mut [FlatVec] {
         assert!(
             self.slots.iter().all(|s| s.len() == self.param_len),
             "all-reduce with arena buffers on loan"
@@ -79,7 +95,7 @@ impl MergeArena {
     ///
     /// # Panics
     /// Panics if the buffer is on loan.
-    pub fn buffer(&self, g: usize) -> &[f32] {
+    pub fn buffer(&self, g: usize) -> &FlatVec {
         assert_eq!(
             self.slots[g].len(),
             self.param_len,
@@ -95,50 +111,87 @@ mod tests {
 
     #[test]
     fn lend_restore_cycle_is_pointer_stable() {
-        let mut arena = MergeArena::new(2, 8);
+        let mut arena = MergeArena::new(2, 8, Precision::F32);
         // First cycle sizes the buffers.
-        let mut a = arena.lend(0);
+        let a = arena.lend(0);
+        let mut a = match a {
+            FlatVec::F32(v) => v,
+            other => panic!("f32 arena lent {other:?}"),
+        };
         a.resize(8, 1.0);
-        let ptr = a.as_ptr();
-        arena.restore(0, a);
+        let ptr = a.as_ptr() as usize;
+        arena.restore(0, FlatVec::F32(a));
         // Every later cycle reuses the same allocation.
         for round in 0..5 {
-            let mut b = arena.lend(0);
-            assert_eq!(b.as_ptr(), ptr, "round {round} reallocated");
-            b.clear();
-            b.resize(8, round as f32);
-            assert_eq!(b.as_ptr(), ptr, "round {round} refill reallocated");
-            arena.restore(0, b);
+            let b = arena.lend(0);
+            assert_eq!(b.as_ptr_addr(), ptr, "round {round} reallocated");
+            let mut v = match b {
+                FlatVec::F32(v) => v,
+                other => panic!("f32 arena lent {other:?}"),
+            };
+            v.clear();
+            v.resize(8, round as f32);
+            assert_eq!(v.as_ptr() as usize, ptr, "round {round} refill reallocated");
+            arena.restore(0, FlatVec::F32(v));
         }
-        assert_eq!(arena.buffer(0).as_ptr(), ptr);
+        assert_eq!(arena.buffer(0).as_ptr_addr(), ptr);
+    }
+
+    #[test]
+    fn bf16_arena_lends_bf16_tagged_buffers() {
+        let mut arena = MergeArena::new(2, 4, Precision::Bf16);
+        assert_eq!(arena.precision(), Precision::Bf16);
+        let buf = arena.lend(0);
+        assert_eq!(buf.precision(), Precision::Bf16);
+        let mut v = match buf {
+            FlatVec::Bf16(v) => v,
+            other => panic!("bf16 arena lent {other:?}"),
+        };
+        v.resize(4, asgd_tensor::bf16::narrow(1.5));
+        let ptr = v.as_ptr() as usize;
+        arena.restore(0, FlatVec::Bf16(v));
+        let again = arena.lend(0);
+        assert_eq!(again.as_ptr_addr(), ptr, "recycle must keep the allocation");
+        arena.restore(0, again);
+        assert_eq!(arena.buffer(0).get_f32(0), 1.5);
     }
 
     #[test]
     fn buffers_mut_exposes_all_slots() {
-        let mut arena = MergeArena::new(3, 4);
+        let mut arena = MergeArena::new(3, 4, Precision::F32);
         for g in 0..3 {
-            let mut b = arena.lend(g);
+            let mut b = match arena.lend(g) {
+                FlatVec::F32(v) => v,
+                other => panic!("f32 arena lent {other:?}"),
+            };
             b.resize(4, g as f32);
-            arena.restore(g, b);
+            arena.restore(g, FlatVec::F32(b));
         }
         assert_eq!(arena.len(), 3);
         assert!(!arena.is_empty());
         let bufs = arena.buffers_mut();
         assert_eq!(bufs.len(), 3);
-        assert_eq!(bufs[2], vec![2.0; 4]);
+        assert_eq!(bufs[2], FlatVec::F32(vec![2.0; 4]));
     }
 
     #[test]
     #[should_panic(expected = "arena buffer length")]
     fn restoring_wrong_length_panics() {
-        let mut arena = MergeArena::new(1, 4);
-        arena.restore(0, vec![0.0; 3]);
+        let mut arena = MergeArena::new(1, 4, Precision::F32);
+        arena.restore(0, FlatVec::F32(vec![0.0; 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arena buffer precision")]
+    fn restoring_wrong_precision_panics() {
+        let mut arena = MergeArena::new(1, 4, Precision::Bf16);
+        arena.restore(0, FlatVec::F32(vec![0.0; 4]));
     }
 
     #[test]
     #[should_panic(expected = "on loan")]
     fn reading_a_lent_buffer_panics() {
-        let mut arena = MergeArena::new(1, 4);
+        let mut arena = MergeArena::new(1, 4, Precision::F32);
         let _b = arena.lend(0);
         let _ = arena.buffer(0);
     }

@@ -23,14 +23,16 @@
 //!   bit-identical in results and simulated timing.
 
 use super::messages::ToManager;
-use super::{MergeRule, SchedulerState, MIN_PAR_MERGE};
+use super::{copy_to_global, MergeRule, SchedulerState};
 use crate::hyper::GpuHyper;
-use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision};
+use crate::merging::{
+    apply_global_update_flat, compute_merge_weights, redistribute_global, MergeDecision,
+};
 use asgd_collective::AllReduceTiming;
-use asgd_collective::{allreduce, allreduce_serial, Algorithm, CollectiveContext};
+use asgd_collective::{allreduce_flat, allreduce_flat_serial, Algorithm, CollectiveContext};
 use asgd_gpusim::memory::MemoryTracker;
 use asgd_gpusim::{DeviceId, DeviceProfile, FaultKind, FaultPlan, SimTime, Topology};
-use asgd_tensor::parallel::par_copy;
+use asgd_tensor::FlatVec;
 use std::sync::mpsc::{Receiver, Sender};
 
 use super::messages::FromManager;
@@ -178,13 +180,15 @@ pub(super) fn reduce_with_oom_fallback(
     chaos: &mut ChaosStats,
     plan: Option<&FaultPlan>,
     algo: Algorithm,
-    bufs: &mut [Vec<f32>],
+    bufs: &mut [FlatVec],
     weights: &[f64],
     ctx: &CollectiveContext,
     arrivals: &[SimTime],
     mega: usize,
 ) -> AllReduceTiming {
-    let scratch_bytes = (bufs.len() * bufs[0].len() * std::mem::size_of::<f32>()) as u64;
+    // Scratch at the buffers' storage width: bf16 merges request half the
+    // bytes of f32 ones, so an identically-sized tracker OOMs later.
+    let scratch_bytes = (bufs.len() * bufs[0].byte_len()) as u64;
     // A scheduled MergeOom manifests as a co-tenant burst eating the whole
     // remaining capacity, so the pooled scratch request below genuinely
     // fails through the memory tracker.
@@ -195,7 +199,7 @@ pub(super) fn reduce_with_oom_fallback(
     });
     let timing = match memory.alloc("merge-pool-scratch", scratch_bytes) {
         Ok(scratch) => {
-            let t = allreduce(bufs, weights, algo, ctx, arrivals);
+            let t = allreduce_flat(bufs, weights, algo, ctx, arrivals);
             memory.free(scratch);
             t
         }
@@ -206,7 +210,7 @@ pub(super) fn reduce_with_oom_fallback(
                 requested: oom.requested,
                 available: oom.available,
             });
-            allreduce_serial(bufs, weights, algo, ctx, arrivals)
+            allreduce_flat_serial(bufs, weights, algo, ctx, arrivals)
         }
     };
     if let Some(h) = hog {
@@ -391,7 +395,7 @@ impl SchedulerState<'_> {
             &sub_profiles,
         );
         let arrivals: Vec<SimTime> = alive_idx.iter().map(|&g| self.devices[g].now()).collect();
-        let mut bufs: Vec<Vec<f32>> = alive_idx.iter().map(|&g| self.arena.lend(g)).collect();
+        let mut bufs: Vec<FlatVec> = alive_idx.iter().map(|&g| self.arena.lend(g)).collect();
         let timing = reduce_with_oom_fallback(
             &mut self.merge_memory,
             &mut self.chaos,
@@ -406,30 +410,30 @@ impl SchedulerState<'_> {
 
         match self.spec.merge_rule {
             MergeRule::Normalized(params) => {
-                apply_global_update(
+                apply_global_update_flat(
                     &bufs[0],
                     &mut self.global,
                     &mut self.prev_global,
                     params.gamma,
                 );
-                for (&g, mut buf) in alive_idx.iter().zip(bufs.drain(..)) {
-                    par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+                redistribute_global(&self.global, &mut bufs);
+                for (&g, buf) in alive_idx.iter().zip(bufs.drain(..)) {
                     to[g]
                         .send(ToManager::SetModel(buf))
                         .expect("manager channel closed");
                 }
             }
             MergeRule::Average { gamma } => {
-                apply_global_update(&bufs[0], &mut self.global, &mut self.prev_global, gamma);
-                for (&g, mut buf) in alive_idx.iter().zip(bufs.drain(..)) {
-                    par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+                apply_global_update_flat(&bufs[0], &mut self.global, &mut self.prev_global, gamma);
+                redistribute_global(&self.global, &mut bufs);
+                for (&g, buf) in alive_idx.iter().zip(bufs.drain(..)) {
                     to[g]
                         .send(ToManager::SetModel(buf))
                         .expect("manager channel closed");
                 }
             }
             MergeRule::Crossbow { pull } => {
-                par_copy(&bufs[0], &mut self.global, MIN_PAR_MERGE);
+                copy_to_global(&bufs[0], &mut self.global);
                 for (&g, buf) in alive_idx.iter().zip(bufs.drain(..)) {
                     to[g]
                         .send(ToManager::Blend {

@@ -53,7 +53,7 @@ pub(crate) fn run_manager(
                 }
             }
             ToManager::GetModel { mut buf } => {
-                replica.write_flat_into(&mut buf);
+                replica.write_flat_buf(&mut buf);
                 let norm_per_param = replica.l2_norm_per_param();
                 if tx
                     .send(FromManager::Model {
@@ -67,13 +67,13 @@ pub(crate) fn run_manager(
                 }
             }
             ToManager::SetModel(buf) => {
-                replica.read_flat_from(&buf);
+                replica.read_flat_buf(&buf);
                 if tx.send(FromManager::Redistributed { gpu, buf }).is_err() {
                     return;
                 }
             }
             ToManager::Blend { target, pull } => {
-                replica.blend_from_flat(&target, pull);
+                replica.blend_from_flat_buf(&target, pull);
                 if tx
                     .send(FromManager::Redistributed { gpu, buf: target })
                     .is_err()
@@ -91,6 +91,7 @@ mod tests {
     use super::*;
     use asgd_data::{generate, DatasetSpec};
     use asgd_model::MlpConfig;
+    use asgd_tensor::{FlatVec, Precision};
     use std::sync::mpsc::channel;
 
     fn setup() -> (XmlDataset, Mlp) {
@@ -133,7 +134,9 @@ mod tests {
                     batch_ids: vec![0, 1, 2],
                     lr: 0.1,
                 },
-                ToManager::GetModel { buf: Vec::new() },
+                ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::F32),
+                },
             ],
         );
         assert_eq!(replies.len(), 2);
@@ -165,13 +168,15 @@ mod tests {
     #[test]
     fn set_model_roundtrips_through_get() {
         let (ds, model) = setup();
-        let target = Mlp::init(model.config(), 99).to_flat();
+        let target = FlatVec::F32(Mlp::init(model.config(), 99).to_flat());
         let replies = drive(
             &ds,
             model,
             vec![
                 ToManager::SetModel(target.clone()),
-                ToManager::GetModel { buf: Vec::new() },
+                ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::F32),
+                },
             ],
         );
         match &replies[0] {
@@ -184,23 +189,50 @@ mod tests {
         }
     }
 
+    /// A bf16 gather/redistribute cycle keeps the replica at exactly one
+    /// rounding of the model it was set to: `SetModel` widens bf16 exactly,
+    /// so the next gather reproduces the same bits.
+    #[test]
+    fn bf16_set_model_roundtrips_bit_exactly() {
+        let (ds, model) = setup();
+        let source = Mlp::init(model.config(), 99);
+        let mut target = FlatVec::empty(Precision::Bf16);
+        source.write_flat_buf(&mut target);
+        let replies = drive(
+            &ds,
+            model,
+            vec![
+                ToManager::SetModel(target.clone()),
+                ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::Bf16),
+                },
+            ],
+        );
+        match &replies[1] {
+            FromManager::Model { flat, .. } => assert_eq!(flat, &target),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
     #[test]
     fn blend_moves_halfway() {
         let (ds, model) = setup();
         let start = model.to_flat();
-        let target = vec![0.0f32; start.len()];
+        let target = FlatVec::F32(vec![0.0f32; start.len()]);
         let replies = drive(
             &ds,
             model,
             vec![
                 ToManager::Blend { target, pull: 0.5 },
-                ToManager::GetModel { buf: Vec::new() },
+                ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::F32),
+                },
             ],
         );
         match &replies[1] {
             FromManager::Model { flat, .. } => {
-                for (got, want) in flat.iter().zip(&start) {
-                    assert!((got - want * 0.5).abs() < 1e-6);
+                for (i, want) in start.iter().enumerate() {
+                    assert!((flat.get_f32(i) - want * 0.5).abs() < 1e-6);
                 }
             }
             other => panic!("unexpected {other:?}"),
@@ -222,13 +254,17 @@ mod tests {
             s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx));
 
             // First round trip sizes the buffer (the one allowed allocation).
-            to_tx.send(ToManager::GetModel { buf: Vec::new() }).unwrap();
+            to_tx
+                .send(ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::F32),
+                })
+                .unwrap();
             let buf = match from_rx.recv().unwrap() {
                 FromManager::Model { flat, .. } => flat,
                 other => panic!("unexpected {other:?}"),
             };
-            assert_eq!(buf, twin.to_flat());
-            let ptr = buf.as_ptr();
+            assert_eq!(buf, FlatVec::F32(twin.to_flat()));
+            let ptr = buf.as_ptr_addr();
 
             // Redistribute and train, then gather again with the same buffer.
             to_tx.send(ToManager::SetModel(buf)).unwrap();
@@ -236,7 +272,11 @@ mod tests {
                 FromManager::Redistributed { buf, .. } => buf,
                 other => panic!("unexpected {other:?}"),
             };
-            assert_eq!(buf.as_ptr(), ptr, "SetModel must return the same buffer");
+            assert_eq!(
+                buf.as_ptr_addr(),
+                ptr,
+                "SetModel must return the same buffer"
+            );
             let batch_ids = vec![0usize, 1, 2];
             to_tx
                 .send(ToManager::Train {
@@ -250,7 +290,11 @@ mod tests {
                 FromManager::Model { flat, .. } => flat,
                 other => panic!("unexpected {other:?}"),
             };
-            assert_eq!(buf.as_ptr(), ptr, "steady-state gather must not realloc");
+            assert_eq!(
+                buf.as_ptr_addr(),
+                ptr,
+                "steady-state gather must not realloc"
+            );
 
             // Replay the same step on the twin: the recycled buffer holds
             // exactly what a fresh allocation would.
@@ -260,7 +304,7 @@ mod tests {
                 .map(|&i| ds.train.labels[i].as_slice())
                 .collect();
             twin.train_batch_ws(&x, &labels, 0.1, &mut tws);
-            assert_eq!(buf, twin.to_flat());
+            assert_eq!(buf, FlatVec::F32(twin.to_flat()));
 
             to_tx.send(ToManager::Stop).unwrap();
         });

@@ -5,7 +5,10 @@
 //! [`super::arena::MergeArena`]): `GetModel` lends a buffer out, `Model`
 //! returns it filled, and `SetModel`/`Blend` lend it out again for
 //! redistribution, with `Redistributed` bringing it home. After the first
-//! merge no message allocates.
+//! merge no message allocates. Payloads are [`FlatVec`]s carrying the
+//! run's storage precision (f32 or bf16).
+
+use asgd_tensor::FlatVec;
 
 /// Scheduler → GPU manager commands. Each manager processes its queue in
 /// FIFO order, so a `GetModel` enqueued after a run of `Train`s acts as a
@@ -23,16 +26,16 @@ pub(crate) enum ToManager {
     GetModel {
         /// Arena buffer the manager writes its flat replica into; returned
         /// via [`FromManager::Model`].
-        buf: Vec<f32>,
+        buf: FlatVec,
     },
     /// Replace the replica with the given flat parameters; the buffer is
     /// returned via [`FromManager::Redistributed`].
-    SetModel(Vec<f32>),
+    SetModel(FlatVec),
     /// CROSSBOW-style partial pull: `w ← w + pull·(target − w)`; the buffer
     /// is returned via [`FromManager::Redistributed`].
     Blend {
         /// The central average model.
-        target: Vec<f32>,
+        target: FlatVec,
         /// Pull strength in `[0, 1]`.
         pull: f32,
     },
@@ -57,7 +60,7 @@ pub(crate) enum FromManager {
         /// Manager/device index.
         gpu: usize,
         /// Flat replica parameters, in the buffer `GetModel` lent out.
-        flat: Vec<f32>,
+        flat: FlatVec,
         /// `‖w‖₂ / |w|` — Algorithm 2's regularization measure.
         norm_per_param: f64,
     },
@@ -67,6 +70,6 @@ pub(crate) enum FromManager {
         /// Manager/device index.
         gpu: usize,
         /// The arena buffer being returned.
-        buf: Vec<f32>,
+        buf: FlatVec,
     },
 }

@@ -25,7 +25,7 @@ mod messages;
 
 use crate::checkpoint::TrainingState;
 use crate::hyper::{GpuHyper, ScalingParams};
-use crate::merging::{apply_global_update, compute_merge_weights, MergeDecision, MergeParams};
+use crate::merging::{apply_global_update_flat, compute_merge_weights, MergeDecision, MergeParams};
 use crate::metrics::{MergeRecord, RunRecorder, RunResult};
 use crate::schedule::ScalingScheduler;
 use arena::MergeArena;
@@ -35,9 +35,10 @@ use asgd_gpusim::device::build_server;
 use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
 use asgd_gpusim::memory::MemoryTracker;
 use asgd_gpusim::{Device, DeviceId, DeviceProfile, FaultPlan, SimTime, Topology, TraceLog};
-use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels};
+use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels_sized};
 use asgd_model::{eval, Mlp, MlpConfig};
-use asgd_tensor::parallel::par_copy;
+use asgd_tensor::parallel::{par_copy, par_widen};
+use asgd_tensor::{FlatVec, Precision};
 use chaos::ChaosStats;
 use messages::{FromManager, ToManager};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -45,6 +46,15 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 /// Redistribution copies shorter than this stay serial (same rationale as
 /// the collective's reduction threshold).
 const MIN_PAR_MERGE: usize = 1 << 14;
+
+/// Copies a merged buffer into the f32 global model (bf16 widens exactly,
+/// so this direction never rounds).
+pub(crate) fn copy_to_global(buf: &FlatVec, global: &mut [f32]) {
+    match buf {
+        FlatVec::F32(v) => par_copy(v, global, MIN_PAR_MERGE),
+        FlatVec::Bf16(v) => par_widen(v, global, MIN_PAR_MERGE),
+    }
+}
 
 /// How batches are assigned to GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -175,6 +185,13 @@ pub struct RunConfig {
     /// [`MergeInterval::MegaBatch`]. `None` injects nothing and skips all
     /// chaos bookkeeping.
     pub fault_plan: Option<FaultPlan>,
+    /// Storage precision of the merge/transfer tier (arena buffers, message
+    /// payloads, simulated replica transfers). [`Precision::F32`] is the
+    /// paper-faithful default; [`Precision::Bf16`] halves merge-stage bytes
+    /// while all accumulation (all-reduce, momentum, blending) stays f32 —
+    /// see `DESIGN.md`, "Precision tiers & rounding contract". Replica
+    /// training math is f32 either way.
+    pub precision: Precision,
 }
 
 impl RunConfig {
@@ -197,6 +214,7 @@ impl RunConfig {
             scaling_schedule: None,
             speed_events: Vec::new(),
             fault_plan: None,
+            precision: Precision::F32,
         }
     }
 }
@@ -307,7 +325,7 @@ impl Trainer {
             ),
             budget: MegaBatchBudget::new(cfg.mega_batch_size),
             hypers,
-            arena: MergeArena::new(n, mconfig.param_len()),
+            arena: MergeArena::new(n, mconfig.param_len(), cfg.precision),
             global: init_model.to_flat(),
             prev_global: resume
                 .map(|s| s.prev_global.clone())
@@ -324,12 +342,10 @@ impl Trainer {
             in_flight: vec![Vec::new(); n],
             track_in_flight,
             chaos: ChaosStats::default(),
-            // Enough for the pooled merge scratch (n replica-sized buffers)
-            // plus slack; an OOM fault hogs the capacity so the scratch
-            // request genuinely fails.
-            merge_memory: MemoryTracker::new(
-                (n * param_len * std::mem::size_of::<f32>()) as u64 + 4096,
-            ),
+            // Enough for the pooled merge scratch (n replica-sized buffers
+            // at the run's storage precision) plus slack; an OOM fault hogs
+            // the capacity so the scratch request genuinely fails.
+            merge_memory: MemoryTracker::new((n * param_len * cfg.precision.bytes()) as u64 + 4096),
             profiles: profiles.clone(),
         };
 
@@ -419,8 +435,10 @@ impl SchedulerState<'_> {
     /// Runs the whole training loop.
     fn drive(&mut self, to: &[Sender<ToManager>], from: &Receiver<FromManager>) {
         // The model replica moves to every GPU once, at training start
-        // (within a mega-batch only batches move, §IV).
-        let transfer = model_transfer_kernels(&self.mconfig, true);
+        // (within a mega-batch only batches move, §IV), at the run's
+        // storage precision (bf16 halves the bytes on the wire).
+        let transfer =
+            model_transfer_kernels_sized(&self.mconfig, true, self.cfg.precision.bytes());
         for d in self.devices.iter_mut() {
             d.execute_all(&transfer);
         }
@@ -824,7 +842,7 @@ impl SchedulerState<'_> {
                 // The merged model becomes the new global; each buffer
                 // already holds it, so the blend targets ship with zero
                 // copies.
-                par_copy(self.arena.buffer(0), &mut self.global, MIN_PAR_MERGE);
+                copy_to_global(self.arena.buffer(0), &mut self.global);
                 for (g, tx) in to.iter().enumerate() {
                     tx.send(ToManager::Blend {
                         target: self.arena.lend(g),
@@ -875,15 +893,15 @@ impl SchedulerState<'_> {
     /// every arena buffer after the all-reduce) and redistributes the new
     /// global through the recycled buffers.
     fn redistribute_set_model(&mut self, to: &[Sender<ToManager>], gamma: f64) {
-        apply_global_update(
+        apply_global_update_flat(
             self.arena.buffer(0),
             &mut self.global,
             &mut self.prev_global,
             gamma,
         );
-        for (g, tx) in to.iter().enumerate() {
-            let mut buf = self.arena.lend(g);
-            par_copy(&self.global, &mut buf, MIN_PAR_MERGE);
+        let mut bufs: Vec<FlatVec> = (0..to.len()).map(|g| self.arena.lend(g)).collect();
+        crate::merging::redistribute_global(&self.global, &mut bufs);
+        for (tx, buf) in to.iter().zip(bufs) {
             tx.send(ToManager::SetModel(buf))
                 .expect("manager channel closed");
         }
@@ -1134,17 +1152,20 @@ mod tests {
         let replica =
             |merge: usize, g: usize, i: usize| ((merge * 31 + g * 7 + i) % 13) as f32 - 6.0;
 
-        let mut arena = MergeArena::new(n, len);
+        let mut arena = MergeArena::new(n, len, Precision::F32);
         for merge in 0..3 {
             // Arena path: recycle the same buffers, refilled like a manager
-            // would via `write_flat_into`.
+            // would via `write_flat_buf`.
             for g in 0..n {
-                let mut buf = arena.lend(g);
+                let mut buf = match arena.lend(g) {
+                    FlatVec::F32(v) => v,
+                    other => panic!("f32 arena lent {other:?}"),
+                };
                 buf.clear();
                 buf.extend((0..len).map(|i| replica(merge, g, i)));
-                arena.restore(g, buf);
+                arena.restore(g, FlatVec::F32(buf));
             }
-            allreduce(
+            asgd_collective::allreduce_flat(
                 arena.buffers_mut(),
                 &weights,
                 Algorithm::MultiStreamRing { partitions: n },
@@ -1163,9 +1184,81 @@ mod tests {
                 &arrivals,
             );
             for (g, f) in fresh.iter().enumerate() {
-                assert_eq!(arena.buffer(g), f.as_slice(), "merge {merge} gpu {g}");
+                assert_eq!(
+                    arena.buffer(g),
+                    &FlatVec::F32(f.clone()),
+                    "merge {merge} gpu {g}"
+                );
             }
         }
+    }
+
+    /// Satellite gate for the bf16 tier: a whole bf16-precision run is
+    /// bit-identical across worker thread counts, same as the f32 run —
+    /// every bf16 round point is placement-independent.
+    #[test]
+    fn bf16_run_is_bit_identical_across_thread_counts() {
+        let ds = dataset();
+        let mut config = quick_config();
+        config.precision = Precision::Bf16;
+        for spec in [algorithms::adaptive_sgd(), algorithms::crossbow_sma()] {
+            let run =
+                || Trainer::new(spec.clone(), heterogeneous_server(2), config.clone()).run(&ds);
+            asgd_tensor::parallel::override_threads(1);
+            let serial = run();
+            asgd_tensor::parallel::override_threads(8);
+            let pooled = run();
+            asgd_tensor::parallel::override_threads(0);
+            assert_eq!(
+                serial.final_model, pooled.final_model,
+                "{}: thread count changed the bf16 result",
+                spec.name
+            );
+            assert_eq!(
+                serial
+                    .records
+                    .iter()
+                    .map(|r| r.accuracy)
+                    .collect::<Vec<_>>(),
+                pooled
+                    .records
+                    .iter()
+                    .map(|r| r.accuracy)
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// bf16 storage must not change the optimization qualitatively: the
+    /// final global model stays within bf16-scale distance of the f32 run
+    /// and the run still learns.
+    #[test]
+    fn bf16_run_tracks_f32_run_within_tolerance() {
+        let ds = dataset();
+        let f32_cfg = quick_config();
+        let mut bf16_cfg = quick_config();
+        bf16_cfg.precision = Precision::Bf16;
+        let run = |cfg: RunConfig| {
+            Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), cfg).run(&ds)
+        };
+        let a = run(f32_cfg);
+        let b = run(bf16_cfg);
+        assert_eq!(a.records.len(), b.records.len());
+        let (mut num, mut den) = (0.0f64, 0.0f64);
+        for (x, y) in a.final_model.iter().zip(&b.final_model) {
+            num += ((x - y) as f64).powi(2);
+            den += (*x as f64).powi(2);
+        }
+        let rel = (num / den.max(1e-30)).sqrt();
+        // bf16 has ~3 decimal digits; merge-stage-only narrowing keeps the
+        // drift around the format's epsilon, far below 5%.
+        assert!(rel < 0.05, "bf16 drifted {rel} from the f32 trajectory");
+        let f32_acc = a.records.last().unwrap().accuracy;
+        let bf16_acc = b.records.last().unwrap().accuracy;
+        assert!(
+            (f32_acc - bf16_acc).abs() < 0.1,
+            "accuracy gap too wide: f32 {f32_acc} vs bf16 {bf16_acc}"
+        );
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! ```text
 //! magic  "ASGD"            4 bytes
 //! version u32              4 bytes
+//! [v2 only] precision u32  (0 = f32, 1 = bf16)
 //! num_features u64 | hidden u64 | num_classes u64
-//! params  f32 × param_len  (W₁ ‖ b₁ ‖ W₂ ‖ b₂, the `to_flat` layout)
+//! params  × param_len      (W₁ ‖ b₁ ‖ W₂ ‖ b₂, the `to_flat` layout;
+//!                           f32-le in f32 checkpoints, bf16-le in bf16 ones)
 //! ```
+//!
+//! Version 1 has no precision field and is always f32; [`encode`] still
+//! emits it byte-for-byte so existing golden checksums hold. Version 2 adds
+//! the precision tag and a bf16 payload option ([`encode_with`]); decoding
+//! widens bf16 exactly, so a v2/bf16 round-trip equals one narrowing of the
+//! source model (the rounding contract's single round point per store).
 
 use crate::mlp::{Mlp, MlpConfig};
+use asgd_tensor::{bf16, Precision};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: &[u8; 4] = b"ASGD";
 const VERSION: u32 = 1;
+const VERSION_PRECISION: u32 = 2;
 
 /// Checkpoint decode errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,18 +48,41 @@ impl std::fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// Serializes a model to bytes.
+/// Serializes a model to bytes (version-1 f32 layout, unchanged).
 pub fn encode(model: &Mlp) -> Bytes {
+    encode_with(model, Precision::F32)
+}
+
+/// Serializes a model at the requested storage precision. [`Precision::F32`]
+/// emits the legacy version-1 layout byte-for-byte; [`Precision::Bf16`]
+/// emits version 2 with a half-size payload (one round-to-nearest-even
+/// narrowing per weight).
+pub fn encode_with(model: &Mlp, precision: Precision) -> Bytes {
     let flat = model.to_flat();
-    let mut buf = BytesMut::with_capacity(4 + 4 + 24 + 4 * flat.len());
+    let mut buf = BytesMut::with_capacity(4 + 8 + 24 + precision.bytes() * flat.len());
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    match precision {
+        Precision::F32 => buf.put_u32_le(VERSION),
+        Precision::Bf16 => {
+            buf.put_u32_le(VERSION_PRECISION);
+            buf.put_u32_le(1);
+        }
+    }
     let c = model.config();
     buf.put_u64_le(c.num_features as u64);
     buf.put_u64_le(c.hidden as u64);
     buf.put_u64_le(c.num_classes as u64);
-    for v in flat {
-        buf.put_f32_le(v);
+    match precision {
+        Precision::F32 => {
+            for v in flat {
+                buf.put_f32_le(v);
+            }
+        }
+        Precision::Bf16 => {
+            for v in flat {
+                buf.put_slice(&bf16::narrow(v).to_le_bytes());
+            }
+        }
     }
     buf.freeze()
 }
@@ -65,8 +98,22 @@ pub fn decode(mut data: Bytes) -> Result<Mlp, CheckpointError> {
         return Err(CheckpointError::BadMagic);
     }
     let version = data.get_u32_le();
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
+    let precision = match version {
+        VERSION => Precision::F32,
+        VERSION_PRECISION => {
+            if data.remaining() < 4 {
+                return Err(CheckpointError::Truncated);
+            }
+            match data.get_u32_le() {
+                0 => Precision::F32,
+                1 => Precision::Bf16,
+                _ => return Err(CheckpointError::BadVersion(version)),
+            }
+        }
+        other => return Err(CheckpointError::BadVersion(other)),
+    };
+    if data.remaining() < 24 {
+        return Err(CheckpointError::Truncated);
     }
     let config = MlpConfig {
         num_features: data.get_u64_le() as usize,
@@ -74,12 +121,23 @@ pub fn decode(mut data: Bytes) -> Result<Mlp, CheckpointError> {
         num_classes: data.get_u64_le() as usize,
     };
     let n = config.param_len();
-    if data.remaining() < 4 * n {
+    if data.remaining() < precision.bytes() * n {
         return Err(CheckpointError::Truncated);
     }
     let mut flat = Vec::with_capacity(n);
-    for _ in 0..n {
-        flat.push(data.get_f32_le());
+    match precision {
+        Precision::F32 => {
+            for _ in 0..n {
+                flat.push(data.get_f32_le());
+            }
+        }
+        Precision::Bf16 => {
+            let mut half = [0u8; 2];
+            for _ in 0..n {
+                data.copy_to_slice(&mut half);
+                flat.push(bf16::widen(u16::from_le_bytes(half)));
+            }
+        }
     }
     let mut model = Mlp::zeros(&config);
     model.load_flat(&flat);
@@ -104,6 +162,48 @@ mod tests {
         let bytes = encode(&model);
         let back = decode(bytes).unwrap();
         assert_eq!(back, model);
+    }
+
+    #[test]
+    fn encode_with_f32_matches_legacy_encoding_exactly() {
+        let model = Mlp::init(&config(), 99);
+        assert_eq!(encode(&model), encode_with(&model, Precision::F32));
+    }
+
+    #[test]
+    fn bf16_checkpoint_is_one_rounding_and_half_the_payload() {
+        let model = Mlp::init(&config(), 123);
+        let f32_bytes = encode(&model);
+        let bf16_bytes = encode_with(&model, Precision::Bf16);
+        let header_v1 = 4 + 4 + 24;
+        let header_v2 = 4 + 4 + 4 + 24;
+        let n = config().param_len();
+        assert_eq!(f32_bytes.len(), header_v1 + 4 * n);
+        assert_eq!(bf16_bytes.len(), header_v2 + 2 * n);
+        let back = decode(bf16_bytes).unwrap();
+        assert_eq!(back, model.quantized(Precision::Bf16));
+        // Round-trip of an already-quantized model is exact.
+        let again = decode(encode_with(&back, Precision::Bf16)).unwrap();
+        assert_eq!(again, back);
+    }
+
+    #[test]
+    fn rejects_unknown_precision_tag() {
+        let model = Mlp::init(&config(), 1);
+        let mut raw = encode_with(&model, Precision::Bf16).to_vec();
+        raw[8] = 7; // precision field, little-endian low byte
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(CheckpointError::BadVersion(2))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_bf16_payload() {
+        let model = Mlp::init(&config(), 1);
+        let raw = encode_with(&model, Precision::Bf16);
+        let cut = raw.slice(0..raw.len() - 1);
+        assert_eq!(decode(cut), Err(CheckpointError::Truncated));
     }
 
     #[test]

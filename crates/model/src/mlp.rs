@@ -11,7 +11,7 @@
 use crate::gradients::Gradients;
 use crate::workspace::Workspace;
 use asgd_sparse::{ops as sops, CsrMatrix};
-use asgd_tensor::{init, numerics, ops, Matrix};
+use asgd_tensor::{bf16, init, numerics, ops, FlatVec, Matrix, Precision};
 use rand::{rngs::StdRng, SeedableRng};
 
 /// Architecture hyperparameters.
@@ -139,6 +139,111 @@ impl Mlp {
         blend(&mut self.b1);
         blend(self.w2.as_mut_slice());
         blend(&mut self.b2);
+    }
+
+    /// Precision-tagged twin of [`Mlp::write_flat_into`]: exports the flat
+    /// parameter layout into a [`FlatVec`], reusing its allocation and
+    /// **keeping its storage precision** (an empty default buffer is f32).
+    /// The bf16 export narrows each parameter exactly once
+    /// (round-to-nearest-even) — the model itself stays f32.
+    pub fn write_flat_buf(&self, out: &mut FlatVec) {
+        match out {
+            FlatVec::F32(v) => self.write_flat_into(v),
+            FlatVec::Bf16(v) => {
+                // Size once; on a recycled buffer this is a no-op, so the
+                // steady state never re-zero-fills (or reallocates) the
+                // arena — every element is overwritten by the narrows below.
+                v.resize(self.param_len(), 0);
+                let mut off = 0usize;
+                let mut append = |src: &[f32]| {
+                    bf16::narrow_slice(src, &mut v[off..off + src.len()]);
+                    off += src.len();
+                };
+                append(self.w1.as_slice());
+                append(&self.b1);
+                append(self.w2.as_slice());
+                append(&self.b2);
+            }
+        }
+    }
+
+    /// Precision-tagged twin of [`Mlp::read_flat_from`]: imports a flat
+    /// buffer of either precision. bf16 values widen exactly; no rounding
+    /// occurs on import.
+    ///
+    /// # Panics
+    /// Panics when the length does not match the architecture.
+    pub fn read_flat_buf(&mut self, flat: &FlatVec) {
+        match flat {
+            FlatVec::F32(v) => self.load_flat(v),
+            FlatVec::Bf16(v) => {
+                assert_eq!(v.len(), self.param_len(), "flat parameter length");
+                let c = &self.config;
+                let mut off = 0;
+                let take = |off: &mut usize, n: usize| {
+                    let s = *off;
+                    *off += n;
+                    s..*off
+                };
+                bf16::widen_slice(
+                    &v[take(&mut off, c.num_features * c.hidden)],
+                    self.w1.as_mut_slice(),
+                );
+                bf16::widen_slice(&v[take(&mut off, c.hidden)], &mut self.b1);
+                bf16::widen_slice(
+                    &v[take(&mut off, c.hidden * c.num_classes)],
+                    self.w2.as_mut_slice(),
+                );
+                bf16::widen_slice(&v[take(&mut off, c.num_classes)], &mut self.b2);
+            }
+        }
+    }
+
+    /// Precision-tagged twin of [`Mlp::blend_from_flat`]: the blend math
+    /// runs in f32 on exactly-widened targets (`θ ← θ + pull·(widen(z) − θ)`);
+    /// the model parameters stay f32, so no narrowing round point exists.
+    ///
+    /// # Panics
+    /// Panics when the length does not match the architecture.
+    pub fn blend_from_flat_buf(&mut self, target: &FlatVec, pull: f32) {
+        match target {
+            FlatVec::F32(v) => self.blend_from_flat(v, pull),
+            FlatVec::Bf16(v) => {
+                assert_eq!(v.len(), self.param_len(), "flat parameter length");
+                let mut off = 0usize;
+                let mut blend = |params: &mut [f32]| {
+                    let t = &v[off..off + params.len()];
+                    off += params.len();
+                    for (w, &z) in params.iter_mut().zip(t) {
+                        *w += pull * (bf16::widen(z) - *w);
+                    }
+                };
+                blend(self.w1.as_mut_slice());
+                blend(&mut self.b1);
+                blend(self.w2.as_mut_slice());
+                blend(&mut self.b2);
+            }
+        }
+    }
+
+    /// A copy of this model with every parameter round-tripped through the
+    /// given storage precision (`f32` is an exact clone; `bf16` applies one
+    /// round-to-nearest-even per parameter) — what a replica holds after a
+    /// checkpoint or redistribution at that precision.
+    pub fn quantized(&self, precision: Precision) -> Mlp {
+        let mut m = self.clone();
+        if precision == Precision::Bf16 {
+            let quantize = |params: &mut [f32]| {
+                for w in params.iter_mut() {
+                    *w = bf16::widen(bf16::narrow(*w));
+                }
+            };
+            quantize(m.w1.as_mut_slice());
+            quantize(&mut m.b1);
+            quantize(m.w2.as_mut_slice());
+            quantize(&mut m.b2);
+        }
+        m
     }
 
     /// Loads parameters from the flat format produced by [`Mlp::to_flat`].
@@ -821,6 +926,75 @@ mod tests {
         let mut expect = Mlp::zeros(&config);
         expect.load_flat(&flat);
         assert_eq!(direct, expect);
+    }
+
+    #[test]
+    fn flat_buf_f32_matches_untagged_path_exactly() {
+        let config = tiny_config();
+        let a = Mlp::init(&config, 5);
+        let mut buf = FlatVec::default();
+        a.write_flat_buf(&mut buf);
+        assert_eq!(buf, FlatVec::F32(a.to_flat()));
+        let mut m2 = Mlp::zeros(&config);
+        m2.read_flat_buf(&buf);
+        assert_eq!(m2, a);
+        let mut blended_buf = Mlp::init(&config, 7);
+        let mut blended_flat = blended_buf.clone();
+        blended_buf.blend_from_flat_buf(&buf, 0.41);
+        blended_flat.blend_from_flat(&a.to_flat(), 0.41);
+        assert_eq!(blended_buf, blended_flat);
+    }
+
+    #[test]
+    fn flat_buf_bf16_roundtrip_is_one_rounding() {
+        let config = tiny_config();
+        let a = Mlp::init(&config, 5);
+        let mut buf = FlatVec::empty(Precision::Bf16);
+        a.write_flat_buf(&mut buf);
+        assert_eq!(buf.len(), config.param_len());
+        assert_eq!(buf.byte_len(), 2 * config.param_len());
+        // Import widens exactly: the reloaded model equals quantized(a).
+        let mut m2 = Mlp::zeros(&config);
+        m2.read_flat_buf(&buf);
+        assert_eq!(m2, a.quantized(Precision::Bf16));
+        // A second export of the reloaded model is a fixed point (narrow is
+        // idempotent on already-narrowed values): same bits.
+        let mut buf2 = FlatVec::empty(Precision::Bf16);
+        m2.write_flat_buf(&mut buf2);
+        assert_eq!(buf, buf2);
+        // Recycled bf16 export must not reallocate.
+        let ptr = buf.as_ptr_addr();
+        a.write_flat_buf(&mut buf);
+        assert_eq!(buf.as_ptr_addr(), ptr, "recycled write must not reallocate");
+    }
+
+    #[test]
+    fn blend_from_flat_buf_bf16_widens_then_blends_in_f32() {
+        let config = tiny_config();
+        let target = Mlp::init(&config, 6);
+        let mut buf = FlatVec::empty(Precision::Bf16);
+        target.write_flat_buf(&mut buf);
+        let mut direct = Mlp::init(&config, 5);
+        let reference = direct.clone();
+        direct.blend_from_flat_buf(&buf, 0.37);
+        // Spec: widen the bf16 target, then the f32 blend formula.
+        let widened: Vec<f32> = match &buf {
+            FlatVec::Bf16(v) => v.iter().map(|&b| bf16::widen(b)).collect(),
+            _ => unreachable!(),
+        };
+        let mut expect = reference.clone();
+        expect.blend_from_flat(&widened, 0.37);
+        assert_eq!(direct, expect);
+    }
+
+    #[test]
+    fn quantized_f32_is_identity() {
+        let config = tiny_config();
+        let a = Mlp::init(&config, 9);
+        assert_eq!(a.quantized(Precision::F32), a);
+        // bf16 quantization is idempotent.
+        let q = a.quantized(Precision::Bf16);
+        assert_eq!(q.quantized(Precision::Bf16), q);
     }
 
     #[test]

@@ -143,7 +143,17 @@ pub fn inference_kernels(
 
 /// The kernels of moving a full model replica host↔device (mega-batch entry).
 pub fn model_transfer_kernels(config: &MlpConfig, to_device: bool) -> Vec<KernelKind> {
-    let bytes = 4 * config.param_len();
+    model_transfer_kernels_sized(config, to_device, 4)
+}
+
+/// [`model_transfer_kernels`] for an arbitrary storage width: bf16 replicas
+/// (`elem_bytes = 2`) move half the bytes of f32 ones over PCIe.
+pub fn model_transfer_kernels_sized(
+    config: &MlpConfig,
+    to_device: bool,
+    elem_bytes: usize,
+) -> Vec<KernelKind> {
+    let bytes = elem_bytes * config.param_len();
     if to_device {
         vec![KernelKind::H2d { bytes }]
     } else {
@@ -245,6 +255,18 @@ mod tests {
             _ => 0,
         };
         assert!(bytes(&big) > bytes(&small));
+    }
+
+    #[test]
+    fn bf16_transfer_moves_half_the_bytes() {
+        let bytes = |ks: &[KernelKind]| match ks[0] {
+            KernelKind::H2d { bytes } => bytes,
+            _ => 0,
+        };
+        let f32_bytes = bytes(&model_transfer_kernels_sized(&config(), true, 4));
+        let bf16_bytes = bytes(&model_transfer_kernels_sized(&config(), true, 2));
+        assert_eq!(f32_bytes, 2 * bf16_bytes);
+        assert_eq!(bytes(&model_transfer_kernels(&config(), true)), f32_bytes);
     }
 
     #[test]

@@ -33,6 +33,7 @@ use asgd_model::workload::inference_kernels;
 use asgd_model::{Mlp, Workspace};
 use asgd_sparse::CsrMatrix;
 use asgd_stats::{percentile, Histogram, P2Quantile};
+use asgd_tensor::Precision;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 
@@ -59,6 +60,13 @@ pub struct ServeConfig {
     pub window_dispatches: usize,
     /// Seed of the devices' jitter streams.
     pub device_seed: u64,
+    /// Storage precision the replica weights were streamed at.
+    /// [`Precision::F32`] serves the checkpoint exactly;
+    /// [`Precision::Bf16`] models a bf16-streamed checkpoint — weights are
+    /// narrowed once (round-to-nearest-even) and widened exactly, so every
+    /// replica serves the identically-rounded model and all inference math
+    /// stays f32.
+    pub precision: Precision,
 }
 
 impl ServeConfig {
@@ -71,7 +79,14 @@ impl ServeConfig {
             adaptive: true,
             window_dispatches: 16,
             device_seed: 0x5E12_EE00,
+            precision: Precision::F32,
         }
+    }
+
+    /// The same config serving bf16-streamed weights.
+    pub fn bf16(mut self) -> Self {
+        self.precision = Precision::Bf16;
+        self
     }
 
     /// The same config with adaptive batching disabled (fixed `b_max`).
@@ -352,6 +367,19 @@ pub fn serve(
         requests.iter().all(|r| r.pool_row < pool.rows()),
         "request outside the pool"
     );
+
+    // Serve the weights at the configured streaming precision. The f32 path
+    // borrows the caller's model untouched (golden outputs hold bit-exactly);
+    // bf16 rounds every weight once up front — the checkpoint the replicas
+    // "received" — and all the per-request math below stays f32.
+    let quantized_model;
+    let model = match config.precision {
+        Precision::F32 => model,
+        Precision::Bf16 => {
+            quantized_model = model.quantized(Precision::Bf16);
+            &quantized_model
+        }
+    };
 
     let n = requests.len();
     let k_eff = config.k.min(model.config().num_classes);

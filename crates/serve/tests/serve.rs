@@ -90,6 +90,37 @@ fn checkpoint_to_serve_roundtrip_is_bit_identical() {
 }
 
 #[test]
+fn bf16_serving_matches_the_quantized_model_exactly() {
+    let ds = tiny_dataset();
+    let model = train_and_reload(&ds);
+    let pool = &ds.test.features;
+    let requests = open_loop_stream(11, 120, 400.0, pool.rows());
+    let config = ServeConfig::paper_defaults(32, 0.050).bf16();
+    let outcome = run(
+        &model,
+        &scaled(two_tier_server(1, 1, 0.5)),
+        pool,
+        &requests,
+        &FaultPlan::new(),
+        &config,
+    );
+    assert_eq!(outcome.lost, 0);
+    // bf16 serving is direct inference on the once-quantized model — the
+    // single round point is the streamed checkpoint, nothing downstream.
+    let reference = model.quantized(asgd_tensor::Precision::Bf16);
+    for r in &requests {
+        let x = pool.select_rows(&[r.pool_row]);
+        let direct = reference.predict_topk(&x, config.k);
+        assert_eq!(
+            outcome.prediction(r.id),
+            &direct[..],
+            "request {} served ≠ quantized direct inference",
+            r.id
+        );
+    }
+}
+
+#[test]
 fn serve_outcome_is_thread_count_invariant() {
     let ds = tiny_dataset();
     let model = Mlp::init(&mlp_config(&ds), 7);

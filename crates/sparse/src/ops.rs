@@ -108,6 +108,43 @@ fn spmm_chunk(
     }
 }
 
+/// Contiguous row ranges with near-equal *nonzero* counts — the nnz-aware
+/// replacement for `split_ranges`' equal-row chunks. Power-law batches put
+/// most nonzeros in a few heavy rows, so equal-row chunks leave all but one
+/// worker idle; equal-nnz ranges balance actual work while keeping rows
+/// contiguous (sequential output writes, streaming CSR reads). Each row is
+/// weighted `nnz + 1` so the per-row epilogue sweep counts too. The greedy
+/// cut is a pure function of the CSR row lengths — fully deterministic.
+fn nnz_balanced_row_ranges(a: &CsrMatrix, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let m = a.rows();
+    let mut ranges = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    // Weight of the rows not yet assigned (rows `r..m` at the top of the
+    // loop iteration for row `r`).
+    let mut remaining = a.nnz() + m;
+    for r in 0..m {
+        let w = a.row_nnz(r) + 1;
+        let open = parts - ranges.len();
+        // Close the current range *before* a row that would push it further
+        // past its fair share than stopping short would undershoot it — so
+        // one heavy row never drags its light predecessors along. Never
+        // leave fewer rows than the ranges still owed.
+        if open > 1 && acc > 0 && m - r >= open {
+            let share = (acc + remaining) / open;
+            if acc + w > share && acc + w - share > share.saturating_sub(acc) {
+                ranges.push(start..r);
+                start = r;
+                acc = 0;
+            }
+        }
+        acc += w;
+        remaining -= w;
+    }
+    ranges.push(start..m);
+    ranges
+}
+
 fn spmm_with_epilogue(a: &CsrMatrix, b: &Matrix, c: &mut Matrix, ep: Epilogue) {
     let n = b.cols();
     if n == 0 {
@@ -115,13 +152,28 @@ fn spmm_with_epilogue(a: &CsrMatrix, b: &Matrix, c: &mut Matrix, ep: Epilogue) {
     }
     let b_data = b.as_slice();
     let m = a.rows();
-    asgd_tensor::parallel::par_chunks_mut(
-        c.as_mut_slice(),
-        m,
-        n,
-        MIN_PAR_ROWS,
-        |first_row, chunk| spmm_chunk(a, b_data, n, first_row, chunk, ep),
-    );
+    let threads = asgd_tensor::parallel::num_threads();
+    if threads == 1 || m < MIN_PAR_ROWS {
+        spmm_chunk(a, b_data, n, 0, c.as_mut_slice(), ep);
+        return;
+    }
+    // Parallel path: nnz-balanced contiguous row ranges instead of equal-row
+    // chunks. Every output row is still computed whole by one task with the
+    // identical per-row kernel in the identical order, so the result is
+    // bit-equal to the serial pass — only where the chunk boundaries fall
+    // changes.
+    let ranges = nnz_balanced_row_ranges(a, threads);
+    let base = c.as_mut_slice().as_mut_ptr() as usize;
+    asgd_tensor::parallel::par_tasks(ranges.len(), |t| {
+        let r = &ranges[t];
+        // SAFETY: ranges partition the row set, so tasks write disjoint
+        // row slices of a buffer that outlives the pool scope; the usize
+        // round-trip keeps the closure Sync.
+        let chunk = unsafe {
+            std::slice::from_raw_parts_mut((base as *mut f32).add(r.start * n), r.len() * n)
+        };
+        spmm_chunk(a, b_data, n, r.start, chunk, ep);
+    });
 }
 
 /// `C = A · B` where `A` is sparse CSR (`m×k`), `B` dense (`k×n`).
@@ -442,6 +494,63 @@ mod tests {
         let eight = run(8);
         asgd_tensor::parallel::override_threads(0);
         assert_eq!(single, eight);
+    }
+
+    #[test]
+    fn skewed_nnz_schedule_is_bit_identical_and_balanced() {
+        // Power-law row lengths: one flood row holds most of the nonzeros,
+        // the rest are near-empty. The LPT schedule must (a) leave the
+        // numeric result bit-equal to the serial pass and (b) actually
+        // isolate the heavy row from the light ones.
+        let m = 64;
+        let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..m)
+            .map(|r| {
+                let nnz = if r == 17 { 240 } else { r % 4 };
+                let idx: Vec<u32> = (0..nnz as u32).map(|j| j * 2 + (r as u32 % 2)).collect();
+                let val: Vec<f32> = idx.iter().map(|&j| (j as f32 - 3.0) * 0.125).collect();
+                (idx, val)
+            })
+            .collect();
+        let a = CsrMatrix::from_rows(512, &rows).unwrap();
+        let b = dense_sample(512, 24, 13);
+        let run = |threads: usize| {
+            asgd_tensor::parallel::override_threads(threads);
+            let mut c = Matrix::zeros(m, 24);
+            spmm(&a, &b, &mut c);
+            c
+        };
+        let single = run(1);
+        let eight = run(8);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single, eight, "skewed schedule changed the bits");
+        assert_eq!(single, spmm_ordered(&a, &b, None), "spec mismatch");
+        // The schedule isolates the flood row: the range that carries it
+        // takes little else, while the light rows spread over the others.
+        let ranges = nnz_balanced_row_ranges(&a, 8);
+        assert_eq!(ranges.len(), 8);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), m);
+        let heavy = ranges.iter().find(|r| r.contains(&17)).unwrap();
+        let heavy_extra: usize = heavy
+            .clone()
+            .filter(|&r| r != 17)
+            .map(|r| a.row_nnz(r))
+            .sum();
+        assert!(
+            heavy_extra <= 8,
+            "flood row's range also carries {heavy_extra} light nonzeros"
+        );
+        // An equal-row split would put 8 rows (~a quarter of the light
+        // nonzeros) next to the flood row; nnz-balancing must not.
+        let light_max = ranges
+            .iter()
+            .filter(|r| !r.contains(&17))
+            .map(|r| r.clone().map(|i| a.row_nnz(i) + 1).sum::<usize>())
+            .max()
+            .unwrap();
+        assert!(
+            light_max <= 2 * ((a.nnz() + m) / 8 + 1),
+            "a light range carries {light_max} weight"
+        );
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
 //! ```
 
+pub mod bf16;
 pub mod init;
 pub mod kernels;
 pub mod matrix;
@@ -33,4 +34,5 @@ pub mod parallel;
 pub(crate) mod pool;
 pub mod reference;
 
+pub use bf16::{FlatVec, Precision};
 pub use matrix::Matrix;

@@ -229,6 +229,114 @@ pub fn par_momentum_update(
     });
 }
 
+/// Generic twin of [`par_add_assign`] over a [`crate::bf16::ReduceElem`]:
+/// `dst[i] = round(dst[i] + src[i])` with the element's one-round-per-store
+/// arithmetic. For `f32` this is bit- and partition-identical to
+/// [`par_add_assign`]; for bf16 bits (`u16`) each store narrows once.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_add_assign_elem<E: crate::bf16::ReduceElem>(
+    dst: &mut [E],
+    src: &[E],
+    min_serial: usize,
+) {
+    assert_eq!(dst.len(), src.len(), "par_add_assign_elem length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        E::add_slice(chunk, &src[first..first + chunk.len()]);
+    });
+}
+
+/// Generic twin of [`par_scale`]: `buf[i] = round(buf[i] * a)` with the
+/// element's one-round-per-store arithmetic.
+pub fn par_scale_elem<E: crate::bf16::ReduceElem>(a: f32, buf: &mut [E], min_serial: usize) {
+    par_chunks_mut(buf, buf.len(), 1, min_serial, |_, chunk| {
+        E::scale_slice(a, chunk);
+    });
+}
+
+/// Generic twin of [`par_copy`] for any element type (bf16 bits included):
+/// a parallel `copy_from_slice`, bit-identical for any thread count.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_copy_elem<T: Copy + Send + Sync>(src: &[T], dst: &mut [T], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_copy_elem length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        chunk.copy_from_slice(&src[first..first + chunk.len()]);
+    });
+}
+
+/// `dst[i] += a * widen(src[i])` over the worker pool — the bf16-reading
+/// twin of [`par_weighted_axpy`]: exact widen, then the same separate
+/// multiply and add into the f32 accumulator.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_weighted_axpy_bf16(a: f32, src: &[u16], dst: &mut [f32], min_serial: usize) {
+    assert_eq!(
+        dst.len(),
+        src.len(),
+        "par_weighted_axpy_bf16 length mismatch"
+    );
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        crate::bf16::axpy_slice(a, &src[first..first + chunk.len()], chunk);
+    });
+}
+
+/// `dst[i] = narrow(src[i])` over the worker pool — f32 → bf16 storage
+/// conversion (redistribution, checkpoint export). One round per store.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_narrow(src: &[f32], dst: &mut [u16], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_narrow length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        crate::bf16::narrow_slice(&src[first..first + chunk.len()], chunk);
+    });
+}
+
+/// `dst[i] = widen(src[i])` over the worker pool — exact bf16 → f32
+/// conversion (model import, serve-time weight streaming).
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_widen(src: &[u16], dst: &mut [f32], min_serial: usize) {
+    assert_eq!(dst.len(), src.len(), "par_widen length mismatch");
+    par_chunks_mut(dst, dst.len(), 1, min_serial, |first, chunk| {
+        crate::bf16::widen_slice(&src[first..first + chunk.len()], chunk);
+    });
+}
+
+/// The bf16-reading twin of [`par_momentum_update`]: `merged` holds bf16
+/// bits, widened exactly per element; the global/momentum state stays f32,
+/// so the update arithmetic is identical to the f32 path.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn par_momentum_update_bf16(
+    merged: &[u16],
+    global: &mut [f32],
+    prev: &mut [f32],
+    gamma: f32,
+    min_serial: usize,
+) {
+    assert_eq!(merged.len(), global.len(), "par_momentum_update length");
+    assert_eq!(merged.len(), prev.len(), "par_momentum_update length");
+    let prev_base = prev.as_mut_ptr() as usize;
+    par_chunks_mut(global, global.len(), 1, min_serial, |first, chunk| {
+        let prev_part = unsafe {
+            std::slice::from_raw_parts_mut((prev_base as *mut f32).add(first), chunk.len())
+        };
+        let merged_part = &merged[first..first + chunk.len()];
+        for ((&m, w), wp) in merged_part.iter().zip(chunk).zip(prev_part) {
+            let w_new = crate::bf16::widen(m) + gamma * (*w - *wp);
+            *wp = *w;
+            *w = w_new;
+        }
+    });
+}
+
 /// Runs `f(0), …, f(ntasks-1)` on the worker pool, one task per index —
 /// coarse-grained fork/join for jobs that are already partitioned by the
 /// caller (e.g. the multi-stream ring's per-partition rings). Tasks must

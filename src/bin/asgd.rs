@@ -87,7 +87,12 @@ COMMANDS:
              --csv <path>       write the curve as CSV
   simulate   run an identical batch across a heterogeneous server (Fig. 1)
              --gpus <n> (default 4)  --batch <n> (default 256)
-             --scale <f64> (default 0.004)  --reps <n> (default 200)"
+             --scale <f64> (default 0.004)  --reps <n> (default 200)
+
+ENVIRONMENT:
+  ASGD_THREADS     worker-pool size (default: CPU count); output is
+                   bit-identical for any value
+  ASGD_PRECISION   f32|bf16 model/merge storage for train (default f32)"
     );
 }
 
@@ -250,6 +255,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         config.seed = seed;
         config.mega_batch_limit = Some(megas);
         config.overhead_scale = scale;
+        config.precision = asgd_tensor::Precision::from_env_or(config.precision);
         config.trace = flags.bool("trace");
         Trainer::new(spec, heterogeneous_server(gpus), config).run(&ds)
     };
