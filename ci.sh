@@ -100,6 +100,32 @@ if [[ "${1:-}" != "quick" ]]; then
     diff -u results/kernel_probe.txt "$tmp_out/kern8/kernel_probe.txt"
     echo "kernel goldens: bit-identical at ASGD_THREADS=1 and =8, match checked-in report"
 
+    echo "== sampled-softmax goldens across thread counts =="
+    # The LSH-sampled training path promises bit-identical runs for every
+    # ASGD_THREADS: candidate sets are a pure function of (LSH seed, synced
+    # W2, batch labels), the gathered kernels follow the reduction contract,
+    # and the sparse output update applies in canonical candidate order.
+    # Replay the probe under different worker-pool sizes and byte-diff the
+    # FNV reports (trace + final model) against each other and the
+    # checked-in golden. See DESIGN.md, "Sampled softmax & sparse output
+    # path".
+    ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/sampled1" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sampled_probe >/dev/null
+    ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/sampled8" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sampled_probe >/dev/null
+    diff -u "$tmp_out/sampled1/sampled_probe.txt" "$tmp_out/sampled8/sampled_probe.txt"
+    diff -u results/sampled_probe.txt "$tmp_out/sampled8/sampled_probe.txt"
+    echo "sampled goldens: bit-identical at ASGD_THREADS=1 and =8, match checked-in report"
+
+    echo "== sampled-softmax goldens across build profiles =="
+    # Same probe, debug vs release: the gathered-row kernels must survive
+    # optimization-level and LTO changes bit-for-bit, like the dense kernels
+    # below.
+    ASGD_OUT_DIR="$tmp_out/sampled_dbg" ASGD_MEGA_LIMIT=4 \
+        cargo run -p asgd-bench --bin sampled_probe >/dev/null
+    diff -u results/sampled_probe.txt "$tmp_out/sampled_dbg/sampled_probe.txt"
+    echo "sampled goldens: bit-identical in debug and release profiles"
+
     echo "== kernel goldens across build profiles =="
     # The same probe, debug vs release: optimization level, inlining, and
     # (Thin)LTO must not change a single bit. This is the gate that catches

@@ -11,6 +11,9 @@
 //!   unfused two-pass formulations.
 //! * `sparse_kernels` — register-blocked `spmm`/`spmm_bias_relu` on a real
 //!   amazon-like CSR batch.
+//! * `skewed_spmm` — the shapes the nnz-balanced 2-D tiling targets: a
+//!   power-law flood-row batch and a tiny batch against a
+//!   sampled-softmax-wide output.
 //! * `min_par_rows` — sweep of the `par_chunks_mut` serial-fallback
 //!   threshold around [`asgd_tensor::parallel::MIN_PAR_ROWS`]; see
 //!   EXPERIMENTS.md ("Kernel benchmarks") for how to read it on hosts where
@@ -153,6 +156,49 @@ fn sparse_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// Skewed SpMM shapes the nnz-balanced 2-D tiling targets:
+///
+/// * `flood_row` — power-law row lengths (one row holds most of the batch's
+///   nonzeros, the rest are near-empty), the case equal-row chunking
+///   serializes on a single worker;
+/// * `wide_output` — a batch far below `MIN_PAR_ROWS` against a
+///   sampled-softmax-wide output, the case row splitting alone cannot
+///   occupy the pool and the NB-panel column blocks engage.
+fn skewed_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skewed_spmm");
+    group.sample_size(15);
+
+    // Power-law batch: row 0 carries 8192 nonzeros, the rest carry 0–3.
+    let feats = 16_384usize;
+    let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..BATCH)
+        .map(|r| {
+            let nnz = if r == 0 { 8192 } else { r % 4 };
+            let idx: Vec<u32> = (0..nnz as u32).map(|j| j * 2 + (r as u32 % 2)).collect();
+            let val: Vec<f32> = idx.iter().map(|&j| (j as f32 * 0.37).sin()).collect();
+            (idx, val)
+        })
+        .collect();
+    let flood = CsrMatrix::from_rows(feats, &rows).unwrap();
+    let w1 = filled(feats, HIDDEN, 31);
+    let mut h = Matrix::zeros(BATCH, HIDDEN);
+    group.throughput(Throughput::Elements((2 * flood.nnz() * HIDDEN) as u64));
+    group.bench_function("flood_row", |b| b.iter(|| sops::spmm(&flood, &w1, &mut h)));
+
+    // Wide output, tiny batch: 8 rows × 16k columns (a sampled-softmax-like
+    // output width), dominated by the column-block axis.
+    let small = 8usize;
+    let wide_cols = 16_384usize;
+    let ids: Vec<usize> = (1..=small).collect();
+    let xs = flood.select_rows(&ids);
+    let w_wide = filled(feats, wide_cols, 32);
+    let mut out = Matrix::zeros(small, wide_cols);
+    group.throughput(Throughput::Elements((2 * xs.nnz() * wide_cols) as u64));
+    group.bench_function("wide_output", |b| {
+        b.iter(|| sops::spmm(&xs, &w_wide, &mut out))
+    });
+    group.finish();
+}
+
 /// Sweeps the `par_chunks_mut` serial-fallback threshold for the NN
 /// micro-kernel at a chunk-sized row count. `MIN_PAR_ROWS` is a compile-time
 /// constant in the production kernels; here the threshold is passed straight
@@ -244,6 +290,7 @@ criterion_group!(
     benches,
     dense_kernels,
     sparse_kernels,
+    skewed_spmm,
     min_par_rows_sweep,
     bf16_conversions
 );

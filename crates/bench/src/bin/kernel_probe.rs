@@ -113,6 +113,45 @@ fn main() {
         );
     }
 
+    // Gathered-row kernels of the sampled-softmax output path: candidate
+    // index sets with duplicates-free ascending order at shapes hitting full
+    // tiles and remainders, including a single candidate and a gather that
+    // permutes far-apart rows.
+    for &(m, k, big_n, c_n) in &[
+        (1usize, 4usize, 9usize, 1usize),
+        (5, 8, 40, 7),
+        (13, 24, 101, 19),
+        (33, 40, 257, 53),
+    ] {
+        let a = filled(m, k, 0x6A7E ^ ((m as u64) << 8) ^ k as u64);
+        let bt = filled(big_n, k, 0x1DEA ^ ((big_n as u64) << 4) ^ k as u64);
+        let bn = filled(big_n, c_n, 0x7EA1 ^ ((c_n as u64) << 6) ^ m as u64);
+        let idx: Vec<u32> = (0..c_n).map(|i| (i * big_n / c_n) as u32).collect();
+        let bias: Vec<f32> = (0..c_n).map(|j| (j as f32 * 0.29).sin()).collect();
+        let mut out = filled(m, c_n, 0xF00D ^ (m * c_n) as u64);
+        ops::gemm_nt_gather(1.0, &a, &bt, &idx, 0.0, &mut out);
+        let _ = writeln!(
+            report,
+            "gemm_nt_gather {m}x{k}x{c_n}of{big_n} fnv {:#018x}",
+            fnv_f32(out.as_slice())
+        );
+        ops::gemm_nt_gather_bias(&a, &bt, &idx, &bias, &mut out);
+        let _ = writeln!(
+            report,
+            "gemm_nt_gather_bias {m}x{k}x{c_n}of{big_n} fnv {:#018x}",
+            fnv_f32(out.as_slice())
+        );
+        let ac = filled(m, c_n, 0xBA11 ^ (m + c_n) as u64);
+        let mut dh = Matrix::zeros(m, bn.cols());
+        ops::gemm_nn_gather(1.0, &ac, &bn, &idx, 0.0, &mut dh);
+        let _ = writeln!(
+            report,
+            "gemm_nn_gather {m}x{c_n}of{big_n}x{} fnv {:#018x}",
+            bn.cols(),
+            fnv_f32(dh.as_slice())
+        );
+    }
+
     // Sparse kernels on a CSR with empty, short and long rows.
     let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..23)
         .map(|r| {

@@ -1,0 +1,67 @@
+//! Sampled-softmax determinism probe: one training run with the LSH-sampled
+//! output layer, rendered to a deterministic report.
+//!
+//! The CI gate runs this binary under different `ASGD_THREADS` settings and
+//! build profiles (in separate processes, so each gets its own worker pool)
+//! and byte-diffs the reports against each other and against the checked-in
+//! `results/sampled_probe.txt`: a sampled run is a pure function of
+//! `(data seed, LSH seed)` — candidate selection, the gathered-row kernels,
+//! and the sparse output update all follow the reduction contract
+//! (DESIGN.md, "Sampled softmax & sparse output path"). A diff is a
+//! determinism regression.
+//!
+//! Environment (on top of the shared `ASGD_*` variables): the probe always
+//! trains sampled; `ASGD_LSH_TABLES` / `ASGD_NEG_SAMPLES` tune the sampler
+//! exactly as they do for `run_all` (defaults here: 8 tables, 16 negatives,
+//! kept small so the debug-profile leg of the gate stays fast).
+
+use asgd_core::trainer::SampledSoftmax;
+
+fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    let env = asgd_bench::Env::from_env();
+    let sampled = env.sampled.unwrap_or_else(|| SampledSoftmax::defaults(16));
+
+    let dataset = env.dataset(&asgd_bench::Env::dataset_specs(&env)[0]);
+    let mut config = env.run_config(0.2);
+    config.trace = true;
+    config.sampled_softmax = Some(sampled);
+    let result = asgd_core::trainer::Trainer::new(
+        asgd_core::algorithms::adaptive_sgd(),
+        asgd_gpusim::profile::heterogeneous_server(4),
+        config,
+    )
+    .run(&dataset);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "sampled probe: {} tables x {} bits, {} negatives, lsh seed {:#x}, {} megas\n",
+        sampled.tables, sampled.k_bits, sampled.neg_samples, sampled.seed, env.mega_limit
+    ));
+    for r in &result.records {
+        report.push_str(&format!(
+            "merge {} time {:.9} loss {:.9} acc {:.6} updates {:?}\n",
+            r.merge_index, r.sim_time, r.mean_loss, r.accuracy, r.updates
+        ));
+    }
+    report.push_str(&format!(
+        "trace fnv {:#018x}\n",
+        fnv1a(result.trace.bytes())
+    ));
+    report.push_str(&format!(
+        "model fnv {:#018x}\n",
+        fnv1a(result.final_model.iter().flat_map(|w| w.to_le_bytes()))
+    ));
+
+    print!("{report}");
+    let path = env.write_artifact("sampled_probe.txt", &report);
+    eprintln!("wrote {path:?}");
+}

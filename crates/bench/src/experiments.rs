@@ -4,6 +4,7 @@
 //! binaries can both print it and persist it under `results/`.
 
 use crate::{grid_learning_rate, Env};
+use asgd_core::slide::{SlideConfig, SlideTrainer};
 use asgd_core::trainer::Trainer;
 use asgd_core::{algorithms, RunResult};
 use asgd_data::{DatasetSpec, DatasetStats};
@@ -11,7 +12,6 @@ use asgd_gpusim::device::build_server;
 use asgd_gpusim::profile::heterogeneous_server;
 use asgd_model::workload::epoch_kernels;
 use asgd_model::MlpConfig;
-use asgd_slide::{SlideConfig, SlideTrainer};
 use asgd_stats::StreamingSummary;
 use std::fmt::Write as _;
 
@@ -357,6 +357,50 @@ pub fn bench_kernels_json(env: &Env) -> String {
     let t = median_ns(|| asgd_tensor::bf16::widen_slice(&half, &mut wide), iters);
     pair("bf16_widen", conv_elems, s, t, &mut rows);
 
+    // Sampled-softmax output kernels: the gathered-row GEMMs the LSH-sampled
+    // path runs at candidate width `c`, against the full-label-width dense
+    // kernels they replace. `dense`/`sampled` rows pair up like
+    // `scalar`/`tiled` ones; the sampled row carries `speedup_vs_dense`.
+    let cand_n = 512.min(classes);
+    let cand: Vec<u32> = (0..cand_n).map(|i| (i * classes / cand_n) as u32).collect();
+    let w2t = filled(classes, hidden, 4);
+    let mut out_c = Matrix::zeros(batch, cand_n);
+    let d_c = filled(batch, cand_n, 6);
+    let s = median_ns(|| ops::gemm_nt(1.0, &h, &w2t, 0.0, &mut out), iters);
+    let t = median_ns(
+        || ops::gemm_nt_gather(1.0, &h, &w2t, &cand, 0.0, &mut out_c),
+        iters,
+    );
+    rows.push(KernelRow {
+        kernel: "sampled_forward",
+        variant: "dense",
+        ns_per_iter: s,
+        gflops: gemm_flops / s,
+    });
+    rows.push(KernelRow {
+        kernel: "sampled_forward",
+        variant: "sampled",
+        ns_per_iter: t,
+        gflops: (2 * batch * hidden * cand_n) as f64 / t,
+    });
+    let s = median_ns(|| ops::gemm_nt(1.0, &d, &w2, 0.0, &mut dh), iters);
+    let t = median_ns(
+        || ops::gemm_nn_gather(1.0, &d_c, &w2t, &cand, 0.0, &mut dh),
+        iters,
+    );
+    rows.push(KernelRow {
+        kernel: "sampled_input_grad",
+        variant: "dense",
+        ns_per_iter: s,
+        gflops: gemm_flops / s,
+    });
+    rows.push(KernelRow {
+        kernel: "sampled_input_grad",
+        variant: "sampled",
+        ns_per_iter: t,
+        gflops: (2 * batch * hidden * cand_n) as f64 / t,
+    });
+
     let mut out_json = format!(
         "{{\n  \"bench\": \"kernels\",\n  \"shape\": \"{batch}x{hidden}x{classes}\", \
          \"spmm_nnz\": {},\n  \"rows\": [\n",
@@ -376,12 +420,225 @@ pub fn bench_kernels_json(env: &Env) -> String {
                 ", \"speedup_vs_scalar\": {:.2}",
                 scalar.ns_per_iter / r.ns_per_iter
             );
+        } else if r.variant == "sampled" {
+            let dense = &rows[i - 1];
+            let _ = write!(
+                out_json,
+                ", \"speedup_vs_dense\": {:.2}",
+                dense.ns_per_iter / r.ns_per_iter
+            );
         }
         out_json.push('}');
         out_json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out_json.push_str("  ]\n}\n");
     out_json
+}
+
+/// **Full-label-scale training step** (`BENCH_full_scale.json`) — the
+/// tentpole measurement of the sampled-softmax path: one replica's
+/// `train_batch` wall-clock at the REAL Amazon-670k label space
+/// (`135,909 × 128 × 670,091`), dense versus LSH-sampled, next to the dense
+/// step at the 1/100 label space (`670,091 / 100 ≈ 6.7k`) every other
+/// experiment runs at. The dense full-scale row is the path the sampled
+/// softmax replaces; the sampled row carries `speedup_vs_dense_full`
+/// (acceptance floor: ≥ 5x). Hardcoded full shape, hidden 128 — the
+/// `merge_stage` methodology, not the `ASGD_SCALE` twin.
+pub fn bench_full_scale_json(env: &Env) -> String {
+    use asgd_core::trainer::SampledSoftmax;
+    use asgd_model::{Mlp, Workspace};
+    use asgd_slide::CandidateSampler;
+    use asgd_sparse::CsrMatrix;
+
+    let features = 135_909usize;
+    let hidden = 128usize;
+    let full_classes = 670_091usize;
+    let small_classes = DatasetSpec::amazon_670k(0.01).num_labels;
+    let batch = 64usize;
+    let nnz_per_row = 76usize;
+    let labels_per_row = 5usize;
+
+    // Deterministic synthetic batch: Table I per-sample statistics at the
+    // full feature space, no full-corpus generation needed.
+    let mut state = env.seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let rows: Vec<(Vec<u32>, Vec<f32>)> = (0..batch)
+        .map(|_| {
+            let mut cols: Vec<u32> = (0..nnz_per_row)
+                .map(|_| (next() % features as u64) as u32)
+                .collect();
+            cols.sort_unstable();
+            cols.dedup();
+            let vals: Vec<f32> = cols
+                .iter()
+                .map(|&c| ((c % 17) as f32 - 8.0) / 8.0 + 1.5)
+                .collect();
+            (cols, vals)
+        })
+        .collect();
+    let x = CsrMatrix::from_rows(features, &rows).unwrap();
+    let raw_labels: Vec<Vec<u32>> = (0..batch)
+        .map(|_| {
+            let mut l: Vec<u32> = (0..labels_per_row)
+                .map(|_| (next() % full_classes as u64) as u32)
+                .collect();
+            l.sort_unstable();
+            l.dedup();
+            l
+        })
+        .collect();
+    let sampled_cfg = env.sampled.unwrap_or_else(|| SampledSoftmax::defaults(64));
+
+    struct Row {
+        mode: &'static str,
+        classes: usize,
+        candidates: Option<usize>,
+        steps: usize,
+        ns_per_iter: f64,
+    }
+    let mut out_rows: Vec<Row> = Vec::new();
+
+    let time_steps = |steps: usize, mut f: Box<dyn FnMut() + '_>| -> f64 {
+        f(); // warm up buffers and the worker pool
+        let t0 = std::time::Instant::now();
+        for _ in 0..steps {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / steps as f64
+    };
+
+    // Dense step at the 1/100 label space: the shape every other artifact
+    // trains at, included as the cost yardstick.
+    {
+        let config = MlpConfig {
+            num_features: features,
+            hidden,
+            num_classes: small_classes,
+        };
+        let labels: Vec<Vec<u32>> = raw_labels
+            .iter()
+            .map(|l| {
+                let mut s: Vec<u32> = l.iter().map(|&v| v % small_classes as u32).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            })
+            .collect();
+        let mut model = Mlp::init(&config, env.seed);
+        let mut ws = Workspace::new(&config);
+        let steps = 8;
+        let ns = time_steps(
+            steps,
+            Box::new(|| {
+                model.train_batch_ws(&x, &labels, 1e-3, &mut ws);
+            }),
+        );
+        out_rows.push(Row {
+            mode: "dense",
+            classes: small_classes,
+            candidates: None,
+            steps,
+            ns_per_iter: ns,
+        });
+    }
+
+    // Dense and sampled steps at the full 670k label space. The dense arm is
+    // the path being replaced — a few steps are enough for a stable median
+    // and keep the row affordable.
+    let config = MlpConfig {
+        num_features: features,
+        hidden,
+        num_classes: full_classes,
+    };
+    {
+        let mut model = Mlp::init(&config, env.seed);
+        let mut ws = Workspace::new(&config);
+        let steps = 3;
+        let ns = time_steps(
+            steps,
+            Box::new(|| {
+                model.train_batch_ws(&x, &raw_labels, 1e-3, &mut ws);
+            }),
+        );
+        out_rows.push(Row {
+            mode: "dense",
+            classes: full_classes,
+            candidates: None,
+            steps,
+            ns_per_iter: ns,
+        });
+    }
+    {
+        let mut model = Mlp::init(&config, env.seed);
+        let mut ws = Workspace::new(&config);
+        let mut sampler = CandidateSampler::new(
+            sampled_cfg.tables,
+            sampled_cfg.k_bits,
+            hidden,
+            sampled_cfg.neg_samples,
+            sampled_cfg.seed,
+        );
+        sampler.rebuild(model.w2());
+        let label_views: Vec<&[u32]> = raw_labels.iter().map(|l| l.as_slice()).collect();
+        let candidates = sampler.select(&label_views, env.seed).len();
+        let steps = 8;
+        let mut step_seed = env.seed;
+        let ns = time_steps(
+            steps,
+            Box::new(|| {
+                let cand = sampler.select(&label_views, step_seed).to_vec();
+                step_seed = step_seed.wrapping_add(1);
+                model.train_batch_sampled_ws(&x, &raw_labels, &cand, 1e-3, &mut ws);
+            }),
+        );
+        out_rows.push(Row {
+            mode: "sampled",
+            classes: full_classes,
+            candidates: Some(candidates),
+            steps,
+            ns_per_iter: ns,
+        });
+    }
+
+    let dense_full_ns = out_rows
+        .iter()
+        .find(|r| r.mode == "dense" && r.classes == full_classes)
+        .map(|r| r.ns_per_iter);
+    let mut out = String::from("{\n  \"bench\": \"full_scale\",\n  \"rows\": [\n");
+    for (i, r) in out_rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"mode\": \"{}\", \"shape\": \"{features}x{hidden}x{}\", \
+             \"batch\": {batch}, \"steps\": {}, \"ns_per_iter\": {:.0}, \
+             \"samples_per_s\": {:.1}",
+            r.mode,
+            r.classes,
+            r.steps,
+            r.ns_per_iter,
+            batch as f64 / (r.ns_per_iter / 1e9)
+        );
+        if let Some(c) = r.candidates {
+            let _ = write!(out, ", \"candidates\": {c}");
+        }
+        if r.mode == "sampled" {
+            if let Some(dense_ns) = dense_full_ns {
+                let _ = write!(
+                    out,
+                    ", \"speedup_vs_dense_full\": {:.2}",
+                    dense_ns / r.ns_per_iter
+                );
+            }
+        }
+        out.push('}');
+        out.push_str(if i + 1 < out_rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// **Merge-stage throughput** — the scheduler-side merge (gather every
@@ -912,6 +1169,13 @@ mod tests {
             assert!(json.contains(&format!("\"kernel\": \"{kernel}\", \"variant\": \"tiled\"")));
         }
         assert_eq!(json.matches("speedup_vs_scalar").count(), 6);
+        for kernel in ["sampled_forward", "sampled_input_grad"] {
+            assert!(json.contains(&format!("\"kernel\": \"{kernel}\", \"variant\": \"dense\"")));
+            assert!(json.contains(&format!(
+                "\"kernel\": \"{kernel}\", \"variant\": \"sampled\""
+            )));
+        }
+        assert_eq!(json.matches("speedup_vs_dense").count(), 2);
     }
 
     #[test]

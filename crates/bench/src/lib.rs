@@ -18,8 +18,13 @@
 //!   single-host sweep affordable) |
 //! | `ASGD_SEED` | `42` | master seed |
 //! | `ASGD_OUT_DIR` | `results` | artifact directory |
+//! | `ASGD_SOFTMAX` | `dense` | output layer: `dense` (exact reference) or
+//!   `sampled` (LSH-sampled softmax over candidate labels) |
+//! | `ASGD_LSH_TABLES` | `8` | SimHash tables when `ASGD_SOFTMAX=sampled` |
+//! | `ASGD_NEG_SAMPLES` | `64` | negative candidates per batch when
+//!   `ASGD_SOFTMAX=sampled` |
 
-use asgd_core::trainer::{RunConfig, Trainer, TrainerSpec};
+use asgd_core::trainer::{RunConfig, SampledSoftmax, Trainer, TrainerSpec};
 use asgd_core::RunResult;
 use asgd_data::{generate, DatasetSpec, XmlDataset};
 use asgd_gpusim::profile::heterogeneous_server;
@@ -45,6 +50,29 @@ pub struct Env {
     pub seed: u64,
     /// Output directory for CSV artifacts.
     pub out_dir: PathBuf,
+    /// `Some` = LSH-sampled softmax on the training hot path
+    /// (`ASGD_SOFTMAX=sampled`), `None` = the exact dense output layer.
+    pub sampled: Option<SampledSoftmax>,
+}
+
+/// Resolves the `ASGD_SOFTMAX`/`ASGD_LSH_TABLES`/`ASGD_NEG_SAMPLES` triple
+/// into a trainer-level sampled-softmax config. Any `mode` other than
+/// `"sampled"` (case-insensitive) means the dense path; tables/negatives
+/// apply on top of [`SampledSoftmax::defaults`], so the LSH seed and bit
+/// width stay at their pinned values.
+pub fn parse_softmax(
+    mode: Option<&str>,
+    tables: Option<usize>,
+    neg: Option<usize>,
+) -> Option<SampledSoftmax> {
+    if !mode.is_some_and(|m| m.trim().eq_ignore_ascii_case("sampled")) {
+        return None;
+    }
+    let mut s = SampledSoftmax::defaults(neg.unwrap_or(64));
+    if let Some(t) = tables {
+        s.tables = t.max(1);
+    }
+    Some(s)
 }
 
 impl Env {
@@ -66,6 +94,15 @@ impl Env {
             out_dir: PathBuf::from(
                 std::env::var("ASGD_OUT_DIR").unwrap_or_else(|_| "results".into()),
             ),
+            sampled: parse_softmax(
+                std::env::var("ASGD_SOFTMAX").ok().as_deref(),
+                std::env::var("ASGD_LSH_TABLES")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok()),
+                std::env::var("ASGD_NEG_SAMPLES")
+                    .ok()
+                    .and_then(|v| v.trim().parse().ok()),
+            ),
         }
     }
 
@@ -79,6 +116,7 @@ impl Env {
             hidden: 24,
             seed: 42,
             out_dir: std::env::temp_dir().join("asgd-bench-smoke"),
+            sampled: None,
         }
     }
 
@@ -104,6 +142,7 @@ impl Env {
         c.seed = self.seed;
         c.mega_batch_limit = Some(self.mega_limit);
         c.overhead_scale = self.scale;
+        c.sampled_softmax = self.sampled;
         c
     }
 
@@ -162,6 +201,29 @@ mod tests {
         let env = Env::from_env();
         assert!(env.scale > 0.0);
         assert!(env.b_max >= 8);
+    }
+
+    #[test]
+    fn parse_softmax_resolves_the_env_triple() {
+        assert_eq!(parse_softmax(None, None, None), None);
+        assert_eq!(parse_softmax(Some("dense"), Some(4), Some(9)), None);
+        let s = parse_softmax(Some("sampled"), None, None).unwrap();
+        assert_eq!(s, SampledSoftmax::defaults(64));
+        let s = parse_softmax(Some(" SAMPLED "), Some(4), Some(128)).unwrap();
+        assert_eq!(s.tables, 4);
+        assert_eq!(s.neg_samples, 128);
+        assert_eq!(s.k_bits, SampledSoftmax::defaults(128).k_bits);
+    }
+
+    #[test]
+    fn run_config_carries_the_sampled_choice() {
+        let mut env = Env::smoke();
+        assert_eq!(env.run_config(0.1).sampled_softmax, None);
+        env.sampled = Some(SampledSoftmax::defaults(32));
+        assert_eq!(
+            env.run_config(0.1).sampled_softmax,
+            Some(SampledSoftmax::defaults(32))
+        );
     }
 
     #[test]

@@ -18,8 +18,9 @@
 //! * [`algorithms`] — ready-made [`trainer::TrainerSpec`]s for the five
 //!   systems of the evaluation: **Adaptive SGD**, **Elastic SGD**,
 //!   **TensorFlow-mirrored** (synchronous gradient aggregation),
-//!   **CROSSBOW-style** synchronous model averaging (the SLIDE CPU baseline
-//!   lives in `asgd-slide`).
+//!   **CROSSBOW-style** synchronous model averaging.
+//! * [`slide`] — the SLIDE CPU baseline trainer (per-sample LSH-sampled
+//!   updates over the shared `asgd-slide` hash tables).
 //! * [`metrics`] — time-to-accuracy / statistical-efficiency recording.
 //!
 //! # Example
@@ -44,6 +45,7 @@ pub mod hyper;
 pub mod merging;
 pub mod metrics;
 pub mod schedule;
+pub mod slide;
 pub mod trainer;
 
 pub use checkpoint::{load_model, TrainingState};

@@ -1,4 +1,4 @@
-//! The SLIDE CPU trainer.
+//! The SLIDE CPU baseline trainer (the paper's fourth comparator, Fig. 5).
 //!
 //! Small batches, per-sample LSH-sampled softmax updates, periodic hash-table
 //! rebuilds, and a CPU cost model ([`asgd_gpusim::DeviceProfile::cpu_server`])
@@ -6,12 +6,18 @@
 //! updates are applied sequentially (Hogwild with a small learning rate is
 //! well-approximated by sequential application, and it keeps runs
 //! deterministic); *time* is charged as if the threads ran in parallel.
+//!
+//! This module lives in `asgd-core` (ported from `asgd-slide`) so the LSH
+//! crate can stay a leaf shared by the main trainer's sampled-softmax path —
+//! which supersedes this per-sample engine for training at scale; what
+//! remains here is the baseline's distinct *scenario*: per-sample updates,
+//! activation-driven candidate queries, and the CPU cost model.
 
-use crate::lsh::LshIndex;
-use asgd_core::{MergeRecord, RunResult};
+use crate::{MergeRecord, RunResult};
 use asgd_data::{SampleStream, XmlDataset};
 use asgd_gpusim::{Device, DeviceId, DeviceProfile, KernelKind};
 use asgd_model::{eval, Mlp, MlpConfig};
+use asgd_slide::LshIndex;
 
 /// SLIDE hyperparameters.
 #[derive(Debug, Clone, PartialEq)]

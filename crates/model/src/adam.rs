@@ -50,6 +50,11 @@ pub struct AdamState {
     v_b2: Vec<f32>,
     // Lazy per-feature moments for W1 rows.
     w1_moments: HashMap<u32, (Vec<f32>, Vec<f32>)>,
+    // Lazy per-class moments for W2 columns (sampled-softmax path) —
+    // classes never selected as candidates carry no state, mirroring the
+    // W1 scheme. The dense `m_w2`/`v_w2` and these are mutually exclusive
+    // within a run (one optimizer drives one training mode).
+    w2_col_moments: HashMap<u32, (Vec<f32>, Vec<f32>)>,
     hidden: usize,
 }
 
@@ -66,6 +71,7 @@ impl AdamState {
             m_b2: vec![0.0; config.num_classes],
             v_b2: vec![0.0; config.num_classes],
             w1_moments: HashMap::new(),
+            w2_col_moments: HashMap::new(),
             hidden: config.hidden,
         }
     }
@@ -78,6 +84,11 @@ impl AdamState {
     /// Number of W1 feature rows carrying moment state.
     pub fn touched_features(&self) -> usize {
         self.w1_moments.len()
+    }
+
+    /// Number of W2 class columns carrying sampled-path moment state.
+    pub fn touched_classes(&self) -> usize {
+        self.w2_col_moments.len()
     }
 
     /// Applies one Adam update to `model` from `grads`.
@@ -118,6 +129,81 @@ impl AdamState {
         );
         update(w2, grads.w2.as_slice(), m_w2, v_w2);
         update(model.b2_mut(), &grads.b2, &mut self.m_b2, &mut self.v_b2);
+    }
+
+    /// Applies one Adam update from *sampled* gradients
+    /// ([`Mlp::loss_and_gradients_sampled_ws`]): `W₁`/`b₁` exactly as
+    /// [`AdamState::apply`]; the output layer as a sparse update over
+    /// `grads.w2_updates` / `grads.b2_updates`, with first/second moments
+    /// materialized lazily per touched class. The touched `W₂` columns and
+    /// the workspace's cached `W₂ᵀ` rows are written coherently from one
+    /// computed value, so the cache stays valid without a re-transpose.
+    ///
+    /// On a candidate set covering a class's entire gradient support, the
+    /// per-element math is identical to the dense [`AdamState::apply`]
+    /// (untouched entries update their zero moments to zero and step by
+    /// exactly 0.0), so covered columns evolve bit-identically.
+    ///
+    /// # Panics
+    /// Panics when `ws`'s cached `W₂ᵀ` is stale — sync it against `model`
+    /// first (the sampled forward does; [`Mlp::sync_w2t`] does standalone).
+    pub fn apply_sampled(&mut self, model: &mut Mlp, grads: &Gradients, ws: &mut crate::Workspace) {
+        self.step += 1;
+        let p = self.params;
+        let b1 = p.beta1 as f32;
+        let b2 = p.beta2 as f32;
+        let bc1 = 1.0 - (p.beta1).powi(self.step as i32);
+        let bc2 = 1.0 - (p.beta2).powi(self.step as i32);
+        let alpha = (p.lr * bc2.sqrt() / bc1) as f32;
+        let eps = p.eps as f32;
+
+        let update = |w: &mut [f32], g: &[f32], m: &mut [f32], v: &mut [f32]| {
+            for i in 0..w.len() {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                w[i] -= alpha * m[i] / (v[i].sqrt() + eps);
+            }
+        };
+
+        for (feature, grow) in &grads.w1_updates {
+            let (m, v) = self
+                .w1_moments
+                .entry(*feature)
+                .or_insert_with(|| (vec![0.0; self.hidden], vec![0.0; self.hidden]));
+            let wrow = model.w1_row_mut(*feature as usize);
+            update(wrow, grow, m, v);
+        }
+        update(model.b1_mut(), &grads.b1, &mut self.m_b1, &mut self.v_b1);
+
+        let classes = model.config().num_classes;
+        let hidden = self.hidden;
+        model.sync_w2t(ws); // makes staleness impossible
+        {
+            let w2 = model.w2_mut().as_mut_slice();
+            for (class, grow) in &grads.w2_updates {
+                let (m, v) = self
+                    .w2_col_moments
+                    .entry(*class)
+                    .or_insert_with(|| (vec![0.0; hidden], vec![0.0; hidden]));
+                let c = *class as usize;
+                let trow = ws.w2t.row_mut(c);
+                for k in 0..hidden {
+                    let g = grow[k];
+                    m[k] = b1 * m[k] + (1.0 - b1) * g;
+                    v[k] = b2 * v[k] + (1.0 - b2) * g * g;
+                    let nv = trow[k] - alpha * m[k] / (v[k].sqrt() + eps);
+                    trow[k] = nv;
+                    w2[k * classes + c] = nv;
+                }
+            }
+        }
+        for &(c, g) in &grads.b2_updates {
+            let c = c as usize;
+            self.m_b2[c] = b1 * self.m_b2[c] + (1.0 - b1) * g;
+            self.v_b2[c] = b2 * self.v_b2[c] + (1.0 - b2) * g * g;
+            model.b2_mut()[c] -= alpha * self.m_b2[c] / (self.v_b2[c].sqrt() + eps);
+        }
+        ws.w2t_epoch = Some(model.w2_epoch());
     }
 }
 
@@ -224,6 +310,67 @@ mod tests {
             adam_loss < sgd_loss,
             "adam {adam_loss} should beat sgd {sgd_loss} here"
         );
+    }
+
+    #[test]
+    fn sampled_adam_with_covering_candidates_matches_dense_adam_exactly() {
+        // A sampled gradient whose candidate set covers every class is the
+        // same update as the dense one — per element, the identical formula
+        // on identical bits — so the models must end bit-equal.
+        let config = config();
+        let (x, labels) = batch();
+        let mut dense_model = Mlp::init(&config, 9);
+        let mut sampled_model = dense_model.clone();
+        let mut dense_adam = AdamState::new(&config, AdamParams::default());
+        let mut sampled_adam = AdamState::new(&config, AdamParams::default());
+        let mut grads = Gradients::new(&config);
+        dense_model.loss_and_gradients(&x, &labels, &mut grads);
+        // Re-express the dense output-layer gradient sparsely.
+        let mut sgrads = grads.clone();
+        sgrads.w2_updates = (0..config.num_classes)
+            .map(|c| {
+                let col: Vec<f32> = (0..config.hidden).map(|k| grads.w2.at(k, c)).collect();
+                (c as u32, col)
+            })
+            .collect();
+        sgrads.b2_updates = grads
+            .b2
+            .iter()
+            .enumerate()
+            .map(|(c, &g)| (c as u32, g))
+            .collect();
+        sgrads.w2.fill(0.0);
+        sgrads.b2.fill(0.0);
+        let mut ws = crate::Workspace::new(&config);
+        for _ in 0..3 {
+            dense_adam.apply(&mut dense_model, &grads);
+            sampled_adam.apply_sampled(&mut sampled_model, &sgrads, &mut ws);
+        }
+        assert_eq!(dense_model.to_flat(), sampled_model.to_flat());
+        assert_eq!(sampled_adam.touched_classes(), config.num_classes);
+    }
+
+    #[test]
+    fn lazy_w2_state_only_for_touched_classes() {
+        let config = config();
+        let mut model = Mlp::init(&config, 10);
+        let mut adam = AdamState::new(&config, AdamParams::default());
+        let mut grads = Gradients::new(&config);
+        grads.w2_updates = vec![
+            (1, vec![0.5; config.hidden]),
+            (3, vec![-0.5; config.hidden]),
+        ];
+        grads.b2_updates = vec![(1, 0.25), (3, -0.25)];
+        let mut ws = crate::Workspace::new(&config);
+        let before = model.clone();
+        adam.apply_sampled(&mut model, &grads, &mut ws);
+        assert_eq!(adam.touched_classes(), 2);
+        // Untouched columns keep their bits.
+        for c in 0..config.num_classes {
+            let changed = (0..config.hidden).any(|k| model.w2().at(k, c) != before.w2().at(k, c))
+                || model.b2()[c] != before.b2()[c];
+            assert_eq!(changed, c == 1 || c == 3, "class {c}");
+        }
     }
 
     #[test]

@@ -13,6 +13,19 @@ use crate::workspace::Workspace;
 use asgd_sparse::{ops as sops, CsrMatrix};
 use asgd_tensor::{bf16, init, numerics, ops, FlatVec, Matrix, Precision};
 use rand::{rngs::StdRng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone source of `W₂` version stamps. Stamps are globally unique per
+/// (model instance, mutation), so a [`Workspace`]'s cached `W₂ᵀ` can only
+/// register as fresh against the exact model state it was synced from —
+/// even across clones or replica swaps. Stamp *values* never enter any
+/// computation, so the global ordering they come from cannot perturb
+/// determinism; they only decide when a (bit-exact) re-transpose happens.
+static W2_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+fn next_w2_epoch() -> u64 {
+    W2_EPOCH.fetch_add(1, Ordering::Relaxed) + 1
+}
 
 /// Architecture hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,13 +60,28 @@ pub struct TrainOutput {
 }
 
 /// The 3-layer MLP: `softmax(relu(X·W₁ + b₁)·W₂ + b₂)`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Mlp {
     config: MlpConfig,
     w1: Matrix,
     b1: Vec<f32>,
     w2: Matrix,
     b2: Vec<f32>,
+    /// Version stamp of `w2`, bumped on every mutation that can touch it.
+    /// Workspaces compare it against their cached `W₂ᵀ` (see
+    /// [`Mlp::sync_w2t`]). Deliberately excluded from `PartialEq`: two
+    /// models with identical parameters are equal regardless of history.
+    w2_epoch: u64,
+}
+
+impl PartialEq for Mlp {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.w1 == other.w1
+            && self.b1 == other.b1
+            && self.w2 == other.w2
+            && self.b2 == other.b2
+    }
 }
 
 impl Mlp {
@@ -67,6 +95,7 @@ impl Mlp {
             b1: vec![0.0; config.hidden],
             w2: init::layer_init(config.hidden, config.num_classes, &mut rng),
             b2: vec![0.0; config.num_classes],
+            w2_epoch: next_w2_epoch(),
         }
     }
 
@@ -78,6 +107,7 @@ impl Mlp {
             b1: vec![0.0; config.hidden],
             w2: Matrix::zeros(config.hidden, config.num_classes),
             b2: vec![0.0; config.num_classes],
+            w2_epoch: next_w2_epoch(),
         }
     }
 
@@ -139,6 +169,7 @@ impl Mlp {
         blend(&mut self.b1);
         blend(self.w2.as_mut_slice());
         blend(&mut self.b2);
+        self.w2_epoch = next_w2_epoch();
     }
 
     /// Precision-tagged twin of [`Mlp::write_flat_into`]: exports the flat
@@ -195,6 +226,7 @@ impl Mlp {
                     self.w2.as_mut_slice(),
                 );
                 bf16::widen_slice(&v[take(&mut off, c.num_classes)], &mut self.b2);
+                self.w2_epoch = next_w2_epoch();
             }
         }
     }
@@ -222,6 +254,7 @@ impl Mlp {
                 blend(&mut self.b1);
                 blend(self.w2.as_mut_slice());
                 blend(&mut self.b2);
+                self.w2_epoch = next_w2_epoch();
             }
         }
     }
@@ -242,6 +275,7 @@ impl Mlp {
             quantize(&mut m.b1);
             quantize(m.w2.as_mut_slice());
             quantize(&mut m.b2);
+            m.w2_epoch = next_w2_epoch();
         }
         m
     }
@@ -268,6 +302,7 @@ impl Mlp {
             .copy_from_slice(&flat[take(&mut off, c.hidden * c.num_classes)]);
         self.b2
             .copy_from_slice(&flat[take(&mut off, c.num_classes)]);
+        self.w2_epoch = next_w2_epoch();
     }
 
     /// L2 norm of all parameters divided by the parameter count — the
@@ -287,8 +322,30 @@ impl Mlp {
     }
 
     /// Mutable access to the output-layer weights (optimizers).
+    ///
+    /// Handing out mutable access pessimistically bumps the `W₂` version
+    /// stamp — any workspace's cached `W₂ᵀ` re-syncs on its next use.
     pub fn w2_mut(&mut self) -> &mut Matrix {
+        self.w2_epoch = next_w2_epoch();
         &mut self.w2
+    }
+
+    /// The current `W₂` version stamp (see [`Mlp::sync_w2t`]).
+    pub fn w2_epoch(&self) -> u64 {
+        self.w2_epoch
+    }
+
+    /// Refreshes `ws`'s cached `W₂ᵀ` if (and only if) it is out of date.
+    /// The transpose copies bits verbatim, so whether a given call hits or
+    /// misses the cache can never change results. Both training backward
+    /// passes and the sampled forward pass call this implicitly; it is
+    /// public so optimizers applying external sampled gradients (e.g.
+    /// [`crate::AdamState::apply_sampled`]) can establish coherence first.
+    pub fn sync_w2t(&self, ws: &mut Workspace) {
+        if ws.w2t_epoch != Some(self.w2_epoch) {
+            self.w2.transpose_into(&mut ws.w2t);
+            ws.w2t_epoch = Some(self.w2_epoch);
+        }
     }
 
     /// Mutable access to one input-layer weight row (optimizers).
@@ -427,6 +484,7 @@ impl Mlp {
         for (bv, &dv) in self.b1.iter_mut().zip(&dh) {
             *bv -= lr * dv;
         }
+        self.w2_epoch = next_w2_epoch();
         loss
     }
 
@@ -568,6 +626,7 @@ impl Mlp {
             self.config.num_features,
             "workspace/model architecture mismatch"
         );
+        self.sync_w2t(ws);
         let Workspace {
             h,
             probs,
@@ -578,6 +637,13 @@ impl Mlp {
             arena,
             ..
         } = ws;
+        // Clear any sampled-path leftovers so a gradient consumer never
+        // sees both output-layer representations at once.
+        for (_, mut row) in grads.w2_updates.drain(..) {
+            row.clear();
+            arena.push(row);
+        }
+        grads.b2_updates.clear();
 
         // Forward into the workspace.
         self.forward_into(x, h, probs);
@@ -611,11 +677,11 @@ impl Mlp {
         // Backward. dW2 = hᵀ·dlogits ; db2 = Σ_rows dlogits.
         ops::gemm_tn(1.0, h, probs, 0.0, &mut grads.w2);
         col_sums(probs, &mut grads.b2);
-        // dh = dlogits·W₂ᵀ, masked by ReLU. Materializing W₂ᵀ turns the
-        // strided dot-product loop of `gemm_nt` into a unit-stride `i-k-j`
-        // GEMM; each dh element still sums over classes in ascending order,
-        // so the result is identical — just several times faster.
-        self.w2.transpose_into(w2t);
+        // dh = dlogits·W₂ᵀ, masked by ReLU. The materialized W₂ᵀ (synced
+        // above) turns the strided dot-product loop of `gemm_nt` into a
+        // unit-stride `i-k-j` GEMM; each dh element still sums over classes
+        // in ascending order, so the result is identical — just several
+        // times faster.
         dh.reshape_in_place(batch, self.config.hidden);
         ops::gemm(1.0, probs, w2t, 0.0, dh);
         numerics::relu_backward_inplace(dh, h);
@@ -654,6 +720,7 @@ impl Mlp {
         ops::axpy(-lr, &grads.b1, &mut self.b1);
         ops::axpy(-lr, grads.w2.as_slice(), self.w2.as_mut_slice());
         ops::axpy(-lr, &grads.b2, &mut self.b2);
+        self.w2_epoch = next_w2_epoch();
     }
 
     /// One full SGD step on a batch (forward + backward + update) using
@@ -687,6 +754,208 @@ impl Mlp {
     ) -> TrainOutput {
         let mut ws = Workspace::new(&self.config);
         self.train_batch_ws(x, labels, lr, &mut ws)
+    }
+
+    /// Sampled-softmax twin of [`Mlp::loss_and_gradients_ws`]: the output
+    /// layer — forward, softmax, loss, and gradient — is restricted to the
+    /// candidate classes `cand` (sorted ascending, deduplicated, and
+    /// containing every label of the batch; see
+    /// `asgd_slide::CandidateSampler`). The hidden layer is identical to
+    /// the dense path. Work and memory on the output layer scale with
+    /// `|cand|` instead of `num_classes`, which is what makes full
+    /// label-scale training tractable.
+    ///
+    /// Output-layer gradients land *sparsely* in `ws.grads.w2_updates` /
+    /// `ws.grads.b2_updates` (the dense `w2`/`b2` buffers are untouched);
+    /// apply them with [`Mlp::apply_gradients_sampled`] or
+    /// [`crate::AdamState::apply_sampled`]. `dW₂` active columns come from
+    /// the existing `gemm_tn` on the compact dlogits, `dh` flows through
+    /// [`asgd_tensor::ops::gemm_nn_gather`] over the cached `W₂ᵀ`, and the
+    /// forward logits come from [`asgd_tensor::ops::gemm_nt_gather_bias`] —
+    /// all under the crate-wide deterministic reduction contract, so
+    /// results are bit-identical at any thread count.
+    ///
+    /// The candidate softmax normalizes over `cand` only, so losses are a
+    /// *sampled* approximation of the dense objective (they track it to
+    /// within the negative-sampling bias); per-row loss/`dlogits` math is
+    /// otherwise exactly the dense code. In steady state (reused workspace,
+    /// bounded batch and candidate count) this allocates nothing.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches, an empty candidate set, or a batch label
+    /// missing from `cand`.
+    pub fn loss_and_gradients_sampled_ws<L: AsRef<[u32]>>(
+        &self,
+        x: &CsrMatrix,
+        labels: &[L],
+        cand: &[u32],
+        ws: &mut Workspace,
+    ) -> f64 {
+        let batch = x.rows();
+        assert_eq!(labels.len(), batch, "labels/batch mismatch");
+        assert!(batch > 0, "empty batch");
+        assert!(!cand.is_empty(), "empty candidate set");
+        assert_eq!(x.cols(), self.config.num_features, "input width");
+        assert_eq!(
+            ws.slot.len(),
+            self.config.num_features,
+            "workspace/model architecture mismatch"
+        );
+        debug_assert!(
+            cand.windows(2).all(|w| w[0] < w[1]),
+            "candidate set must be sorted and deduplicated"
+        );
+        self.sync_w2t(ws);
+        let s = cand.len();
+        let hidden = self.config.hidden;
+        let Workspace {
+            h,
+            logits_s,
+            gathered_b2,
+            dh,
+            w2t,
+            gt,
+            b2_scratch,
+            grads,
+            slot,
+            arena,
+            ..
+        } = ws;
+
+        // Forward: dense hidden layer, candidate-gathered output layer.
+        h.reshape_in_place(batch, hidden);
+        sops::spmm_bias_relu(x, &self.w1, &self.b1, h);
+        gathered_b2.clear();
+        gathered_b2.extend(cand.iter().map(|&c| self.b2[c as usize]));
+        logits_s.reshape_in_place(batch, s);
+        ops::gemm_nt_gather_bias(h, w2t, cand, gathered_b2, logits_s);
+        numerics::softmax_rows_inplace(logits_s);
+
+        // Loss, then convert `logits_s` in place into the compact
+        // dlogits = (p − target)/batch — the same per-row math as the dense
+        // path, with label positions found in the sorted candidate list.
+        let mut loss = 0.0f64;
+        let mut contributing = 0usize;
+        for (r, labs) in labels.iter().enumerate() {
+            let labs = labs.as_ref();
+            let row = logits_s.row_mut(r);
+            if labs.is_empty() {
+                row.fill(0.0);
+                continue;
+            }
+            contributing += 1;
+            let w = 1.0 / labs.len() as f32;
+            for &y in labs {
+                let pos = cand
+                    .binary_search(&y)
+                    .expect("label missing from candidate set");
+                let p = row[pos].max(1e-30);
+                loss -= (w as f64) * (p as f64).ln();
+                row[pos] -= w;
+            }
+        }
+        ops::scale(1.0 / batch as f32, logits_s.as_mut_slice());
+        let loss = if contributing == 0 {
+            0.0
+        } else {
+            loss / contributing as f64
+        };
+
+        // Backward. Compact ∇W₂ᵀ rows: dlogitsᵀ·h (the compact dlogits is
+        // dense, so the plain kernel applies); compact ∇b₂: column sums.
+        gt.reshape_in_place(s, hidden);
+        ops::gemm_tn(1.0, logits_s, h, 0.0, gt);
+        b2_scratch.resize(s, 0.0);
+        col_sums(logits_s, b2_scratch);
+        // Scatter into the sparse output-layer gradient, recycling last
+        // batch's rows through the shared hidden-width arena. `cand` is
+        // ascending, so the update lists are born sorted.
+        for (_, mut row) in grads.w2_updates.drain(..) {
+            row.clear();
+            arena.push(row);
+        }
+        grads.b2_updates.clear();
+        for (i, &c) in cand.iter().enumerate() {
+            let mut row = arena.pop().unwrap_or_default();
+            row.extend_from_slice(gt.row(i));
+            grads.w2_updates.push((c, row));
+            grads.b2_updates.push((c, b2_scratch[i]));
+        }
+        // dh = dlogitsₛ·gather(W₂ᵀ, cand), masked by ReLU.
+        dh.reshape_in_place(batch, hidden);
+        ops::gemm_nn_gather(1.0, logits_s, w2t, cand, 0.0, dh);
+        numerics::relu_backward_inplace(dh, h);
+        // dW1 = Xᵀ·dh ; db1 = Σ_rows dh — unchanged from the dense path.
+        sparse_weight_grad(x, dh, slot, arena, &mut grads.w1_updates);
+        col_sums(dh, &mut grads.b1);
+        loss
+    }
+
+    /// Applies one SGD step from *sampled* gradients: sparse `W₁` rows and
+    /// dense `b₁` exactly as [`Mlp::apply_gradients`]; the output layer as
+    /// a sparse column update over `grads.w2_updates` / `grads.b2_updates`.
+    ///
+    /// Each touched `W₂` column and its cached `W₂ᵀ` row in `ws` are
+    /// written coherently from one computed value, so the cache stays valid
+    /// without re-transposing — steady-state sampled training never pays
+    /// the `classes × hidden` transpose.
+    ///
+    /// # Panics
+    /// Panics when `ws`'s cached `W₂ᵀ` is stale (run the sampled forward —
+    /// or [`Mlp::sync_w2t`] — against this model first).
+    pub fn apply_gradients_sampled(&mut self, grads: &Gradients, lr: f32, ws: &mut Workspace) {
+        assert_eq!(
+            ws.w2t_epoch,
+            Some(self.w2_epoch),
+            "stale W2ᵀ cache: sync the workspace against this model first"
+        );
+        for &(feature, ref grow) in &grads.w1_updates {
+            let wrow = self.w1.row_mut(feature as usize);
+            for (w, &g) in wrow.iter_mut().zip(grow) {
+                *w -= lr * g;
+            }
+        }
+        ops::axpy(-lr, &grads.b1, &mut self.b1);
+        let classes = self.config.num_classes;
+        let w2 = self.w2.as_mut_slice();
+        for &(c, ref grow) in &grads.w2_updates {
+            let c = c as usize;
+            let trow = ws.w2t.row_mut(c);
+            for (k, (t, &g)) in trow.iter_mut().zip(grow).enumerate() {
+                let nv = *t - lr * g;
+                *t = nv;
+                w2[k * classes + c] = nv;
+            }
+        }
+        for &(c, g) in &grads.b2_updates {
+            self.b2[c as usize] -= lr * g;
+        }
+        self.w2_epoch = next_w2_epoch();
+        ws.w2t_epoch = Some(self.w2_epoch);
+    }
+
+    /// One full sampled-softmax SGD step on a batch (forward + backward +
+    /// sparse update) — the full-label-scale counterpart of
+    /// [`Mlp::train_batch_ws`]. Candidate selection is the caller's job
+    /// (`asgd_slide::CandidateSampler`), keeping this crate free of any LSH
+    /// dependency and the candidate set an explicit, reproducible input.
+    pub fn train_batch_sampled_ws<L: AsRef<[u32]>>(
+        &mut self,
+        x: &CsrMatrix,
+        labels: &[L],
+        cand: &[u32],
+        lr: f32,
+        ws: &mut Workspace,
+    ) -> TrainOutput {
+        let loss = self.loss_and_gradients_sampled_ws(x, labels, cand, ws);
+        let grads = std::mem::replace(&mut ws.grads, Gradients::hollow());
+        self.apply_gradients_sampled(&grads, lr, ws);
+        ws.grads = grads;
+        TrainOutput {
+            loss,
+            batch_size: x.rows(),
+            batch_nnz: x.nnz(),
+        }
     }
 }
 
@@ -1369,6 +1638,202 @@ mod tests {
         let m = Mlp::init(&tiny_config(), 55);
         let (x, _) = tiny_batch();
         let _ = m.predict_topk(&x, 0);
+    }
+
+    /// Candidate set for sampled-path tests: the union of all batch labels
+    /// plus a deterministic spread of negatives, sorted and deduplicated.
+    fn cand_for(labels: &[Vec<u32>], config: &MlpConfig, extra_stride: usize) -> Vec<u32> {
+        let mut cand: Vec<u32> = labels.iter().flat_map(|l| l.iter().copied()).collect();
+        cand.extend(
+            (0..config.num_classes)
+                .step_by(extra_stride)
+                .map(|c| c as u32),
+        );
+        cand.sort_unstable();
+        cand.dedup();
+        cand
+    }
+
+    #[test]
+    fn sampled_batch_with_all_classes_tracks_dense_batch() {
+        // With the candidate set covering every class, the sampled softmax
+        // is the dense objective computed through the gathered kernels —
+        // same real arithmetic, different rounding. Losses and parameters
+        // must agree to float tolerance over several steps.
+        let config = tiny_config();
+        let mut dense = Mlp::init(&config, 61);
+        let mut sampled = dense.clone();
+        let (x, labels) = tiny_batch();
+        let cand: Vec<u32> = (0..config.num_classes as u32).collect();
+        let mut ws = Workspace::new(&config);
+        for _ in 0..5 {
+            let ld = dense.train_batch(&x, &labels, 0.2).loss;
+            let ls = sampled
+                .train_batch_sampled_ws(&x, &labels, &cand, 0.2, &mut ws)
+                .loss;
+            assert!((ld - ls).abs() < 1e-4, "loss diverged: {ld} vs {ls}");
+        }
+        let fd = dense.to_flat();
+        let fs = sampled.to_flat();
+        for (a, b) in fd.iter().zip(&fs) {
+            assert!((a - b).abs() < 1e-3, "parameter diverged: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sampled_batch_touches_only_candidate_output_columns() {
+        let config = tiny_config();
+        let mut m = Mlp::init(&config, 62);
+        let before_w2 = m.w2().clone();
+        let before_b2 = m.b2().to_vec();
+        let x = CsrMatrix::from_rows(10, &[(vec![0, 3], vec![1.0, 0.5])]).unwrap();
+        let labels = vec![vec![1u32]];
+        let mut ws = Workspace::new(&config);
+        m.train_batch_sampled_ws(&x, &labels, &[1u32, 3], 0.3, &mut ws);
+        for (c, &b2_before) in before_b2.iter().enumerate() {
+            let changed = (0..config.hidden).any(|k| m.w2().at(k, c) != before_w2.at(k, c))
+                || m.b2()[c] != b2_before;
+            assert_eq!(changed, c == 1 || c == 3, "class {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label missing from candidate set")]
+    fn sampled_batch_requires_labels_in_candidates() {
+        let config = tiny_config();
+        let m = Mlp::init(&config, 63);
+        let x = CsrMatrix::from_rows(10, &[(vec![0], vec![1.0])]).unwrap();
+        let labels = vec![vec![2u32]];
+        let mut ws = Workspace::new(&config);
+        m.loss_and_gradients_sampled_ws(&x, &labels, &[0u32, 1], &mut ws);
+    }
+
+    #[test]
+    fn sampled_train_bit_identical_across_thread_counts() {
+        let config = MlpConfig {
+            num_features: 80,
+            hidden: 32,
+            num_classes: 48,
+        };
+        let (x, labels) = wide_batch(&config, 64, 19);
+        let cand = cand_for(&labels, &config, 5);
+        let run = |threads: usize| {
+            asgd_tensor::parallel::override_threads(threads);
+            let mut m = Mlp::init(&config, 64);
+            let mut ws = Workspace::new(&config);
+            let mut losses = Vec::new();
+            for _ in 0..3 {
+                losses.push(
+                    m.train_batch_sampled_ws(&x, &labels, &cand, 0.05, &mut ws)
+                        .loss
+                        .to_bits(),
+                );
+            }
+            (m.to_flat(), losses)
+        };
+        let single = run(1);
+        let eight = run(8);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single.1, eight.1, "losses diverged");
+        assert_eq!(single.0, eight.0, "parameters diverged");
+    }
+
+    #[test]
+    fn sampled_workspace_reuse_is_bit_identical_to_fresh() {
+        // The reused workspace keeps its W₂ᵀ cache coherent through the
+        // sparse updates (never re-transposing); the fresh workspaces
+        // re-transpose every step. Bit-identical results prove the cached
+        // update writes exactly what a re-transpose would read back.
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let batches = [
+            wide_batch(&config, 48, 11),
+            wide_batch(&config, 32, 12), // shrink path
+            wide_batch(&config, 48, 13), // regrow path
+        ];
+        let mut reused = Mlp::init(&config, 14);
+        let mut fresh = reused.clone();
+        let mut ws = Workspace::new(&config);
+        for (i, (x, labels)) in batches.iter().enumerate() {
+            let cand = cand_for(labels, &config, 3 + i); // vary |cand| too
+            let a = reused.train_batch_sampled_ws(x, labels, &cand, 0.1, &mut ws);
+            let mut ws_fresh = Workspace::new(&config);
+            let b = fresh.train_batch_sampled_ws(x, labels, &cand, 0.1, &mut ws_fresh);
+            assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "batch {i}");
+        }
+        assert_eq!(reused.to_flat(), fresh.to_flat());
+
+        // A wholesale W₂ mutation (model blend) must invalidate the cache:
+        // the next step through the long-lived workspace still matches.
+        let target = Mlp::init(&config, 15).to_flat();
+        reused.blend_from_flat(&target, 0.5);
+        fresh.blend_from_flat(&target, 0.5);
+        let (x, labels) = &batches[0];
+        let cand = cand_for(labels, &config, 3);
+        let a = reused.train_batch_sampled_ws(x, labels, &cand, 0.1, &mut ws);
+        let mut ws_fresh = Workspace::new(&config);
+        let b = fresh.train_batch_sampled_ws(x, labels, &cand, 0.1, &mut ws_fresh);
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits(), "post-blend step");
+        assert_eq!(reused.to_flat(), fresh.to_flat());
+    }
+
+    #[test]
+    fn sampled_steady_state_does_not_reallocate() {
+        let config = MlpConfig {
+            num_features: 70,
+            hidden: 24,
+            num_classes: 36,
+        };
+        let (x, labels) = wide_batch(&config, 48, 16);
+        let cand = cand_for(&labels, &config, 4);
+        let mut m = Mlp::init(&config, 17);
+        let mut ws = Workspace::new(&config);
+        m.train_batch_sampled_ws(&x, &labels, &cand, 0.1, &mut ws);
+        let ptrs = (
+            ws.h.as_slice().as_ptr(),
+            ws.logits_s.as_slice().as_ptr(),
+            ws.gt.as_slice().as_ptr(),
+            ws.gathered_b2.as_ptr(),
+            ws.b2_scratch.as_ptr(),
+            ws.dh.as_slice().as_ptr(),
+        );
+        let caps = (
+            ws.grads.w2_updates.capacity(),
+            ws.grads.b2_updates.capacity(),
+            ws.grads.w1_updates.capacity(),
+        );
+        for _ in 0..3 {
+            m.train_batch_sampled_ws(&x, &labels, &cand, 0.1, &mut ws);
+        }
+        assert_eq!(ptrs.0, ws.h.as_slice().as_ptr());
+        assert_eq!(ptrs.1, ws.logits_s.as_slice().as_ptr());
+        assert_eq!(ptrs.2, ws.gt.as_slice().as_ptr());
+        assert_eq!(ptrs.3, ws.gathered_b2.as_ptr());
+        assert_eq!(ptrs.4, ws.b2_scratch.as_ptr());
+        assert_eq!(ptrs.5, ws.dh.as_slice().as_ptr());
+        assert_eq!(caps.0, ws.grads.w2_updates.capacity());
+        assert_eq!(caps.1, ws.grads.b2_updates.capacity());
+        assert_eq!(caps.2, ws.grads.w1_updates.capacity());
+    }
+
+    #[test]
+    fn sampled_steps_skip_the_transpose_after_the_first_sync() {
+        // The coherence contract in one observable: after a sampled step,
+        // the workspace's cached W₂ᵀ must equal a fresh transpose of the
+        // updated model, bit for bit, *without* calling sync again.
+        let config = tiny_config();
+        let mut m = Mlp::init(&config, 65);
+        let (x, labels) = tiny_batch();
+        let cand: Vec<u32> = (0..config.num_classes as u32).collect();
+        let mut ws = Workspace::new(&config);
+        m.train_batch_sampled_ws(&x, &labels, &cand, 0.2, &mut ws);
+        assert_eq!(ws.w2t_epoch, Some(m.w2_epoch()), "cache marked stale");
+        let mut expect = Matrix::zeros(config.num_classes, config.hidden);
+        m.w2().transpose_into(&mut expect);
+        assert_eq!(ws.w2t, expect, "cached W2ᵀ diverged from the model");
     }
 
     #[test]

@@ -101,6 +101,69 @@ pub fn epoch_kernels(config: &MlpConfig, batch_size: usize, nnz: usize) -> Vec<K
     ]
 }
 
+/// The kernels of one *sampled-softmax* training epoch, in issue order —
+/// the [`epoch_kernels`] counterpart for the LSH-sampled output path.
+///
+/// The output-layer work shrinks from `num_classes` to `cand` (the batch's
+/// candidate-set size), which is where the full-label-scale speedup comes
+/// from; the input layer and hidden activations are unchanged. Two extra
+/// charges cover the sampling machinery itself: the per-batch LSH bucket
+/// lookups (`cand × tables` signature/bucket touches) and the sparse
+/// output-layer update touching only candidate rows.
+pub fn sampled_epoch_kernels(
+    config: &MlpConfig,
+    batch_size: usize,
+    nnz: usize,
+    cand: usize,
+    tables: usize,
+) -> Vec<KernelKind> {
+    let h = config.hidden;
+    let c = cand.min(config.num_classes).max(1);
+    let b = batch_size;
+    vec![
+        // Host → device: the batch itself.
+        KernelKind::H2d {
+            bytes: batch_bytes(b, nnz),
+        },
+        // LSH candidate selection: bucket lookups + the canonical-order
+        // merge over the candidate pool.
+        KernelKind::Elementwise { elems: c * tables },
+        // Forward: H = X·W1 (+bias, ReLU), compact logits over the
+        // candidate rows (gathered-row GEMM).
+        KernelKind::SpMm { nnz, n: h },
+        KernelKind::Elementwise { elems: b * h },
+        KernelKind::Gemm { m: b, k: h, n: c },
+        KernelKind::Softmax { rows: b, cols: c },
+        // Loss + dlogits over the candidate set.
+        KernelKind::Elementwise { elems: b * c },
+        // Backward: compact ∇W2ᵀ = dlogitsᵀ·H, dH through the gathered
+        // rows (+ReLU mask), dW1 = Xᵀ·dH.
+        KernelKind::Gemm { m: c, k: b, n: h },
+        KernelKind::Gemm { m: b, k: c, n: h },
+        KernelKind::Elementwise { elems: b * h },
+        KernelKind::SpMmTn { nnz, n: h },
+        // Update: touched W1 rows + b1 + candidate W2 rows + candidate b2.
+        KernelKind::Elementwise {
+            elems: nnz.min(config.num_features) * h + h + c * h + c,
+        },
+    ]
+}
+
+/// Rebuilding the LSH tables over every output neuron (a model-sync point
+/// cost): `classes × tables` signatures, each a `k_bits × hidden` projection
+/// sweep, plus the serial bucket fill.
+pub fn lsh_rebuild_kernels(config: &MlpConfig, tables: usize, k_bits: usize) -> Vec<KernelKind> {
+    let c = config.num_classes;
+    vec![
+        KernelKind::Gemm {
+            m: c,
+            k: config.hidden,
+            n: tables * k_bits,
+        },
+        KernelKind::Elementwise { elems: c * tables },
+    ]
+}
+
 /// The kernels of one inference micro-batch (transfer in, forward, top-k
 /// extraction, results out), in issue order — the serving counterpart of
 /// [`epoch_kernels`]. No backward pass, no update: inference is
@@ -173,8 +236,23 @@ pub fn epoch_overhead_delta(
     model: &LaunchModel,
     concurrent_managers: usize,
 ) -> f64 {
-    let kernels = epoch_kernels(config, batch_size, nnz);
-    let actual = epoch_launch_overhead(&kernels, policy, model, concurrent_managers);
+    overhead_delta_for(
+        &epoch_kernels(config, batch_size, nnz),
+        policy,
+        model,
+        concurrent_managers,
+    )
+}
+
+/// [`epoch_overhead_delta`] over an explicit kernel list — used by the
+/// sampled-softmax path, whose epoch has a different kernel sequence.
+pub fn overhead_delta_for(
+    kernels: &[KernelKind],
+    policy: FusionPolicy,
+    model: &LaunchModel,
+    concurrent_managers: usize,
+) -> f64 {
+    let actual = epoch_launch_overhead(kernels, policy, model, concurrent_managers);
     // Baseline already charged: one uncontended launch per compute kernel.
     let baseline: f64 =
         kernels.iter().filter(|k| !k.is_transfer()).count() as f64 * model.base_overhead_s;
@@ -215,6 +293,65 @@ mod tests {
         };
         assert_eq!(nnz_of(&a), 1000);
         assert_eq!(nnz_of(&b), 9000);
+    }
+
+    #[test]
+    fn sampled_epoch_shrinks_output_work_to_the_candidate_set() {
+        let c = config();
+        let dense = epoch_kernels(&c, 64, 2000);
+        let sampled = sampled_epoch_kernels(&c, 64, 2000, 40, 8);
+        assert_eq!(sampled.len(), 12);
+        // Output-layer GEMMs run at candidate width, not class width.
+        let gemm_ns = |ks: &[KernelKind]| -> Vec<usize> {
+            ks.iter()
+                .filter_map(|k| match k {
+                    KernelKind::Gemm { m, n, .. } => Some((*m, *n)),
+                    _ => None,
+                })
+                .map(|(_, n)| n)
+                .collect()
+        };
+        assert!(gemm_ns(&dense).contains(&500));
+        assert!(!gemm_ns(&sampled).contains(&500));
+        assert!(gemm_ns(&sampled).contains(&40));
+        // Input-layer sparse kernels are unchanged.
+        let spmm_nnz = |ks: &[KernelKind]| -> usize {
+            ks.iter()
+                .filter_map(|k| match k {
+                    KernelKind::SpMm { nnz, .. } | KernelKind::SpMmTn { nnz, .. } => Some(*nnz),
+                    _ => None,
+                })
+                .sum()
+        };
+        assert_eq!(spmm_nnz(&dense), spmm_nnz(&sampled));
+    }
+
+    #[test]
+    fn sampled_candidate_count_clamps_to_classes() {
+        let ks = sampled_epoch_kernels(&config(), 8, 100, 10_000, 4);
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, KernelKind::Softmax { rows: 8, cols: 500 })));
+    }
+
+    #[test]
+    fn lsh_rebuild_scales_with_classes_and_tables() {
+        let small = lsh_rebuild_kernels(&config(), 4, 6);
+        let big = lsh_rebuild_kernels(&config(), 16, 6);
+        let flops = |ks: &[KernelKind]| match ks[0] {
+            KernelKind::Gemm { m, k, n } => m * k * n,
+            _ => 0,
+        };
+        assert_eq!(4 * flops(&small), flops(&big));
+    }
+
+    #[test]
+    fn overhead_delta_for_matches_epoch_overhead_delta() {
+        let m = LaunchModel::default_cuda();
+        let c = config();
+        let via_list = overhead_delta_for(&epoch_kernels(&c, 64, 2000), FusionPolicy::Fused, &m, 2);
+        let direct = epoch_overhead_delta(&c, 64, 2000, FusionPolicy::Fused, &m, 2);
+        assert_eq!(via_list.to_bits(), direct.to_bits());
     }
 
     #[test]

@@ -42,7 +42,26 @@ pub struct Workspace {
     /// Transposed copy of `W₂` (`classes × hidden`) so the backward product
     /// runs as a unit-stride `i-k-j` GEMM instead of a strided dot-product
     /// loop (same per-element summation order, so identical results).
+    ///
+    /// On the sampled-softmax path this is also the *forward* operand (the
+    /// gathered-row kernels want class-major rows) and is kept coherent
+    /// across steps instead of re-transposed: see `w2t_epoch`.
     pub(crate) w2t: Matrix,
+    /// Which `Mlp::w2_epoch` the `w2t` contents mirror; `None` = never
+    /// synced. Training paths call `Mlp::sync_w2t` to refresh lazily, and
+    /// the sampled update writes both copies coherently so steady-state
+    /// sampled steps never pay the `classes × hidden` transpose.
+    pub(crate) w2t_epoch: Option<u64>,
+    /// Sampled-softmax logits over the candidate set, converted in place to
+    /// `dlogits` (`batch × |candidates|`).
+    pub(crate) logits_s: Matrix,
+    /// Candidate-gathered output bias (`|candidates|`).
+    pub(crate) gathered_b2: Vec<f32>,
+    /// Compact `∇W₂ᵀ` rows of the candidate classes
+    /// (`|candidates| × hidden`).
+    pub(crate) gt: Matrix,
+    /// Compact `∇b₂` over the candidate set (`|candidates|`).
+    pub(crate) b2_scratch: Vec<f32>,
     /// Gradients of the current batch — output of
     /// [`crate::Mlp::loss_and_gradients_ws`].
     pub grads: Gradients,
@@ -66,6 +85,11 @@ impl Workspace {
             probs: Matrix::zeros(0, config.num_classes),
             dh: Matrix::zeros(0, config.hidden),
             w2t: Matrix::zeros(config.num_classes, config.hidden),
+            w2t_epoch: None,
+            logits_s: Matrix::zeros(0, 0),
+            gathered_b2: Vec::new(),
+            gt: Matrix::zeros(0, config.hidden),
+            b2_scratch: Vec::new(),
             grads: Gradients::new(config),
             slot: vec![u32::MAX; config.num_features],
             arena: Vec::new(),

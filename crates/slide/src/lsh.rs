@@ -8,9 +8,15 @@
 //! activation would score highly" behaviour sampled softmax needs.
 
 use asgd_stats::dist::standard_normal;
+use asgd_tensor::kernels::dot_lanes;
+use asgd_tensor::parallel::par_chunks_mut;
 use asgd_tensor::Matrix;
 use rand::{rngs::StdRng, SeedableRng};
 use std::collections::HashMap;
+
+/// Classes below this hash serially during [`LshIndex::rebuild`] — the
+/// fork/join only pays off when the signature sweep is model-scale.
+const MIN_PAR_CLASSES: usize = 256;
 
 /// One SimHash table: `K` hyperplanes + buckets.
 #[derive(Debug, Clone)]
@@ -33,16 +39,14 @@ impl Table {
         }
     }
 
-    /// K-bit sign signature of a vector accessed through `get(i)`.
-    fn signature(&self, get: &dyn Fn(usize) -> f32) -> u32 {
+    /// K-bit sign signature of a contiguous vector. Every projection is a
+    /// [`dot_lanes`] reduction — one fixed association for both the rebuild
+    /// sweep and queries, so a vector hashes identically on every path.
+    fn signature(&self, v: &[f32]) -> u32 {
         let mut sig = 0u32;
         for b in 0..self.k {
             let row = &self.planes[b * self.dim..(b + 1) * self.dim];
-            let mut dot = 0.0f32;
-            for (i, &p) in row.iter().enumerate() {
-                dot += p * get(i);
-            }
-            if dot >= 0.0 {
+            if dot_lanes(row, v) >= 0.0 {
                 sig |= 1 << b;
             }
         }
@@ -51,9 +55,18 @@ impl Table {
 }
 
 /// A multi-table SimHash index over the output neurons.
+///
+/// Besides the bucket maps, the index stores every neuron's per-table
+/// signature from the last [`rebuild`](LshIndex::rebuild) — that is what
+/// lets the sampled-softmax candidate selection look up "the neurons that
+/// collide with class `c`" *without* a hidden activation, keeping candidate
+/// sets a pure function of (LSH seed, `W₂` bytes, batch labels).
 #[derive(Debug, Clone)]
 pub struct LshIndex {
     tables: Vec<Table>,
+    /// `classes × tables` row-major: `sigs[j * tables + t]` is neuron `j`'s
+    /// signature in table `t` (from the last rebuild).
+    sigs: Vec<u32>,
     n_neurons: usize,
 }
 
@@ -67,6 +80,7 @@ impl LshIndex {
         let mut rng = StdRng::seed_from_u64(seed);
         LshIndex {
             tables: (0..l).map(|_| Table::new(k, dim, &mut rng)).collect(),
+            sigs: Vec::new(),
             n_neurons: 0,
         }
     }
@@ -78,19 +92,45 @@ impl LshIndex {
 
     /// (Re)hashes every output neuron. `w2` is `dim × classes`; neuron `j`
     /// is column `j`.
+    ///
+    /// Signatures are computed in parallel over classes (each is a pure
+    /// function of one `W₂` column), then the buckets are filled serially in
+    /// ascending class order — bucket contents are identical for any
+    /// `ASGD_THREADS`.
     pub fn rebuild(&mut self, w2: &Matrix) {
         let dim = w2.rows();
         let classes = w2.cols();
         assert_eq!(dim, self.tables[0].dim, "neuron dimensionality mismatch");
         self.n_neurons = classes;
         let data = w2.as_slice();
+        let l = self.tables.len();
+        let tables = &self.tables;
+        self.sigs.clear();
+        self.sigs.resize(classes * l, 0);
+        par_chunks_mut(
+            &mut self.sigs,
+            classes,
+            l,
+            MIN_PAR_CLASSES,
+            |first, chunk| {
+                let mut col = vec![0.0f32; dim];
+                for (i, sig_row) in chunk.chunks_mut(l).enumerate() {
+                    let j = first + i;
+                    for (r, c) in col.iter_mut().enumerate() {
+                        *c = data[r * classes + j];
+                    }
+                    for (t, s) in tables.iter().zip(sig_row.iter_mut()) {
+                        *s = t.signature(&col);
+                    }
+                }
+            },
+        );
         for t in &mut self.tables {
             t.buckets.clear();
         }
         for j in 0..classes {
-            let get = move |i: usize| data[i * classes + j];
-            for t in &mut self.tables {
-                let sig = t.signature(&get);
+            for (ti, t) in self.tables.iter_mut().enumerate() {
+                let sig = self.sigs[j * l + ti];
                 t.buckets.entry(sig).or_default().push(j as u32);
             }
         }
@@ -101,7 +141,7 @@ impl LshIndex {
         assert_eq!(activation.len(), self.tables[0].dim, "query width");
         let mut out: Vec<u32> = Vec::new();
         for t in &self.tables {
-            let sig = t.signature(&|i| activation[i]);
+            let sig = t.signature(activation);
             if let Some(bucket) = t.buckets.get(&sig) {
                 out.extend_from_slice(bucket);
             }
@@ -109,6 +149,26 @@ impl LshIndex {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// Appends every neuron sharing a bucket with `class` (in any table) to
+    /// `out`, duplicates and the class itself included — callers sort/dedup
+    /// once over the whole union. Activation-free: lookups go through the
+    /// signatures stored at the last rebuild.
+    ///
+    /// # Panics
+    /// Panics when `class` is outside the indexed range (or before the
+    /// first rebuild).
+    pub fn extend_with_neighbors(&self, class: u32, out: &mut Vec<u32>) {
+        let j = class as usize;
+        assert!(j < self.n_neurons, "class {class} not indexed");
+        let l = self.tables.len();
+        for (ti, t) in self.tables.iter().enumerate() {
+            let sig = self.sigs[j * l + ti];
+            if let Some(bucket) = t.buckets.get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+        }
     }
 
     /// Neurons currently indexed.

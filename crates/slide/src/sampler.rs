@@ -1,0 +1,259 @@
+//! Deterministic per-batch candidate selection for the sampled softmax.
+//!
+//! For each training batch the sampler produces one shared candidate label
+//! set: the batch's **true labels** (always included, so every positive
+//! gradient flows) plus a fixed number of **negatives** drawn from the LSH
+//! buckets the positives collide with — the "classes the model currently
+//! confuses with the truth", which is exactly where sampled softmax needs
+//! its negative signal — padded from a seeded uniform draw over the class
+//! space when the buckets run dry. The result is sorted ascending
+//! (order-canonical) and fixed-size, so downstream kernels see a stable
+//! shape.
+//!
+//! # Determinism contract
+//!
+//! The candidate set is a pure function of
+//! `(LSH seed, W₂ bytes at the last rebuild, batch labels, sample seed)`:
+//!
+//! * No hidden activations are consulted — replicas diverge between merges,
+//!   so any activation-dependent choice would make candidates depend on
+//!   *which* device trains the batch. Bucket membership is looked up through
+//!   the per-class signatures stored by [`LshIndex::rebuild`].
+//! * Rebuilds must happen only at model-sync points (manager start,
+//!   redistribute, blend target) from bytes that are identical on every
+//!   replica — then every manager holds bit-identical tables, and a batch
+//!   re-dispatched after a device loss reproduces its candidate set exactly.
+//! * All randomness comes from the caller-supplied `sample_seed` through a
+//!   local [SplitMix64](splitmix64) stream — nothing is drawn from shared
+//!   RNG state, so dispatch order cannot leak into the selection.
+
+use crate::lsh::LshIndex;
+use asgd_tensor::Matrix;
+
+/// One step of the SplitMix64 stream — the sampler's only RNG. Small, fast,
+/// and stateless across batches: every batch reseeds from its own
+/// `sample_seed`.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Selects the per-batch candidate label set for sampled-softmax training.
+///
+/// Owns the [`LshIndex`] plus reusable scratch, so steady-state selection
+/// allocates nothing once the buffers have grown to the working size.
+#[derive(Debug, Clone)]
+pub struct CandidateSampler {
+    lsh: LshIndex,
+    /// Negatives per batch (the candidate set is `positives + neg_samples`,
+    /// clamped to the class count).
+    neg_samples: usize,
+    /// Scratch: the final sorted candidate set.
+    cand: Vec<u32>,
+    /// Scratch: the bucket-union negative pool.
+    pool: Vec<u32>,
+}
+
+impl CandidateSampler {
+    /// Builds a sampler with `tables × k_bits` SimHash tables over
+    /// `hidden`-dimensional output neurons and `neg_samples` negatives per
+    /// batch. Call [`rebuild`](Self::rebuild) before the first selection.
+    pub fn new(tables: usize, k_bits: usize, hidden: usize, neg_samples: usize, seed: u64) -> Self {
+        CandidateSampler {
+            lsh: LshIndex::new(tables, k_bits, hidden, seed),
+            neg_samples,
+            cand: Vec::new(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// Re-hashes every output neuron from `w2` (`hidden × classes`). Only
+    /// call this at model-sync points with bytes identical across replicas —
+    /// see the module docs.
+    pub fn rebuild(&mut self, w2: &Matrix) {
+        self.lsh.rebuild(w2);
+    }
+
+    /// Classes currently indexed (0 before the first rebuild).
+    pub fn num_classes(&self) -> usize {
+        self.lsh.len()
+    }
+
+    /// Negatives requested per batch.
+    pub fn neg_samples(&self) -> usize {
+        self.neg_samples
+    }
+
+    /// Selects the candidate set for a batch: the union of `labels` (each
+    /// row a sample's true labels) plus exactly
+    /// `min(neg_samples, classes - positives)` negatives. Returns the
+    /// sorted, duplicate-free candidate list, valid until the next call.
+    ///
+    /// # Panics
+    /// Panics before the first [`rebuild`](Self::rebuild) or when a label is
+    /// outside the indexed class range.
+    pub fn select(&mut self, labels: &[&[u32]], sample_seed: u64) -> &[u32] {
+        let classes = self.lsh.len();
+        assert!(classes > 0, "select before the first rebuild");
+
+        // Positives: sorted, de-duplicated union of the batch's labels.
+        self.cand.clear();
+        for row in labels {
+            self.cand.extend_from_slice(row);
+        }
+        self.cand.sort_unstable();
+        self.cand.dedup();
+        let n_pos = self.cand.len();
+        let want = self.neg_samples.min(classes - n_pos);
+
+        // Negative pool: every neuron sharing an LSH bucket with a positive,
+        // minus the positives themselves. Sorted + deduped, so the pool
+        // order is canonical before any random draw touches it.
+        self.pool.clear();
+        if want > 0 {
+            for i in 0..n_pos {
+                self.lsh.extend_with_neighbors(self.cand[i], &mut self.pool);
+            }
+            self.pool.sort_unstable();
+            self.pool.dedup();
+            let cand = &self.cand;
+            self.pool.retain(|c| cand.binary_search(c).is_err());
+        }
+
+        let mut rng = sample_seed;
+        if self.pool.len() > want {
+            // Seeded partial Fisher–Yates: the first `want` slots get a
+            // uniform sample of the pool, in O(want).
+            for i in 0..want {
+                let j = i + (splitmix64(&mut rng) % (self.pool.len() - i) as u64) as usize;
+                self.pool.swap(i, j);
+            }
+            self.pool.truncate(want);
+        }
+        for i in 0..self.pool.len() {
+            let c = self.pool[i];
+            if let Err(pos) = self.cand.binary_search(&c) {
+                self.cand.insert(pos, c);
+            }
+        }
+        // Bucket union short of the quota: pad with seeded uniform draws
+        // over the class space, skipping collisions.
+        while self.cand.len() < n_pos + want {
+            let c = (splitmix64(&mut rng) % classes as u64) as u32;
+            if let Err(pos) = self.cand.binary_search(&c) {
+                self.cand.insert(pos, c);
+            }
+        }
+        &self.cand
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w2(dim: usize, classes: usize) -> Matrix {
+        Matrix::from_fn(dim, classes, |i, j| {
+            ((i * 13 + j * 7) % 11) as f32 / 5.0 - 1.0
+        })
+    }
+
+    fn sampler(classes: usize, neg: usize) -> CandidateSampler {
+        let mut s = CandidateSampler::new(4, 5, 16, neg, 42);
+        s.rebuild(&w2(16, classes));
+        s
+    }
+
+    #[test]
+    fn contains_all_positives_and_exact_size() {
+        let mut s = sampler(200, 32);
+        let labels: Vec<&[u32]> = vec![&[3, 17], &[17, 90], &[150]];
+        let got = s.select(&labels, 7).to_vec();
+        for p in [3u32, 17, 90, 150] {
+            assert!(got.binary_search(&p).is_ok(), "positive {p} missing");
+        }
+        assert_eq!(got.len(), 4 + 32, "positives + neg_samples");
+    }
+
+    #[test]
+    fn result_is_sorted_unique() {
+        let mut s = sampler(100, 40);
+        let labels: Vec<&[u32]> = vec![&[5, 5, 42], &[]];
+        let got = s.select(&labels, 123).to_vec();
+        for w in got.windows(2) {
+            assert!(w[0] < w[1], "not strictly ascending: {got:?}");
+        }
+    }
+
+    #[test]
+    fn pure_function_of_seed_and_labels() {
+        let labels: Vec<&[u32]> = vec![&[1, 9], &[60]];
+        let a = sampler(300, 24).select(&labels, 99).to_vec();
+        let b = sampler(300, 24).select(&labels, 99).to_vec();
+        assert_eq!(a, b);
+        // A different sample seed changes the negatives (with overwhelming
+        // probability at this pool size) but never the positives.
+        let c = sampler(300, 24).select(&labels, 100).to_vec();
+        assert_ne!(a, c);
+        for p in [1u32, 9, 60] {
+            assert!(c.binary_search(&p).is_ok());
+        }
+    }
+
+    #[test]
+    fn selection_is_independent_of_thread_count() {
+        use asgd_tensor::parallel::override_threads;
+        let labels: Vec<&[u32]> = vec![&[2, 7], &[400, 911]];
+        let run = |threads: usize| {
+            override_threads(threads);
+            // Rebuild under the thread count too: bucket fill must not
+            // depend on how the signature sweep was partitioned.
+            let mut s = sampler(1000, 48);
+            let got = s.select(&labels, 5).to_vec();
+            override_threads(0);
+            got
+        };
+        assert_eq!(run(1), run(8));
+    }
+
+    #[test]
+    fn neg_quota_clamps_to_class_count() {
+        let mut s = sampler(10, 1000);
+        let labels: Vec<&[u32]> = vec![&[0, 1]];
+        let got = s.select(&labels, 3).to_vec();
+        assert_eq!(got, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn label_free_batch_still_gets_negatives() {
+        let mut s = sampler(50, 8);
+        let labels: Vec<&[u32]> = vec![&[], &[]];
+        let got = s.select(&labels, 11).to_vec();
+        assert_eq!(got.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the first rebuild")]
+    fn select_before_rebuild_panics() {
+        let mut s = CandidateSampler::new(2, 4, 8, 4, 1);
+        let labels: Vec<&[u32]> = vec![&[1]];
+        let _ = s.select(&labels, 0);
+    }
+
+    #[test]
+    fn steady_state_does_not_reallocate() {
+        let mut s = sampler(500, 64);
+        let labels: Vec<&[u32]> = vec![&[3, 8], &[200, 301]];
+        let _ = s.select(&labels, 1);
+        let (cap_c, cap_p) = (s.cand.capacity(), s.pool.capacity());
+        for seed in 2..20 {
+            let _ = s.select(&labels, seed);
+        }
+        assert_eq!(s.cand.capacity(), cap_c);
+        assert_eq!(s.pool.capacity(), cap_p);
+    }
+}

@@ -24,22 +24,32 @@ use asgd_tensor::kernels::{self, Epilogue, NB};
 use asgd_tensor::parallel::MIN_PAR_ROWS;
 use asgd_tensor::Matrix;
 
-/// One CSR row times `B`, panel-blocked: an `NB`-wide stack accumulator
-/// panel sweeps the output row; each panel streams the row's nonzeros in
-/// ascending CSR order (rule 1 of the reduction contract), reading `w`
-/// contiguous floats of `B` per nonzero, then the shared epilogue writes
-/// the output row once.
+/// One CSR row times the `cols` window of `B`, panel-blocked: an `NB`-wide
+/// stack accumulator panel sweeps the window; each panel streams the row's
+/// nonzeros in ascending CSR order (rule 1 of the reduction contract),
+/// reading `w` contiguous floats of `B` per nonzero, then the shared
+/// epilogue writes the window once. `crow` covers exactly the `cols` window
+/// of the output row; each output element accumulates its own `acc` slot
+/// serially, so where the window boundaries fall never changes the bits.
 #[inline(always)]
-fn spmm_row(idx: &[u32], val: &[f32], b_data: &[f32], n: usize, crow: &mut [f32], ep: Epilogue) {
+fn spmm_row(
+    idx: &[u32],
+    val: &[f32],
+    b_data: &[f32],
+    n: usize,
+    cols: std::ops::Range<usize>,
+    crow: &mut [f32],
+    ep: Epilogue,
+) {
     #[cfg(target_arch = "x86_64")]
     if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
         // SAFETY: AVX2+FMA support was just verified.
-        unsafe { spmm_row_avx2(idx, val, b_data, n, crow, ep) };
+        unsafe { spmm_row_avx2(idx, val, b_data, n, cols, crow, ep) };
         return;
     }
-    let mut j0 = 0;
-    while j0 < n {
-        let w = (n - j0).min(NB);
+    let mut j0 = cols.start;
+    while j0 < cols.end {
+        let w = (cols.end - j0).min(NB);
         let mut acc = [0.0f32; NB];
         for (&col, &av) in idx.iter().zip(val) {
             let brow = &b_data[col as usize * n + j0..col as usize * n + j0 + w];
@@ -47,7 +57,7 @@ fn spmm_row(idx: &[u32], val: &[f32], b_data: &[f32], n: usize, crow: &mut [f32]
                 *av_slot = kernels::fused(av, bv, *av_slot);
             }
         }
-        let out = &mut crow[j0..j0 + w];
+        let out = &mut crow[j0 - cols.start..j0 - cols.start + w];
         for (l, o) in out.iter_mut().enumerate() {
             *o = ep.apply(j0 + l, acc[l], *o);
         }
@@ -71,12 +81,13 @@ unsafe fn spmm_row_avx2(
     val: &[f32],
     b_data: &[f32],
     n: usize,
+    cols: std::ops::Range<usize>,
     crow: &mut [f32],
     ep: Epilogue,
 ) {
-    let mut j0 = 0;
-    while j0 < n {
-        let w = (n - j0).min(NB);
+    let mut j0 = cols.start;
+    while j0 < cols.end {
+        let w = (cols.end - j0).min(NB);
         let mut acc = [0.0f32; NB];
         for (&col, &av) in idx.iter().zip(val) {
             let brow = &b_data[col as usize * n + j0..col as usize * n + j0 + w];
@@ -84,7 +95,7 @@ unsafe fn spmm_row_avx2(
                 *av_slot = av.mul_add(bv, *av_slot);
             }
         }
-        let out = &mut crow[j0..j0 + w];
+        let out = &mut crow[j0 - cols.start..j0 - cols.start + w];
         for (l, o) in out.iter_mut().enumerate() {
             *o = ep.apply(j0 + l, acc[l], *o);
         }
@@ -92,8 +103,8 @@ unsafe fn spmm_row_avx2(
     }
 }
 
-/// One chunk of CSR·dense: one pass over the chunk's CSR rows; [`spmm_row`]
-/// dispatches to its AVX2+FMA leaf per row.
+/// One chunk of CSR·dense at full output width: one pass over the chunk's
+/// CSR rows; [`spmm_row`] dispatches to its AVX2+FMA leaf per row.
 fn spmm_chunk(
     a: &CsrMatrix,
     b_data: &[f32],
@@ -104,8 +115,19 @@ fn spmm_chunk(
 ) {
     for (i, crow) in chunk.chunks_mut(n).enumerate() {
         let (idx, val) = a.row(first_row + i);
-        spmm_row(idx, val, b_data, n, crow, ep);
+        spmm_row(idx, val, b_data, n, 0..n, crow, ep);
     }
+}
+
+/// `NB`-panel-aligned column blocks covering `0..n`, at most `parts` of
+/// them. Blocks cut only on panel boundaries so each block's panel sweep is
+/// the same sweep the full-width pass would run over those columns.
+fn panel_col_blocks(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let panels = n.div_ceil(NB);
+    asgd_tensor::parallel::split_ranges(panels, parts.clamp(1, panels))
+        .into_iter()
+        .map(|r| (r.start * NB)..(r.end * NB).min(n))
+        .collect()
 }
 
 /// Contiguous row ranges with near-equal *nonzero* counts — the nnz-aware
@@ -153,26 +175,44 @@ fn spmm_with_epilogue(a: &CsrMatrix, b: &Matrix, c: &mut Matrix, ep: Epilogue) {
     let b_data = b.as_slice();
     let m = a.rows();
     let threads = asgd_tensor::parallel::num_threads();
-    if threads == 1 || m < MIN_PAR_ROWS {
+    // A batch too small to split by rows can still fill the pool when the
+    // output is wide (sampled-softmax shapes: tens of rows × hundreds of
+    // thousands of columns) — column blocks provide that second axis.
+    let wide = n >= 2 * NB;
+    if threads == 1 || (m < MIN_PAR_ROWS && !wide) {
         spmm_chunk(a, b_data, n, 0, c.as_mut_slice(), ep);
         return;
     }
-    // Parallel path: nnz-balanced contiguous row ranges instead of equal-row
-    // chunks. Every output row is still computed whole by one task with the
-    // identical per-row kernel in the identical order, so the result is
-    // bit-equal to the serial pass — only where the chunk boundaries fall
-    // changes.
-    let ranges = nnz_balanced_row_ranges(a, threads);
+    // Parallel path: a 2-D tile grid. Rows split into nnz-balanced
+    // contiguous ranges (never more than the batch has rows); if those
+    // alone cannot occupy every worker, the wide output is additionally cut
+    // into NB-panel-aligned column blocks. Each output element is still
+    // accumulated serially in ascending CSR order by exactly one task, so
+    // the result is bit-equal to the serial pass — only where the tile
+    // boundaries fall changes.
+    let row_ranges = nnz_balanced_row_ranges(a, threads.min(m));
+    let col_blocks = if wide && row_ranges.len() < threads {
+        panel_col_blocks(n, threads.div_ceil(row_ranges.len()))
+    } else {
+        panel_col_blocks(n, 1)
+    };
     let base = c.as_mut_slice().as_mut_ptr() as usize;
-    asgd_tensor::parallel::par_tasks(ranges.len(), |t| {
-        let r = &ranges[t];
-        // SAFETY: ranges partition the row set, so tasks write disjoint
-        // row slices of a buffer that outlives the pool scope; the usize
-        // round-trip keeps the closure Sync.
-        let chunk = unsafe {
-            std::slice::from_raw_parts_mut((base as *mut f32).add(r.start * n), r.len() * n)
-        };
-        spmm_chunk(a, b_data, n, r.start, chunk, ep);
+    asgd_tensor::parallel::par_tasks(row_ranges.len() * col_blocks.len(), |t| {
+        let rows = &row_ranges[t / col_blocks.len()];
+        let cols = &col_blocks[t % col_blocks.len()];
+        for row in rows.clone() {
+            let (idx, val) = a.row(row);
+            // SAFETY: tiles partition the (row, column-block) space, so
+            // tasks write disjoint windows of a buffer that outlives the
+            // pool scope; the usize round-trip keeps the closure Sync.
+            let crow = unsafe {
+                std::slice::from_raw_parts_mut(
+                    (base as *mut f32).add(row * n + cols.start),
+                    cols.len(),
+                )
+            };
+            spmm_row(idx, val, b_data, n, cols.clone(), crow, ep);
+        }
     });
 }
 
@@ -551,6 +591,46 @@ mod tests {
             light_max <= 2 * ((a.nnz() + m) / 8 + 1),
             "a light range carries {light_max} weight"
         );
+    }
+
+    #[test]
+    fn panel_col_blocks_align_and_cover() {
+        for (n, parts) in [(1usize, 4usize), (256, 4), (600, 3), (2048, 8), (2049, 8)] {
+            let blocks = panel_col_blocks(n, parts);
+            assert!(blocks.len() <= parts);
+            assert_eq!(blocks.first().unwrap().start, 0);
+            assert_eq!(blocks.last().unwrap().end, n);
+            for w in blocks.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap at n={n} parts={parts}");
+            }
+            for b in &blocks {
+                assert_eq!(b.start % NB, 0, "unaligned block start at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_output_small_batch_is_bit_identical_across_threads() {
+        // The sampled-softmax shape class: a batch far below MIN_PAR_ROWS
+        // against a wide output. Row splitting alone leaves workers idle;
+        // the column-block axis engages, and the bits must not move.
+        let a = sparse_sample(4, 60, 21);
+        let b = dense_sample(60, 3 * NB + 37, 22);
+        let bias: Vec<f32> = (0..b.cols()).map(|j| (j % 11) as f32 * 0.1 - 0.5).collect();
+        let run = |threads: usize| {
+            asgd_tensor::parallel::override_threads(threads);
+            let mut c = Matrix::zeros(4, b.cols());
+            spmm(&a, &b, &mut c);
+            let mut h = Matrix::zeros(4, b.cols());
+            spmm_bias_relu(&a, &b, &bias, &mut h);
+            (c, h)
+        };
+        let single = run(1);
+        let eight = run(8);
+        asgd_tensor::parallel::override_threads(0);
+        assert_eq!(single, eight);
+        assert_eq!(single.0, spmm_ordered(&a, &b, None), "spec mismatch");
+        assert_eq!(single.1, spmm_ordered(&a, &b, Some(&bias)));
     }
 
     #[test]

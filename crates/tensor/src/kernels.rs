@@ -118,6 +118,34 @@ fn with_b_panel<R>(
     })
 }
 
+/// Runs `f` on a `w`-wide panel of the *gathered* `B` rows
+/// `B[idx[0]], B[idx[1]], …` at column `j0`, packed contiguously (panel row
+/// `kk` lives at `kk * w` and holds `B[idx[kk]][j0..j0 + w]`). Unlike
+/// [`with_b_panel`] there is no pass-through case: gathered rows are never
+/// contiguous in `B`, so the panel is always materialized. Packing copies
+/// element bits verbatim, so running any panel kernel on the result is
+/// bit-identical to running it on a fully materialized gather of `B`.
+#[inline(always)]
+fn with_gathered_b_panel<R>(
+    b: &[f32],
+    n: usize,
+    idx: &[u32],
+    j0: usize,
+    w: usize,
+    f: impl FnOnce(&[f32]) -> R,
+) -> R {
+    PANEL_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        buf.clear();
+        buf.reserve(idx.len() * w);
+        for &row in idx {
+            let base = row as usize * n + j0;
+            buf.extend_from_slice(&b[base..base + w]);
+        }
+        f(&buf)
+    })
+}
+
 /// SIMD lane width of the kernel contract: accumulator tiles are
 /// `[f32; LANES]` wide and dot-product reductions run `LANES` partial sums.
 pub const LANES: usize = 8;
@@ -572,6 +600,47 @@ pub fn gemm_nn_chunk(
     }
 }
 
+/// Gathered-row NN GEMM body over one contiguous row chunk of `C`:
+/// `C[i][j] = epilogue(Σ_kk A[i][kk] · B[idx[kk]][j])` — the reduction runs
+/// over the *gathered* rows of `B`, in ascending `kk` order (rule 1 of the
+/// contract). `A` is `m × idx.len()`, `B` has `n` columns. Packing the
+/// gathered rows into the shared panel scratch makes every downstream tile
+/// identical to [`gemm_nn_chunk`] on a materialized gather of `B`, so the
+/// two are bit-for-bit interchangeable. This is the backward kernel of the
+/// sampled softmax (`dH = dlogitsₛ · gather(W₂ᵀ, candidates)`).
+pub fn gemm_nn_gather_chunk(
+    a: &[f32],
+    idx: &[u32],
+    b: &[f32],
+    n: usize,
+    first_row: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    debug_assert!(n > 0 && chunk.len().is_multiple_of(n));
+    let k = idx.len();
+    let rows = chunk.len() / n;
+    let mut j0 = 0;
+    while j0 < n {
+        let w = (n - j0).min(NB);
+        with_gathered_b_panel(b, n, idx, j0, w, |bp| {
+            let mut i = 0;
+            while i < rows {
+                let block = &mut chunk[i * n..];
+                let first = first_row + i;
+                match rows - i {
+                    1 => nn_rows_panel::<1>(a, k, bp, n, j0, w, first, &mut block[..n], ep),
+                    2 => nn_rows_panel::<2>(a, k, bp, n, j0, w, first, &mut block[..2 * n], ep),
+                    3 => nn_rows_panel::<3>(a, k, bp, n, j0, w, first, &mut block[..3 * n], ep),
+                    _ => nn_rows_panel::<MR>(a, k, bp, n, j0, w, first, &mut block[..MR * n], ep),
+                }
+                i += (rows - i).min(MR);
+            }
+        });
+        j0 += w;
+    }
+}
+
 /// One `M × NR` register tile of `Aᵀ·B` over a packed panel: like
 /// [`nn_tile`] but `A` is `k×m` and the output rows are *columns*
 /// `cols0..cols0+M` of `A` (per-`kk` strided `A` access — only `M` scalars
@@ -884,6 +953,47 @@ pub fn gemm_nt_chunk(
         }
         for j in n_blocked..n {
             let d = dot_lanes(arow, &b[j * k..(j + 1) * k]);
+            crow[j] = ep.apply(j, d, crow[j]);
+        }
+    }
+}
+
+/// Gathered-row NT GEMM over one contiguous row chunk of `C`:
+/// `C[i][j] = epilogue(dot(A[i], B[idx[j]]))` — each element is a lane-tree
+/// dot (rule 2 of the contract) of an `A` row with a *gathered* `B` row, so
+/// the result is bit-identical to [`gemm_nt_chunk`] against a materialized
+/// `idx.len() × k` gather of `B`. This is the forward kernel of the sampled
+/// softmax (`logitsₛ = H · gather(W₂ᵀ, candidates)ᵀ`): only the candidate
+/// columns of the full logit row are ever computed.
+pub fn gemm_nt_gather_chunk(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    idx: &[u32],
+    first_row: usize,
+    chunk: &mut [f32],
+    ep: Epilogue,
+) {
+    let n = idx.len();
+    debug_assert!(n > 0 && chunk.len().is_multiple_of(n));
+    for (i, crow) in chunk.chunks_mut(n).enumerate() {
+        let arow = &a[(first_row + i) * k..(first_row + i + 1) * k];
+        let n_blocked = n - n % NT_JB;
+        let mut j = 0;
+        while j < n_blocked {
+            let b_rows: [&[f32]; NT_JB] = std::array::from_fn(|jj| {
+                let base = idx[j + jj] as usize * k;
+                &b[base..base + k]
+            });
+            let dots = nt_dot_block(arow, &b_rows);
+            for (jj, &d) in dots.iter().enumerate() {
+                crow[j + jj] = ep.apply(j + jj, d, crow[j + jj]);
+            }
+            j += NT_JB;
+        }
+        for j in n_blocked..n {
+            let base = idx[j] as usize * k;
+            let d = dot_lanes(arow, &b[base..base + k]);
             crow[j] = ep.apply(j, d, crow[j]);
         }
     }

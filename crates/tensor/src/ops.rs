@@ -87,6 +87,117 @@ pub fn gemm_tn(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {
     });
 }
 
+/// `C = alpha * A·gather(B, idx)ᵀ + beta * C` — the sampled-softmax forward
+/// kernel. `A` is `m×k`, `B` is `rows×k` row-major, and column `j` of `C`
+/// is the lane-tree dot (contract rule 2) of `A[i]` with row `idx[j]` of
+/// `B`: only the `idx.len()` sampled rows are touched, never the full `B`.
+/// Bit-identical to [`gemm_nt`] against a materialized `idx.len()×k` gather.
+///
+/// # Panics
+/// Panics on dimension mismatch or when an index is out of `B`'s rows.
+pub fn gemm_nt_gather(alpha: f32, a: &Matrix, b: &Matrix, idx: &[u32], beta: f32, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "gemm_nt_gather inner dimension mismatch"
+    );
+    assert_eq!(c.rows(), a.rows(), "gemm_nt_gather output rows mismatch");
+    assert_eq!(c.cols(), idx.len(), "gemm_nt_gather output cols mismatch");
+    assert!(
+        idx.iter().all(|&i| (i as usize) < b.rows()),
+        "gemm_nt_gather index out of range"
+    );
+    let (m, k) = a.shape();
+    let n = idx.len();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let ep = Epilogue::AlphaBeta { alpha, beta };
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        kernels::gemm_nt_gather_chunk(a_data, k, b_data, idx, first_row, chunk, ep);
+    });
+}
+
+/// [`gemm_nt_gather`] fused with a bias add: `C[i][j] = A[i]·B[idx[j]] +
+/// bias[j]`. The bias is *compact* — entry `j` belongs to sampled column
+/// `j`, i.e. the caller passes the gathered `b₂[idx[j]]` values, not the
+/// full bias vector.
+///
+/// # Panics
+/// Panics on dimension mismatch or when an index is out of `B`'s rows.
+pub fn gemm_nt_gather_bias(a: &Matrix, b: &Matrix, idx: &[u32], bias: &[f32], c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "gemm_nt_gather_bias inner dimension mismatch"
+    );
+    assert_eq!(
+        c.rows(),
+        a.rows(),
+        "gemm_nt_gather_bias output rows mismatch"
+    );
+    assert_eq!(
+        c.cols(),
+        idx.len(),
+        "gemm_nt_gather_bias output cols mismatch"
+    );
+    assert_eq!(
+        bias.len(),
+        idx.len(),
+        "gemm_nt_gather_bias bias length mismatch"
+    );
+    assert!(
+        idx.iter().all(|&i| (i as usize) < b.rows()),
+        "gemm_nt_gather_bias index out of range"
+    );
+    let (m, k) = a.shape();
+    let n = idx.len();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let ep = Epilogue::Bias(bias);
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        kernels::gemm_nt_gather_chunk(a_data, k, b_data, idx, first_row, chunk, ep);
+    });
+}
+
+/// `C = alpha * A·gather(B, idx) + beta * C` — the sampled-softmax backward
+/// kernel. `A` is `m×idx.len()` (compact sampled dlogits), `B` is
+/// `rows×n` row-major, and the reduction runs over the gathered rows
+/// `B[idx[0]], B[idx[1]], …` in ascending sample order (contract rule 1).
+/// Bit-identical to [`gemm`] against a materialized `idx.len()×n` gather.
+///
+/// # Panics
+/// Panics on dimension mismatch or when an index is out of `B`'s rows.
+pub fn gemm_nn_gather(alpha: f32, a: &Matrix, b: &Matrix, idx: &[u32], beta: f32, c: &mut Matrix) {
+    assert_eq!(
+        a.cols(),
+        idx.len(),
+        "gemm_nn_gather inner dimension mismatch"
+    );
+    assert_eq!(c.rows(), a.rows(), "gemm_nn_gather output rows mismatch");
+    assert_eq!(c.cols(), b.cols(), "gemm_nn_gather output cols mismatch");
+    assert!(
+        idx.iter().all(|&i| (i as usize) < b.rows()),
+        "gemm_nn_gather index out of range"
+    );
+    let m = a.rows();
+    let n = b.cols();
+    if m == 0 || n == 0 {
+        return;
+    }
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let ep = Epilogue::AlphaBeta { alpha, beta };
+    par_chunks_mut(c.as_mut_slice(), m, n, MIN_PAR_ROWS, |first_row, chunk| {
+        kernels::gemm_nn_gather_chunk(a_data, idx, b_data, n, first_row, chunk, ep);
+    });
+}
+
 /// Fused forward logits: `C = A·B + bias` (bias broadcast over rows) — one
 /// pass over the wide output row instead of GEMM + a separate bias sweep.
 ///
@@ -590,6 +701,85 @@ mod proptests {
             let mut spec = c0.clone();
             reference::gemm_tn_ordered(alpha, &a, &b, beta, &mut spec);
             prop_assert_eq!(bits(&tiled), bits(&spec));
+        }
+
+        // ---- gathered-row kernels: bit-equality against both the ordered
+        // spec and the dense kernel run on a materialized gather, so the
+        // sampled softmax path can never drift from the dense reference.
+
+        #[test]
+        fn gemm_nt_gather_bit_matches_spec_and_materialized_gather(
+            (m, k, rows) in edge_shape(),
+            picks in proptest::collection::vec(0usize..64, 1..24),
+            (alpha, beta) in alpha_beta(),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(rows, k, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let idx: Vec<u32> = picks.iter().map(|&p| (p % rows) as u32).collect();
+            let c0 = Matrix::from_fn(m, idx.len(), |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+
+            let mut gathered = c0.clone();
+            gemm_nt_gather(alpha, &a, &b, &idx, beta, &mut gathered);
+
+            let mut spec = c0.clone();
+            reference::gemm_nt_gather_ordered(alpha, &a, &b, &idx, beta, &mut spec);
+            prop_assert_eq!(bits(&gathered), bits(&spec));
+
+            // Dense kernel on an explicitly materialized gather of B.
+            let mat = Matrix::from_fn(idx.len(), k, |r, c| b.at(idx[r] as usize, c));
+            let mut dense = c0.clone();
+            gemm_nt(alpha, &a, &mat, beta, &mut dense);
+            prop_assert_eq!(bits(&gathered), bits(&dense));
+        }
+
+        #[test]
+        fn gemm_nn_gather_bit_matches_spec_and_materialized_gather(
+            (m, n, rows) in edge_shape(),
+            picks in proptest::collection::vec(0usize..64, 1..24),
+            (alpha, beta) in alpha_beta(),
+            seed in 0u64..1000,
+        ) {
+            let idx: Vec<u32> = picks.iter().map(|&p| (p % rows) as u32).collect();
+            let a = Matrix::from_fn(m, idx.len(), |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(rows, n, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let c0 = Matrix::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+
+            let mut gathered = c0.clone();
+            gemm_nn_gather(alpha, &a, &b, &idx, beta, &mut gathered);
+
+            let mut spec = c0.clone();
+            reference::gemm_nn_gather_ordered(alpha, &a, &b, &idx, beta, &mut spec);
+            prop_assert_eq!(bits(&gathered), bits(&spec));
+
+            // Dense kernel on an explicitly materialized gather of B.
+            let mat = Matrix::from_fn(idx.len(), n, |r, c| b.at(idx[r] as usize, c));
+            let mut dense = c0.clone();
+            gemm(alpha, &a, &mat, beta, &mut dense);
+            prop_assert_eq!(bits(&gathered), bits(&dense));
+        }
+
+        #[test]
+        fn gemm_nt_gather_bias_bit_matches_gather_plus_epilogue(
+            (m, k, rows) in edge_shape(),
+            picks in proptest::collection::vec(0usize..64, 1..24),
+            seed in 0u64..1000,
+        ) {
+            let a = Matrix::from_fn(m, k, |r, c| ((r * 31 + c * 17 + seed as usize) % 13) as f32 / 7.0 - 0.9);
+            let b = Matrix::from_fn(rows, k, |r, c| ((r * 23 + c * 29 + seed as usize) % 11) as f32 / 5.0 - 1.1);
+            let idx: Vec<u32> = picks.iter().map(|&p| (p % rows) as u32).collect();
+            let bias: Vec<f32> = (0..idx.len()).map(|j| (j % 9) as f32 * 0.25 - 1.0).collect();
+
+            let mut plain = Matrix::zeros(m, idx.len());
+            gemm_nt_gather(1.0, &a, &b, &idx, 0.0, &mut plain);
+            let mut with_bias = Matrix::zeros(m, idx.len());
+            gemm_nt_gather_bias(&a, &b, &idx, &bias, &mut with_bias);
+            for r in 0..m {
+                for (j, &bj) in bias.iter().enumerate() {
+                    let want = plain.at(r, j) + bj;
+                    prop_assert_eq!(with_bias.at(r, j).to_bits(), want.to_bits());
+                }
+            }
         }
 
         #[test]

@@ -103,6 +103,66 @@ pub fn gemm_tn_ordered(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Ma
     }
 }
 
+/// Spec for `gemm_nt_gather`: per element, the round-robin lane-tree dot of
+/// an `A` row with the *gathered* `B` row `idx[j]` (contract rule 2), then
+/// the unified epilogue — the sampled-softmax forward, one element at a
+/// time.
+pub fn gemm_nt_gather_ordered(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    idx: &[u32],
+    beta: f32,
+    c: &mut Matrix,
+) {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "gemm_nt_gather_ordered inner dimension mismatch"
+    );
+    let (m, k) = a.shape();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    for i in 0..m {
+        for (j, &row) in idx.iter().enumerate() {
+            let base = row as usize * k;
+            let s = dot_spec(&a_data[i * k..(i + 1) * k], &b_data[base..base + k]);
+            let out = epilogue_spec(alpha, s, beta, c.at(i, j));
+            c.set(i, j, out);
+        }
+    }
+}
+
+/// Spec for `gemm_nn_gather`: per element, ascending-sample serial fused
+/// reduction over the gathered `B` rows `idx[0], idx[1], …` (contract
+/// rule 1), then the unified epilogue — the sampled-softmax backward.
+pub fn gemm_nn_gather_ordered(
+    alpha: f32,
+    a: &Matrix,
+    b: &Matrix,
+    idx: &[u32],
+    beta: f32,
+    c: &mut Matrix,
+) {
+    assert_eq!(
+        a.cols(),
+        idx.len(),
+        "gemm_nn_gather_ordered inner dimension mismatch"
+    );
+    let m = a.rows();
+    let n = b.cols();
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f32;
+            for (kk, &row) in idx.iter().enumerate() {
+                s = fused(a.at(i, kk), b.at(row as usize, j), s);
+            }
+            let out = epilogue_spec(alpha, s, beta, c.at(i, j));
+            c.set(i, j, out);
+        }
+    }
+}
+
 /// The pre-blocking scalar NN kernel: `i-k-j` loop, zero-skip on `a`, beta
 /// pre-scale of the output row. Benchmark baseline only.
 pub fn gemm_scalar(alpha: f32, a: &Matrix, b: &Matrix, beta: f32, c: &mut Matrix) {

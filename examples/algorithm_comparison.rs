@@ -7,6 +7,7 @@
 //! cargo run --release --example algorithm_comparison
 //! ```
 
+use adaptive_sgd::core::slide::{SlideConfig, SlideTrainer};
 use adaptive_sgd::core::{
     algorithms,
     trainer::{RunConfig, Trainer},
@@ -14,7 +15,6 @@ use adaptive_sgd::core::{
 };
 use adaptive_sgd::data::{generate, DatasetSpec};
 use adaptive_sgd::gpusim::profile::heterogeneous_server;
-use adaptive_sgd::slide::{SlideConfig, SlideTrainer};
 
 fn main() {
     let spec = DatasetSpec::amazon_670k(0.005);

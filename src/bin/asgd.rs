@@ -11,6 +11,7 @@
 //! Argument parsing is deliberately dependency-free: `--flag value` pairs
 //! plus boolean `--flag`s, with `--help` everywhere.
 
+use adaptive_sgd::core::slide::{SlideConfig, SlideTrainer};
 use adaptive_sgd::core::{
     algorithms,
     trainer::{RunConfig, Trainer, TrainerSpec},
@@ -20,7 +21,6 @@ use adaptive_sgd::data::{generate, DatasetSpec, DatasetStats, SplitData, XmlData
 use adaptive_sgd::gpusim::device::build_server;
 use adaptive_sgd::gpusim::profile::heterogeneous_server;
 use adaptive_sgd::model::{workload::epoch_kernels, MlpConfig};
-use adaptive_sgd::slide::{SlideConfig, SlideTrainer};
 use adaptive_sgd::sparse::libsvm;
 use adaptive_sgd::stats::StreamingSummary;
 use std::collections::HashMap;

@@ -8,7 +8,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `asgd-core` | Adaptive SGD (Algorithms 1–2), the HeteroGPU trainer, baselines |
-//! | [`slide`] | `asgd-slide` | SLIDE-style CPU baseline (LSH-sampled softmax) |
+//! | [`slide`] | `asgd-slide` | shared LSH layer (SimHash tables, sampled-softmax candidate selection) |
 //! | [`model`] | `asgd-model` | the 3-layer sparse-input MLP |
 //! | [`data`] | `asgd-data` | synthetic XML datasets + libSVM ingestion |
 //! | [`gpusim`] | `asgd-gpusim` | the simulated heterogeneous multi-GPU server |

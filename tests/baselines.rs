@@ -1,13 +1,13 @@
 //! Integration tests of the baseline algorithms against Adaptive SGD — the
 //! qualitative relationships the paper's Figures 4 and 5 rest on.
 
+use adaptive_sgd::core::slide::{SlideConfig, SlideTrainer};
 use adaptive_sgd::core::{
     algorithms,
     trainer::{RunConfig, Trainer},
 };
 use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
 use adaptive_sgd::gpusim::profile::heterogeneous_server;
-use adaptive_sgd::slide::{SlideConfig, SlideTrainer};
 
 fn dataset() -> XmlDataset {
     generate(&DatasetSpec::amazon_670k(0.001), 7)

@@ -10,7 +10,7 @@
 use adaptive_sgd::core::metrics::RunResult;
 use adaptive_sgd::core::{
     algorithms,
-    trainer::{RunConfig, Trainer},
+    trainer::{RunConfig, SampledSoftmax, Trainer},
     AppliedFault, StalenessBound,
 };
 use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
@@ -290,6 +290,42 @@ fn fault_plan_rejects_per_round_merging() {
     let mut cfg = config(2);
     cfg.fault_plan = Some(FaultPlan::new().merge_oom(0));
     let _ = Trainer::new(algorithms::tensorflow_sync(), heterogeneous_server(2), cfg);
+}
+
+#[test]
+fn sampled_device_loss_redispatch_reproduces_candidate_sets() {
+    // The sampled-softmax determinism contract under chaos: a batch's
+    // candidate set is a pure function of (LSH seed, last-synced model,
+    // batch labels, id-derived sample seed) — none of which change when a
+    // device loss re-dispatches the batch to a survivor. If re-dispatch
+    // changed even one candidate set, the survivor's replica (and the merged
+    // global) would diverge between thread counts and re-runs; instead the
+    // whole faulted run must be bit-identical.
+    let run_sampled = |threads: usize| {
+        adaptive_sgd::tensor::parallel::override_threads(threads);
+        let ds = dataset();
+        let mut cfg = config(MEGAS);
+        cfg.trace = true;
+        cfg.sampled_softmax = Some(SampledSoftmax::defaults(12));
+        cfg.fault_plan = Some(FaultPlan::new().device_loss(1, 6, 0));
+        let r = Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(4), cfg).run(&ds);
+        adaptive_sgd::tensor::parallel::override_threads(0);
+        r
+    };
+    let a = run_sampled(1);
+    let b = run_sampled(8);
+    assert!(
+        a.chaos.redispatched_batches >= 1,
+        "the loss must have re-dispatched in-flight sampled batches"
+    );
+    assert_eq!(a.chaos.lost_gpus, vec![0]);
+    assert_eq!(
+        a.final_model, b.final_model,
+        "re-dispatched candidate sets were not reproduced"
+    );
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.chaos.render(), b.chaos.render());
+    assert_balanced_accounting(&a, MEGAS, 512);
 }
 
 #[test]
