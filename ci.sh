@@ -67,6 +67,45 @@ if [[ "${1:-}" != "quick" ]]; then
     diff -u results/chaos_probe_7_bf16.txt "$tmp_out/chaos8/chaos_probe_7_bf16.txt"
     echo "bf16 merge arena: bit-identical at ASGD_THREADS=1 and =8, matches checked-in golden"
 
+    echo "== cluster determinism across thread counts (64x4) =="
+    # A hierarchical multi-node merge must be a pure function of
+    # (run seed, fault seed, cluster shape): replay the full 64-server x
+    # 4-device fleet (256 replicas, whole-server losses and inter-node
+    # stalls in the fault plan) under different worker-pool sizes (in
+    # separate processes, so each gets its own pool) and byte-diff the
+    # FNV reports (trace + final model) against each other and the
+    # checked-in golden. See DESIGN.md, "Cluster topology & hierarchical
+    # merge".
+    cluster_env=(ASGD_MEGA_LIMIT=3 ASGD_SCALE=0.002 ASGD_HIDDEN=16
+                 ASGD_BMAX=16 ASGD_BATCHES_PER_MEGA=64
+                 ASGD_SERVERS=64 ASGD_DEVICES_PER_SERVER=4)
+    env "${cluster_env[@]}" ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/clu1" \
+        cargo run --release -p asgd-bench --bin cluster_probe >/dev/null
+    env "${cluster_env[@]}" ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/clu8" \
+        cargo run --release -p asgd-bench --bin cluster_probe >/dev/null
+    diff -u "$tmp_out/clu1/cluster_probe_7_64x4.txt" \
+            "$tmp_out/clu8/cluster_probe_7_64x4.txt"
+    diff -u results/cluster_probe_7_64x4.txt "$tmp_out/clu8/cluster_probe_7_64x4.txt"
+    echo "cluster 64x4: bit-identical at ASGD_THREADS=1 and =8, matches checked-in golden"
+
+    echo "== cluster determinism in the bf16 merge arena (4x4, two seeds) =="
+    # The bf16 tier promises the same topology-invariance contract; gate a
+    # smaller shape under two fault seeds so server-loss and stall paths
+    # both replay through the half-width arena.
+    for fault_seed in 7 23; do
+        env "${cluster_env[@]}" ASGD_SERVERS=4 ASGD_PRECISION=bf16 \
+            ASGD_FAULT_SEED="$fault_seed" \
+            ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/clu1" \
+            cargo run --release -p asgd-bench --bin cluster_probe >/dev/null
+        env "${cluster_env[@]}" ASGD_SERVERS=4 ASGD_PRECISION=bf16 \
+            ASGD_FAULT_SEED="$fault_seed" \
+            ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/clu8" \
+            cargo run --release -p asgd-bench --bin cluster_probe >/dev/null
+        diff -u "$tmp_out/clu1/cluster_probe_${fault_seed}_4x4_bf16.txt" \
+                "$tmp_out/clu8/cluster_probe_${fault_seed}_4x4_bf16.txt"
+        echo "cluster 4x4 bf16 fault seed $fault_seed: bit-identical at ASGD_THREADS=1 and =8"
+    done
+
     echo "== serve determinism across thread counts =="
     # A serving run (train → checkpoint → serve, faulted and fault-free)
     # must be a pure function of (request seed, fault seed): replay the

@@ -840,6 +840,115 @@ pub fn bench_merge_json(env: &Env) -> String {
     out
 }
 
+/// **Cluster merge scaling** (`BENCH_cluster.json`) — the simulated
+/// wall-clock of one full-fleet model merge on an ethernet cluster
+/// (`ClusterTopology::ethernet`: PCIe inside each server, a 3 GB/s
+/// inter-node link between them), scaled from 1×4 to 64×4 replicas.
+/// Each row pits the flat single-level all-reduce (every hop that crosses
+/// a server boundary pays the slow link) against the two-level hierarchical
+/// schedule (intra-node pool → one inter-node ring/tree over per-server lead
+/// buffers → intra-node broadcast). Arithmetic is pinned to the flat
+/// reduction order (see `asgd-collective::hierarchical`), so the row also
+/// asserts the merged bits are identical across all three schedules —
+/// topology choice is a scheduling optimization, never a numeric one.
+pub fn bench_cluster_json(env: &Env) -> String {
+    use asgd_collective::{
+        allreduce_flat, hierarchical_allreduce_flat, Algorithm, CollectiveContext, InterNode,
+    };
+    use asgd_gpusim::{ClusterTopology, SimTime};
+    use asgd_tensor::FlatVec;
+
+    let len = 1usize << 16;
+    let shapes: [(usize, usize); 4] = [(1, 4), (4, 4), (16, 4), (64, 4)];
+
+    // Deterministic pseudo-random buffers, seeded per (replica, element).
+    let fill = |n: usize| -> Vec<FlatVec> {
+        (0..n)
+            .map(|d| {
+                let mut state = env.seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(d as u64 + 1));
+                let v: Vec<f32> = (0..len)
+                    .map(|_| {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                    })
+                    .collect();
+                FlatVec::F32(v)
+            })
+            .collect()
+    };
+
+    let mut out = String::from("{\n  \"bench\": \"cluster_merge\",\n  \"rows\": [\n");
+    for (i, &(servers, per)) in shapes.iter().enumerate() {
+        let n = servers * per;
+        let profiles = heterogeneous_server(n);
+        let ctx = CollectiveContext::cluster(&ClusterTopology::ethernet(servers, per), &profiles);
+        let weights = vec![1.0 / n as f64; n];
+        let arrivals = vec![SimTime::ZERO; n];
+        let algo = Algorithm::MultiStreamRing {
+            partitions: per.min(4),
+        };
+
+        let mut flat_bufs = fill(n);
+        let flat = allreduce_flat(&mut flat_bufs, &weights, algo, &ctx, &arrivals);
+        let mut ring_bufs = fill(n);
+        let ring = hierarchical_allreduce_flat(
+            &mut ring_bufs,
+            &weights,
+            algo,
+            InterNode::Ring,
+            &ctx,
+            &arrivals,
+        );
+        let mut tree_bufs = fill(n);
+        let tree = hierarchical_allreduce_flat(
+            &mut tree_bufs,
+            &weights,
+            algo,
+            InterNode::Tree,
+            &ctx,
+            &arrivals,
+        );
+        let bits = |bufs: &[FlatVec]| -> Vec<u32> {
+            match &bufs[0] {
+                FlatVec::F32(v) => v.iter().map(|w| w.to_bits()).collect(),
+                FlatVec::Bf16(v) => v.iter().map(|&w| w as u32).collect(),
+            }
+        };
+        assert_eq!(
+            bits(&flat_bufs),
+            bits(&ring_bufs),
+            "hierarchical ring changed merge bits at {servers}x{per}"
+        );
+        assert_eq!(
+            bits(&flat_bufs),
+            bits(&tree_bufs),
+            "hierarchical tree changed merge bits at {servers}x{per}"
+        );
+
+        let _ = write!(
+            out,
+            "    {{\"servers\": {servers}, \"devices_per_server\": {per}, \"replicas\": {n}, \
+             \"elems\": {len}, \"flat_ms\": {:.3}, \"hier_ring_ms\": {:.3}, \
+             \"hier_tree_ms\": {:.3}, \"flat_bytes\": {}, \"hier_ring_bytes\": {}, \
+             \"hier_tree_bytes\": {}, \"ring_speedup_vs_flat\": {:.2}, \
+             \"tree_speedup_vs_flat\": {:.2}, \"bits_equal_flat\": true}}",
+            flat.duration() * 1e3,
+            ring.duration() * 1e3,
+            tree.duration() * 1e3,
+            flat.bytes_moved,
+            ring.bytes_moved,
+            tree.bytes_moved,
+            flat.duration() / ring.duration(),
+            flat.duration() / tree.duration(),
+        );
+        out.push_str(if i + 1 < shapes.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// **Serving tail latency** (`BENCH_serve.json`) — the online-inference twin
 /// of the training-side batch-size experiments: the wide-head serving
 /// testbed (many classes, tiny hidden layer, so per-request softmax/top-k
@@ -1186,6 +1295,37 @@ mod tests {
         assert!(json.contains("\"mode\": \"fixed\""));
         assert!(json.contains("\"served\": 2400"));
         assert!(!json.contains("\"lost\": 1"), "no request may be lost");
+    }
+
+    #[test]
+    fn bench_cluster_hierarchical_beats_flat_on_multi_server_shapes() {
+        fn field(row: &str, key: &str) -> f64 {
+            let start = row.find(key).expect(key) + key.len();
+            let rest = &row[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            rest[..end].trim().parse().expect(key)
+        }
+        let env = Env::smoke();
+        let json = bench_cluster_json(&env);
+        let rows: Vec<&str> = json.lines().filter(|l| l.contains("\"servers\"")).collect();
+        assert_eq!(rows.len(), 4, "expected the 1x4 .. 64x4 scaling table");
+        for row in rows {
+            let servers = field(row, "\"servers\": ");
+            let flat = field(row, "\"flat_ms\": ");
+            let ring = field(row, "\"hier_ring_ms\": ");
+            let tree = field(row, "\"hier_tree_ms\": ");
+            assert!(row.contains("\"bits_equal_flat\": true"));
+            if servers > 1.0 {
+                assert!(
+                    ring < flat && tree < flat,
+                    "hierarchical must beat flat once hops cross the slow link: {row}"
+                );
+            } else {
+                // The single-server row *is* the flat baseline by construction.
+                assert_eq!(ring, flat);
+                assert_eq!(tree, flat);
+            }
+        }
     }
 
     #[test]

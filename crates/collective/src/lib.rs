@@ -37,10 +37,14 @@
 //! ```
 
 pub mod algorithms;
+pub mod hierarchical;
 pub mod timing;
 
 pub use algorithms::{
     allreduce, allreduce_flat, allreduce_flat_serial, allreduce_serial, Algorithm,
+};
+pub use hierarchical::{
+    hierarchical_allreduce_flat, hierarchical_allreduce_flat_serial, InterNode,
 };
 pub use timing::{AllReduceTiming, CollectiveContext};
 

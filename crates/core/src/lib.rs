@@ -54,3 +54,4 @@ pub use merging::{compute_merge_weights, MergeDecision, MergeParams, Normalizati
 pub use metrics::{MergeRecord, RunRecorder, RunResult};
 pub use schedule::{ScalingScheduler, StalenessBound, Trajectory};
 pub use trainer::chaos::{AppliedFault, ChaosStats};
+pub use trainer::ClusterConfig;

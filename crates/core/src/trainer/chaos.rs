@@ -29,7 +29,10 @@ use crate::merging::{
     apply_global_update_flat, compute_merge_weights, redistribute_global, MergeDecision,
 };
 use asgd_collective::AllReduceTiming;
-use asgd_collective::{allreduce_flat, allreduce_flat_serial, Algorithm, CollectiveContext};
+use asgd_collective::{
+    allreduce_flat, allreduce_flat_serial, hierarchical_allreduce_flat,
+    hierarchical_allreduce_flat_serial, Algorithm, CollectiveContext, InterNode,
+};
 use asgd_gpusim::memory::MemoryTracker;
 use asgd_gpusim::{DeviceId, DeviceProfile, FaultKind, FaultPlan, SimTime, Topology};
 use asgd_tensor::FlatVec;
@@ -84,6 +87,30 @@ pub enum AppliedFault {
         requested: u64,
         /// Bytes that were available.
         available: u64,
+    },
+    /// An entire server died; every member replica was evicted (each also
+    /// logs its own [`AppliedFault::DeviceLoss`] line).
+    ServerLoss {
+        /// Mega-batch in which it fired.
+        mega: usize,
+        /// The dead server.
+        server: usize,
+        /// Member devices actually evicted (already-dead members and a
+        /// refused last survivor are excluded).
+        lost: Vec<usize>,
+        /// Batches re-dispatched off the dead server.
+        redispatched: u64,
+    },
+    /// A transient inter-node stall froze every device of one server.
+    InterNodeStall {
+        /// Mega-batch in which it fired.
+        mega: usize,
+        /// The stalled server.
+        server: usize,
+        /// Stall duration in simulated seconds.
+        seconds: f64,
+        /// Sim time the stall began (the earliest member clock).
+        at: f64,
     },
 }
 
@@ -155,6 +182,22 @@ impl ChaosStats {
                 } => out.push_str(&format!(
                     "mega {mega} merge-oom requested {requested} available {available} -> serial\n"
                 )),
+                AppliedFault::ServerLoss {
+                    mega,
+                    server,
+                    lost,
+                    redispatched,
+                } => out.push_str(&format!(
+                    "mega {mega} server {server} server-loss lost {lost:?} redispatched {redispatched}\n"
+                )),
+                AppliedFault::InterNodeStall {
+                    mega,
+                    server,
+                    seconds,
+                    at,
+                } => out.push_str(&format!(
+                    "mega {mega} server {server} inter-node-stall {seconds:.6}s at {at:.9}\n"
+                )),
             }
         }
         out.push_str(&format!(
@@ -180,6 +223,7 @@ pub(super) fn reduce_with_oom_fallback(
     chaos: &mut ChaosStats,
     plan: Option<&FaultPlan>,
     algo: Algorithm,
+    inter: Option<InterNode>,
     bufs: &mut [FlatVec],
     weights: &[f64],
     ctx: &CollectiveContext,
@@ -197,9 +241,15 @@ pub(super) fn reduce_with_oom_fallback(
             .alloc("chaos-oom-cotenant", memory.available())
             .expect("hogging the available bytes cannot fail")
     });
+    // Cluster runs reduce through the hierarchical schedule; bits are
+    // identical to the flat path either way (the reduction contract), only
+    // the simulated timing differs.
     let timing = match memory.alloc("merge-pool-scratch", scratch_bytes) {
         Ok(scratch) => {
-            let t = allreduce_flat(bufs, weights, algo, ctx, arrivals);
+            let t = match inter {
+                Some(i) => hierarchical_allreduce_flat(bufs, weights, algo, i, ctx, arrivals),
+                None => allreduce_flat(bufs, weights, algo, ctx, arrivals),
+            };
             memory.free(scratch);
             t
         }
@@ -210,7 +260,12 @@ pub(super) fn reduce_with_oom_fallback(
                 requested: oom.requested,
                 available: oom.available,
             });
-            allreduce_flat_serial(bufs, weights, algo, ctx, arrivals)
+            match inter {
+                Some(i) => {
+                    hierarchical_allreduce_flat_serial(bufs, weights, algo, i, ctx, arrivals)
+                }
+                None => allreduce_flat_serial(bufs, weights, algo, ctx, arrivals),
+            }
         }
     };
     if let Some(h) = hog {
@@ -280,6 +335,12 @@ impl SchedulerState<'_> {
                 FaultKind::DeviceLoss => {
                     extra += self.lose_device(e.gpu, mega, to, interval_updates, interval_samples);
                 }
+                FaultKind::ServerLoss => {
+                    extra += self.lose_server(e.gpu, mega, to, interval_updates, interval_samples);
+                }
+                FaultKind::InterNodeStall { seconds } => {
+                    self.inter_node_stall(e.gpu, seconds, mega);
+                }
                 FaultKind::MergeOom => unreachable!("MergeOom is filtered out of FaultPlan::due"),
             }
         }
@@ -330,6 +391,81 @@ impl SchedulerState<'_> {
             at,
         });
         redispatched as usize
+    }
+
+    /// `(servers, devices_per_server)` of the run — `(1, n)` when no cluster
+    /// is configured, so server-indexed faults still resolve sensibly.
+    fn cluster_shape(&self) -> (usize, usize) {
+        match &self.cfg.cluster {
+            Some(cl) => (cl.servers, cl.devices_per_server),
+            None => (1, self.n()),
+        }
+    }
+
+    /// Kills every device of server `server`, in ascending local order: each
+    /// member goes through the [`Self::lose_device`] eviction (re-dispatch,
+    /// merge eviction, scaling re-target), then one summary fault records
+    /// the node-level loss. The last fleet survivor is still refused, so a
+    /// run can always finish. Returns the total re-dispatched batch count.
+    fn lose_server(
+        &mut self,
+        server: usize,
+        mega: usize,
+        to: &[Sender<ToManager>],
+        interval_updates: &mut [u64],
+        interval_samples: &mut [u64],
+    ) -> usize {
+        let (servers, m) = self.cluster_shape();
+        if server >= servers {
+            return 0;
+        }
+        let mut redispatched = 0usize;
+        let mut lost = Vec::new();
+        for g in server * m..(server + 1) * m {
+            let was_alive = self.alive[g];
+            redispatched += self.lose_device(g, mega, to, interval_updates, interval_samples);
+            if was_alive && !self.alive[g] {
+                lost.push(g);
+            }
+        }
+        self.chaos.faults.push(AppliedFault::ServerLoss {
+            mega,
+            server,
+            lost,
+            redispatched: redispatched as u64,
+        });
+        redispatched
+    }
+
+    /// A transient inter-node stall: every surviving device of the server
+    /// freezes for `seconds` (the uplink is gone; nothing useful can be
+    /// dispatched to or drained from the node until it heals). Dynamic
+    /// dispatch routes batches to other servers until the clocks catch up.
+    fn inter_node_stall(&mut self, server: usize, seconds: f64, mega: usize) {
+        let (servers, m) = self.cluster_shape();
+        if server >= servers {
+            return;
+        }
+        let members: Vec<usize> = (server * m..(server + 1) * m)
+            .filter(|&g| self.alive[g])
+            .collect();
+        if members.is_empty() {
+            return;
+        }
+        let at = members
+            .iter()
+            .map(|&g| self.devices[g].now().secs())
+            .fold(f64::INFINITY, f64::min);
+        for &g in &members {
+            let from = self.devices[g].now();
+            self.devices[g].advance_to(from + seconds);
+        }
+        self.chaos.faults.push(AppliedFault::InterNodeStall {
+            mega,
+            server,
+            seconds,
+            at,
+        });
     }
 
     /// The merge stage after one or more device losses: gathers only from
@@ -386,14 +522,22 @@ impl SchedulerState<'_> {
                 perturbed: false,
             },
         };
-        let sub_profiles: Vec<DeviceProfile> = alive_idx
-            .iter()
-            .map(|&g| self.profiles[g].clone())
-            .collect();
-        let sub_ctx = CollectiveContext::new(
-            Topology::pcie(k).with_setup_scale(self.cfg.overhead_scale),
-            &sub_profiles,
-        );
+        // Cluster runs subset the cluster context (survivors keep their
+        // original server assignments, so cross-server hops still pay the
+        // inter-node link); single-server runs keep the pre-cluster
+        // construction bit for bit.
+        let sub_ctx = if self.cfg.cluster.is_some() {
+            self.ctx.subset(&alive_idx)
+        } else {
+            let sub_profiles: Vec<DeviceProfile> = alive_idx
+                .iter()
+                .map(|&g| self.profiles[g].clone())
+                .collect();
+            CollectiveContext::new(
+                Topology::pcie(k).with_setup_scale(self.cfg.overhead_scale),
+                &sub_profiles,
+            )
+        };
         let arrivals: Vec<SimTime> = alive_idx.iter().map(|&g| self.devices[g].now()).collect();
         let mut bufs: Vec<FlatVec> = alive_idx.iter().map(|&g| self.arena.lend(g)).collect();
         let timing = reduce_with_oom_fallback(
@@ -401,6 +545,7 @@ impl SchedulerState<'_> {
             &mut self.chaos,
             self.cfg.fault_plan.as_ref(),
             self.spec.allreduce,
+            self.cfg.cluster.as_ref().map(|cl| cl.inter),
             &mut bufs,
             &decision.weights,
             &sub_ctx,

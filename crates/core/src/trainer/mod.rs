@@ -27,14 +27,16 @@ use crate::checkpoint::TrainingState;
 use crate::hyper::{GpuHyper, ScalingParams};
 use crate::merging::{apply_global_update_flat, compute_merge_weights, MergeDecision, MergeParams};
 use crate::metrics::{MergeRecord, RunRecorder, RunResult};
-use crate::schedule::ScalingScheduler;
+use crate::schedule::{ScalingScheduler, StalenessBound};
 use arena::MergeArena;
-use asgd_collective::{Algorithm, CollectiveContext};
+use asgd_collective::{Algorithm, CollectiveContext, InterNode};
 use asgd_data::{batching::MegaBatchBudget, SampleStream, XmlDataset};
 use asgd_gpusim::device::build_server;
 use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
 use asgd_gpusim::memory::MemoryTracker;
-use asgd_gpusim::{Device, DeviceId, DeviceProfile, FaultPlan, SimTime, Topology, TraceLog};
+use asgd_gpusim::{
+    ClusterTopology, Device, DeviceId, DeviceProfile, FaultPlan, SimTime, Topology, TraceLog,
+};
 use asgd_model::workload::{
     epoch_kernels, lsh_rebuild_kernels, model_transfer_kernels_sized, overhead_delta_for,
     sampled_epoch_kernels,
@@ -191,6 +193,29 @@ impl SampledSoftmax {
     }
 }
 
+/// Shape and merge topology of a simulated multi-server fleet
+/// (`ASGD_SERVERS` × `ASGD_DEVICES_PER_SERVER`).
+///
+/// With [`RunConfig::cluster`] set, the trainer's collective context routes
+/// cross-server transfers over a slow inter-node link
+/// ([`ClusterTopology::ethernet`]) and the merge runs the two-level
+/// hierarchical schedule (`asgd_collective::hierarchical`). Result bits are
+/// **identical** to the flat merge over the same replicas — the merge
+/// topology is a scheduling optimization, never an arithmetic one (see
+/// `DESIGN.md`, "Cluster topology & hierarchical merge") — so cluster runs
+/// stay bit-deterministic at any `ASGD_THREADS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of servers (nodes); device `g` lives on server
+    /// `g / devices_per_server` (fixed server-major ordering).
+    pub servers: usize,
+    /// Devices per server; `servers · devices_per_server` must equal the
+    /// trainer's device count.
+    pub devices_per_server: usize,
+    /// Inter-node reduction shape over the server leads.
+    pub inter: InterNode,
+}
+
 /// Run-level configuration shared by all algorithms (the paper uses "the
 /// same hyperparameters for all the algorithms", §V-A).
 #[derive(Debug, Clone, PartialEq)]
@@ -250,6 +275,9 @@ pub struct RunConfig {
     /// bit-deterministic: outcomes are a pure function of
     /// `(seed, fault_plan, sampled_softmax.seed)` at any `ASGD_THREADS`.
     pub sampled_softmax: Option<SampledSoftmax>,
+    /// Multi-server fleet shape; `None` (the default) is the paper's
+    /// single-server setup with the flat all-reduce.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl RunConfig {
@@ -274,6 +302,7 @@ impl RunConfig {
             fault_plan: None,
             precision: Precision::F32,
             sampled_softmax: None,
+            cluster: None,
         }
     }
 }
@@ -298,6 +327,13 @@ impl Trainer {
             config.fault_plan.is_none() || spec.merge_interval == MergeInterval::MegaBatch,
             "fault injection requires merge-per-mega-batch"
         );
+        if let Some(cl) = &config.cluster {
+            assert_eq!(
+                cl.servers * cl.devices_per_server,
+                profiles.len(),
+                "cluster shape does not match the device count"
+            );
+        }
         Self {
             spec,
             profiles,
@@ -368,10 +404,19 @@ impl Trainer {
             mconfig,
             dataset,
             devices: build_server(&profiles, cfg.seed),
-            ctx: CollectiveContext::new(
-                Topology::pcie(n).with_setup_scale(cfg.overhead_scale),
-                &profiles,
-            ),
+            ctx: match &cfg.cluster {
+                // The single-server context is untouched by the cluster
+                // feature: same constructor, same timing bits.
+                None => CollectiveContext::new(
+                    Topology::pcie(n).with_setup_scale(cfg.overhead_scale),
+                    &profiles,
+                ),
+                Some(cl) => CollectiveContext::cluster(
+                    &ClusterTopology::ethernet(cl.servers, cl.devices_per_server)
+                        .with_setup_scale(cfg.overhead_scale),
+                    &profiles,
+                ),
+            },
             launch_model,
             trace: if cfg.trace {
                 TraceLog::enabled()
@@ -911,12 +956,28 @@ impl SchedulerState<'_> {
             },
         };
 
+        // Cluster merges cross the slow inter-node link; Algorithm 2's α
+        // weights assume every replica's per-mega update count stays inside
+        // the band the batch-size clamps imply (§III-A) — the staleness
+        // bound over the full fleet pins that here. Injected faults
+        // (stalls, node losses) break the symmetry on purpose, so the bound
+        // is a clean-run contract only.
+        if self.cfg.cluster.is_some() && self.cfg.fault_plan.is_none() {
+            let bound =
+                StalenessBound::derive(&self.cfg.scaling_params, self.cfg.mega_batch_size, n);
+            let updates: Vec<u64> = self.hypers.iter().map(|h| h.updates).collect();
+            debug_assert!(
+                bound.check(&updates),
+                "staleness bound violated at merge {mega_index}: {updates:?} vs {bound:?}"
+            );
+        }
         let arrivals: Vec<SimTime> = self.devices.iter().map(|d| d.now()).collect();
         let timing = chaos::reduce_with_oom_fallback(
             &mut self.merge_memory,
             &mut self.chaos,
             self.cfg.fault_plan.as_ref(),
             self.spec.allreduce,
+            self.cfg.cluster.as_ref().map(|cl| cl.inter),
             self.arena.buffers_mut(),
             &decision.weights,
             &self.ctx,

@@ -43,6 +43,21 @@ pub enum FaultKind {
     /// allocation: the merge must degrade to the serial (non-pooled)
     /// reduction path instead of aborting. `gpu` is ignored for this kind.
     MergeOom,
+    /// Permanent loss of an entire server (node): every device of the server
+    /// dies at once — power loss, kernel panic, a fabric partition declared
+    /// permanent. The trainer evicts all member replicas (in ascending local
+    /// order), re-dispatches their in-flight batches to survivors, and
+    /// renormalizes `α_i` across the surviving nodes. For this kind the
+    /// event's `gpu` field holds the *server* index.
+    ServerLoss,
+    /// A transient inter-node stall: the server's uplink degrades and every
+    /// device of the server freezes for `seconds` of sim time (network
+    /// partition that heals, switch buffer exhaustion, a routing flap).
+    /// For this kind the event's `gpu` field holds the *server* index.
+    InterNodeStall {
+        /// Stall duration in simulated seconds.
+        seconds: f64,
+    },
 }
 
 /// One scheduled fault.
@@ -57,7 +72,8 @@ pub struct FaultEvent {
     /// merge boundary instead — no event is ever silently dropped.
     /// [`FaultKind::MergeOom`] ignores this field and fires at the merge.
     pub after_batches: usize,
-    /// Target device (ignored by [`FaultKind::MergeOom`]).
+    /// Target device (ignored by [`FaultKind::MergeOom`]; holds the *server*
+    /// index for [`FaultKind::ServerLoss`] and [`FaultKind::InterNodeStall`]).
     pub gpu: usize,
     /// The fault itself.
     pub kind: FaultKind,
@@ -117,6 +133,33 @@ impl FaultPlan {
             after_batches,
             gpu,
             kind: FaultKind::DeviceLoss,
+        })
+    }
+
+    /// Schedules the permanent loss of a whole server.
+    pub fn server_loss(self, at_mega: usize, after_batches: usize, server: usize) -> Self {
+        self.with_event(FaultEvent {
+            at_mega,
+            after_batches,
+            gpu: server,
+            kind: FaultKind::ServerLoss,
+        })
+    }
+
+    /// Schedules a transient inter-node stall on a server's uplink.
+    pub fn inter_node_stall(
+        self,
+        at_mega: usize,
+        after_batches: usize,
+        server: usize,
+        seconds: f64,
+    ) -> Self {
+        assert!(seconds >= 0.0, "stall duration must be non-negative");
+        self.with_event(FaultEvent {
+            at_mega,
+            after_batches,
+            gpu: server,
+            kind: FaultKind::InterNodeStall { seconds },
         })
     }
 
@@ -183,16 +226,100 @@ impl FaultPlan {
         plan
     }
 
+    /// [`FaultPlan::random`] for an `servers × devices_per_server` cluster:
+    /// every device-targeted victim is drawn as a `(server, local-device)`
+    /// pair and mapped to its flat id through the fixed server-major
+    /// ordering — the same event list is valid for any context that agrees
+    /// on the shape (the topology-aware replacement for `random`'s flat-id
+    /// draws). On top of the single-server vocabulary it schedules, when the
+    /// cluster is big enough to survive them, one transient inter-node stall
+    /// (`servers ≥ 2`) and one whole-server loss (`servers ≥ 3`, so at least
+    /// two nodes keep exercising the hierarchical merge).
+    ///
+    /// The same `(seed, servers, devices_per_server, megas)` always yields
+    /// the same plan.
+    pub fn random_cluster(
+        seed: u64,
+        servers: usize,
+        devices_per_server: usize,
+        megas: usize,
+    ) -> Self {
+        assert!(servers >= 1, "need at least one server");
+        assert!(devices_per_server >= 1, "need at least one device/server");
+        assert!(megas >= 1, "need at least one mega-batch");
+        let n_gpus = servers * devices_per_server;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5E2F_C1A9_0B3D_77E5);
+        let mut plan = FaultPlan::new();
+        let mega = |rng: &mut StdRng, lo: usize| -> usize {
+            if megas <= lo + 1 {
+                megas - 1
+            } else {
+                rng.gen_range(lo..megas)
+            }
+        };
+        // Victims are (server, local) pairs, never raw flat indices: the draw
+        // stays meaningful if the same plan is replayed against a context
+        // that knows the shape.
+        let device = |rng: &mut StdRng| -> usize {
+            let s = rng.gen_range(0..servers);
+            let l = rng.gen_range(0..devices_per_server);
+            s * devices_per_server + l
+        };
+        if n_gpus >= 2 {
+            let victim = device(&mut rng);
+            let drop_at = mega(&mut rng, 0);
+            let factor = 0.2 + 0.3 * rng.gen_range(0.0..1.0);
+            plan = plan.speed_change(drop_at, rng.gen_range(0..8), victim, factor);
+            if drop_at + 1 < megas {
+                plan = plan.speed_change(
+                    mega(&mut rng, drop_at + 1),
+                    rng.gen_range(0..8),
+                    victim,
+                    1.0,
+                );
+            }
+            let stalled = device(&mut rng);
+            plan = plan.stall(
+                mega(&mut rng, 0),
+                rng.gen_range(0..8),
+                stalled,
+                0.05 + rng.gen_range(0.0..0.2),
+            );
+        }
+        plan = plan.merge_oom(mega(&mut rng, 0));
+        if n_gpus >= 3 && megas >= 3 {
+            let lost = device(&mut rng);
+            plan = plan.device_loss(mega(&mut rng, 1), 1 + rng.gen_range(0..6usize), lost);
+        }
+        if servers >= 2 && megas >= 2 {
+            let server = rng.gen_range(0..servers);
+            plan = plan.inter_node_stall(
+                mega(&mut rng, 1),
+                rng.gen_range(0..8),
+                server,
+                0.1 + rng.gen_range(0.0..0.3),
+            );
+        }
+        if servers >= 3 && megas >= 3 {
+            let server = rng.gen_range(0..servers);
+            plan = plan.server_loss(mega(&mut rng, 1), 1 + rng.gen_range(0..6usize), server);
+        }
+        plan
+    }
+
     /// All scheduled events, sorted by `(at_mega, after_batches, gpu)`.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
     }
 
-    /// Whether the plan contains any [`FaultKind::DeviceLoss`] event — the
+    /// Whether the plan contains any event that permanently kills replicas
+    /// ([`FaultKind::DeviceLoss`] or [`FaultKind::ServerLoss`]) — the
     /// trainer uses this to decide whether in-flight batch bookkeeping is
     /// needed at all.
     pub fn has_device_loss(&self) -> bool {
-        self.events.iter().any(|e| e.kind == FaultKind::DeviceLoss)
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::DeviceLoss | FaultKind::ServerLoss))
     }
 
     /// Whether a [`FaultKind::MergeOom`] fires at mega-batch `at_mega`.
@@ -301,5 +428,82 @@ mod tests {
     #[should_panic(expected = "speed factor must be positive")]
     fn non_positive_speed_factor_panics() {
         let _ = FaultPlan::new().speed_change(0, 0, 0, 0.0);
+    }
+
+    #[test]
+    fn random_cluster_plan_is_deterministic_and_shape_aware() {
+        let a = FaultPlan::random_cluster(7, 4, 4, 12);
+        let b = FaultPlan::random_cluster(7, 4, 4, 12);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultPlan::random_cluster(8, 4, 4, 12));
+        // A different shape redraws the victims even at the same seed.
+        assert_ne!(a, FaultPlan::random_cluster(7, 2, 8, 12));
+    }
+
+    #[test]
+    fn random_cluster_events_stay_in_range() {
+        for seed in 0..40 {
+            for (servers, m, megas) in [(1usize, 1usize, 1usize), (2, 4, 3), (3, 2, 8), (8, 4, 12)]
+            {
+                let plan = FaultPlan::random_cluster(seed, servers, m, megas);
+                for e in plan.events() {
+                    assert!(e.at_mega < megas, "event beyond run length: {e:?}");
+                    match e.kind {
+                        FaultKind::ServerLoss | FaultKind::InterNodeStall { .. } => {
+                            assert!(e.gpu < servers, "event on unknown server: {e:?}");
+                        }
+                        _ => assert!(e.gpu < servers * m, "event on unknown gpu: {e:?}"),
+                    }
+                }
+                let server_losses = plan
+                    .events()
+                    .iter()
+                    .filter(|e| e.kind == FaultKind::ServerLoss)
+                    .count();
+                assert!(server_losses <= 1);
+                if servers < 3 {
+                    assert_eq!(server_losses, 0, "server loss scheduled with < 3 servers");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_cluster_device_losses_map_to_consistent_locations() {
+        // The topology-aware draw must keep every device-targeted victim
+        // decomposable as (server, local) of the generating shape.
+        for seed in 0..40 {
+            let (servers, m) = (4usize, 3usize);
+            let plan = FaultPlan::random_cluster(seed, servers, m, 10);
+            for e in plan.events() {
+                if matches!(
+                    e.kind,
+                    FaultKind::DeviceLoss | FaultKind::SpeedChange { .. } | FaultKind::Stall { .. }
+                ) {
+                    let (s, l) = (e.gpu / m, e.gpu % m);
+                    assert!(
+                        s < servers && l < m,
+                        "victim {} has no (server, local)",
+                        e.gpu
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn server_loss_and_inter_node_stall_builders() {
+        let plan = FaultPlan::new()
+            .server_loss(2, 1, 1)
+            .inter_node_stall(0, 3, 0, 0.25);
+        assert!(plan.has_device_loss(), "server loss implies replica loss");
+        assert_eq!(
+            plan.events()[0].kind,
+            FaultKind::InterNodeStall { seconds: 0.25 }
+        );
+        assert_eq!(plan.events()[1].kind, FaultKind::ServerLoss);
+        assert!(!FaultPlan::new()
+            .inter_node_stall(0, 0, 0, 0.1)
+            .has_device_loss());
     }
 }

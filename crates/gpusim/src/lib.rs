@@ -45,7 +45,7 @@ pub use cost::KernelKind;
 pub use device::{Device, DeviceId};
 pub use faults::{FaultEvent, FaultKind, FaultPlan};
 pub use profile::{DeviceProfile, JitterModel};
-pub use topology::Topology;
+pub use topology::{ClusterTopology, DeviceLocation, Topology};
 pub use trace::{TraceEvent, TraceLog};
 
 /// Simulated time in seconds. A plain `f64` newtype with explicit ordering

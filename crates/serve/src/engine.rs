@@ -318,6 +318,10 @@ fn apply_fault(
         // Merge-OOM is a training-merge fault; `FaultPlan::due` never
         // returns it and serving has no merge phase to degrade.
         FaultKind::MergeOom => {}
+        // Cluster faults come only from `FaultPlan::random_cluster`, which
+        // the serving engine never uses: a serving fleet is a flat replica
+        // pool with no server grouping to lose or inter-node link to stall.
+        FaultKind::ServerLoss | FaultKind::InterNodeStall { .. } => {}
     }
 }
 

@@ -333,6 +333,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_line_is_an_empty_sample() {
+        // A fully empty line is the degenerate form of the documented
+        // "zero labels, zero features" sample (which normally starts with
+        // a space): it must consume one sample slot, not desync the stream.
+        let ds = read(BufReader::new("3 3 2\n\n0 1:1\n \n".as_bytes())).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert!(ds.labels[0].is_empty());
+        assert_eq!(ds.features.row(0), (&[][..], &[][..]));
+        assert_eq!(ds.labels[1], vec![0]);
+        assert!(ds.labels[2].is_empty());
+    }
+
+    #[test]
+    fn trailing_whitespace_is_ignored() {
+        // Real XC dumps carry trailing spaces and tabs; they must not turn
+        // into phantom feature tokens.
+        let ds = read(BufReader::new("2 4 2\n0 1:1   \n1 2:1\t\r\n".as_bytes())).unwrap();
+        assert_eq!(ds.features.row(0), (&[1u32][..], &[1.0f32][..]));
+        assert_eq!(ds.features.row(1), (&[2u32][..], &[1.0f32][..]));
+    }
+
+    #[test]
+    fn final_line_without_newline_still_parses() {
+        let ds = read(BufReader::new("2 4 2\n0 1:1\n1 2:0.5".as_bytes())).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.features.row(1), (&[2u32][..], &[0.5f32][..]));
+    }
+
+    #[test]
+    fn truncated_final_token_is_rejected() {
+        // A file cut mid-token ("1:" with the value sheared off) must fail
+        // with line context, not silently coerce.
+        let e = read(BufReader::new("1 3 2\n0 1:".as_bytes())).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bad feature value"));
+    }
+
+    #[test]
+    fn feature_id_at_exact_bound_is_rejected() {
+        // Ids are 0-based: id == num_features is the first out-of-range id.
+        let e = read(BufReader::new("1 3 2\n0 3:1\n".as_bytes())).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("feature 3 >= feature count 3"));
+    }
+
+    #[test]
     fn handles_crlf_line_endings() {
         let ds = read(BufReader::new("1 3 2\n0 1:1\r\n".as_bytes())).unwrap();
         assert_eq!(ds.features.row(0), (&[1u32][..], &[1.0f32][..]));

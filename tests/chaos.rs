@@ -7,11 +7,12 @@
 //! reduction with identical numerics, and the whole faulted run remaining a
 //! deterministic function of `(run seed, fault plan)`.
 
+use adaptive_sgd::collective::InterNode;
 use adaptive_sgd::core::metrics::RunResult;
 use adaptive_sgd::core::{
     algorithms,
     trainer::{RunConfig, SampledSoftmax, Trainer},
-    AppliedFault, StalenessBound,
+    AppliedFault, ClusterConfig, StalenessBound,
 };
 use adaptive_sgd::data::{generate, DatasetSpec, XmlDataset};
 use adaptive_sgd::gpusim::profile::heterogeneous_server;
@@ -326,6 +327,115 @@ fn sampled_device_loss_redispatch_reproduces_candidate_sets() {
     assert_eq!(a.trace, b.trace);
     assert_eq!(a.chaos.render(), b.chaos.render());
     assert_balanced_accounting(&a, MEGAS, 512);
+}
+
+/// A faulted run over a simulated multi-node cluster: same trainer, but the
+/// fleet is `servers × per` and merges go through the two-level hierarchical
+/// schedule over the slow inter-node link.
+fn cluster_run(servers: usize, per: usize, plan: Option<FaultPlan>) -> RunResult {
+    let ds = dataset();
+    let mut cfg = config(MEGAS);
+    cfg.trace = true;
+    cfg.fault_plan = plan;
+    cfg.cluster = Some(ClusterConfig {
+        servers,
+        devices_per_server: per,
+        inter: InterNode::Ring,
+    });
+    Trainer::new(
+        algorithms::adaptive_sgd(),
+        heterogeneous_server(servers * per),
+        cfg,
+    )
+    .run(&ds)
+}
+
+#[test]
+fn server_loss_mid_run_evicts_every_member_and_rebalances() {
+    // Losing a whole node kills all of its devices at once: every member is
+    // evicted, their in-flight batches re-dispatch to the surviving nodes,
+    // and Algorithm 2's α weights renormalize over the survivors — who keep
+    // merging *across* the remaining inter-node links.
+    let plan = FaultPlan::new().server_loss(1, 4, 0);
+    let result = cluster_run(3, 2, Some(plan));
+
+    assert_eq!(result.records.len(), MEGAS, "run did not complete");
+    assert_eq!(result.chaos.lost_gpus, vec![0, 1], "whole node must die");
+    assert!(result.chaos.faults.iter().any(|f| matches!(
+        f,
+        AppliedFault::ServerLoss { mega: 1, server: 0, lost, .. } if lost == &vec![0, 1]
+    )));
+    for r in &result.records[1..] {
+        assert_eq!(r.updates[0] + r.updates[1], 0, "dead node kept training");
+        assert_eq!(r.merge_weights[0], 0.0);
+        assert_eq!(r.merge_weights[1], 0.0);
+        assert_weight_sum(r);
+    }
+    assert_balanced_accounting(&result, MEGAS, 512);
+}
+
+#[test]
+fn losing_every_server_but_one_is_refused_at_the_last_survivor() {
+    // Kill both nodes of a 2×2 cluster: the second server loss must stop at
+    // the last-survivor rule (the run has to finish on one device).
+    let plan = FaultPlan::new().server_loss(1, 2, 0).server_loss(1, 3, 1);
+    let result = cluster_run(2, 2, Some(plan));
+    assert_eq!(result.records.len(), MEGAS);
+    assert_eq!(
+        result.chaos.lost_gpus,
+        vec![0, 1, 2],
+        "exactly one device must survive"
+    );
+    assert_balanced_accounting(&result, MEGAS, 512);
+}
+
+#[test]
+fn inter_node_stall_routes_load_to_the_other_nodes() {
+    let clean = cluster_run(2, 2, None);
+    let stalled = cluster_run(2, 2, Some(FaultPlan::new().inter_node_stall(0, 2, 1, 0.5)));
+    assert!(stalled.chaos.faults.iter().any(|f| matches!(
+        f,
+        AppliedFault::InterNodeStall { mega: 0, server: 1, seconds, .. } if *seconds == 0.5
+    )));
+    // A half-second uplink stall freezes every device on the node: dynamic
+    // dispatch routes its share of mega 0 to the healthy node.
+    let node1 = |r: &RunResult| r.records[0].updates[2] + r.records[0].updates[3];
+    assert!(
+        node1(&stalled) < node1(&clean),
+        "stalled node kept its load: {} vs {}",
+        node1(&stalled),
+        node1(&clean)
+    );
+    assert_balanced_accounting(&stalled, MEGAS, 512);
+}
+
+#[test]
+fn cluster_faulted_runs_are_bit_identical_across_re_runs() {
+    let plan = FaultPlan::random_cluster(7, 2, 2, MEGAS);
+    let a = cluster_run(2, 2, Some(plan.clone()));
+    let b = cluster_run(2, 2, Some(plan));
+    assert_eq!(a.final_model, b.final_model);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.chaos, b.chaos);
+    assert_eq!(a.chaos.render(), b.chaos.render());
+}
+
+#[test]
+fn random_cluster_plans_always_complete_with_balanced_accounting() {
+    for seed in [1u64, 13, 99] {
+        let plan = FaultPlan::random_cluster(seed, 3, 2, MEGAS);
+        let result = cluster_run(3, 2, Some(plan));
+        assert_eq!(result.records.len(), MEGAS, "seed {seed} aborted the run");
+        assert_balanced_accounting(&result, MEGAS, 512);
+        assert!(
+            result.final_model.iter().all(|w| w.is_finite()),
+            "seed {seed} produced non-finite weights"
+        );
+        assert!(
+            !result.chaos.is_quiet(),
+            "seed {seed}: a random cluster plan must apply something"
+        );
+    }
 }
 
 #[test]
