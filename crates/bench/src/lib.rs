@@ -32,6 +32,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 pub mod experiments;
+pub mod fleet;
 
 /// Scale/size knobs shared by every experiment.
 #[derive(Debug, Clone, PartialEq)]

@@ -87,6 +87,23 @@ impl TrainingState {
     /// # Panics
     /// Panics when the architecture does not match the stored flat model.
     pub fn export_model(&self, config: &MlpConfig) -> Bytes {
+        self.export_model_with(config, asgd_tensor::Precision::F32)
+    }
+
+    /// [`TrainingState::export_model`] at an explicit storage precision —
+    /// the versioned-model export path of the serving registry:
+    /// [`asgd_tensor::Precision::F32`] emits the legacy v1 layout
+    /// byte-for-byte, [`asgd_tensor::Precision::Bf16`] the half-size v2
+    /// layout (one round-to-nearest-even narrowing per weight), so a fleet
+    /// can stream checkpoint versions at either storage tier.
+    ///
+    /// # Panics
+    /// Panics when the architecture does not match the stored flat model.
+    pub fn export_model_with(
+        &self,
+        config: &MlpConfig,
+        precision: asgd_tensor::Precision,
+    ) -> Bytes {
         assert_eq!(
             self.global.len(),
             config.param_len(),
@@ -94,7 +111,7 @@ impl TrainingState {
         );
         let mut model = Mlp::zeros(config);
         model.load_flat(&self.global);
-        model_checkpoint::encode(&model)
+        model_checkpoint::encode_with(&model, precision)
     }
 
     /// Deserializes a state produced by [`TrainingState::encode`].
@@ -217,6 +234,31 @@ mod tests {
         };
         let served = load_model(state.export_model(&config)).unwrap();
         assert_eq!(served, trained, "train→serve handoff must be lossless");
+    }
+
+    #[test]
+    fn export_model_with_bf16_is_the_quantized_model() {
+        let config = MlpConfig {
+            num_features: 6,
+            hidden: 4,
+            num_classes: 3,
+        };
+        let trained = Mlp::init(&config, 7);
+        let state = TrainingState {
+            global: trained.to_flat(),
+            prev_global: vec![0.0; config.param_len()],
+            hypers: vec![],
+            megas_done: 1,
+        };
+        use asgd_tensor::Precision;
+        // f32 export is the legacy path byte-for-byte.
+        assert_eq!(
+            state.export_model(&config),
+            state.export_model_with(&config, Precision::F32)
+        );
+        // bf16 export decodes to exactly one RNE narrowing of the model.
+        let served = load_model(state.export_model_with(&config, Precision::Bf16)).unwrap();
+        assert_eq!(served, trained.quantized(Precision::Bf16));
     }
 
     #[test]

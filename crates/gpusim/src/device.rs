@@ -171,6 +171,19 @@ impl Device {
         wait
     }
 
+    /// Rolls the clock back to `t` if `t` is earlier — the cancellation
+    /// primitive: work already *charged* to the device is revoked from `t`
+    /// onward and the device frees at `t` instead (a hedged request's losing
+    /// replica stops computing the moment the winner completes). Jitter
+    /// state stays consumed — a cancelled kernel still advanced the RNG, so
+    /// the timing trace remains a pure function of the kernel sequence, not
+    /// of which results were kept. Returns the reclaimed seconds (≥ 0).
+    pub fn rollback_to(&mut self, t: SimTime) -> f64 {
+        let reclaimed = (self.clock - t).max(0.0);
+        self.clock = SimTime(self.clock.secs().min(t.secs().max(0.0)));
+        reclaimed
+    }
+
     /// Resets the virtual clock to zero (jitter state is preserved).
     pub fn reset_clock(&mut self) {
         self.clock = SimTime::ZERO;
@@ -251,6 +264,32 @@ mod tests {
         let want = crate::cost::kernel_time(d.profile(), k);
         assert_eq!(d.execute(k), want);
         assert_eq!(d.execute(k), want);
+    }
+
+    #[test]
+    fn rollback_reclaims_cancelled_work_but_keeps_jitter_state() {
+        let k = KernelKind::Gemm {
+            m: 32,
+            k: 32,
+            n: 32,
+        };
+        // Two identical devices; one has a kernel cancelled mid-flight.
+        let mut kept = Device::new(DeviceId(0), DeviceProfile::v100("a"), 9);
+        let mut cancelled = Device::new(DeviceId(0), DeviceProfile::v100("b"), 9);
+        let t0 = kept.execute(k);
+        let _ = cancelled.execute(k);
+        let cancel_at = SimTime(t0 * 0.25);
+        let reclaimed = cancelled.rollback_to(cancel_at);
+        assert!((reclaimed - t0 * 0.75).abs() < 1e-15);
+        assert_eq!(cancelled.now(), cancel_at);
+        // Rolling back to a later time is a no-op.
+        assert_eq!(cancelled.rollback_to(SimTime(100.0)), 0.0);
+        assert_eq!(cancelled.now(), cancel_at);
+        // The jitter stream was consumed by the cancelled kernel: the next
+        // kernel on both devices draws the same (second) jitter value.
+        let a = kept.execute(k);
+        let b = cancelled.execute(k);
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

@@ -1,0 +1,172 @@
+//! Elastic replica autoscaling: Algorithm 1 pointed at the admission queue.
+//!
+//! The paper's controller is a one-line linear feedback rule — move a knob
+//! proportionally to the relative error of an observed signal, clamp to
+//! bounds. Training uses it twice (batch size against step time, via
+//! `asgd-core`; micro-batch against p99, via [`crate::SloController`]).
+//! Here the knob is the **number of commissioned replicas** and the signal
+//! is the **admission-queue depth** at a decision boundary:
+//!
+//! ```text
+//! r ← clamp(r + β · (depth − target) / target, r_min, r_max)
+//! ```
+//!
+//! Like the training-side controllers the internal state is continuous —
+//! fractional progress accumulates across windows so a persistent small
+//! error eventually moves the integer replica count — and the commissioned
+//! count is its truncation. Scaling *mechanics* (which device slot boots or
+//! drains, boot delay, placement across servers) belong to the fleet
+//! engine; this type only decides "how many".
+
+/// Provisioning policy for a fleet run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provisioning {
+    /// Elastic: start at `r_min`, let the controller move the count.
+    Auto,
+    /// Fixed replica count for the whole run (controller off). Clamped to
+    /// the fleet's `[1, r_max]` by the engine.
+    Static(usize),
+}
+
+/// One controller decision, logged per window for the probe trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleDecision {
+    /// Window index the decision closed.
+    pub window: u64,
+    /// Queue depth observed at the boundary.
+    pub depth: usize,
+    /// Commissioned replica target after the decision.
+    pub replicas: usize,
+}
+
+/// The replica-count controller.
+#[derive(Debug, Clone)]
+pub struct AutoscaleController {
+    r: f64,
+    r_min: usize,
+    r_max: usize,
+    beta: f64,
+    target_depth: f64,
+    decisions: u64,
+}
+
+impl AutoscaleController {
+    /// A controller bounded to `[r_min, r_max]` replicas, reacting with
+    /// gain `beta` (replicas per unit of relative depth error) to a queue
+    /// depth target of `target_depth` waiting requests. Starts at `r_min`
+    /// — scale-out is earned by observed backlog, matching the elastic-
+    /// training rule of growing resources only under demonstrated demand.
+    ///
+    /// # Panics
+    /// Panics when the bounds are empty or the target/gain non-positive.
+    pub fn new(r_min: usize, r_max: usize, beta: f64, target_depth: f64) -> Self {
+        assert!(r_min >= 1, "need at least one replica");
+        assert!(r_max >= r_min, "empty replica range");
+        assert!(beta > 0.0, "controller gain must be positive");
+        assert!(target_depth > 0.0, "depth target must be positive");
+        Self {
+            r: r_min as f64,
+            r_min,
+            r_max,
+            beta,
+            target_depth,
+            decisions: 0,
+        }
+    }
+
+    /// Current commissioned-replica target (truncation of the continuous
+    /// state, like the micro-batch controller).
+    pub fn replicas(&self) -> usize {
+        (self.r as usize).clamp(self.r_min, self.r_max)
+    }
+
+    /// Applies one observation of the admission-queue depth and returns the
+    /// new target. `depth` is the number of admitted-but-undispatched
+    /// requests at the window boundary.
+    pub fn observe_depth(&mut self, window: u64, depth: usize) -> AutoscaleDecision {
+        let err = (depth as f64 - self.target_depth) / self.target_depth;
+        self.r = (self.r + self.beta * err).clamp(self.r_min as f64, self.r_max as f64);
+        self.decisions += 1;
+        AutoscaleDecision {
+            window,
+            depth,
+            replicas: self.replicas(),
+        }
+    }
+
+    /// Decisions taken so far.
+    pub fn decisions(&self) -> u64 {
+        self.decisions
+    }
+
+    /// The inclusive replica bounds.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.r_min, self.r_max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_r_min_and_grows_under_backlog() {
+        let mut c = AutoscaleController::new(2, 8, 1.0, 16.0);
+        assert_eq!(c.replicas(), 2);
+        // Depth 48 → relative error 2 → +2 replicas per decision.
+        let d = c.observe_depth(0, 48);
+        assert_eq!(d.replicas, 4);
+        c.observe_depth(1, 48);
+        c.observe_depth(2, 48);
+        assert_eq!(c.replicas(), 8, "pinned at r_max");
+        c.observe_depth(3, 480);
+        assert_eq!(c.replicas(), 8, "overshoot stays clamped");
+    }
+
+    #[test]
+    fn shrinks_when_the_queue_drains() {
+        let mut c = AutoscaleController::new(1, 8, 2.0, 16.0);
+        for w in 0..4 {
+            c.observe_depth(w, 64);
+        }
+        assert_eq!(c.replicas(), 8);
+        // Empty queue → relative error −1 → −2 replicas per decision.
+        c.observe_depth(4, 0);
+        assert_eq!(c.replicas(), 6);
+        for w in 5..20 {
+            c.observe_depth(w, 0);
+        }
+        assert_eq!(c.replicas(), 1, "pinned at r_min");
+    }
+
+    #[test]
+    fn fractional_progress_accumulates() {
+        let mut c = AutoscaleController::new(1, 8, 0.5, 10.0);
+        // Depth 15 → error 0.5 → +0.25 replicas per decision: the integer
+        // count must move only after 4 decisions.
+        c.observe_depth(0, 15);
+        c.observe_depth(1, 15);
+        c.observe_depth(2, 15);
+        assert_eq!(c.replicas(), 1);
+        c.observe_depth(3, 15);
+        assert_eq!(c.replicas(), 2);
+    }
+
+    #[test]
+    fn on_target_depth_holds_steady() {
+        let mut c = AutoscaleController::new(2, 8, 1.0, 16.0);
+        c.observe_depth(0, 64); // grow away from the bound first
+        let r = c.replicas();
+        for w in 1..10 {
+            c.observe_depth(w, 16);
+        }
+        assert_eq!(c.replicas(), r);
+        assert_eq!(c.decisions(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty replica range")]
+    fn rejects_inverted_bounds() {
+        let _ = AutoscaleController::new(4, 2, 1.0, 1.0);
+    }
+}

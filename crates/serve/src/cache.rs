@@ -1,0 +1,233 @@
+//! Prediction cache: capacity-bounded, deterministically evicted.
+//!
+//! The Zipf head of a multi-tenant load repeats the same `(model, request)`
+//! pairs over and over; serving each repeat through a GPU batch wastes
+//! device-seconds that a small cache recovers. The cache here is a plain
+//! LRU, but with two twists that keep the whole fleet simulation a pure
+//! function of its seeds:
+//!
+//! - **Keys are content-addressed.** A key is `(model content signature,
+//!   pool row)`, not `(version id, pool row)` — two registry versions that
+//!   dedup to the same weights share cache entries, exactly like they share
+//!   layer allocations.
+//! - **Recency is virtual, not wall-clock.** Every lookup/insert carries a
+//!   monotone access sequence number assigned by the single-threaded
+//!   scheduler loop, so eviction order is identical at any `ASGD_THREADS`.
+//!   Ties cannot happen (sequence numbers are unique), making eviction
+//!   fully deterministic.
+//!
+//! An entry only *hits* once its `ready_at` virtual time has passed: a
+//! request that arrives while the batch computing its key is still in
+//! flight misses and is served by the fleet like any cold request. This
+//! models a cache that is filled by completion callbacks, not by intent.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Cache key: the model's content signature (shared across deduped
+/// versions) and the request-pool row.
+pub type CacheKey = (u64, u32);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Id of the computed request whose predictions this entry replays.
+    rep_id: u32,
+    /// Virtual time at which the entry becomes visible (the completion of
+    /// the batch that computed it).
+    ready_at: f64,
+    /// Last-access sequence number (monotone, scheduler-assigned).
+    seq: u64,
+}
+
+/// Running cache counters, reported in [`crate::FleetOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the fleet.
+    pub misses: u64,
+    /// Entries written (first completion per key version).
+    pub insertions: u64,
+    /// Entries evicted at capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Deterministic LRU over `(model signature, pool row)` keys.
+#[derive(Debug)]
+pub struct PredictionCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, Entry>,
+    // Access order: seq → key. BTreeMap gives O(log n) oldest-first
+    // eviction with a deterministic iteration order.
+    by_seq: BTreeMap<u64, CacheKey>,
+    next_seq: u64,
+    stats: CacheStats,
+}
+
+impl PredictionCache {
+    /// A cache holding at most `capacity` entries. Capacity 0 disables the
+    /// cache (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            by_seq: BTreeMap::new(),
+            next_seq: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks `key` up at virtual time `now`. A hit returns the computed
+    /// request id whose predictions the caller should replay, and bumps the
+    /// entry's recency. An entry that exists but is not yet `ready_at <=
+    /// now` misses *without* losing its place (its batch is still in
+    /// flight).
+    pub fn lookup(&mut self, key: CacheKey, now: f64) -> Option<u32> {
+        match self.entries.get_mut(&key) {
+            Some(e) if e.ready_at <= now => {
+                self.by_seq.remove(&e.seq);
+                e.seq = self.next_seq;
+                self.by_seq.insert(e.seq, key);
+                self.next_seq += 1;
+                self.stats.hits += 1;
+                Some(e.rep_id)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records that request `rep_id` computes `key`'s predictions, visible
+    /// from virtual time `ready_at`. Re-inserting an existing key only
+    /// refreshes its recency (the earliest computation's id is kept, so
+    /// prediction replay never aliases through another cached request).
+    /// Evicts the least-recently-used entry beyond capacity.
+    pub fn insert(&mut self, key: CacheKey, rep_id: u32, ready_at: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(e) = self.entries.get_mut(&key) {
+            self.by_seq.remove(&e.seq);
+            e.seq = self.next_seq;
+            self.by_seq.insert(e.seq, key);
+            self.next_seq += 1;
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                rep_id,
+                ready_at,
+                seq,
+            },
+        );
+        self.by_seq.insert(seq, key);
+        self.stats.insertions += 1;
+        while self.entries.len() > self.capacity {
+            let (&oldest, &victim) = self
+                .by_seq
+                .iter()
+                .next()
+                .expect("non-empty beyond capacity");
+            self.by_seq.remove(&oldest);
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_requires_readiness() {
+        let mut c = PredictionCache::new(4);
+        c.insert((1, 0), 10, 5.0);
+        // Before the batch completes: miss, entry survives.
+        assert_eq!(c.lookup((1, 0), 4.9), None);
+        assert_eq!(c.lookup((1, 0), 5.0), Some(10));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                insertions: 1,
+                evictions: 0
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_is_lru_by_access_sequence() {
+        let mut c = PredictionCache::new(2);
+        c.insert((1, 0), 0, 0.0);
+        c.insert((1, 1), 1, 0.0);
+        // Touch key 0 so key 1 becomes the LRU victim.
+        assert_eq!(c.lookup((1, 0), 1.0), Some(0));
+        c.insert((1, 2), 2, 0.0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup((1, 1), 1.0), None, "LRU entry must be evicted");
+        assert_eq!(c.lookup((1, 0), 1.0), Some(0));
+        assert_eq!(c.lookup((1, 2), 1.0), Some(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_keeps_first_computation() {
+        let mut c = PredictionCache::new(2);
+        c.insert((7, 3), 5, 1.0);
+        c.insert((7, 3), 9, 2.0);
+        // The original id and readiness stick; only recency moved.
+        assert_eq!(c.lookup((7, 3), 1.5), Some(5));
+        assert_eq!(c.stats().insertions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut c = PredictionCache::new(0);
+        c.insert((1, 0), 0, 0.0);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup((1, 0), 10.0), None);
+        assert_eq!(c.stats().insertions, 0);
+    }
+
+    #[test]
+    fn distinct_signatures_do_not_collide() {
+        let mut c = PredictionCache::new(4);
+        c.insert((1, 0), 0, 0.0);
+        c.insert((2, 0), 1, 0.0);
+        assert_eq!(c.lookup((1, 0), 1.0), Some(0));
+        assert_eq!(c.lookup((2, 0), 1.0), Some(1));
+    }
+}

@@ -246,9 +246,12 @@ impl ServeOutcome {
         }
     }
 
-    /// The predictions of one request (`k_eff` class ids).
-    pub fn prediction(&self, id: u32) -> &[u32] {
-        &self.predictions[id as usize * self.k_eff..(id as usize + 1) * self.k_eff]
+    /// The predictions of one request (`k_eff` class ids), or `None` for an
+    /// id the run never generated — an unknown id is a caller-side lookup
+    /// miss, not a panic.
+    pub fn prediction(&self, id: u32) -> Option<&[u32]> {
+        let lo = (id as usize).checked_mul(self.k_eff)?;
+        self.predictions.get(lo..lo + self.k_eff)
     }
 }
 
@@ -569,5 +572,80 @@ pub fn serve(
         makespan_s,
         served,
         lost: n - served,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Seeded per-replica latency samples (distinct distributions so merge
+    /// order would actually matter if it were allowed to vary).
+    fn replica_samples() -> Vec<Vec<f64>> {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x1A7E);
+        (0..4)
+            .map(|r| {
+                (0..500)
+                    .map(|_| (1.0 + r as f64) * 0.010 * rng.gen::<f64>())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_in_ascending_replica_order_is_reproducible() {
+        // P² merging is order-dependent; the fleet contract is that callers
+        // always fold ascending by replica index. Folding the same replicas
+        // ascending must be bit-reproducible run to run…
+        let samples = replica_samples();
+        let fold_ascending = || {
+            let mut fleet = LatencyStats::new(1.0);
+            for s in &samples {
+                let mut stats = LatencyStats::new(1.0);
+                for &l in s {
+                    stats.record(l);
+                }
+                fleet.merge(&stats);
+            }
+            fleet
+        };
+        let (a, b) = (fold_ascending(), fold_ascending());
+        assert_eq!(
+            a.p99.value().unwrap().to_bits(),
+            b.p99.value().unwrap().to_bits()
+        );
+        assert_eq!(
+            a.p50.value().unwrap().to_bits(),
+            b.p50.value().unwrap().to_bits()
+        );
+        assert_eq!(a.count(), samples.iter().map(Vec::len).sum::<usize>());
+    }
+
+    #[test]
+    fn merge_order_matters_which_is_why_the_contract_exists() {
+        // …and folding in a different order genuinely changes the estimate —
+        // the reason completion-order merging would break thread-count
+        // invariance. (The histogram, by contrast, is exactly order-free.)
+        let samples = replica_samples();
+        let fold = |order: &[usize]| {
+            let mut fleet = LatencyStats::new(1.0);
+            for &i in order {
+                let mut stats = LatencyStats::new(1.0);
+                for &l in &samples[i] {
+                    stats.record(l);
+                }
+                fleet.merge(&stats);
+            }
+            fleet
+        };
+        let asc = fold(&[0, 1, 2, 3]);
+        let desc = fold(&[3, 2, 1, 0]);
+        assert_ne!(
+            asc.p99.value().unwrap().to_bits(),
+            desc.p99.value().unwrap().to_bits(),
+            "P² merge should be order-dependent for distinct distributions"
+        );
+        assert_eq!(asc.hist.bins(), desc.hist.bins(), "histogram is order-free");
     }
 }

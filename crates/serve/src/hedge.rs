@@ -1,0 +1,152 @@
+//! Hedged requests: tail-latency insurance in virtual time.
+//!
+//! "The Tail at Scale" observation: when a request has already waited
+//! longer than almost all of its peers, re-issuing it to a second replica
+//! converts a near-certain tail latency into a race that the fresh replica
+//! usually wins. This module holds the *policy* — a streaming quantile of
+//! observed queueing delays and the decision rule — while the fleet engine
+//! owns the *mechanics* (picking the hedge replica, racing completions,
+//! rolling the loser's device clock back).
+//!
+//! The threshold is a P² streaming quantile of queueing delays, observed in
+//! scheduler (dispatch) order by the single-threaded loop — deterministic
+//! at any thread count. Hedging stays disarmed until `min_obs` delays have
+//! been recorded so the quantile estimate has support, and the threshold is
+//! floored (`min_wait_s`) so a lightly loaded fleet does not hedge on
+//! micro-seconds of noise.
+
+use asgd_stats::P2Quantile;
+
+/// Decides when a queued request deserves a hedge.
+#[derive(Debug)]
+pub struct HedgePolicy {
+    quantile: P2Quantile,
+    q: f64,
+    min_obs: u64,
+    min_wait_s: f64,
+}
+
+/// Fleet-level hedging counters, reported in [`crate::FleetOutcome`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HedgeStats {
+    /// Hedges dispatched.
+    pub issued: u64,
+    /// Hedges that beat the primary batch.
+    pub wins: u64,
+    /// Hedges the primary beat (cancelled on the spare replica).
+    pub losses: u64,
+    /// Virtual device-seconds reclaimed by cancelling losing hedges.
+    pub cancelled_s: f64,
+}
+
+impl HedgePolicy {
+    /// A policy hedging above the `q`-quantile of observed queueing delays
+    /// (e.g. 0.95), once `min_obs` delays have been seen, and never below
+    /// `min_wait_s` of actual waiting.
+    ///
+    /// # Panics
+    /// Panics unless `0 < q < 1`.
+    pub fn new(q: f64, min_obs: u64, min_wait_s: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "hedge quantile must be in (0, 1)");
+        Self {
+            quantile: P2Quantile::new(q),
+            q,
+            min_obs,
+            min_wait_s,
+        }
+    }
+
+    /// Disabled policy: never hedges, still tracks delays.
+    pub fn disabled() -> Self {
+        let mut p = Self::new(0.5, u64::MAX, 0.0);
+        p.q = f64::NAN; // marker, reported as "off" by probes
+        p
+    }
+
+    /// The quantile this policy hedges above (NaN when disabled).
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Records one observed queueing delay (dispatch time − arrival).
+    pub fn observe(&mut self, delay_s: f64) {
+        self.quantile.record(delay_s);
+    }
+
+    /// Current hedge threshold in seconds, or `None` while disarmed
+    /// (not enough observations, or disabled).
+    pub fn threshold(&self) -> Option<f64> {
+        if (self.quantile.count() as u64) < self.min_obs {
+            return None;
+        }
+        self.quantile.value().map(|t| t.max(self.min_wait_s))
+    }
+
+    /// True when a request that has already waited `delay_s` should be
+    /// hedged to a second replica.
+    pub fn should_hedge(&self, delay_s: f64) -> bool {
+        match self.threshold() {
+            Some(t) => delay_s > t,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_until_min_obs() {
+        let mut p = HedgePolicy::new(0.9, 10, 0.0);
+        for _ in 0..9 {
+            p.observe(1.0);
+        }
+        assert_eq!(p.threshold(), None);
+        assert!(!p.should_hedge(100.0));
+        p.observe(1.0);
+        assert!(p.threshold().is_some());
+    }
+
+    #[test]
+    fn hedges_above_the_tracked_quantile() {
+        let mut p = HedgePolicy::new(0.9, 20, 0.0);
+        // 100 delays uniform-ish on [0, 1]: the 0.9-quantile sits near 0.9.
+        for i in 0..100 {
+            p.observe(i as f64 / 100.0);
+        }
+        let t = p.threshold().unwrap();
+        assert!((t - 0.9).abs() < 0.1, "threshold {t}");
+        assert!(p.should_hedge(t + 0.01));
+        assert!(!p.should_hedge(t - 0.05));
+    }
+
+    #[test]
+    fn floor_prevents_noise_hedging() {
+        let mut p = HedgePolicy::new(0.5, 4, 0.5);
+        for _ in 0..8 {
+            p.observe(1e-6);
+        }
+        // Quantile is ~1e-6 but the floor holds the threshold at 0.5 s.
+        assert_eq!(p.threshold(), Some(0.5));
+        assert!(!p.should_hedge(0.4));
+        assert!(p.should_hedge(0.6));
+    }
+
+    #[test]
+    fn disabled_policy_never_hedges() {
+        let mut p = HedgePolicy::disabled();
+        for _ in 0..1000 {
+            p.observe(5.0);
+        }
+        assert_eq!(p.threshold(), None);
+        assert!(!p.should_hedge(f64::MAX));
+        assert!(p.q().is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in")]
+    fn rejects_bad_quantile() {
+        let _ = HedgePolicy::new(1.0, 1, 0.0);
+    }
+}

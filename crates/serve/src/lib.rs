@@ -21,11 +21,40 @@
 //! decision path and lands in id-indexed buffers.
 //!
 //! Entry point: [`serve`]. See DESIGN.md, "Serving subsystem".
+//!
+//! ## The multi-tenant fleet
+//!
+//! Layered on the single-model engine, [`serve_fleet`] scales the same
+//! virtual-time discipline to internet shape: a [`ModelRegistry`] holds N
+//! checkpoint versions with content-addressed per-layer weight dedup
+//! (versions sharing a layer share one allocation, f32 and bf16 tiers
+//! alike), [`fleet_stream`] generates diurnal/bursty Zipf-skewed
+//! multi-tenant load, a [`PredictionCache`] replays the Zipf head without
+//! touching a device, [`HedgePolicy`]-driven hedged requests race a second
+//! replica and cancel the loser in virtual time
+//! ([`asgd_gpusim::Device::rollback_to`]), and an [`AutoscaleController`]
+//! commissions/decommissions replica slots on admission-queue depth —
+//! Algorithm 1 pointed at provisioning, placed round-robin across a
+//! [`asgd_gpusim::ClusterTopology`]'s servers. The full outcome stays a
+//! pure function of `(load seed, fault seed, config)` at any
+//! `ASGD_THREADS`.
 
+pub mod autoscale;
+pub mod cache;
 pub mod engine;
+pub mod fleet;
+pub mod hedge;
+pub mod loadgen;
+pub mod registry;
 pub mod slo;
 pub mod stream;
 
+pub use autoscale::{AutoscaleController, AutoscaleDecision, Provisioning};
+pub use cache::{CacheStats, PredictionCache};
 pub use engine::{serve, LatencyStats, ReplicaReport, RequestRecord, ServeConfig, ServeOutcome};
+pub use fleet::{serve_fleet, FleetConfig, FleetOutcome, FleetRecord, FleetReplicaReport};
+pub use hedge::{HedgePolicy, HedgeStats};
+pub use loadgen::{fleet_stream, FleetLoadSpec, TenantRequest};
+pub use registry::{adapter_variant, DedupStats, ModelRegistry, ModelVersion, VersionId};
 pub use slo::SloController;
 pub use stream::{open_loop_stream, Request};

@@ -1,0 +1,279 @@
+//! Seeded multi-tenant load generation: diurnal/bursty open-loop arrivals
+//! with Zipf-distributed `(tenant, request)` popularity.
+//!
+//! Internet-scale traffic is nothing like a constant-rate Poisson stream:
+//! load breathes diurnally (a daily sine between trough and peak), spikes in
+//! short bursts (retry storms, batch jobs, social cascades), and its
+//! popularity is heavily skewed — a few tenants send most of the traffic and
+//! a few request keys dominate within each tenant (the Zipf head the
+//! prediction cache exists for). This module generates exactly that shape as
+//! a **non-homogeneous Poisson process** via Lewis–Shedler thinning:
+//! candidate arrivals are drawn at the peak rate and accepted with
+//! probability `rate(t)/rate_max`, which is exact for any bounded rate
+//! function and — because every draw comes from one seeded RNG in arrival
+//! order — makes the whole stream a pure function of `(seed, spec)`,
+//! bit-identical at any `ASGD_THREADS`.
+//!
+//! Tenant and pool-row draws use the rejection-inversion Zipf sampler from
+//! `asgd-stats` (rank 1 = hottest), so tenant 0 is the heaviest tenant and
+//! low row indices are the hot keys.
+
+use asgd_stats::dist::Zipf;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One multi-tenant inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantRequest {
+    /// Dense request id, `0..n` in arrival order — the index of this
+    /// request's latency record and prediction rows.
+    pub id: u32,
+    /// Arrival time, simulated seconds from stream start.
+    pub arrival: f64,
+    /// Tenant the request belongs to (`0..tenants`, 0 = hottest).
+    pub tenant: u16,
+    /// Row of the request pool holding this request's feature vector
+    /// (low rows = hot keys).
+    pub pool_row: usize,
+}
+
+/// Shape of a fleet load: rate modulation × popularity skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetLoadSpec {
+    /// Requests to generate.
+    pub n: usize,
+    /// Mean offered load at the diurnal midline, requests per simulated
+    /// second.
+    pub base_rps: f64,
+    /// Relative amplitude of the diurnal sine in `[0, 1)`: the rate swings
+    /// between `base·(1−a)` (trough) and `base·(1+a)` (peak).
+    pub diurnal_amplitude: f64,
+    /// Period of the diurnal sine, simulated seconds (the "day").
+    pub diurnal_period_s: f64,
+    /// Rate multiplier inside a burst window (≥ 1; 1 disables bursts).
+    pub burst_factor: f64,
+    /// Mean gap between burst starts, simulated seconds (0 disables bursts).
+    pub burst_every_s: f64,
+    /// Length of each burst window, simulated seconds.
+    pub burst_len_s: f64,
+    /// Number of tenants.
+    pub tenants: usize,
+    /// Zipf exponent of both the tenant and the per-request popularity draw
+    /// (s ≥ 1 concentrates >50% of traffic on the head).
+    pub zipf_s: f64,
+    /// Rows in the request pool.
+    pub pool_rows: usize,
+}
+
+impl FleetLoadSpec {
+    /// A steady single-burst-free spec — Poisson at `base_rps`, still
+    /// Zipf-skewed. Useful as a baseline and in tests.
+    pub fn steady(n: usize, base_rps: f64, tenants: usize, zipf_s: f64, pool_rows: usize) -> Self {
+        Self {
+            n,
+            base_rps,
+            diurnal_amplitude: 0.0,
+            diurnal_period_s: 1.0,
+            burst_factor: 1.0,
+            burst_every_s: 0.0,
+            burst_len_s: 0.0,
+            tenants,
+            zipf_s,
+            pool_rows,
+        }
+    }
+
+    /// The instantaneous offered rate at simulated time `t`, given the burst
+    /// windows in effect (callers outside the generator can pass `&[]`).
+    pub fn rate_at(&self, t: f64, bursts: &[(f64, f64)]) -> f64 {
+        let diurnal = 1.0
+            + self.diurnal_amplitude * (std::f64::consts::TAU * t / self.diurnal_period_s).sin();
+        let burst = if bursts.iter().any(|&(s, e)| t >= s && t < e) {
+            self.burst_factor
+        } else {
+            1.0
+        };
+        self.base_rps * diurnal * burst
+    }
+
+    /// The peak rate the thinning envelope uses.
+    fn rate_max(&self) -> f64 {
+        self.base_rps * (1.0 + self.diurnal_amplitude) * self.burst_factor.max(1.0)
+    }
+
+    fn validate(&self) {
+        assert!(self.base_rps > 0.0, "arrival rate must be positive");
+        assert!(
+            (0.0..1.0).contains(&self.diurnal_amplitude),
+            "diurnal amplitude must be in [0, 1)"
+        );
+        assert!(
+            self.diurnal_period_s > 0.0,
+            "diurnal period must be positive"
+        );
+        assert!(self.burst_factor >= 1.0, "burst factor must be >= 1");
+        assert!(
+            self.tenants >= 1 && self.tenants <= u16::MAX as usize + 1,
+            "bad tenant count"
+        );
+        assert!(self.pool_rows > 0, "request pool must be non-empty");
+    }
+}
+
+/// Generates the stream: `n` requests with non-homogeneous Poisson arrivals
+/// (diurnal sine × seeded burst windows, by Lewis–Shedler thinning at the
+/// peak rate) and Zipf-distributed tenant / pool-row draws. Arrivals are
+/// strictly increasing; the same `(seed, spec)` always yields the same
+/// stream.
+///
+/// # Panics
+/// Panics when the spec is inconsistent (non-positive rate, amplitude
+/// outside `[0, 1)`, burst factor below 1, empty pool, zero tenants) or the
+/// Zipf exponent is not positive.
+pub fn fleet_stream(seed: u64, spec: &FleetLoadSpec) -> Vec<TenantRequest> {
+    spec.validate();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x000F_1EE7_10AD_5EED);
+    let tenant_zipf = Zipf::new(spec.tenants as u64, spec.zipf_s).expect("tenant zipf");
+    let row_zipf = Zipf::new(spec.pool_rows as u64, spec.zipf_s).expect("row zipf");
+
+    // Burst windows are laid out first from their own portion of the seeded
+    // stream, far enough to outlast any plausible stream horizon.
+    let bursts = burst_windows(&mut rng, spec);
+
+    let rate_max = spec.rate_max();
+    let mut out = Vec::with_capacity(spec.n);
+    let mut t = 0.0f64;
+    while out.len() < spec.n {
+        // Candidate arrival at the envelope rate…
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() / rate_max;
+        // …accepted with probability rate(t)/rate_max (thinning).
+        let accept: f64 = rng.gen();
+        if accept * rate_max > spec.rate_at(t, &bursts) {
+            continue;
+        }
+        let tenant = (tenant_zipf.sample(&mut rng) - 1) as u16;
+        let pool_row = (row_zipf.sample(&mut rng) - 1) as usize;
+        out.push(TenantRequest {
+            id: out.len() as u32,
+            arrival: t,
+            tenant,
+            pool_row,
+        });
+    }
+    out
+}
+
+/// Draws the `(start, end)` burst windows covering a generous horizon: burst
+/// starts are a Poisson process with mean gap `burst_every_s`.
+fn burst_windows(rng: &mut StdRng, spec: &FleetLoadSpec) -> Vec<(f64, f64)> {
+    if spec.burst_every_s <= 0.0 || spec.burst_factor <= 1.0 || spec.burst_len_s <= 0.0 {
+        return Vec::new();
+    }
+    // Horizon: the stream can't outlast n requests at the trough rate.
+    let trough = spec.base_rps * (1.0 - spec.diurnal_amplitude).max(1e-3);
+    let horizon = 2.0 * spec.n as f64 / trough + spec.diurnal_period_s;
+    let mut windows = Vec::new();
+    let mut t = 0.0f64;
+    while t < horizon {
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).ln() * spec.burst_every_s;
+        windows.push((t, t + spec.burst_len_s));
+        t += spec.burst_len_s;
+    }
+    windows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FleetLoadSpec {
+        FleetLoadSpec {
+            n: 4000,
+            base_rps: 1000.0,
+            diurnal_amplitude: 0.6,
+            diurnal_period_s: 2.0,
+            burst_factor: 3.0,
+            burst_every_s: 1.0,
+            burst_len_s: 0.05,
+            tenants: 8,
+            zipf_s: 1.1,
+            pool_rows: 500,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let a = fleet_stream(7, &spec());
+        let b = fleet_stream(7, &spec());
+        assert_eq!(a, b);
+        assert_ne!(a, fleet_stream(8, &spec()));
+        assert_eq!(a.len(), spec().n);
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.id as usize, i);
+            assert!((r.tenant as usize) < 8);
+            assert!(r.pool_row < 500);
+        }
+        for w in a.windows(2) {
+            assert!(w[1].arrival > w[0].arrival);
+        }
+    }
+
+    #[test]
+    fn popularity_is_zipf_skewed() {
+        let s = fleet_stream(3, &spec());
+        // Tenant 0 must dominate: at s = 1.1 over 8 ranks its share is
+        // ~1/H ≈ 40%; assert a conservative floor.
+        let t0 = s.iter().filter(|r| r.tenant == 0).count() as f64 / s.len() as f64;
+        assert!(t0 > 0.3, "tenant-0 share {t0}");
+        // The top-32 rows of 500 must carry the majority of requests.
+        let head = s.iter().filter(|r| r.pool_row < 32).count() as f64 / s.len() as f64;
+        assert!(head > 0.5, "head share {head}");
+    }
+
+    #[test]
+    fn diurnal_modulation_shows_up_in_arrival_density() {
+        let mut spec = spec();
+        spec.burst_factor = 1.0; // isolate the sine
+        spec.n = 20_000;
+        let s = fleet_stream(11, &spec);
+        // Count arrivals in the first rising half-period vs the falling one.
+        let period = spec.diurnal_period_s;
+        let in_window = |lo: f64, hi: f64| {
+            s.iter()
+                .filter(|r| r.arrival >= lo && r.arrival < hi)
+                .count()
+        };
+        let peak_half = in_window(0.0, period / 2.0);
+        let trough_half = in_window(period / 2.0, period);
+        assert!(
+            peak_half as f64 > 1.5 * trough_half as f64,
+            "peak half {peak_half} vs trough half {trough_half}"
+        );
+    }
+
+    #[test]
+    fn steady_spec_honors_the_mean_rate() {
+        let spec = FleetLoadSpec::steady(20_000, 250.0, 4, 1.0, 64);
+        let s = fleet_stream(11, &spec);
+        let rate = s.len() as f64 / s.last().unwrap().arrival;
+        assert!((rate / 250.0 - 1.0).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn rate_at_composes_sine_and_burst() {
+        let spec = spec();
+        let quarter = spec.diurnal_period_s / 4.0;
+        assert!((spec.rate_at(quarter, &[]) - 1600.0).abs() < 1e-9);
+        assert!((spec.rate_at(quarter, &[(0.0, 1.0)]) - 4800.0).abs() < 1e-9);
+        assert!((spec.rate_at(3.0 * quarter, &[]) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        let mut s = FleetLoadSpec::steady(1, 1.0, 1, 1.0, 1);
+        s.base_rps = 0.0;
+        let _ = fleet_stream(0, &s);
+    }
+}

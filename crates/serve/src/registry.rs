@@ -1,0 +1,434 @@
+//! The model registry: N checkpoint versions, content-addressed weight
+//! dedup across them.
+//!
+//! A multi-tenant fleet holds many model versions at once — per-tenant
+//! fine-tunes, canary builds, rollback targets — and most of them share
+//! most of their weights: a per-tenant adapter run touches `W₁`/`b₁` and
+//! leaves the wide classifier head alone, a head-only fine-tune does the
+//! opposite, and several tenants often pin the very same build. The
+//! registry exploits this by hashing each version's **flat per-layer
+//! buffers** (`W₁`, `b₁`, `W₂`, `b₂` in the [`Mlp::to_flat`] layout) and
+//! storing every distinct buffer exactly once: versions sharing a layer
+//! share one allocation, in the f32 and bf16 storage tiers alike (bf16
+//! layers are narrowed once — round-to-nearest-even, the rounding
+//! contract's single round point — and hashed *after* narrowing, so an
+//! f32 layer and its bf16 shadow are distinct content).
+//!
+//! Registration is also how the serving engine gets its compute models:
+//! versions with identical full content share one materialized [`Mlp`]
+//! (widened exactly from the stored tier), and the **content signature**
+//! that keys that sharing doubles as the prediction-cache key prefix — two
+//! tenants pinning the same build hit each other's cached predictions.
+//!
+//! Everything here is deterministic: FNV-1a content hashes, insertion-order
+//! version ids, and byte-compare collision handling (a hash collision can
+//! never alias two different layers).
+
+use asgd_model::{Mlp, MlpConfig};
+use asgd_tensor::{bf16, Precision};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Handle of one registered model version (dense, insertion-ordered).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VersionId(pub usize);
+
+/// One stored layer buffer at its storage tier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerBuf {
+    /// Full-precision tier.
+    F32(Vec<f32>),
+    /// Half-width tier (bit pattern of `bf16::narrow`).
+    Bf16(Vec<u16>),
+}
+
+impl LayerBuf {
+    /// Stored bytes of this buffer.
+    pub fn bytes(&self) -> usize {
+        match self {
+            LayerBuf::F32(v) => v.len() * 4,
+            LayerBuf::Bf16(v) => v.len() * 2,
+        }
+    }
+
+    /// Widens the stored values into `out` (exact for both tiers).
+    fn widen_into(&self, out: &mut Vec<f32>) {
+        match self {
+            LayerBuf::F32(v) => out.extend_from_slice(v),
+            LayerBuf::Bf16(v) => out.extend(v.iter().map(|&h| bf16::widen(h))),
+        }
+    }
+
+    /// FNV-1a over the stored byte representation.
+    fn content_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        match self {
+            LayerBuf::F32(v) => {
+                eat(4);
+                for x in v {
+                    for b in x.to_le_bytes() {
+                        eat(b);
+                    }
+                }
+            }
+            LayerBuf::Bf16(v) => {
+                eat(2);
+                for x in v {
+                    for b in x.to_le_bytes() {
+                        eat(b);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+/// One registered version: named, tiered, four shared layer allocations,
+/// and the materialized serving model (shared across identical content).
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// Human-readable version name (e.g. `"tenant3/v2"`).
+    pub name: String,
+    /// Storage tier the version was registered at.
+    pub precision: Precision,
+    /// The four stored layers, in `W₁ ‖ b₁ ‖ W₂ ‖ b₂` order. `Arc` clones of
+    /// the registry's dedup store — versions sharing a layer share the
+    /// allocation.
+    pub layers: [Arc<LayerBuf>; 4],
+    /// Full-content signature (FNV fold of the four layer hashes): equal
+    /// signatures ⇒ byte-identical stored content. Keys materialized-model
+    /// sharing and prefixes the prediction-cache key.
+    pub sig: u64,
+    /// The model served for this version, widened exactly from the stored
+    /// tier. Shared (same `Arc`) by every version with the same `sig`.
+    pub model: Arc<Mlp>,
+}
+
+/// Storage accounting of the registry's dedup store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DedupStats {
+    /// Registered versions.
+    pub versions: usize,
+    /// Layer references held by versions (4 per version).
+    pub layers_logical: usize,
+    /// Distinct layer allocations actually stored.
+    pub layers_unique: usize,
+    /// Bytes the versions would occupy stored independently.
+    pub bytes_logical: usize,
+    /// Bytes actually allocated.
+    pub bytes_stored: usize,
+}
+
+impl DedupStats {
+    /// `bytes_logical / bytes_stored` (1.0 for an empty registry).
+    pub fn ratio(&self) -> f64 {
+        if self.bytes_stored == 0 {
+            1.0
+        } else {
+            self.bytes_logical as f64 / self.bytes_stored as f64
+        }
+    }
+}
+
+/// Content-addressed store of model versions (one fixed architecture).
+#[derive(Debug)]
+pub struct ModelRegistry {
+    config: MlpConfig,
+    /// hash → candidate buffers with that hash (byte-compared on insert, so
+    /// a collision can never alias two different layers).
+    store: HashMap<u64, Vec<Arc<LayerBuf>>>,
+    /// content signature → shared materialized model.
+    materialized: HashMap<u64, Arc<Mlp>>,
+    versions: Vec<ModelVersion>,
+    bytes_logical: usize,
+}
+
+impl ModelRegistry {
+    /// An empty registry for one architecture. Every registered version must
+    /// match it — a fleet serves one request schema.
+    pub fn new(config: MlpConfig) -> Self {
+        Self {
+            config,
+            store: HashMap::new(),
+            materialized: HashMap::new(),
+            versions: Vec::new(),
+            bytes_logical: 0,
+        }
+    }
+
+    /// The architecture every version shares.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Registers `model` as a new version stored at `precision`, returning
+    /// its id. Layers already present (same tier, same bytes) are shared,
+    /// not copied; a version whose full content is already materialized
+    /// shares the existing serving [`Mlp`].
+    ///
+    /// # Panics
+    /// Panics on an architecture mismatch.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        model: &Mlp,
+        precision: Precision,
+    ) -> VersionId {
+        assert_eq!(
+            model.config(),
+            &self.config,
+            "version architecture mismatch"
+        );
+        let flat = model.to_flat();
+        let mut layers: Vec<Arc<LayerBuf>> = Vec::with_capacity(4);
+        let mut sig = 0xcbf2_9ce4_8422_2325u64;
+        for part in layer_slices(&self.config, &flat) {
+            let buf = match precision {
+                Precision::F32 => LayerBuf::F32(part.to_vec()),
+                Precision::Bf16 => LayerBuf::Bf16(part.iter().map(|&v| bf16::narrow(v)).collect()),
+            };
+            self.bytes_logical += buf.bytes();
+            let hash = buf.content_hash();
+            let bucket = self.store.entry(hash).or_default();
+            let shared = match bucket.iter().find(|c| ***c == buf) {
+                Some(existing) => existing.clone(),
+                None => {
+                    let fresh = Arc::new(buf);
+                    bucket.push(fresh.clone());
+                    fresh
+                }
+            };
+            sig ^= hash;
+            sig = sig.wrapping_mul(0x0000_0100_0000_01b3);
+            layers.push(shared);
+        }
+        let layers: [Arc<LayerBuf>; 4] = layers.try_into().expect("exactly four layers");
+        let model = match self.materialized.get(&sig) {
+            Some(m) => m.clone(),
+            None => {
+                let mut widened = Vec::with_capacity(self.config.param_len());
+                for l in &layers {
+                    l.widen_into(&mut widened);
+                }
+                let mut m = Mlp::zeros(&self.config);
+                m.load_flat(&widened);
+                let m = Arc::new(m);
+                self.materialized.insert(sig, m.clone());
+                m
+            }
+        };
+        let id = VersionId(self.versions.len());
+        self.versions.push(ModelVersion {
+            name: name.into(),
+            precision,
+            layers,
+            sig,
+            model,
+        });
+        id
+    }
+
+    /// A registered version.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn version(&self, id: VersionId) -> &ModelVersion {
+        &self.versions[id.0]
+    }
+
+    /// The serving model of a version (shared across identical content).
+    pub fn model(&self, id: VersionId) -> &Arc<Mlp> {
+        &self.versions[id.0].model
+    }
+
+    /// Registered version count.
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Whether no version is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// Distinct materialized serving models.
+    pub fn distinct_models(&self) -> usize {
+        self.materialized.len()
+    }
+
+    /// Current dedup accounting.
+    pub fn dedup_stats(&self) -> DedupStats {
+        let layers_unique: usize = self.store.values().map(Vec::len).sum();
+        let bytes_stored: usize = self
+            .store
+            .values()
+            .flat_map(|b| b.iter())
+            .map(|l| l.bytes())
+            .sum();
+        DedupStats {
+            versions: self.versions.len(),
+            layers_logical: 4 * self.versions.len(),
+            layers_unique,
+            bytes_logical: self.bytes_logical,
+            bytes_stored,
+        }
+    }
+}
+
+/// The four flat layer slices of [`Mlp::to_flat`]'s layout.
+fn layer_slices<'a>(config: &MlpConfig, flat: &'a [f32]) -> [&'a [f32]; 4] {
+    let w1 = config.num_features * config.hidden;
+    let b1 = config.hidden;
+    let w2 = config.hidden * config.num_classes;
+    let b2 = config.num_classes;
+    assert_eq!(flat.len(), w1 + b1 + w2 + b2, "flat layout mismatch");
+    let (w1s, rest) = flat.split_at(w1);
+    let (b1s, rest) = rest.split_at(b1);
+    let (w2s, b2s) = rest.split_at(w2);
+    [w1s, b1s, w2s, b2s]
+}
+
+/// Derives a per-tenant *adapter* fine-tune of `base`: `W₁` and `b₁` are
+/// perturbed by seeded noise of relative scale `eps`, the classifier head
+/// (`W₂`, `b₂`) is left bit-identical — the version family in which
+/// per-layer dedup pays most on wide-head models, since the shared head is
+/// the dominant allocation. The same `(base, seed, eps)` always yields the
+/// same variant.
+pub fn adapter_variant(base: &Mlp, seed: u64, eps: f32) -> Mlp {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let config = *base.config();
+    let mut flat = base.to_flat();
+    let body = config.num_features * config.hidden + config.hidden;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xADA9_7E2F_1355_C0DE);
+    for v in &mut flat[..body] {
+        *v += eps * (rng.gen::<f32>() - 0.5);
+    }
+    let mut m = Mlp::zeros(&config);
+    m.load_flat(&flat);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MlpConfig {
+        MlpConfig {
+            num_features: 10,
+            hidden: 4,
+            num_classes: 50,
+        }
+    }
+
+    #[test]
+    fn identical_versions_share_everything() {
+        let base = Mlp::init(&config(), 7);
+        let mut reg = ModelRegistry::new(config());
+        let a = reg.register("v0", &base, Precision::F32);
+        let b = reg.register("v0-pinned", &base, Precision::F32);
+        assert_eq!(reg.version(a).sig, reg.version(b).sig);
+        assert!(Arc::ptr_eq(reg.model(a), reg.model(b)));
+        for (x, y) in reg.version(a).layers.iter().zip(&reg.version(b).layers) {
+            assert!(Arc::ptr_eq(x, y), "layers should share one allocation");
+        }
+        let stats = reg.dedup_stats();
+        assert_eq!(stats.versions, 2);
+        assert_eq!(stats.layers_logical, 8);
+        assert_eq!(stats.layers_unique, 4);
+        assert_eq!(stats.bytes_logical, 2 * stats.bytes_stored);
+        assert!((stats.ratio() - 2.0).abs() < 1e-12);
+        assert_eq!(reg.distinct_models(), 1);
+    }
+
+    #[test]
+    fn adapter_variants_share_the_head_only() {
+        let base = Mlp::init(&config(), 7);
+        let mut reg = ModelRegistry::new(config());
+        let a = reg.register("base", &base, Precision::F32);
+        let b = reg.register("t1", &adapter_variant(&base, 1, 1e-3), Precision::F32);
+        assert_ne!(reg.version(a).sig, reg.version(b).sig);
+        let (va, vb) = (reg.version(a).layers.clone(), reg.version(b).layers.clone());
+        assert!(!Arc::ptr_eq(&va[0], &vb[0]), "W1 differs");
+        assert!(!Arc::ptr_eq(&va[1], &vb[1]), "b1 differs");
+        assert!(Arc::ptr_eq(&va[2], &vb[2]), "W2 shared");
+        assert!(Arc::ptr_eq(&va[3], &vb[3]), "b2 shared");
+        assert_eq!(reg.dedup_stats().layers_unique, 6);
+        assert_eq!(reg.distinct_models(), 2);
+    }
+
+    #[test]
+    fn materialized_model_matches_the_registered_weights() {
+        let base = Mlp::init(&config(), 3);
+        let mut reg = ModelRegistry::new(config());
+        let id = reg.register("v", &base, Precision::F32);
+        assert_eq!(**reg.model(id), base);
+    }
+
+    #[test]
+    fn bf16_tier_halves_storage_and_serves_the_quantized_model() {
+        let base = Mlp::init(&config(), 3);
+        let mut reg32 = ModelRegistry::new(config());
+        let mut reg16 = ModelRegistry::new(config());
+        let a = reg32.register("v", &base, Precision::F32);
+        let b = reg16.register("v", &base, Precision::Bf16);
+        assert_eq!(
+            reg16.dedup_stats().bytes_stored * 2,
+            reg32.dedup_stats().bytes_stored
+        );
+        // The served model is the once-narrowed checkpoint, widened exactly.
+        assert_eq!(**reg16.model(b), base.quantized(Precision::Bf16));
+        assert_eq!(**reg32.model(a), base);
+        // Same weights at different tiers are *different* content.
+        let mut mixed = ModelRegistry::new(config());
+        let x = mixed.register("f32", &base, Precision::F32);
+        let y = mixed.register("bf16", &base, Precision::Bf16);
+        assert_ne!(mixed.version(x).sig, mixed.version(y).sig);
+    }
+
+    #[test]
+    fn bf16_versions_dedup_after_narrowing() {
+        // Two f32 models whose weights round to the same bf16 bits collapse
+        // to one stored version: hashing happens *after* the narrow. The
+        // pre-rounded twin (quantize → widen) is exactly such a model.
+        let base = Mlp::init(&config(), 5);
+        let rounded = base.quantized(Precision::Bf16);
+        assert_ne!(base, rounded, "quantization should change some weight");
+        let mut reg = ModelRegistry::new(config());
+        let a = reg.register("a", &base, Precision::Bf16);
+        let b = reg.register("b", &rounded, Precision::Bf16);
+        assert_eq!(reg.version(a).sig, reg.version(b).sig);
+        assert!(Arc::ptr_eq(reg.model(a), reg.model(b)));
+        assert_eq!(reg.dedup_stats().layers_unique, 4);
+        assert_eq!(reg.distinct_models(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "architecture mismatch")]
+    fn wrong_architecture_is_rejected() {
+        let mut reg = ModelRegistry::new(config());
+        let other = MlpConfig {
+            num_features: 3,
+            hidden: 2,
+            num_classes: 4,
+        };
+        reg.register("bad", &Mlp::init(&other, 1), Precision::F32);
+    }
+
+    #[test]
+    fn adapter_variant_is_deterministic() {
+        let base = Mlp::init(&config(), 11);
+        assert_eq!(
+            adapter_variant(&base, 4, 1e-3),
+            adapter_variant(&base, 4, 1e-3)
+        );
+        assert_ne!(
+            adapter_variant(&base, 4, 1e-3),
+            adapter_variant(&base, 5, 1e-3)
+        );
+    }
+}

@@ -149,4 +149,61 @@ mod tests {
     fn zero_target_panics() {
         let _ = controller(64, 0.0);
     }
+
+    #[test]
+    fn one_step_overshoot_truncates_exactly_at_b_min() {
+        let params = ScalingParams::paper_defaults(64); // b_min=8, β=4
+        let mut c = SloController::new(params, 0.010);
+        // p99 = 1.01 s against a 10 ms target → relative error 100 → raw
+        // step β·100 = 400, far past b_min from 64: the update must land
+        // exactly AT b_min, never below.
+        let b = c.observe_window(1.0 + 0.010);
+        assert_eq!(b, params.b_min);
+        assert_eq!(c.micro_batch() as f64, params.b_min);
+    }
+
+    #[test]
+    fn negative_error_overshoot_truncates_exactly_at_b_max() {
+        let params = ScalingParams::paper_defaults(64);
+        let mut c = SloController::new(params, 0.010);
+        c.observe_window(0.020); // step off b_max first
+        assert!(c.micro_batch() < 64);
+        // p99 ≈ 0 → error ≈ −1 → raw growth β per window; a huge synthetic
+        // slack (negative error far beyond −1 cannot happen with real
+        // latencies, but the clamp must hold for any input).
+        let b = c.observe_window(-10.0 * 0.010);
+        assert_eq!(b, params.b_max, "growth overshoot pins at b_max");
+    }
+
+    #[test]
+    fn pinned_state_does_not_wind_up() {
+        // Truncation (not skipping) also means no integral windup: after any
+        // amount of time pinned at b_min, a single under-SLO window starts
+        // regrowth immediately from b_min — the clamp forgot the overshoot.
+        let params = ScalingParams::paper_defaults(64);
+        let mut c = SloController::new(params, 0.010);
+        for _ in 0..1_000 {
+            c.observe_window(10.0);
+        }
+        assert_eq!(c.micro_batch() as f64, params.b_min);
+        let b = c.observe_window(0.005);
+        assert_eq!(b, params.b_min + params.beta * 0.5);
+        assert!(c.micro_batch() as f64 > params.b_min);
+    }
+
+    #[test]
+    fn fractional_state_survives_rounding() {
+        // micro_batch() rounds for dispatch but the controller's state stays
+        // fractional: two half-β steps move one full β, not zero.
+        let params = ScalingParams {
+            b_min: 1.0,
+            b_max: 64.0,
+            beta: 1.0,
+        };
+        let mut c = SloController::new(params, 0.010);
+        let b1 = c.observe_window(0.015); // error 0.5 → −0.5
+        let b2 = c.observe_window(0.015);
+        assert_eq!(b1, 63.5);
+        assert_eq!(b2, 63.0);
+    }
 }

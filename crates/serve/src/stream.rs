@@ -89,4 +89,63 @@ mod tests {
     fn zero_rate_panics() {
         let _ = open_loop_stream(0, 1, 0.0, 1);
     }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn negative_rate_panics() {
+        let _ = open_loop_stream(0, 1, -5.0, 1);
+    }
+
+    #[test]
+    fn zero_requests_yield_an_empty_stream() {
+        let s = open_loop_stream(9, 0, 100.0, 4);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_request_stream_is_well_formed() {
+        let s = open_loop_stream(9, 1, 100.0, 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id, 0);
+        assert_eq!(s[0].pool_row, 0, "one-row pool has one valid row");
+        assert!(s[0].arrival > 0.0 && s[0].arrival.is_finite());
+    }
+
+    #[test]
+    fn inter_arrivals_look_exponential() {
+        // A Poisson process has exponential gaps: mean ≈ 1/λ, coefficient
+        // of variation ≈ 1, and the empirical CDF at the mean ≈ 1 − e⁻¹.
+        let rate = 200.0;
+        let s = open_loop_stream(17, 50_000, rate, 8);
+        let gaps: Vec<f64> = std::iter::once(s[0].arrival)
+            .chain(s.windows(2).map(|w| w[1].arrival - w[0].arrival))
+            .collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!((mean * rate - 1.0).abs() < 0.03, "mean gap {mean}");
+        assert!((cv - 1.0).abs() < 0.03, "coefficient of variation {cv}");
+        let below_mean = gaps.iter().filter(|&&g| g < mean).count() as f64 / gaps.len() as f64;
+        let expected = 1.0 - (-1.0f64).exp();
+        assert!(
+            (below_mean - expected).abs() < 0.02,
+            "CDF at mean {below_mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn pool_rows_are_roughly_uniform() {
+        let s = open_loop_stream(23, 40_000, 100.0, 8);
+        let mut counts = [0usize; 8];
+        for r in &s {
+            counts[r.pool_row] += 1;
+        }
+        for (row, &c) in counts.iter().enumerate() {
+            let share = c as f64 / s.len() as f64;
+            assert!(
+                (share - 0.125).abs() < 0.01,
+                "row {row} share {share} far from uniform"
+            );
+        }
+    }
 }

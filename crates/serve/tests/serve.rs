@@ -81,7 +81,7 @@ fn checkpoint_to_serve_roundtrip_is_bit_identical() {
         let x = pool.select_rows(&[r.pool_row]);
         let direct = model.predict_topk(&x, config.k);
         assert_eq!(
-            outcome.prediction(r.id),
+            outcome.prediction(r.id).unwrap(),
             &direct[..],
             "request {} served ≠ direct inference",
             r.id
@@ -112,7 +112,7 @@ fn bf16_serving_matches_the_quantized_model_exactly() {
         let x = pool.select_rows(&[r.pool_row]);
         let direct = reference.predict_topk(&x, config.k);
         assert_eq!(
-            outcome.prediction(r.id),
+            outcome.prediction(r.id).unwrap(),
             &direct[..],
             "request {} served ≠ quantized direct inference",
             r.id
@@ -199,7 +199,7 @@ fn device_loss_mid_run_loses_zero_requests() {
     for r in requests.iter().take(50) {
         let x = pool.select_rows(&[r.pool_row]);
         assert_eq!(
-            outcome.prediction(r.id),
+            outcome.prediction(r.id).unwrap(),
             &model.predict_topk(&x, config.k)[..]
         );
     }
@@ -249,6 +249,40 @@ fn stall_and_speed_faults_keep_the_run_deterministic() {
     assert_eq!(a.fault_log, b.fault_log);
     assert!(a.fault_log.iter().any(|l| l.contains("speed")));
     assert!(a.fault_log.iter().any(|l| l.contains("stalled")));
+}
+
+#[test]
+fn outcome_accessors_are_total() {
+    let ds = tiny_dataset();
+    let model = Mlp::init(&mlp_config(&ds), 4);
+    let pool = &ds.test.features;
+    let config = ServeConfig::paper_defaults(32, 0.020);
+    // An empty run must not divide by zero or panic anywhere.
+    let empty = run(
+        &model,
+        &scaled(homogeneous_server(2)),
+        pool,
+        &[],
+        &FaultPlan::new(),
+        &config,
+    );
+    assert_eq!(empty.served, 0);
+    assert_eq!(empty.throughput_rps(), 0.0);
+    assert_eq!(empty.prediction(0), None);
+    // An unknown id on a real run is a lookup miss, not a panic.
+    let requests = open_loop_stream(2, 40, 600.0, pool.rows());
+    let outcome = run(
+        &model,
+        &scaled(homogeneous_server(2)),
+        pool,
+        &requests,
+        &FaultPlan::new(),
+        &config,
+    );
+    assert!(outcome.prediction(39).is_some());
+    assert_eq!(outcome.prediction(40), None);
+    assert_eq!(outcome.prediction(u32::MAX), None);
+    assert!(outcome.throughput_rps() > 0.0);
 }
 
 #[test]
