@@ -172,6 +172,52 @@ if [[ "${1:-}" != "quick" ]]; then
     done
     echo "autoscale acceptance: reproduced byte-for-byte, all four claims hold"
 
+    echo "== sparse-merge determinism across thread counts =="
+    # The sparse delta merge promises the merged model is bit-identical to
+    # the dense flat reduction — the probe runs both paths in one process,
+    # asserts equality, and renders FNV fingerprints of both models plus the
+    # sparse traffic accounting. Replay under different worker-pool sizes
+    # and byte-diff against each other and the checked-in goldens (f32 and
+    # the bf16 arena), faults included (survivor-subset unions). See
+    # DESIGN.md, "Sparse delta merge".
+    ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/sm1" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sparse_merge_probe >/dev/null
+    ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/sm8" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sparse_merge_probe >/dev/null
+    diff -u "$tmp_out/sm1/sparse_merge_probe_7.txt" \
+            "$tmp_out/sm8/sparse_merge_probe_7.txt"
+    diff -u results/sparse_merge_probe_7.txt "$tmp_out/sm8/sparse_merge_probe_7.txt"
+    ASGD_PRECISION=bf16 ASGD_THREADS=1 ASGD_OUT_DIR="$tmp_out/sm1" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sparse_merge_probe >/dev/null
+    ASGD_PRECISION=bf16 ASGD_THREADS=8 ASGD_OUT_DIR="$tmp_out/sm8" ASGD_MEGA_LIMIT=4 \
+        cargo run --release -p asgd-bench --bin sparse_merge_probe >/dev/null
+    diff -u "$tmp_out/sm1/sparse_merge_probe_7_bf16.txt" \
+            "$tmp_out/sm8/sparse_merge_probe_7_bf16.txt"
+    diff -u results/sparse_merge_probe_7_bf16.txt \
+            "$tmp_out/sm8/sparse_merge_probe_7_bf16.txt"
+    echo "sparse merge: bit-identical at ASGD_THREADS=1 and =8 (f32 + bf16), match checked-in goldens"
+
+    echo "== sparse-merge goldens across build profiles =="
+    # Same probe, debug vs release: the delta gather/scatter and the sparse
+    # timing charge must survive optimization-level changes bit-for-bit.
+    ASGD_OUT_DIR="$tmp_out/sm_dbg" ASGD_MEGA_LIMIT=4 \
+        cargo run -p asgd-bench --bin sparse_merge_probe >/dev/null
+    diff -u results/sparse_merge_probe_7.txt "$tmp_out/sm_dbg/sparse_merge_probe_7.txt"
+    echo "sparse-merge goldens: bit-identical in debug and release profiles"
+
+    echo "== sparse-merge acceptance =="
+    # BENCH_sparse_merge.json carries the subsystem's headline claims as
+    # asserted facts: ≥10x simulated-byte reduction at the full Amazon-670k
+    # shape (asserted inside the experiment) and bit-identity of every
+    # paired dense/sparse run (f32/bf16 × flat/cluster). Regenerate,
+    # byte-diff against the checked-in artifact, and count the gates.
+    ASGD_OUT_DIR="$tmp_out/smjson" \
+        cargo run --release -p asgd-bench --bin run_all BENCH_sparse_merge >/dev/null
+    diff -u results/BENCH_sparse_merge.json "$tmp_out/smjson/BENCH_sparse_merge.json"
+    [ "$(grep -c '"bits_equal_dense": true' "$tmp_out/smjson/BENCH_sparse_merge.json")" -eq 4 ] \
+        || { echo "sparse-merge bit-identity gates missing"; exit 1; }
+    echo "sparse-merge acceptance: reproduced byte-for-byte, all four bit-identity gates hold"
+
     echo "== kernel goldens across thread counts =="
     # The compute-kernel layer (blocked GEMM/SpMM micro-kernels, fused
     # epilogues, streaming top-k) promises bit-identical results for every

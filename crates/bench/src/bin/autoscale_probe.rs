@@ -35,16 +35,8 @@
 use asgd_bench::fleet::{FleetKnobs, FleetScenario, FLEET_SLOTS};
 use asgd_gpusim::FaultPlan;
 use asgd_serve::FleetOutcome;
+use asgd_stats::fnv1a;
 use std::fmt::Write as _;
-
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 fn render(report: &mut String, label: &str, o: &FleetOutcome) {
     let _ = writeln!(report, "[{label}]");

@@ -20,15 +20,7 @@
 
 use asgd_collective::InterNode;
 use asgd_core::ClusterConfig;
-
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use asgd_stats::fnv1a;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)

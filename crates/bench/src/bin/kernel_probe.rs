@@ -14,29 +14,9 @@
 //! and materialized top-k paths.
 
 use asgd_sparse::{ops as sops, CsrMatrix};
+use asgd_stats::fnv::{fnv1a_f32 as fnv_f32, fnv1a_u16 as fnv_u16, fnv1a_u32 as fnv_u32};
 use asgd_tensor::{ops, Matrix};
 use std::fmt::Write as _;
-
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-fn fnv_f32(xs: &[f32]) -> u64 {
-    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
-}
-
-fn fnv_u32(xs: &[u32]) -> u64 {
-    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
-}
-
-fn fnv_u16(xs: &[u16]) -> u64 {
-    fnv1a(xs.iter().flat_map(|v| v.to_le_bytes()))
-}
 
 /// Deterministic pseudo-random fill in [-0.5, 0.5).
 fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {

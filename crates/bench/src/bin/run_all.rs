@@ -13,7 +13,7 @@ fn main() {
     println!("experiment environment: {env:?}\n");
     let t0 = std::time::Instant::now();
     type Exp = (&'static str, fn(&Env) -> String);
-    let experiments: [Exp; 16] = [
+    let experiments: [Exp; 17] = [
         ("table1.csv", ex::table1),
         ("hot_path.csv", ex::hot_path),
         ("merge_stage.csv", ex::merge_stage),
@@ -22,6 +22,7 @@ fn main() {
         ("BENCH_full_scale.json", ex::bench_full_scale_json),
         ("BENCH_merge.json", ex::bench_merge_json),
         ("BENCH_cluster.json", ex::bench_cluster_json),
+        ("BENCH_sparse_merge.json", ex::bench_sparse_merge_json),
         ("BENCH_serve.json", ex::bench_serve_json),
         ("BENCH_autoscale.json", ex::bench_autoscale_json),
         ("fig1.csv", ex::fig1),

@@ -30,6 +30,7 @@ use asgd_gpusim::profile::{homogeneous_server, two_tier_server};
 use asgd_gpusim::FaultPlan;
 use asgd_model::MlpConfig;
 use asgd_serve::{open_loop_stream, serve, LatencyStats, ServeConfig, ServeOutcome};
+use asgd_stats::fnv1a;
 use std::fmt::Write as _;
 
 /// Dataset scale of the serving twin (wide head: ~67k classes).
@@ -40,15 +41,6 @@ const SERVE_HIDDEN: usize = 8;
 const FLEET: (usize, usize, f64) = (2, 2, 0.25);
 /// Maximum (and fixed-baseline) micro-batch size.
 const B_MAX: usize = 64;
-
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 fn quantiles_us(stats: &LatencyStats) -> (f64, f64, f64) {
     let v = |q: &asgd_stats::P2Quantile| q.value().unwrap_or(0.0) * 1e6;

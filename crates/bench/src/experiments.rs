@@ -949,6 +949,216 @@ pub fn bench_cluster_json(env: &Env) -> String {
     out
 }
 
+/// **Sparse delta merge** (`BENCH_sparse_merge.json`) — the headline traffic
+/// numbers of the sparse delta all-reduce next to its correctness gate.
+///
+/// `full_scale` rows price one mega-batch merge at the full Amazon-670k
+/// sampled-softmax shape (no training; the touched-row sets are drawn from
+/// the dataset spec's Zipf feature/label distributions at the paper's batch
+/// shape, then priced through `sparse_merge_timing` against the exact dense
+/// schedule mirror). The flat f32 row asserts the ≥10x simulated-byte
+/// reduction the sparse path exists for.
+///
+/// `runs` rows are paired *real* dense/sparse training runs at the env's
+/// scale — f32 and bf16, flat and a 2×2 cluster — each asserting the merged
+/// model is bit-identical to the dense path (`bits_equal_dense`), with the
+/// per-run traffic accounting from [`asgd_core::SparseMergeStats`].
+pub fn bench_sparse_merge_json(env: &Env) -> String {
+    use asgd_collective::{
+        dense_schedule, sparse_merge_timing, Algorithm, AllReduceTiming, CollectiveContext,
+        InterNode, SparseLayout, SparseMergePlan, DEFAULT_MAX_DENSITY,
+    };
+    use asgd_core::trainer::SampledSoftmax;
+    use asgd_core::ClusterConfig;
+    use asgd_gpusim::{ClusterTopology, SimTime, Topology};
+    use asgd_stats::Zipf;
+    use asgd_tensor::Precision;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    let spec = DatasetSpec::amazon_670k(1.0);
+    let (features, classes, hidden) = (spec.num_features, spec.num_labels, 128usize);
+    let layout = SparseLayout::new(features, hidden, classes);
+    let flat_len = features * hidden + hidden + hidden * classes + classes;
+    // The repo's paper-default merge cadence ([`RunConfig::paper_defaults`]):
+    // 8 batches of ≤64 samples per replica between merges. The touched-row
+    // sets mirror the synthetic generator's mechanism (see
+    // `asgd-data::synthetic`): per sample ~5 Zipf labels; each of its ~76
+    // features comes from a label's fixed prototype pool with probability
+    // 1 − noise, else from the global feature Zipf. Per batch the sampled
+    // softmax dirties the positives plus 64 negative candidates.
+    let (batches, b) = (8usize, 64usize);
+    let feat_zipf = Zipf::new(features as u64, spec.feature_zipf_s).unwrap();
+    let label_zipf = Zipf::new(classes as u64, spec.label_zipf_s).unwrap();
+    let proto_pool = |label: u64| -> Vec<u32> {
+        // Per-label RNG, like the generator: the pool is a fixed property
+        // of the label, shared by every sample carrying it.
+        let mut lr = StdRng::seed_from_u64(env.seed ^ label.wrapping_mul(0x9E37_79B9));
+        (0..spec.prototype_size)
+            .map(|_| feat_zipf.sample(&mut lr) as u32 - 1)
+            .collect()
+    };
+    let touched = |replica: usize| -> Vec<u32> {
+        let mut rng = StdRng::seed_from_u64(env.seed ^ (replica as u64).wrapping_mul(0x9E37));
+        let mut pools: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        let mut marks = vec![0u64; (features + classes).div_ceil(64)];
+        for _ in 0..batches {
+            let mut batch_candidates: Vec<u64> = Vec::new();
+            for _ in 0..b {
+                let labels: Vec<u64> = (0..5).map(|_| label_zipf.sample(&mut rng)).collect();
+                batch_candidates.extend_from_slice(&labels);
+                for _ in 0..76 {
+                    let f = if rng.gen::<f64>() >= spec.noise_fraction {
+                        let l = labels[rng.gen_range(0..labels.len())];
+                        let pool = pools.entry(l).or_insert_with(|| proto_pool(l));
+                        pool[rng.gen_range(0..pool.len())]
+                    } else {
+                        feat_zipf.sample(&mut rng) as u32 - 1
+                    };
+                    marks[f as usize / 64] |= 1 << (f % 64);
+                }
+            }
+            // Negative candidates ride the same label popularity the LSH
+            // buckets concentrate on.
+            batch_candidates.extend((0..64).map(|_| label_zipf.sample(&mut rng)));
+            for c in batch_candidates {
+                let row = features + c as usize - 1;
+                marks[row / 64] |= 1 << (row % 64);
+            }
+        }
+        let mut rows = Vec::new();
+        for (w, &word) in marks.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                rows.push((w * 64 + bits.trailing_zeros() as usize) as u32);
+                bits &= bits - 1;
+            }
+        }
+        rows
+    };
+
+    let mut out = String::from("{\n  \"bench\": \"sparse_merge\",\n  \"full_scale\": [\n");
+    let shapes: [(&str, usize, usize); 2] = [("flat", 1, 8), ("cluster", 4, 4)];
+    let mut first_ratio = None;
+    for (i, &(name, servers, per)) in shapes.iter().enumerate() {
+        let n = servers * per;
+        let profiles = heterogeneous_server(n);
+        let ctx = if servers == 1 {
+            CollectiveContext::new(Topology::pcie(n), &profiles)
+        } else {
+            CollectiveContext::cluster(&ClusterTopology::ethernet(servers, per), &profiles)
+        };
+        let sets: Vec<Vec<u32>> = (0..n).map(touched).collect();
+        let refs: Vec<&[u32]> = sets.iter().map(|s| s.as_slice()).collect();
+        let arrivals = vec![SimTime::ZERO; n];
+        let algo = Algorithm::MultiStreamRing { partitions: 4 };
+        for (j, &elem_bytes) in [4usize, 2].iter().enumerate() {
+            let (dense_secs, dense_bytes) = dense_schedule(algo, &ctx, flat_len, elem_bytes);
+            let dense = AllReduceTiming {
+                start: SimTime::ZERO,
+                end: SimTime(dense_secs),
+                bytes_moved: dense_bytes,
+            };
+            let plan = SparseMergePlan {
+                algo,
+                inter: (servers > 1).then_some(InterNode::Ring),
+                elem_bytes,
+                max_density: DEFAULT_MAX_DENSITY,
+            };
+            let s = sparse_merge_timing(&layout, &refs, &plan, &ctx, &arrivals, dense);
+            assert!(!s.fell_back, "full-scale unions must stay sparse");
+            let ratio = dense_bytes as f64 / s.timing.bytes_moved as f64;
+            first_ratio.get_or_insert(ratio);
+            let _ = write!(
+                out,
+                "    {{\"topology\": \"{name}\", \"replicas\": {n}, \
+                 \"elem_bytes\": {elem_bytes}, \"flat_elems\": {flat_len}, \
+                 \"union_rows\": {}, \"density\": {:.4}, \
+                 \"dense_bytes\": {dense_bytes}, \"sparse_bytes\": {}, \
+                 \"bytes_ratio\": {ratio:.1}, \"dense_ms\": {:.3}, \"sparse_ms\": {:.3}}}",
+                s.union_rows,
+                s.density,
+                s.timing.bytes_moved,
+                dense_secs * 1e3,
+                s.timing.duration() * 1e3,
+            );
+            let last = i + 1 == shapes.len() && j == 1;
+            out.push_str(if last { "\n" } else { ",\n" });
+        }
+    }
+    assert!(
+        first_ratio.unwrap() >= 10.0,
+        "sparse merge must cut simulated merge bytes >= 10x at Amazon-670k \
+         shape, got {:.1}x",
+        first_ratio.unwrap()
+    );
+    out.push_str("  ],\n  \"runs\": [\n");
+
+    // Paired real runs: the bit-identity gate at the env's scale.
+    let dataset = env.dataset(&spec_at_env_scale(env));
+    let combos: [(&str, Precision, Option<ClusterConfig>, usize); 4] = [
+        ("flat", Precision::F32, None, 3),
+        ("flat", Precision::Bf16, None, 3),
+        ("cluster2x2", Precision::F32, Some(cluster_2x2()), 4),
+        ("cluster2x2", Precision::Bf16, Some(cluster_2x2()), 4),
+    ];
+    for (i, (name, precision, cluster, n)) in combos.into_iter().enumerate() {
+        let mut cfg = env.run_config(0.1);
+        cfg.mega_batch_limit = Some(env.mega_limit.min(6));
+        cfg.precision = precision;
+        cfg.cluster = cluster;
+        cfg.sampled_softmax = Some(env.sampled.unwrap_or_else(|| SampledSoftmax::defaults(64)));
+        // Small-scale unions are dense; force the sparse schedule so the
+        // gate exercises it (full-scale rows above carry the perf claim).
+        cfg.sparse_max_density = 1.0;
+        cfg.sparse_merge = false;
+        let mut sparse_cfg = cfg.clone();
+        sparse_cfg.sparse_merge = true;
+        let run =
+            |c| Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(n), c).run(&dataset);
+        let dense = run(cfg);
+        let sparse = run(sparse_cfg);
+        assert_eq!(
+            dense.final_model, sparse.final_model,
+            "sparse merge changed the merged bits ({name}, {precision:?})"
+        );
+        let stats = sparse
+            .sparse_merge
+            .as_ref()
+            .expect("sparse run must report stats");
+        let sim_time = |r: &RunResult| r.records.last().map_or(0.0, |rec| rec.sim_time);
+        let _ = write!(
+            out,
+            "    {{\"topology\": \"{name}\", \"precision\": \"{precision:?}\", \
+             \"replicas\": {n}, \"merges\": {}, \"fallbacks\": {}, \
+             \"dense_bytes\": {}, \"sparse_bytes\": {}, \"bytes_ratio\": {:.2}, \
+             \"dense_sim_s\": {:.6}, \"sparse_sim_s\": {:.6}, \
+             \"bits_equal_dense\": true}}",
+            stats.merges,
+            stats.fallbacks,
+            stats.dense_bytes,
+            stats.sparse_bytes,
+            stats.bytes_ratio(),
+            sim_time(&dense),
+            sim_time(&sparse),
+        );
+        out.push_str(if i + 1 < combos.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn spec_at_env_scale(env: &Env) -> DatasetSpec {
+    DatasetSpec::amazon_670k(env.scale.clamp(0.0005, 0.02))
+}
+
+fn cluster_2x2() -> asgd_core::ClusterConfig {
+    asgd_core::ClusterConfig {
+        servers: 2,
+        devices_per_server: 2,
+        inter: asgd_collective::InterNode::Ring,
+    }
+}
+
 /// **Serving tail latency** (`BENCH_serve.json`) — the online-inference twin
 /// of the training-side batch-size experiments: the wide-head serving
 /// testbed (many classes, tiny hidden layer, so per-request softmax/top-k
@@ -1366,6 +1576,21 @@ mod tests {
         assert!(json.contains("\"mode\": \"fixed\""));
         assert!(json.contains("\"served\": 2400"));
         assert!(!json.contains("\"lost\": 1"), "no request may be lost");
+    }
+
+    #[test]
+    fn bench_sparse_merge_smoke() {
+        let env = Env::smoke();
+        let json = bench_sparse_merge_json(&env);
+        // The ≥10x full-scale byte reduction and every run's bit-identity
+        // are asserted inside the experiment; here just check the shape.
+        assert_eq!(
+            json.matches("\"bits_equal_dense\": true").count(),
+            4,
+            "all four precision x topology gates must report"
+        );
+        assert_eq!(json.matches("\"topology\"").count(), 8);
+        assert!(json.contains("\"bench\": \"sparse_merge\""));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! | `ASGD_LSH_TABLES` | `8` | SimHash tables when `ASGD_SOFTMAX=sampled` |
 //! | `ASGD_NEG_SAMPLES` | `64` | negative candidates per batch when
 //!   `ASGD_SOFTMAX=sampled` |
+//! | `ASGD_SPARSE_MERGE` | `0` | `1` = charge merges through the sparse
+//!   delta all-reduce (timing-only; requires `ASGD_SOFTMAX=sampled`) |
 
 use asgd_core::trainer::{RunConfig, SampledSoftmax, Trainer, TrainerSpec};
 use asgd_core::RunResult;
@@ -54,6 +56,9 @@ pub struct Env {
     /// `Some` = LSH-sampled softmax on the training hot path
     /// (`ASGD_SOFTMAX=sampled`), `None` = the exact dense output layer.
     pub sampled: Option<SampledSoftmax>,
+    /// `ASGD_SPARSE_MERGE=1`: keep sampled-softmax deltas sparse through
+    /// the merge stage (simulated-traffic accounting; bit-identical model).
+    pub sparse_merge: bool,
 }
 
 /// Resolves the `ASGD_SOFTMAX`/`ASGD_LSH_TABLES`/`ASGD_NEG_SAMPLES` triple
@@ -104,6 +109,7 @@ impl Env {
                     .ok()
                     .and_then(|v| v.trim().parse().ok()),
             ),
+            sparse_merge: std::env::var("ASGD_SPARSE_MERGE").is_ok_and(|v| v.trim() == "1"),
         }
     }
 
@@ -118,6 +124,7 @@ impl Env {
             seed: 42,
             out_dir: std::env::temp_dir().join("asgd-bench-smoke"),
             sampled: None,
+            sparse_merge: false,
         }
     }
 
@@ -144,6 +151,7 @@ impl Env {
         c.mega_batch_limit = Some(self.mega_limit);
         c.overhead_scale = self.scale;
         c.sampled_softmax = self.sampled;
+        c.sparse_merge = self.sparse_merge;
         c
     }
 

@@ -92,7 +92,7 @@ pub fn hierarchical_allreduce_flat_serial(
 
 /// `⌈log₂ m⌉` (0 for `m ≤ 1`): the round count of a binomial tree over `m`
 /// participants.
-fn ceil_log2(m: usize) -> usize {
+pub(crate) fn ceil_log2(m: usize) -> usize {
     if m <= 1 {
         0
     } else {
@@ -103,7 +103,7 @@ fn ceil_log2(m: usize) -> usize {
 /// Devices of each server in ascending flat order, grouped by ascending
 /// server id. The fixed server-major ordering is what makes the schedule —
 /// and therefore the timing — independent of any interleaving.
-fn server_groups(ctx: &CollectiveContext) -> Vec<Vec<usize>> {
+pub(crate) fn server_groups(ctx: &CollectiveContext) -> Vec<Vec<usize>> {
     let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
     for d in 0..ctx.n_devices() {
         let s = ctx.server_of(d);

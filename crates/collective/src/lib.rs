@@ -38,6 +38,7 @@
 
 pub mod algorithms;
 pub mod hierarchical;
+pub mod sparse;
 pub mod timing;
 
 pub use algorithms::{
@@ -45,6 +46,10 @@ pub use algorithms::{
 };
 pub use hierarchical::{
     hierarchical_allreduce_flat, hierarchical_allreduce_flat_serial, InterNode,
+};
+pub use sparse::{
+    dense_schedule, gather_delta, scatter_delta, sparse_merge_timing, union_rows, SparseLayout,
+    SparseMergePlan, SparseMergeTiming, DEFAULT_MAX_DENSITY,
 };
 pub use timing::{AllReduceTiming, CollectiveContext};
 

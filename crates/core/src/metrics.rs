@@ -52,6 +52,31 @@ impl RunRecorder {
     }
 }
 
+/// Accounting of the sparse delta merge path (`ASGD_SPARSE_MERGE=1`):
+/// simulated bytes the sparse schedule moved versus what the dense
+/// schedule would have moved over the same merges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMergeStats {
+    /// Merges that went through the sparse planner.
+    pub merges: u64,
+    /// Of those, merges whose union density exceeded the threshold and
+    /// fell back to the dense schedule (timing-only — arithmetic is always
+    /// dense).
+    pub fallbacks: u64,
+    /// Simulated bytes moved by the charged (sparse or fallen-back)
+    /// schedules.
+    pub sparse_bytes: u64,
+    /// Simulated bytes the dense schedules would have moved.
+    pub dense_bytes: u64,
+}
+
+impl SparseMergeStats {
+    /// `dense_bytes / sparse_bytes` — the headline traffic reduction.
+    pub fn bytes_ratio(&self) -> f64 {
+        self.dense_bytes as f64 / (self.sparse_bytes as f64).max(1.0)
+    }
+}
+
 /// The complete outcome of one training run.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -69,6 +94,9 @@ pub struct RunResult {
     /// Fault-injection outcome accounting (quiet/default when the run had no
     /// [`crate::trainer::RunConfig::fault_plan`]).
     pub chaos: crate::trainer::chaos::ChaosStats,
+    /// Sparse-merge accounting (`None` unless the sparse delta merge was
+    /// active — [`crate::trainer::RunConfig::sparse_merge`]).
+    pub sparse_merge: Option<SparseMergeStats>,
 }
 
 impl RunResult {
@@ -148,6 +176,7 @@ mod tests {
             trace: String::new(),
             final_state: None,
             chaos: Default::default(),
+            sparse_merge: None,
         }
     }
 
@@ -195,6 +224,7 @@ mod tests {
             trace: String::new(),
             final_state: None,
             chaos: Default::default(),
+            sparse_merge: None,
         };
         assert_eq!(r.best_accuracy(), 0.0);
         assert_eq!(r.time_to_accuracy(0.1), None);

@@ -248,6 +248,7 @@ impl SlideTrainer {
             trace: String::new(),
             final_state: None,
             chaos: Default::default(),
+            sparse_merge: None,
         }
     }
 }

@@ -105,9 +105,102 @@ impl MergeArena {
     }
 }
 
+/// Per-replica `(rows, payload)` buffers for the sparse delta merge,
+/// recycled across merges exactly like [`MergeArena`] slots.
+///
+/// Ownership follows the same rule: the scheduler owns the arena, a
+/// manager borrows one pair inside a `GetDelta` and returns it in the
+/// `Delta` reply. Deltas are variable-length, so slots are only
+/// length-checked against the layout by the consumer, not here.
+#[derive(Debug)]
+pub struct DeltaArena {
+    precision: Precision,
+    slots: Vec<Option<(Vec<u32>, FlatVec)>>,
+}
+
+impl DeltaArena {
+    /// An arena of `n` empty delta slots at the run's storage precision.
+    pub fn new(n: usize, precision: Precision) -> Self {
+        Self {
+            precision,
+            slots: (0..n)
+                .map(|_| Some((Vec::new(), FlatVec::empty(precision))))
+                .collect(),
+        }
+    }
+
+    /// Takes GPU `g`'s `(rows, payload)` pair to lend it to a manager.
+    ///
+    /// # Panics
+    /// Panics if the pair is already on loan.
+    pub fn lend(&mut self, g: usize) -> (Vec<u32>, FlatVec) {
+        self.slots[g]
+            .take()
+            .unwrap_or_else(|| panic!("delta slot {g} lent while on loan"))
+    }
+
+    /// Returns a lent pair to GPU `g`'s slot.
+    ///
+    /// # Panics
+    /// Panics on a precision mismatch or if the slot is occupied.
+    pub fn restore(&mut self, g: usize, rows: Vec<u32>, payload: FlatVec) {
+        assert_eq!(payload.precision(), self.precision, "delta precision");
+        assert!(self.slots[g].is_none(), "delta slot {g} restored twice");
+        self.slots[g] = Some((rows, payload));
+    }
+
+    /// GPU `g`'s home pair, read-only.
+    ///
+    /// # Panics
+    /// Panics if the pair is on loan.
+    pub fn slot(&self, g: usize) -> (&[u32], &FlatVec) {
+        let (rows, payload) = self.slots[g]
+            .as_ref()
+            .unwrap_or_else(|| panic!("delta slot {g} on loan"));
+        (rows, payload)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_arena_recycles_allocations() {
+        let mut arena = DeltaArena::new(2, Precision::F32);
+        let (mut rows, payload) = arena.lend(1);
+        rows.extend_from_slice(&[1, 5, 9]);
+        let mut payload = match payload {
+            FlatVec::F32(v) => v,
+            other => panic!("f32 delta lent {other:?}"),
+        };
+        payload.resize(12, 2.0);
+        let (rp, pp) = (rows.as_ptr() as usize, payload.as_ptr() as usize);
+        arena.restore(1, rows, FlatVec::F32(payload));
+        assert_eq!(arena.slot(1).0, &[1, 5, 9]);
+        let (mut rows, payload) = arena.lend(1);
+        rows.clear();
+        assert!(rows.capacity() >= 3);
+        assert_eq!(rows.as_ptr() as usize, rp, "row buffer reallocated");
+        assert_eq!(payload.as_ptr_addr(), pp, "payload buffer reallocated");
+        arena.restore(1, rows, payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "on loan")]
+    fn delta_double_lend_panics() {
+        let mut arena = DeltaArena::new(1, Precision::F32);
+        let _a = arena.lend(0);
+        let _b = arena.lend(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta precision")]
+    fn delta_restore_wrong_precision_panics() {
+        let mut arena = DeltaArena::new(1, Precision::Bf16);
+        let (rows, _payload) = arena.lend(0);
+        arena.restore(0, rows, FlatVec::F32(vec![0.0; 4]));
+    }
 
     #[test]
     fn lend_restore_cycle_is_pointer_stable() {

@@ -483,12 +483,23 @@ impl SchedulerState<'_> {
         let k = alive_idx.len();
         assert!(k >= 1, "no surviving device to merge");
 
-        for &g in &alive_idx {
-            to[g]
-                .send(ToManager::GetModel {
-                    buf: self.arena.lend(g),
-                })
-                .expect("manager channel closed");
+        if let Some(arena) = self.delta_arena.as_mut() {
+            // Sparse gather from survivors only: the union (and thus the
+            // charged schedule) is over the survivor subset's row sets.
+            for &g in &alive_idx {
+                let (rows, payload) = arena.lend(g);
+                to[g]
+                    .send(ToManager::GetDelta { rows, payload })
+                    .expect("manager channel closed");
+            }
+        } else {
+            for &g in &alive_idx {
+                to[g]
+                    .send(ToManager::GetModel {
+                        buf: self.arena.lend(g),
+                    })
+                    .expect("manager channel closed");
+            }
         }
         let mut norms_full = vec![0.0f64; self.n()];
         let mut received = 0usize;
@@ -503,8 +514,24 @@ impl SchedulerState<'_> {
                     norms_full[gpu] = norm_per_param;
                     received += 1;
                 }
+                FromManager::Delta {
+                    gpu,
+                    rows,
+                    payload,
+                    norm_per_param,
+                } => {
+                    let mut base = self.arena.lend(gpu);
+                    asgd_collective::scatter_delta(&self.sparse_layout, &rows, &payload, &mut base);
+                    self.arena.restore(gpu, base);
+                    self.delta_arena
+                        .as_mut()
+                        .expect("Delta reply without a delta arena")
+                        .restore(gpu, rows, payload);
+                    norms_full[gpu] = norm_per_param;
+                    received += 1;
+                }
                 FromManager::Trained { .. } | FromManager::Redistributed { .. } => {
-                    unreachable!("non-Model reply during the merge gather")
+                    unreachable!("non-gather reply during the merge gather")
                 }
             }
         }
@@ -552,6 +579,24 @@ impl SchedulerState<'_> {
             &arrivals,
             mega,
         );
+        let timing = match &self.delta_arena {
+            None => timing,
+            Some(da) => super::sparse_timing_or_dense(
+                da,
+                &self.sparse_layout,
+                &mut self.sparse_stats,
+                &asgd_collective::SparseMergePlan {
+                    algo: self.spec.allreduce,
+                    inter: self.cfg.cluster.as_ref().map(|cl| cl.inter),
+                    elem_bytes: self.cfg.precision.bytes(),
+                    max_density: self.cfg.sparse_max_density,
+                },
+                &alive_idx,
+                &sub_ctx,
+                &arrivals,
+                timing,
+            ),
+        };
 
         match self.spec.merge_rule {
             MergeRule::Normalized(params) => {
@@ -597,7 +642,9 @@ impl SchedulerState<'_> {
                     self.arena.restore(gpu, buf);
                     returned += 1;
                 }
-                FromManager::Trained { .. } | FromManager::Model { .. } => {
+                FromManager::Trained { .. }
+                | FromManager::Model { .. }
+                | FromManager::Delta { .. } => {
                     unreachable!("non-Redistributed reply during redistribution")
                 }
             }

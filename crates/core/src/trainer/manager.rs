@@ -46,6 +46,76 @@ impl SampledState {
     }
 }
 
+/// Tracks which sparse rows (W1 feature rows first, then output-class
+/// columns) this replica has dirtied since its last model sync — the
+/// dirty-set side of the sparse delta merge.
+///
+/// On the sampled-softmax path the set is *exact and free*: a training
+/// step writes precisely the batch's CSR feature columns into `W₁` and an
+/// update entry for **every** LSH candidate into `W₂`/`b₂` (even at zero
+/// gradient), so marking `x.indices()` plus the candidate set reproduces
+/// the touched-row set bit-for-bit. `b₁` updates densely every batch and
+/// rides along in the delta's dense block instead.
+struct DirtyRows {
+    features: usize,
+    num_rows: usize,
+    bits: Vec<u64>,
+}
+
+impl DirtyRows {
+    fn new(features: usize, classes: usize) -> Self {
+        let num_rows = features + classes;
+        Self {
+            features,
+            num_rows,
+            bits: vec![0; num_rows.div_ceil(64)],
+        }
+    }
+
+    fn mark_features(&mut self, idx: &[u32]) {
+        for &f in idx {
+            let r = f as usize;
+            debug_assert!(r < self.features);
+            self.bits[r / 64] |= 1 << (r % 64);
+        }
+    }
+
+    fn mark_classes(&mut self, cand: &[u32]) {
+        let features = self.features;
+        for &c in cand {
+            let r = features + c as usize;
+            debug_assert!(r < self.num_rows);
+            self.bits[r / 64] |= 1 << (r % 64);
+        }
+    }
+
+    /// Everything dirty — a `Blend` pulls every parameter toward the
+    /// target, so no sparsity survives it.
+    fn mark_all(&mut self) {
+        self.bits.fill(!0u64);
+    }
+
+    fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Collects the dirty rows, sorted ascending, into a recycled buffer.
+    fn collect_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        for (w, &word) in self.bits.iter().enumerate() {
+            let mut b = word;
+            while b != 0 {
+                let r = w * 64 + b.trailing_zeros() as usize;
+                if r >= self.num_rows {
+                    break;
+                }
+                out.push(r as u32);
+                b &= b - 1;
+            }
+        }
+    }
+}
+
 /// Runs the manager loop until `Stop` (or a disconnected channel). Intended
 /// to run on a scoped thread borrowing the shared dataset.
 ///
@@ -82,6 +152,12 @@ pub(crate) fn run_manager(
             w2_scratch: Matrix::zeros(0, 0),
         }
     });
+    let mut dirty = DirtyRows::new(replica.config().num_features, replica.config().num_classes);
+    // Dense training touches every `W₂` column, so a dirty-row delta after a
+    // dense batch would silently under-report; the trainer only sends
+    // `GetDelta` on the sampled path, and this flag turns a violation into a
+    // loud failure instead of a wrong merge.
+    let mut dense_trained = false;
     // Reusable view of the batch's label slices: borrows from the shared
     // dataset instead of cloning every label vector per batch.
     let mut labels: Vec<&[u32]> = Vec::new();
@@ -102,9 +178,16 @@ pub(crate) fn run_manager(
                 let out = match sampled.as_mut() {
                     Some(state) => {
                         let cand = state.sampler.select(&labels, sample_seed);
+                        // The candidate set *is* the exact W₂ touched set:
+                        // every candidate column gets an update write.
+                        dirty.mark_features(x.indices());
+                        dirty.mark_classes(cand);
                         replica.train_batch_sampled_ws(&x, &labels, cand, lr, &mut ws)
                     }
-                    None => replica.train_batch_ws(&x, &labels, lr, &mut ws),
+                    None => {
+                        dense_trained = true;
+                        replica.train_batch_ws(&x, &labels, lr, &mut ws)
+                    }
                 };
                 if tx
                     .send(FromManager::Trained {
@@ -133,6 +216,8 @@ pub(crate) fn run_manager(
             }
             ToManager::SetModel(buf) => {
                 replica.read_flat_buf(&buf);
+                // A model sync is the delta baseline: nothing dirty yet.
+                dirty.clear();
                 if let Some(state) = sampled.as_mut() {
                     // Every replica just became the same global model:
                     // rebuilding here keeps the tables bit-identical
@@ -151,8 +236,33 @@ pub(crate) fn run_manager(
                     state.rebuild_from_flat(&target, &replica);
                 }
                 replica.blend_from_flat_buf(&target, pull);
+                dirty.mark_all();
                 if tx
                     .send(FromManager::Redistributed { gpu, buf: target })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            ToManager::GetDelta {
+                mut rows,
+                mut payload,
+            } => {
+                assert!(
+                    !dense_trained,
+                    "sparse deltas require the sampled-softmax path \
+                     (dense training dirties every W2 column)"
+                );
+                dirty.collect_into(&mut rows);
+                replica.write_delta_buf(&rows, &mut payload);
+                let norm_per_param = replica.l2_norm_per_param();
+                if tx
+                    .send(FromManager::Delta {
+                        gpu,
+                        rows,
+                        payload,
+                        norm_per_param,
+                    })
                     .is_err()
                 {
                     return;
@@ -459,6 +569,124 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert_eq!(flat_of(&a), flat_of(&b));
+    }
+
+    /// The delta protocol's core contract: after a sync and a sampled train
+    /// step, `GetDelta`'s `(rows, payload)` must (a) bit-match gathering the
+    /// same rows out of the dense `GetModel` buffer and (b) reconstruct that
+    /// dense buffer bit-exactly when scattered over the synced base — the
+    /// exactness the whole sparse merge path rests on.
+    #[test]
+    fn delta_reconstructs_the_replica_bit_exactly() {
+        use asgd_collective::{gather_delta, scatter_delta, SparseLayout};
+        let (ds, model) = setup();
+        let config = *model.config();
+        let synced = FlatVec::F32(Mlp::init(&config, 99).to_flat());
+        let replies = drive_mode(
+            &ds,
+            model,
+            vec![
+                ToManager::SetModel(synced.clone()),
+                ToManager::Train {
+                    batch_ids: vec![0, 2, 4],
+                    lr: 0.1,
+                    sample_seed: 0xB00F,
+                },
+                ToManager::GetDelta {
+                    rows: Vec::new(),
+                    payload: FlatVec::empty(Precision::F32),
+                },
+                ToManager::GetModel {
+                    buf: FlatVec::empty(Precision::F32),
+                },
+            ],
+            Some(sampled_cfg()),
+        );
+        let (rows, payload) = match &replies[2] {
+            FromManager::Delta { rows, payload, .. } => (rows, payload),
+            other => panic!("unexpected {other:?}"),
+        };
+        let flat = match &replies[3] {
+            FromManager::Model { flat, .. } => flat,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(!rows.is_empty(), "a sampled batch must dirty some rows");
+        assert!(rows.windows(2).all(|w| w[0] < w[1]), "rows not ascending");
+        let layout = SparseLayout::new(config.num_features, config.hidden, config.num_classes);
+        let mut expect = FlatVec::empty(Precision::F32);
+        gather_delta(&layout, rows, flat, &mut expect);
+        assert_eq!(payload, &expect, "delta payload != dense gather");
+        let mut base = synced.clone();
+        scatter_delta(&layout, rows, payload, &mut base);
+        assert_eq!(&base, flat, "scatter over base != replica");
+    }
+
+    /// `SetModel` is the delta baseline: a `GetDelta` straight after a sync
+    /// reports no dirty rows and only the dense `b₁` block as payload.
+    #[test]
+    fn set_model_clears_the_dirty_set() {
+        let (ds, model) = setup();
+        let config = *model.config();
+        let synced = FlatVec::F32(Mlp::init(&config, 99).to_flat());
+        let replies = drive_mode(
+            &ds,
+            model,
+            vec![
+                ToManager::Train {
+                    batch_ids: vec![0, 1],
+                    lr: 0.1,
+                    sample_seed: 3,
+                },
+                ToManager::SetModel(synced.clone()),
+                ToManager::GetDelta {
+                    rows: Vec::new(),
+                    payload: FlatVec::empty(Precision::F32),
+                },
+            ],
+            Some(sampled_cfg()),
+        );
+        let (rows, payload) = match &replies[2] {
+            FromManager::Delta { rows, payload, .. } => (rows, payload),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(rows.is_empty(), "sync must clear the dirty set");
+        assert_eq!(payload.len(), config.hidden, "empty delta carries only b1");
+        let b1_off = config.num_features * config.hidden;
+        for k in 0..config.hidden {
+            assert_eq!(
+                payload.get_f32(k).to_bits(),
+                synced.get_f32(b1_off + k).to_bits()
+            );
+        }
+    }
+
+    /// A `Blend` pulls every parameter, so the following delta must cover
+    /// every row — no sparsity survives a CROSSBOW-style merge.
+    #[test]
+    fn blend_dirties_every_row() {
+        let (ds, model) = setup();
+        let config = *model.config();
+        let target = FlatVec::F32(Mlp::init(&config, 99).to_flat());
+        let replies = drive_mode(
+            &ds,
+            model,
+            vec![
+                ToManager::Blend { target, pull: 0.5 },
+                ToManager::GetDelta {
+                    rows: Vec::new(),
+                    payload: FlatVec::empty(Precision::F32),
+                },
+            ],
+            Some(sampled_cfg()),
+        );
+        let rows = match &replies[1] {
+            FromManager::Delta { rows, .. } => rows,
+            other => panic!("unexpected {other:?}"),
+        };
+        let total = config.num_features + config.num_classes;
+        assert_eq!(rows.len(), total);
+        assert_eq!(rows.first(), Some(&0));
+        assert_eq!(rows.last(), Some(&((total - 1) as u32)));
     }
 
     /// A blend rebuild hashes the shared blend *target*'s `W₂` region of the

@@ -44,6 +44,18 @@ pub(crate) enum ToManager {
         /// Pull strength in `[0, 1]`.
         pull: f32,
     },
+    /// Sparse-merge alternative to `GetModel`: send the sorted set of rows
+    /// dirtied since the last `SetModel` plus their delta payload (the
+    /// `asgd_collective::sparse` wire format) instead of the dense model.
+    /// Both vectors are scheduler-owned recycled buffers (see
+    /// [`super::arena::DeltaArena`]), returned via [`FromManager::Delta`].
+    GetDelta {
+        /// Recycled row-id buffer the manager fills (sorted ascending).
+        rows: Vec<u32>,
+        /// Recycled payload buffer the manager fills via
+        /// `Mlp::write_delta_buf`.
+        payload: FlatVec,
+    },
     /// Terminate the manager thread.
     Stop,
 }
@@ -76,5 +88,17 @@ pub(crate) enum FromManager {
         gpu: usize,
         /// The arena buffer being returned.
         buf: FlatVec,
+    },
+    /// Reply to `GetDelta`.
+    Delta {
+        /// Manager/device index.
+        gpu: usize,
+        /// Rows dirtied since the last sync, sorted ascending.
+        rows: Vec<u32>,
+        /// Delta payload over `rows` (`Mlp::write_delta_buf` format), in
+        /// the buffer `GetDelta` lent out.
+        payload: FlatVec,
+        /// `‖w‖₂ / |w|` — same regularization measure `Model` carries.
+        norm_per_param: f64,
     },
 }

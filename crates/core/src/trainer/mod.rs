@@ -26,10 +26,13 @@ mod messages;
 use crate::checkpoint::TrainingState;
 use crate::hyper::{GpuHyper, ScalingParams};
 use crate::merging::{apply_global_update_flat, compute_merge_weights, MergeDecision, MergeParams};
-use crate::metrics::{MergeRecord, RunRecorder, RunResult};
+use crate::metrics::{MergeRecord, RunRecorder, RunResult, SparseMergeStats};
 use crate::schedule::{ScalingScheduler, StalenessBound};
-use arena::MergeArena;
-use asgd_collective::{Algorithm, CollectiveContext, InterNode};
+use arena::{DeltaArena, MergeArena};
+use asgd_collective::{
+    scatter_delta, sparse_merge_timing, Algorithm, AllReduceTiming, CollectiveContext, InterNode,
+    SparseLayout, SparseMergePlan,
+};
 use asgd_data::{batching::MegaBatchBudget, SampleStream, XmlDataset};
 use asgd_gpusim::device::build_server;
 use asgd_gpusim::fusion::{FusionPolicy, LaunchModel};
@@ -59,6 +62,35 @@ pub(crate) fn copy_to_global(buf: &FlatVec, global: &mut [f32]) {
         FlatVec::F32(v) => par_copy(v, global, MIN_PAR_MERGE),
         FlatVec::Bf16(v) => par_widen(v, global, MIN_PAR_MERGE),
     }
+}
+
+/// Replaces the dense merge timing with the sparse-schedule timing when the
+/// sparse delta merge is active. The reduction arithmetic already ran over
+/// full reconstructed buffers (the reduction contract), so sparsity only
+/// changes what the simulated wire carries; the dense timing doubles as the
+/// density-threshold fallback. Free function over disjoint scheduler fields
+/// so callers can split borrows (same pattern as
+/// [`chaos::reduce_with_oom_fallback`]).
+#[allow(clippy::too_many_arguments)]
+fn sparse_timing_or_dense(
+    delta_arena: &DeltaArena,
+    layout: &SparseLayout,
+    stats: &mut SparseMergeStats,
+    plan: &SparseMergePlan,
+    gpus: &[usize],
+    ctx: &CollectiveContext,
+    arrivals: &[SimTime],
+    dense: AllReduceTiming,
+) -> AllReduceTiming {
+    let row_sets: Vec<&[u32]> = gpus.iter().map(|&g| delta_arena.slot(g).0).collect();
+    let s = sparse_merge_timing(layout, &row_sets, plan, ctx, arrivals, dense);
+    stats.merges += 1;
+    if s.fell_back {
+        stats.fallbacks += 1;
+    }
+    stats.sparse_bytes += s.timing.bytes_moved as u64;
+    stats.dense_bytes += dense.bytes_moved as u64;
+    s.timing
 }
 
 /// Sample seed of a batch: an FNV-1a fold of its sample ids mixed with the
@@ -278,6 +310,20 @@ pub struct RunConfig {
     /// Multi-server fleet shape; `None` (the default) is the paper's
     /// single-server setup with the flat all-reduce.
     pub cluster: Option<ClusterConfig>,
+    /// Sparse delta merge (`ASGD_SPARSE_MERGE=1`): replicas ship only the
+    /// rows they dirtied since the last sync (the sampled softmax's
+    /// candidate sets make the dirty set exact and free) and the merge
+    /// charges a union-sized schedule instead of a model-sized one.
+    /// Effective only with [`RunConfig::sampled_softmax`] set and a
+    /// `SetModel`-redistributing merge rule (Normalized/Average); Crossbow
+    /// blends every parameter, so it silently stays on the dense path.
+    /// Results are **bit-identical** to the dense merge — the reduction
+    /// arithmetic is unchanged, only the simulated wire traffic shrinks
+    /// (see `asgd_collective::sparse`).
+    pub sparse_merge: bool,
+    /// Union-density threshold (`union elems / param_len`) above which a
+    /// sparse merge falls back to the dense schedule (timing-only).
+    pub sparse_max_density: f64,
 }
 
 impl RunConfig {
@@ -303,6 +349,8 @@ impl RunConfig {
             precision: Precision::F32,
             sampled_softmax: None,
             cluster: None,
+            sparse_merge: false,
+            sparse_max_density: asgd_collective::DEFAULT_MAX_DENSITY,
         }
     }
 }
@@ -451,7 +499,27 @@ impl Trainer {
             // the capacity so the scratch request genuinely fails.
             merge_memory: MemoryTracker::new((n * param_len * cfg.precision.bytes()) as u64 + 4096),
             profiles: profiles.clone(),
+            delta_arena: (cfg.sparse_merge
+                && cfg.sampled_softmax.is_some()
+                && !matches!(self.spec.merge_rule, MergeRule::Crossbow { .. }))
+            .then(|| DeltaArena::new(n, cfg.precision)),
+            sparse_layout: SparseLayout::new(
+                mconfig.num_features,
+                mconfig.hidden,
+                mconfig.num_classes,
+            ),
+            sparse_stats: SparseMergeStats::default(),
         };
+        if state.delta_arena.is_some() {
+            // Sparse mode parks each manager's last-synced base in its arena
+            // slot; seed every slot with the init model all replicas start
+            // from (`drive` sends no initial `SetModel`).
+            for g in 0..n {
+                let mut buf = state.arena.lend(g);
+                init_model.write_flat_buf(&mut buf);
+                state.arena.restore(g, buf);
+            }
+        }
 
         // std scoped threads: a panicking manager propagates out of the
         // scope when it joins, same observable behavior as the crossbeam
@@ -474,6 +542,10 @@ impl Trainer {
             }
         });
 
+        let sparse_merge = state
+            .delta_arena
+            .is_some()
+            .then(|| state.sparse_stats.clone());
         let megas_run = state.recorder.records().len() as u64;
         let final_state = TrainingState {
             global: state.global.clone(),
@@ -488,6 +560,7 @@ impl Trainer {
             trace: state.trace.render(),
             final_state: Some(final_state),
             chaos: state.chaos,
+            sparse_merge,
         }
     }
 }
@@ -530,6 +603,16 @@ struct SchedulerState<'a> {
     /// Overhead-scaled device profiles (kept for rebuilding a survivor-sized
     /// collective context after a device loss).
     profiles: Vec<DeviceProfile>,
+    /// `Some` iff the sparse delta merge is active: recycled per-replica
+    /// `(rows, payload)` pairs. When active, [`Self::arena`] slots double as
+    /// each manager's *base* — the payload of its last `SetModel` — between
+    /// merges, so scattering a delta over the slot reconstructs the
+    /// replica's flat buffer bit-for-bit.
+    delta_arena: Option<DeltaArena>,
+    /// Row space of the sparse wire format.
+    sparse_layout: SparseLayout,
+    /// Sparse-merge accounting (untouched unless `delta_arena` is set).
+    sparse_stats: SparseMergeStats,
 }
 
 impl SchedulerState<'_> {
@@ -897,7 +980,9 @@ impl SchedulerState<'_> {
                     loss_sums[gpu] += loss;
                     loss_counts[gpu] += 1;
                 }
-                FromManager::Model { .. } | FromManager::Redistributed { .. } => {
+                FromManager::Model { .. }
+                | FromManager::Redistributed { .. }
+                | FromManager::Delta { .. } => {
                     unreachable!("merge-phase reply outside a merge phase")
                 }
             }
@@ -922,11 +1007,19 @@ impl SchedulerState<'_> {
             return self.merge_survivors(to, from, mega_index);
         }
         let n = self.n();
-        for (g, tx) in to.iter().enumerate() {
-            tx.send(ToManager::GetModel {
-                buf: self.arena.lend(g),
-            })
-            .expect("manager channel closed");
+        if let Some(arena) = self.delta_arena.as_mut() {
+            for (g, tx) in to.iter().enumerate() {
+                let (rows, payload) = arena.lend(g);
+                tx.send(ToManager::GetDelta { rows, payload })
+                    .expect("manager channel closed");
+            }
+        } else {
+            for (g, tx) in to.iter().enumerate() {
+                tx.send(ToManager::GetModel {
+                    buf: self.arena.lend(g),
+                })
+                .expect("manager channel closed");
+            }
         }
         let mut norms = vec![0.0f64; n];
         let mut received = 0usize;
@@ -941,8 +1034,27 @@ impl SchedulerState<'_> {
                     norms[gpu] = norm_per_param;
                     received += 1;
                 }
+                FromManager::Delta {
+                    gpu,
+                    rows,
+                    payload,
+                    norm_per_param,
+                } => {
+                    // Scattering the delta over the replica's parked base
+                    // (its last `SetModel` payload) reconstructs exactly the
+                    // buffer a dense gather would have produced.
+                    let mut base = self.arena.lend(gpu);
+                    scatter_delta(&self.sparse_layout, &rows, &payload, &mut base);
+                    self.arena.restore(gpu, base);
+                    self.delta_arena
+                        .as_mut()
+                        .expect("Delta reply without a delta arena")
+                        .restore(gpu, rows, payload);
+                    norms[gpu] = norm_per_param;
+                    received += 1;
+                }
                 FromManager::Trained { .. } | FromManager::Redistributed { .. } => {
-                    unreachable!("non-Model reply during the merge gather")
+                    unreachable!("non-gather reply during the merge gather")
                 }
             }
         }
@@ -984,6 +1096,27 @@ impl SchedulerState<'_> {
             &arrivals,
             mega_index,
         );
+        let timing = match &self.delta_arena {
+            None => timing,
+            Some(da) => {
+                let gpus: Vec<usize> = (0..n).collect();
+                sparse_timing_or_dense(
+                    da,
+                    &self.sparse_layout,
+                    &mut self.sparse_stats,
+                    &SparseMergePlan {
+                        algo: self.spec.allreduce,
+                        inter: self.cfg.cluster.as_ref().map(|cl| cl.inter),
+                        elem_bytes: self.cfg.precision.bytes(),
+                        max_density: self.cfg.sparse_max_density,
+                    },
+                    &gpus,
+                    &self.ctx,
+                    &arrivals,
+                    timing,
+                )
+            }
+        };
 
         match self.spec.merge_rule {
             MergeRule::Normalized(params) => {
@@ -1016,7 +1149,9 @@ impl SchedulerState<'_> {
                     self.arena.restore(gpu, buf);
                     returned += 1;
                 }
-                FromManager::Trained { .. } | FromManager::Model { .. } => {
+                FromManager::Trained { .. }
+                | FromManager::Model { .. }
+                | FromManager::Delta { .. } => {
                     unreachable!("non-Redistributed reply during redistribution")
                 }
             }
@@ -1527,6 +1662,113 @@ mod tests {
             s < d * 1.5,
             "sampled charging out of range: {s} vs dense {d}"
         );
+    }
+
+    /// Tentpole gate: a sparse-delta-merge run produces the *same bits* as
+    /// the dense-merge run — same final model, same per-merge losses and
+    /// accuracies — while charging strictly less simulated merge traffic.
+    /// Clock resync at each merge makes the trajectory independent of the
+    /// merge schedule's duration, so only `sim_time` may differ.
+    #[test]
+    fn sparse_merge_run_is_bit_identical_to_dense_run() {
+        let ds = dataset();
+        let mut dense_cfg = quick_config();
+        dense_cfg.sampled_softmax = Some(SampledSoftmax::defaults(12));
+        // The tiny 40-class space makes unions dense; disable the fallback
+        // so the sparse schedule genuinely runs.
+        dense_cfg.sparse_max_density = 1.0;
+        let mut sparse_cfg = dense_cfg.clone();
+        sparse_cfg.sparse_merge = true;
+        let run = |cfg: RunConfig| {
+            Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), cfg).run(&ds)
+        };
+        let dense = run(dense_cfg);
+        let sparse = run(sparse_cfg);
+        assert_eq!(dense.final_model, sparse.final_model);
+        assert_eq!(
+            dense
+                .records
+                .iter()
+                .map(|r| (
+                    r.mean_loss.to_bits(),
+                    r.accuracy.to_bits(),
+                    r.updates.clone()
+                ))
+                .collect::<Vec<_>>(),
+            sparse
+                .records
+                .iter()
+                .map(|r| (
+                    r.mean_loss.to_bits(),
+                    r.accuracy.to_bits(),
+                    r.updates.clone()
+                ))
+                .collect::<Vec<_>>()
+        );
+        assert!(dense.sparse_merge.is_none());
+        let stats = sparse.sparse_merge.expect("sparse run must report stats");
+        assert_eq!(stats.merges, 4);
+        assert_eq!(stats.fallbacks, 0);
+        assert!(
+            stats.sparse_bytes < stats.dense_bytes,
+            "sparse {} !< dense {}",
+            stats.sparse_bytes,
+            stats.dense_bytes
+        );
+    }
+
+    /// With the density threshold at zero every merge falls back: timing
+    /// (and thus `sim_time`) matches the dense run exactly, bits included.
+    #[test]
+    fn sparse_merge_fallback_reproduces_dense_timing() {
+        let ds = dataset();
+        let mut dense_cfg = quick_config();
+        dense_cfg.sampled_softmax = Some(SampledSoftmax::defaults(12));
+        let mut sparse_cfg = dense_cfg.clone();
+        sparse_cfg.sparse_merge = true;
+        sparse_cfg.sparse_max_density = 0.0;
+        let run = |cfg: RunConfig| {
+            Trainer::new(algorithms::adaptive_sgd(), heterogeneous_server(2), cfg).run(&ds)
+        };
+        let dense = run(dense_cfg);
+        let sparse = run(sparse_cfg);
+        assert_eq!(dense.final_model, sparse.final_model);
+        assert_eq!(
+            dense
+                .records
+                .iter()
+                .map(|r| r.sim_time.to_bits())
+                .collect::<Vec<_>>(),
+            sparse
+                .records
+                .iter()
+                .map(|r| r.sim_time.to_bits())
+                .collect::<Vec<_>>()
+        );
+        let stats = sparse.sparse_merge.unwrap();
+        assert_eq!(stats.fallbacks, stats.merges);
+        assert_eq!(stats.sparse_bytes, stats.dense_bytes);
+    }
+
+    /// Sparse merge is a no-op request outside the sampled path or under
+    /// Crossbow: the run silently stays dense and reports no stats.
+    #[test]
+    fn sparse_merge_gates_off_dense_softmax_and_crossbow() {
+        let ds = dataset();
+        let mut cfg = quick_config();
+        cfg.sparse_merge = true;
+        cfg.mega_batch_limit = Some(1);
+        let dense_softmax = Trainer::new(
+            algorithms::adaptive_sgd(),
+            heterogeneous_server(2),
+            cfg.clone(),
+        )
+        .run(&ds);
+        assert!(dense_softmax.sparse_merge.is_none());
+        cfg.sampled_softmax = Some(SampledSoftmax::defaults(12));
+        let crossbow =
+            Trainer::new(algorithms::crossbow_sma(), heterogeneous_server(2), cfg).run(&ds);
+        assert!(crossbow.sparse_merge.is_none());
     }
 
     #[test]

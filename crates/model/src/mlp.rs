@@ -198,6 +198,64 @@ impl Mlp {
         }
     }
 
+    /// Packs the sparse-merge delta payload over `rows` directly from the
+    /// parameters into `out` (cleared and refilled in `out`'s precision;
+    /// allocation recycled). The wire format is
+    /// `asgd_collective::sparse`'s: the dense `b1` block first, then each
+    /// touched row's elements with rows strictly ascending — the W1
+    /// feature row for `r < num_features`, otherwise the W2 column of
+    /// class `r − num_features` followed by its `b2` entry.
+    ///
+    /// Values are **bit-identical** to gathering the same indices out of
+    /// [`Mlp::write_flat_buf`]'s output: f32 bits verbatim, bf16 narrowed
+    /// exactly once per element (narrowing is element-wise, so packing
+    /// order cannot change any bit). That equality is what lets the merge
+    /// reconstruct a replica's full flat buffer from `(base, delta)`
+    /// without this side ever materializing the dense model.
+    ///
+    /// # Panics
+    /// Panics when a row id falls outside `num_features + num_classes`.
+    pub fn write_delta_buf(&self, rows: &[u32], out: &mut FlatVec) {
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "delta rows must be strictly ascending"
+        );
+        let c = &self.config;
+        let w2 = self.w2.as_slice();
+        match out {
+            FlatVec::F32(v) => {
+                v.clear();
+                v.extend_from_slice(&self.b1);
+                for &r in rows {
+                    let r = r as usize;
+                    if r < c.num_features {
+                        v.extend_from_slice(self.w1.row(r));
+                    } else {
+                        let cl = r - c.num_features;
+                        assert!(cl < c.num_classes, "row {r} outside layout");
+                        v.extend((0..c.hidden).map(|k| w2[k * c.num_classes + cl]));
+                        v.push(self.b2[cl]);
+                    }
+                }
+            }
+            FlatVec::Bf16(v) => {
+                v.clear();
+                v.extend(self.b1.iter().map(|&x| bf16::narrow(x)));
+                for &r in rows {
+                    let r = r as usize;
+                    if r < c.num_features {
+                        v.extend(self.w1.row(r).iter().map(|&x| bf16::narrow(x)));
+                    } else {
+                        let cl = r - c.num_features;
+                        assert!(cl < c.num_classes, "row {r} outside layout");
+                        v.extend((0..c.hidden).map(|k| bf16::narrow(w2[k * c.num_classes + cl])));
+                        v.push(bf16::narrow(self.b2[cl]));
+                    }
+                }
+            }
+        }
+    }
+
     /// Precision-tagged twin of [`Mlp::read_flat_from`]: imports a flat
     /// buffer of either precision. bf16 values widen exactly; no rounding
     /// occurs on import.

@@ -15,6 +15,7 @@
 //! * [`summary`] — streaming summaries: [`summary::StreamingSummary`]
 //!   (Welford), [`summary::Ewma`], percentile helpers.
 //! * [`histogram`] — fixed-bin histograms used by execution traces.
+//! * [`fnv`] — FNV-1a checksums shared by the determinism probes/goldens.
 //!
 //! # Example
 //!
@@ -32,11 +33,13 @@
 //! ```
 
 pub mod dist;
+pub mod fnv;
 pub mod histogram;
 pub mod quantile;
 pub mod summary;
 
 pub use dist::{LogNormal, Normal, Poisson, Zipf};
+pub use fnv::fnv1a;
 pub use histogram::Histogram;
 pub use quantile::P2Quantile;
 pub use summary::{percentile, Ewma, StreamingSummary};

@@ -18,16 +18,7 @@ use adaptive_sgd::core::{
 };
 use adaptive_sgd::data::{generate, DatasetSpec};
 use adaptive_sgd::gpusim::profile::heterogeneous_server;
-
-/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
-fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+use adaptive_sgd::stats::fnv1a;
 
 fn golden_run() -> adaptive_sgd::core::metrics::RunResult {
     let ds = generate(&DatasetSpec::tiny("golden"), 5);
